@@ -1,0 +1,32 @@
+//! Ablation bench: EffCLiP placement cost and packing density for the real
+//! decoder programs (the paper's claim: dense utilization with a plain
+//! integer-add "hash").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recode_udp::asm::assemble_text;
+use recode_udp::effclip;
+
+fn bench_placement(c: &mut Criterion) {
+    // The snappy program exercises a dense 256-way group + many chains.
+    c.bench_function("ablation_effclip_place_snappy_program", |b| {
+        b.iter(|| {
+            let image = recode_udp::progs::snappy::build().unwrap();
+            std::hint::black_box(image.utilization)
+        })
+    });
+
+    // Report utilization once, as a bench side effect.
+    let image = recode_udp::progs::snappy::build().unwrap();
+    eprintln!("snappy program EffCLiP utilization: {:.3}", image.utilization);
+    let delta = recode_udp::progs::delta::build().unwrap();
+    eprintln!("delta  program EffCLiP utilization: {:.3}", delta.utilization);
+
+    c.bench_function("ablation_effclip_verify", |b| {
+        let program = assemble_text("delta", recode_udp::progs::delta::SOURCE).unwrap();
+        let placement = effclip::place(&program).unwrap();
+        b.iter(|| effclip::verify(&program, &placement).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

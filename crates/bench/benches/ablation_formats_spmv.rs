@@ -1,0 +1,46 @@
+//! Ablation bench: host SpMV throughput of the related-work formats vs CSR.
+//! Complements the `ablation_formats` binary (which compares *sizes*) with
+//! the compute side: the varint format shows the inline-decode tax that
+//! motivates offloading recoding to the UDP.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recode_sparse::formats::{BitmaskBlockCsr, Ell, SellCs, VarintCsr};
+use recode_sparse::prelude::*;
+use recode_sparse::spmv::spmv_with_into;
+
+fn bench_format_spmv(c: &mut Criterion) {
+    let a = generate(
+        &GenSpec::FemBand {
+            n: 20_000,
+            band: 12,
+            fill: 0.5,
+            values: ValueModel::QuantizedGaussian { levels: 512 },
+        },
+        11,
+    );
+    let x: Vec<f64> = (0..a.ncols()).map(|i| 1.0 / (1.0 + (i % 17) as f64)).collect();
+    let mut y = vec![0.0f64; a.nrows()];
+
+    let ell = Ell::from_csr(&a).unwrap();
+    let sell = SellCs::from_csr(&a, 32, 512).unwrap();
+    let bb = BitmaskBlockCsr::from_csr(&a).unwrap();
+    let v = VarintCsr::from_csr(&a).unwrap();
+
+    let mut group = c.benchmark_group("ablation_formats_spmv");
+    group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
+    group.bench_function("csr_serial", |b| {
+        b.iter(|| spmv_with_into(SpmvKernel::Serial, &a, &x, &mut y))
+    });
+    group.bench_function("ellpack", |b| b.iter(|| ell.spmv_into(&x, &mut y)));
+    group.bench_function("sell_32_512", |b| b.iter(|| sell.spmv_into(&x, &mut y)));
+    group.bench_function("bitmask_4x4", |b| b.iter(|| bb.spmv_into(&x, &mut y)));
+    group.bench_function("varint_csr_inline_decode", |b| b.iter(|| v.spmv_into(&x, &mut y)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_format_spmv
+}
+criterion_main!(benches);

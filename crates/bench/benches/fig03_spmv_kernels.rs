@@ -1,0 +1,41 @@
+//! Criterion bench behind Fig. 3: the three SpMV kernels on a
+//! bandwidth-bound stencil matrix. Confirms on the host what the paper's
+//! figure models: SpMV throughput is set by memory traffic, so all kernels
+//! converge once the matrix outsizes cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use recode_sparse::prelude::*;
+use recode_sparse::spmv::spmv_with_into;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_spmv_kernels");
+    for side in [128usize, 512] {
+        let a = generate(
+            &GenSpec::Stencil2D {
+                nx: side,
+                ny: side,
+                points: 9,
+                values: ValueModel::QuantizedGaussian { levels: 256 },
+            },
+            3,
+        );
+        let x = vec![1.0f64; a.ncols()];
+        let mut y = vec![0.0f64; a.nrows()];
+        group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
+        for kernel in SpmvKernel::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kernel:?}"), a.nnz()),
+                &a,
+                |b, a| b.iter(|| spmv_with_into(kernel, a, &x, &mut y)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

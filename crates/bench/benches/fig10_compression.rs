@@ -1,0 +1,63 @@
+//! Criterion bench behind Figs. 10/11: whole-matrix compression under the
+//! three codec configurations (throughput of the encode side, which the
+//! paper performs offline on the CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
+use recode_sparse::prelude::*;
+
+fn bench_compression(c: &mut Criterion) {
+    let a = generate(
+        &GenSpec::FemBand {
+            n: 8_000,
+            band: 16,
+            fill: 0.5,
+            values: ValueModel::QuantizedGaussian { levels: 2048 },
+        },
+        7,
+    );
+    let raw_bytes = (a.nnz() * 12) as u64;
+    let mut group = c.benchmark_group("fig10_compression");
+    group.throughput(Throughput::Bytes(raw_bytes));
+    for (name, cfg) in [
+        ("cpu_snappy_32k", MatrixCodecConfig::cpu_snappy()),
+        ("udp_delta_snappy_8k", MatrixCodecConfig::udp_ds()),
+        ("udp_dsh_8k", MatrixCodecConfig::udp_dsh()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, a.nnz()), &a, |b, a| {
+            b.iter(|| CompressedMatrix::compress(a, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompression(c: &mut Criterion) {
+    let a = generate(
+        &GenSpec::FemBand {
+            n: 8_000,
+            band: 16,
+            fill: 0.5,
+            values: ValueModel::QuantizedGaussian { levels: 2048 },
+        },
+        7,
+    );
+    let mut group = c.benchmark_group("fig10_sw_decompression");
+    group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
+    for (name, cfg) in [
+        ("cpu_snappy_32k", MatrixCodecConfig::cpu_snappy()),
+        ("udp_dsh_8k", MatrixCodecConfig::udp_dsh()),
+    ] {
+        let cm = CompressedMatrix::compress(&a, cfg).unwrap();
+        group.bench_with_input(BenchmarkId::new(name, a.nnz()), &cm, |b, cm| {
+            b.iter(|| cm.decompress().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compression, bench_decompression
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench behind Figs. 12/13: simulator cost of UDP block decoding
+//! (how fast the *host* can run lane programs — the simulated throughput
+//! itself comes from cycle counts, printed by the fig12 binary).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_udp::progs::DshDecoder;
+use recode_udp::Lane;
+
+fn banded_index_stream(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| (((i / 3) as u32) * 2 + (i % 3) as u32).to_le_bytes())
+        .collect()
+}
+
+fn bench_udp_stage_decode(c: &mut Criterion) {
+    let data = banded_index_stream(64 * 1024);
+    let config = PipelineConfig::dsh_udp();
+    let pipe = Pipeline::train(config, &data).unwrap();
+    let stream = pipe.encode_stream(&data).unwrap();
+    let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+
+    let mut group = c.benchmark_group("fig12_udp_decode");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("dsh_all_blocks_one_lane", |b| {
+        let mut lane = Lane::new();
+        b.iter(|| {
+            for block in &stream.blocks {
+                let o = decoder.decode_block(&mut lane, block).unwrap();
+                std::hint::black_box(o.cycles);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_program_compile(c: &mut Criterion) {
+    // Per-matrix Huffman program compilation (the recoding "software
+    // update" cost when a new matrix arrives).
+    let data = banded_index_stream(8 * 1024);
+    let pipe = Pipeline::train(PipelineConfig::dsh_udp(), &data).unwrap();
+    let lengths = pipe.table().unwrap().lengths.clone();
+    c.bench_function("fig12_huffman_program_compile", |b| {
+        b.iter(|| recode_udp::progs::huffman::compile(&lengths).unwrap())
+    });
+    c.bench_function("fig12_snappy_program_build", |b| {
+        b.iter(|| recode_udp::progs::snappy::build().unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_udp_stage_decode, bench_program_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench behind Figs. 14/15: the end-to-end functional
+//! heterogeneous SpMV (UDP-decode every block on the simulator, then
+//! multiply) versus the plain CPU kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recode_codec::pipeline::MatrixCodecConfig;
+use recode_core::{RecodedSpmv, SystemConfig};
+use recode_sparse::prelude::*;
+use recode_sparse::spmv::SpmvKernel;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let a = generate(
+        &GenSpec::Stencil2D {
+            nx: 100,
+            ny: 100,
+            points: 5,
+            values: ValueModel::MixedRepeated { distinct: 32 },
+        },
+        9,
+    );
+    let x = vec![1.0f64; a.ncols()];
+    let sys = SystemConfig::ddr4();
+    let recoded = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+
+    let mut group = c.benchmark_group("fig14_hetero_spmv");
+    group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
+    group.bench_function("plain_cpu_spmv", |b| {
+        let mut y = vec![0.0; a.nrows()];
+        b.iter(|| recode_sparse::spmv::spmv_into(&a, &x, &mut y))
+    });
+    group.bench_function("recoded_spmv_via_udp_sim", |b| {
+        b.iter(|| recoded.spmv(&sys, SpmvKernel::Serial, &x).unwrap())
+    });
+    group.bench_function("sw_decompress_only", |b| {
+        b.iter(|| recoded.decompress_via_software().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

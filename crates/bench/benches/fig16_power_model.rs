@@ -1,0 +1,37 @@
+//! Criterion bench behind Figs. 16/17: the analytic power/performance model
+//! evaluation itself (cheap by construction — documents that regenerating
+//! the paper's power figures is instantaneous once measurements exist).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recode_core::perfmodel::SpmvPerfModel;
+use recode_core::{PowerSavings, SystemConfig};
+
+fn bench_models(c: &mut Criterion) {
+    let ddr = SystemConfig::ddr4();
+    let hbm = SystemConfig::hbm2();
+    c.bench_function("fig16_power_savings_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bpnnz in [1.0f64, 2.0, 3.5, 5.0, 8.0, 12.0] {
+                acc += PowerSavings::compute(&ddr, bpnnz, 24e9).net_saving_w;
+                acc += PowerSavings::compute(&hbm, bpnnz, 24e9).net_saving_w;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    c.bench_function("fig14_perf_model_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bpnnz in [1.0f64, 2.0, 3.5, 5.0, 8.0, 12.0] {
+                let m = SpmvPerfModel { bytes_per_nnz: bpnnz, udp_out_bps_per_accel: 24e9 };
+                for r in m.evaluate_all(&ddr) {
+                    acc += r.gflops;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation: reverse Cuthill–McKee reordering before recoding. The paper's
+//! future work asks for "customized encodings for matrices with particular
+//! structures"; RCM *creates* structure — clustering non-zeros near the
+//! diagonal shrinks the index deltas the DSH pipeline compresses.
+//!
+//! Three conditions per matrix: natural generator order, a random
+//! scrambling (worst case — how a matrix may arrive from an application),
+//! and scrambled-then-RCM (what a recoding library can recover).
+
+use recode_bench::{corpus_entries, maybe_dump_json, parse_args};
+use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
+use recode_sparse::reorder::{reverse_cuthill_mckee, Permutation};
+use recode_sparse::stats::MatrixStats;
+use recode_sparse::util::geometric_mean;
+use recode_sparse::Csr;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    family: String,
+    bw_natural: usize,
+    bw_scrambled: usize,
+    bw_rcm: usize,
+    bpnnz_natural: f64,
+    bpnnz_scrambled: f64,
+    bpnnz_rcm: f64,
+}
+
+fn bpnnz(a: &Csr) -> f64 {
+    CompressedMatrix::compress(a, MatrixCodecConfig::udp_dsh())
+        .expect("codec preconditions")
+        .bytes_per_nnz()
+}
+
+/// Deterministic Fisher-Yates scrambling — a genuinely random relabeling
+/// (a linear stride permutation would preserve the arithmetic structure
+/// delta coding feeds on and prove nothing).
+fn scramble(a: &Csr, seed: u64) -> Csr {
+    let n = a.nrows();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut state = seed ^ 0x5C4A_11B1;
+    for i in (1..n).rev() {
+        let j = (recode_sparse::util::splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    Permutation::new(perm).apply_symmetric(a)
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.sample.is_none() {
+        args.sample = Some(40);
+    }
+    let entries = corpus_entries(&args);
+    let rows: Vec<Row> = {
+        use rayon::prelude::*;
+        entries
+            .par_iter()
+            .map(|e| {
+                let a = e.generate();
+                let scrambled = scramble(&a, e.seed);
+                let perm = reverse_cuthill_mckee(&scrambled);
+                let recovered = perm.apply_symmetric(&scrambled);
+                Row {
+                    name: e.name.clone(),
+                    family: e.family.to_string(),
+                    bw_natural: MatrixStats::compute(&a).bandwidth,
+                    bw_scrambled: MatrixStats::compute(&scrambled).bandwidth,
+                    bw_rcm: MatrixStats::compute(&recovered).bandwidth,
+                    bpnnz_natural: bpnnz(&a),
+                    bpnnz_scrambled: bpnnz(&scrambled),
+                    bpnnz_rcm: bpnnz(&recovered),
+                }
+            })
+            .collect()
+    };
+    println!("RCM ablation — DSH bytes/nnz: natural vs scrambled vs scrambled+RCM");
+    println!(
+        "{:<22} {:<11} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "matrix", "family", "bw nat", "bw scr", "bw rcm", "B nat", "B scr", "B rcm"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:<11} {:>9} {:>9} {:>9} {:>8.2} {:>9.2} {:>8.2}",
+            r.name,
+            r.family,
+            r.bw_natural,
+            r.bw_scrambled,
+            r.bw_rcm,
+            r.bpnnz_natural,
+            r.bpnnz_scrambled,
+            r.bpnnz_rcm
+        );
+    }
+    let g = |f: fn(&Row) -> f64| geometric_mean(&rows.iter().map(f).collect::<Vec<_>>()).unwrap();
+    println!(
+        "geomean B/nnz: natural {:.2} | scrambled {:.2} | scrambled+RCM {:.2}",
+        g(|r| r.bpnnz_natural),
+        g(|r| r.bpnnz_scrambled),
+        g(|r| r.bpnnz_rcm)
+    );
+    println!(
+        "reading: scrambling destroys index locality and inflates B/nnz; RCM recovers most \
+         of it — reordering is the paper's 'customized structure' lever."
+    );
+    maybe_dump_json(&args, &rows);
+}

@@ -1,0 +1,106 @@
+//! 8 KB block framing.
+//!
+//! The paper streams compressed matrices as independent blocks that each
+//! decompress back to (at most) 8 KB — one block per UDP lane invocation.
+//! Blocks are self-contained (the delta stage restarts per block) so all 64
+//! lanes can decode in parallel.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-block framing overhead charged by the size accounting:
+/// a 2-byte uncompressed length, a 3-byte payload bit-length and 3 bytes of
+/// alignment/sequence bookkeeping, mirroring a realistic DMA descriptor.
+pub const BLOCK_HEADER_BYTES: usize = 8;
+
+/// One compressed block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedBlock {
+    /// Stage-pipeline output. When a Huffman stage is present this is a
+    /// bit-packed stream and `bit_len` counts its valid bits; otherwise
+    /// `bit_len == payload.len() * 8`.
+    pub payload: Vec<u8>,
+    /// Valid bits in `payload`.
+    pub bit_len: usize,
+    /// Exact byte size this block decodes back to.
+    pub uncompressed_len: usize,
+}
+
+impl CompressedBlock {
+    /// On-wire size of the block including framing.
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + BLOCK_HEADER_BYTES
+    }
+}
+
+/// A sequence of compressed blocks representing one byte stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockStream {
+    /// Uncompressed bytes per block (last block may be short).
+    pub block_bytes: usize,
+    /// The blocks, in stream order.
+    pub blocks: Vec<CompressedBlock>,
+    /// Total uncompressed size of the stream.
+    pub total_uncompressed: usize,
+}
+
+impl BlockStream {
+    /// Total on-wire size (payloads + per-block framing).
+    pub fn wire_bytes(&self) -> usize {
+        self.blocks.iter().map(CompressedBlock::wire_bytes).sum()
+    }
+
+    /// Compression ratio `uncompressed / wire`.
+    pub fn ratio(&self) -> f64 {
+        let wire = self.wire_bytes();
+        if wire == 0 {
+            return 1.0;
+        }
+        self.total_uncompressed as f64 / wire as f64
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the stream holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Splits `data` into chunks of `block_bytes` (the final chunk may be
+/// shorter). A zero-length stream yields no blocks.
+pub fn split_blocks(data: &[u8], block_bytes: usize) -> Vec<&[u8]> {
+    assert!(block_bytes > 0, "block size must be positive");
+    data.chunks(block_bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_input_exactly() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let blocks = split_blocks(&data, 32);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[3].len(), 4);
+        let rejoined: Vec<u8> = blocks.concat();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn empty_stream_has_no_blocks() {
+        assert!(split_blocks(&[], 8192).is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let b = CompressedBlock { payload: vec![0; 10], bit_len: 80, uncompressed_len: 100 };
+        assert_eq!(b.wire_bytes(), 10 + BLOCK_HEADER_BYTES);
+        let s = BlockStream { block_bytes: 8192, blocks: vec![b.clone(), b], total_uncompressed: 200 };
+        assert_eq!(s.wire_bytes(), 2 * (10 + BLOCK_HEADER_BYTES));
+        assert!((s.ratio() - 200.0 / 36.0).abs() < 1e-12);
+    }
+}

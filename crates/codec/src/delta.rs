@@ -1,0 +1,197 @@
+//! Fixed-width zigzag delta coding of 32-bit index streams.
+//!
+//! The paper is explicit that "the delta encoding step on its own provides
+//! no benefit": output stays 4 bytes per index. What it does is turn the
+//! arithmetic sequences of banded/diagonal matrices into *small repeating
+//! integers* — e.g. a tridiagonal row's columns `[k-1, k, k+1]` become
+//! deltas `[.., 1, 1]` — which Snappy's copy elements and Huffman's short
+//! codes then compress aggressively.
+//!
+//! Each block is self-contained: the first index is stored absolutely, so
+//! blocks decode independently on parallel UDP lanes.
+
+use crate::error::{CodecError, CodecResult};
+
+/// Zigzag-maps a signed delta to unsigned so small magnitudes of either sign
+/// get small encodings.
+#[inline]
+pub fn zigzag(v: i64) -> u32 {
+    ((v << 1) ^ (v >> 63)) as u32
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u32) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Delta-encodes `indices` into little-endian bytes, 4 per index. The first
+/// index is absolute, each subsequent one a zigzagged difference.
+///
+/// # Errors
+/// [`CodecError::Precondition`] if any index exceeds `i32::MAX`: zigzagged
+/// differences of larger indices would not fit the fixed 4-byte words
+/// (CSR columns are bounded by `ncols`, which real matrices keep far below
+/// 2^31).
+pub fn encode_u32(indices: &[u32]) -> CodecResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(indices.len() * 4);
+    let mut prev = 0i64;
+    for (k, &idx) in indices.iter().enumerate() {
+        if idx > i32::MAX as u32 {
+            return Err(CodecError::Precondition(format!(
+                "index {idx} at position {k} exceeds the 2^31-1 delta-coding bound"
+            )));
+        }
+        let word = if k == 0 { idx } else { zigzag(idx as i64 - prev) };
+        out.extend_from_slice(&word.to_le_bytes());
+        prev = idx as i64;
+    }
+    Ok(out)
+}
+
+/// Decodes bytes produced by [`encode_u32`].
+///
+/// # Errors
+/// [`CodecError::Precondition`] if the length is not a multiple of 4;
+/// [`CodecError::Corrupt`] if a decoded index leaves `u32` range.
+pub fn decode_u32(bytes: &[u8]) -> CodecResult<Vec<u32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(CodecError::Precondition(format!(
+            "delta stream length {} not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    let n = bytes.len() / 4;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for k in 0..n {
+        let word = u32::from_le_bytes(
+            bytes[k * 4..k * 4 + 4].try_into().expect("length checked"),
+        );
+        let value = if k == 0 { word as i64 } else { prev + unzigzag(word) };
+        if !(0..=u32::MAX as i64).contains(&value) {
+            return Err(CodecError::Corrupt(format!(
+                "delta-decoded index {value} out of u32 range at position {k}"
+            )));
+        }
+        out.push(value as u32);
+        prev = value;
+    }
+    Ok(out)
+}
+
+/// Byte-level wrapper used by the pipeline: treats `bytes` as a u32 stream.
+///
+/// # Errors
+/// As [`decode_u32`]; `encode_bytes` errors on misaligned input length.
+pub fn encode_bytes(bytes: &[u8]) -> CodecResult<Vec<u8>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(CodecError::Precondition(format!(
+            "index stream length {} not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    let indices: Vec<u32> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact")))
+        .collect();
+    encode_u32(&indices)
+}
+
+/// Inverse of [`encode_bytes`].
+///
+/// # Errors
+/// As [`decode_u32`].
+pub fn decode_bytes(bytes: &[u8]) -> CodecResult<Vec<u8>> {
+    let indices = decode_u32(bytes)?;
+    let mut out = Vec::with_capacity(indices.len() * 4);
+    for idx in indices {
+        out.extend_from_slice(&idx.to_le_bytes());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip_and_ordering() {
+        for v in [-5i64, -1, 0, 1, 5, 1 << 30, -(1 << 30)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn encode_preserves_length() {
+        let idx = [100u32, 101, 102, 50, 51];
+        let enc = encode_u32(&idx).unwrap();
+        assert_eq!(enc.len(), idx.len() * 4, "delta alone must not change size");
+        assert_eq!(decode_u32(&enc).unwrap(), idx);
+    }
+
+    #[test]
+    fn banded_indices_become_repeating_small_words() {
+        // Tridiagonal-ish column pattern.
+        let idx = [9u32, 10, 11, 10, 11, 12, 11, 12, 13];
+        let enc = encode_u32(&idx).unwrap();
+        // After the absolute first word, deltas alternate +1, +1, -1...
+        // zigzag(+1)=2, zigzag(-1)=1 — tiny repeating values.
+        let words: Vec<u32> = enc
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words[0], 9);
+        assert!(words[1..].iter().all(|&w| w <= 2), "words: {words:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton_streams() {
+        assert_eq!(encode_u32(&[]).unwrap(), Vec::<u8>::new());
+        assert_eq!(decode_u32(&[]).unwrap(), Vec::<u32>::new());
+        let enc = encode_u32(&[7]).unwrap();
+        assert_eq!(decode_u32(&enc).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn misaligned_input_rejected() {
+        assert!(decode_u32(&[1, 2, 3]).is_err());
+        assert!(encode_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_cannot_escape_u32_range() {
+        // Absolute start at u32::MAX then a positive delta overflows.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&zigzag(10).to_le_bytes());
+        assert!(matches!(decode_u32(&bytes), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn byte_wrappers_round_trip() {
+        let idx = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let raw: Vec<u8> = idx.iter().flat_map(|i| i.to_le_bytes()).collect();
+        let enc = encode_bytes(&raw).unwrap();
+        assert_eq!(decode_bytes(&enc).unwrap(), raw);
+    }
+}
+
+#[cfg(test)]
+mod overflow_tests {
+    use super::*;
+
+    #[test]
+    fn encode_rejects_indices_above_i32_max() {
+        assert!(matches!(
+            encode_u32(&[i32::MAX as u32 + 1]),
+            Err(CodecError::Precondition(_))
+        ));
+        assert!(encode_u32(&[i32::MAX as u32]).is_ok());
+    }
+}

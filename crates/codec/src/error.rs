@@ -1,0 +1,59 @@
+//! Codec error type. Decoders must fail loudly and safely on malformed
+//! input — the failure-injection tests feed them garbage on purpose.
+
+use std::fmt;
+
+/// Result alias for codec operations.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Errors raised by encoders/decoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the declared content did.
+    Truncated {
+        /// What the decoder was reading when input ran out.
+        context: &'static str,
+    },
+    /// Structurally invalid content (bad tag, impossible offset, ...).
+    Corrupt(String),
+    /// Decoded output size disagrees with the declared size.
+    LengthMismatch {
+        /// Size the header declared.
+        expected: usize,
+        /// Size actually produced.
+        actual: usize,
+    },
+    /// The operation needs a Huffman table that was not provided.
+    MissingTable,
+    /// Input violates a precondition (e.g. delta stream length not a
+    /// multiple of 4).
+    Precondition(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { context } => write!(f, "input truncated while reading {context}"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+            CodecError::LengthMismatch { expected, actual } => {
+                write!(f, "declared {expected} bytes but produced {actual}")
+            }
+            CodecError::MissingTable => write!(f, "huffman stage requires a code table"),
+            CodecError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(CodecError::Truncated { context: "tag byte" }.to_string().contains("tag byte"));
+        assert!(CodecError::LengthMismatch { expected: 8, actual: 4 }.to_string().contains('8'));
+        assert!(CodecError::MissingTable.to_string().contains("table"));
+    }
+}

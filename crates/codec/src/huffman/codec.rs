@@ -1,0 +1,182 @@
+//! Huffman encode/decode against a [`HuffmanTable`].
+//!
+//! Decoding uses a flat 15-bit lookup table (peek `MAX_CODE_LEN` bits,
+//! zero-padded at end-of-stream, then skip the matched code's length) — the
+//! software analogue of the UDP's multi-way dispatch decoder.
+
+use super::{HuffmanTable, MAX_CODE_LEN};
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{CodecError, CodecResult};
+
+/// Encodes `data`, returning `(bytes, bit_len)`.
+///
+/// # Errors
+/// [`CodecError::Corrupt`] if a byte has no code in the table (cannot happen
+/// for tables built with add-one smoothing).
+pub fn encode(data: &[u8], table: &HuffmanTable) -> CodecResult<(Vec<u8>, usize)> {
+    let mut w = BitWriter::new();
+    for &b in data {
+        let len = table.lengths[b as usize];
+        if len == 0 {
+            return Err(CodecError::Corrupt(format!("byte {b:#04x} has no huffman code")));
+        }
+        w.write_bits(table.codes[b as usize] as u32, len);
+    }
+    Ok(w.finish())
+}
+
+/// A flat decode table: one entry per 15-bit window.
+struct FlatDecoder {
+    /// `(symbol, code_length)` per window; length 0 marks an invalid window.
+    entries: Vec<(u8, u8)>,
+}
+
+impl FlatDecoder {
+    fn build(table: &HuffmanTable) -> Self {
+        let mut entries = vec![(0u8, 0u8); 1 << MAX_CODE_LEN];
+        for s in 0..256usize {
+            let l = table.lengths[s];
+            if l == 0 {
+                continue;
+            }
+            let lo = (table.codes[s] as usize) << (MAX_CODE_LEN - l);
+            let hi = lo + (1usize << (MAX_CODE_LEN - l));
+            for e in &mut entries[lo..hi] {
+                *e = (s as u8, l);
+            }
+        }
+        FlatDecoder { entries }
+    }
+}
+
+/// Decodes exactly `expected_len` symbols from a bitstream of `bit_len`
+/// valid bits.
+///
+/// # Errors
+/// [`CodecError`] on invalid windows, premature end, or trailing bits that
+/// don't form a whole code.
+pub fn decode(
+    bytes: &[u8],
+    bit_len: usize,
+    table: &HuffmanTable,
+    expected_len: usize,
+) -> CodecResult<Vec<u8>> {
+    let decoder = FlatDecoder::build(table);
+    let mut r = BitReader::new(bytes, bit_len)?;
+    let mut out = Vec::with_capacity(expected_len);
+    while out.len() < expected_len {
+        let window = r.peek_bits_padded(MAX_CODE_LEN);
+        let (sym, len) = decoder.entries[window as usize];
+        if len == 0 {
+            return Err(CodecError::Corrupt(format!(
+                "invalid huffman window {window:#06x} at bit {}",
+                bit_len - r.remaining()
+            )));
+        }
+        if (len as usize) > r.remaining() {
+            return Err(CodecError::Truncated { context: "huffman code" });
+        }
+        r.skip_bits(len).expect("length checked against remaining");
+        out.push(sym);
+    }
+    if r.remaining() >= 8 {
+        return Err(CodecError::Corrupt(format!(
+            "{} unread bits after decoding {expected_len} symbols",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_for(data: &[u8]) -> HuffmanTable {
+        let mut hist = [1u64; 256]; // smoothing, as the pipeline does
+        for &b in data {
+            hist[b as usize] += 1;
+        }
+        HuffmanTable::from_histogram(&hist)
+    }
+
+    fn round_trip(data: &[u8]) {
+        let t = table_for(data);
+        let (bytes, bits) = encode(data, &t).unwrap();
+        let back = decode(&bytes, bits, &t, data.len()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abracadabra, abracadabra!");
+        round_trip(&(0..=255u8).collect::<Vec<_>>());
+        let skew: Vec<u8> = (0..5000).map(|i| if i % 17 == 0 { 7 } else { 0 }).collect();
+        round_trip(&skew);
+    }
+
+    #[test]
+    fn compresses_skewed_data() {
+        let data: Vec<u8> = (0..8192).map(|i| if i % 20 == 0 { 99 } else { 0 }).collect();
+        let t = table_for(&data);
+        let (bytes, _) = encode(&data, &t).unwrap();
+        assert!(
+            bytes.len() < data.len() / 4,
+            "skewed data should shrink 4x+, got {} -> {}",
+            data.len(),
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn uniform_random_does_not_shrink_much() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 20) as u8).collect();
+        let t = table_for(&data);
+        let (bytes, _) = encode(&data, &t).unwrap();
+        assert!(bytes.len() as f64 > data.len() as f64 * 0.9);
+    }
+
+    #[test]
+    fn missing_code_is_an_error() {
+        let mut hist = [0u64; 256];
+        hist[b'a' as usize] = 5;
+        hist[b'b' as usize] = 5;
+        let t = HuffmanTable::from_histogram(&hist);
+        assert!(matches!(encode(b"abc", &t), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let data = b"hello hello hello";
+        let t = table_for(data);
+        let (bytes, bits) = encode(data, &t).unwrap();
+        // Chop the last byte off.
+        let chopped = &bytes[..bytes.len() - 1];
+        let chopped_bits = bits.min(chopped.len() * 8);
+        let r = decode(chopped, chopped_bits, &t, data.len());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wrong_expected_len_leaves_unread_bits() {
+        let data = b"mississippi river mississippi";
+        let t = table_for(data);
+        let (bytes, bits) = encode(data, &t).unwrap();
+        let r = decode(&bytes, bits, &t, data.len() / 2);
+        assert!(matches!(r, Err(CodecError::Corrupt(_))), "got {r:?}");
+    }
+
+    #[test]
+    fn corrupt_bits_never_panic() {
+        let data = b"some sample payload for corruption";
+        let t = table_for(data);
+        let (mut bytes, bits) = encode(data, &t).unwrap();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0xFF;
+            let _ = decode(&bytes, bits, &t, data.len());
+            bytes[i] ^= 0xFF;
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Canonical, length-limited Huffman coding over bytes.
+//!
+//! The paper builds one Huffman tree per matrix by sampling a subset of its
+//! 8 KB blocks (up to 40%), then uses it as the final stage of the
+//! Delta→Snappy→Huffman pipeline. Three implementation choices here are
+//! load-bearing for the UDP side:
+//!
+//! * **Length limit 15 bits** (package-merge algorithm) — so the UDP decoder
+//!   needs at most a two-level multi-way dispatch (8 + 7 bits).
+//! * **Canonical codes** — the table ships as 256 code lengths; codes are
+//!   reconstructed deterministically, and the UDP program compiler derives
+//!   its dispatch tables from the same lengths.
+//! * **Add-one smoothing** — every byte value gets a code even if the
+//!   sampled blocks never contained it, so unsampled blocks always encode.
+
+mod codec;
+
+pub use codec::{decode, encode};
+
+use crate::error::{CodecError, CodecResult};
+
+/// Maximum code length in bits. 15 = 8-bit primary + 7-bit secondary
+/// dispatch on the UDP.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// A canonical Huffman code for the byte alphabet.
+///
+/// `lengths[b]` is the code length of byte `b` (0 = byte has no code);
+/// `codes[b]` is its canonical code, aligned to the least-significant bits.
+/// Only the lengths are ever serialized (see
+/// [`HuffmanTable::from_lengths`]); codes are a deterministic function of
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanTable {
+    /// Code length per byte value (0 if absent).
+    pub lengths: Vec<u8>,
+    /// Canonical code per byte value (valid where `lengths > 0`).
+    pub codes: Vec<u16>,
+}
+
+impl HuffmanTable {
+    /// Builds a table from a byte histogram using package-merge for
+    /// length-limited optimal codes.
+    pub fn from_histogram(hist: &[u64; 256]) -> Self {
+        let lengths = package_merge_lengths(hist, MAX_CODE_LEN);
+        Self::from_lengths(lengths).expect("package-merge always satisfies Kraft")
+    }
+
+    /// Builds a table from sampled data blocks with add-one smoothing, the
+    /// per-matrix construction the paper describes. `sample_every` keeps one
+    /// block in `sample_every` (1 = all blocks, 3 ≈ the paper's ≤40%).
+    pub fn from_sampled_blocks<'a, I>(blocks: I, sample_every: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let stride = sample_every.max(1);
+        let mut hist = [1u64; 256]; // add-one smoothing
+        for (i, block) in blocks.into_iter().enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            for &b in block {
+                hist[b as usize] += 1;
+            }
+        }
+        Self::from_histogram(&hist)
+    }
+
+    /// Reconstructs canonical codes from lengths (the serialized form).
+    ///
+    /// # Errors
+    /// [`CodecError::Corrupt`] if lengths violate the Kraft inequality, the
+    /// 15-bit limit, or the array is not 256 entries.
+    pub fn from_lengths(lengths: Vec<u8>) -> CodecResult<Self> {
+        if lengths.len() != 256 {
+            return Err(CodecError::Corrupt(format!(
+                "huffman table needs 256 lengths, got {}",
+                lengths.len()
+            )));
+        }
+        if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(CodecError::Corrupt("code length exceeds 15 bits".into()));
+        }
+        // Kraft sum in units of 2^-15.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > 1 << MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("lengths violate Kraft inequality".into()));
+        }
+        // Canonical assignment: sort by (length, symbol).
+        let mut order: Vec<u16> = (0..256u16).filter(|&s| lengths[s as usize] > 0).collect();
+        order.sort_unstable_by_key(|&s| (lengths[s as usize], s));
+        let mut codes = vec![0u16; 256];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &order {
+            let l = lengths[s as usize];
+            code <<= l - prev_len;
+            codes[s as usize] = code as u16;
+            code += 1;
+            prev_len = l;
+        }
+        Ok(HuffmanTable { lengths, codes })
+    }
+
+    /// Number of byte values that have a code.
+    pub fn coded_symbols(&self) -> usize {
+        self.lengths.iter().filter(|&&l| l > 0).count()
+    }
+
+    /// Expected bits per input byte under this table for the given
+    /// histogram — used by size estimators.
+    pub fn expected_bits_per_byte(&self, hist: &[u64; 256]) -> f64 {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut bits = 0u64;
+        for (h, l) in hist.iter().zip(&self.lengths) {
+            bits += h * *l as u64;
+        }
+        bits as f64 / total as f64
+    }
+}
+
+/// Package-merge: optimal code lengths under a maximum length.
+/// Returns 256 lengths (0 for zero-weight symbols).
+fn package_merge_lengths(hist: &[u64; 256], max_len: u8) -> Vec<u8> {
+    let symbols: Vec<u16> = (0..256u16).filter(|&s| hist[s as usize] > 0).collect();
+    let n = symbols.len();
+    let mut lengths = vec![0u8; 256];
+    match n {
+        0 => return lengths,
+        1 => {
+            lengths[symbols[0] as usize] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    debug_assert!(
+        (1usize << max_len) >= n,
+        "alphabet too large for length limit"
+    );
+
+    // An item is (weight, multiset of leaf symbols it contains).
+    type Item = (u64, Vec<u16>);
+    let mut leaves: Vec<Item> =
+        symbols.iter().map(|&s| (hist[s as usize], vec![s])).collect();
+    leaves.sort_unstable_by_key(|(w, _)| *w);
+
+    // Level max_len starts with just the leaves; each shallower level
+    // packages pairs from the level below and merges with fresh leaves.
+    let mut packages: Vec<Item> = leaves.clone();
+    for _ in 1..max_len {
+        let mut paired: Vec<Item> = Vec::with_capacity(packages.len() / 2);
+        for pair in packages.chunks_exact(2) {
+            let mut syms = pair[0].1.clone();
+            syms.extend_from_slice(&pair[1].1);
+            paired.push((pair[0].0 + pair[1].0, syms));
+        }
+        // Merge sorted lists of leaves and pairs.
+        let mut merged = Vec::with_capacity(leaves.len() + paired.len());
+        let (mut i, mut j) = (0, 0);
+        while i < leaves.len() || j < paired.len() {
+            let take_leaf = j >= paired.len()
+                || (i < leaves.len() && leaves[i].0 <= paired[j].0);
+            if take_leaf {
+                merged.push(leaves[i].clone());
+                i += 1;
+            } else {
+                merged.push(std::mem::take(&mut paired[j]));
+                j += 1;
+            }
+        }
+        packages = merged;
+    }
+
+    // The first 2n-2 items of the final level define the code: a symbol's
+    // length is the number of items containing it.
+    for item in packages.iter().take(2 * n - 2) {
+        for &s in &item.1 {
+            lengths[s as usize] += 1;
+        }
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(data: &[u8]) -> [u64; 256] {
+        let mut h = [0u64; 256];
+        for &b in data {
+            h[b as usize] += 1;
+        }
+        h
+    }
+
+    fn kraft_exact(lengths: &[u8]) -> bool {
+        let sum: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        sum == 1 << MAX_CODE_LEN
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let t = HuffmanTable::from_histogram(&hist_of(b"aaaabb"));
+        assert_eq!(t.lengths[b'a' as usize], 1);
+        assert_eq!(t.lengths[b'b' as usize], 1);
+        assert_eq!(t.coded_symbols(), 2);
+    }
+
+    #[test]
+    fn skewed_distribution_gives_short_code_to_common_symbol() {
+        let mut data = vec![b'x'; 1000];
+        data.extend_from_slice(b"abcdefgh");
+        let t = HuffmanTable::from_histogram(&hist_of(&data));
+        assert_eq!(t.lengths[b'x' as usize], 1);
+        for &b in b"abcdefgh" {
+            assert!(t.lengths[b as usize] >= 3, "rare symbol {b} got {}", t.lengths[b as usize]);
+        }
+        assert!(kraft_exact(&t.lengths));
+    }
+
+    #[test]
+    fn uniform_256_symbols_all_get_8_bits() {
+        let hist = [100u64; 256];
+        let t = HuffmanTable::from_histogram(&hist);
+        assert!(t.lengths.iter().all(|&l| l == 8), "{:?}", &t.lengths[..16]);
+        assert!(kraft_exact(&t.lengths));
+    }
+
+    #[test]
+    fn length_limit_is_respected_on_exponential_weights() {
+        // Fibonacci-ish weights drive unbounded Huffman depth > 15.
+        let mut hist = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for h in hist.iter_mut().take(40) {
+            *h = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let t = HuffmanTable::from_histogram(&hist);
+        let max = t.lengths.iter().copied().max().unwrap();
+        assert!(max <= MAX_CODE_LEN, "max length {max}");
+        assert!(kraft_exact(&t.lengths));
+    }
+
+    #[test]
+    fn single_symbol_gets_a_one_bit_code() {
+        let t = HuffmanTable::from_histogram(&hist_of(b"zzzz"));
+        assert_eq!(t.lengths[b'z' as usize], 1);
+        assert_eq!(t.coded_symbols(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_gives_empty_table() {
+        let t = HuffmanTable::from_histogram(&[0u64; 256]);
+        assert_eq!(t.coded_symbols(), 0);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut data: Vec<u8> = Vec::new();
+        for b in 0..=255u8 {
+            data.extend(std::iter::repeat_n(b, (b as usize % 17) + 1));
+        }
+        let t = HuffmanTable::from_histogram(&hist_of(&data));
+        // Brute-force prefix check on (code << (15 - len)) intervals.
+        let mut intervals: Vec<(u32, u32)> = (0..256)
+            .filter(|&s| t.lengths[s] > 0)
+            .map(|s| {
+                let l = t.lengths[s];
+                let lo = (t.codes[s] as u32) << (MAX_CODE_LEN - l);
+                (lo, lo + (1 << (MAX_CODE_LEN - l)))
+            })
+            .collect();
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping codes: {w:?}");
+        }
+    }
+
+    #[test]
+    fn from_lengths_round_trips_and_validates() {
+        let t = HuffmanTable::from_histogram(&hist_of(b"hello world, hello huffman"));
+        let rebuilt = HuffmanTable::from_lengths(t.lengths.clone()).unwrap();
+        assert_eq!(rebuilt.codes, t.codes);
+        // Over-full set of lengths violates Kraft.
+        let mut bad = vec![0u8; 256];
+        bad[0] = 1;
+        bad[1] = 1;
+        bad[2] = 1;
+        assert!(HuffmanTable::from_lengths(bad).is_err());
+        assert!(HuffmanTable::from_lengths(vec![0u8; 255]).is_err());
+        let mut too_long = vec![0u8; 256];
+        too_long[0] = 16;
+        assert!(HuffmanTable::from_lengths(too_long).is_err());
+    }
+
+    #[test]
+    fn sampling_with_smoothing_codes_every_byte() {
+        let blocks: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 100]).collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let t = HuffmanTable::from_sampled_blocks(refs, 3);
+        assert_eq!(t.coded_symbols(), 256, "smoothing must cover the whole alphabet");
+    }
+
+    #[test]
+    fn expected_bits_reflects_skew() {
+        let mut data = vec![0u8; 10_000];
+        data.extend_from_slice(&[1, 2, 3]);
+        let hist = hist_of(&data);
+        let t = HuffmanTable::from_histogram(&hist);
+        let bits = t.expected_bits_per_byte(&hist);
+        assert!(bits < 1.1, "skewed stream should need ~1 bit/byte, got {bits}");
+    }
+}

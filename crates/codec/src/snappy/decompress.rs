@@ -1,0 +1,212 @@
+//! Snappy decompressor, hardened against corrupt input. The UDP program in
+//! `recode-udp` mirrors this logic instruction-for-instruction; keep the two
+//! in sync (tests cross-check them on random corpora).
+
+use super::{TAG_COPY1, TAG_COPY2, TAG_COPY4};
+use crate::error::{CodecError, CodecResult};
+use crate::varint::read_uvarint;
+
+/// Reads only the uncompressed-length preamble.
+///
+/// # Errors
+/// Varint errors from [`read_uvarint`].
+pub fn uncompressed_length(input: &[u8]) -> CodecResult<(usize, usize)> {
+    let (len, n) = read_uvarint(input)?;
+    let len = usize::try_from(len)
+        .map_err(|_| CodecError::Corrupt("declared length exceeds address space".into()))?;
+    Ok((len, n))
+}
+
+/// Decompresses a complete Snappy stream with the default size cap.
+///
+/// # Errors
+/// [`CodecError`] on any malformed input; never panics.
+pub fn decompress(input: &[u8]) -> CodecResult<Vec<u8>> {
+    decompress_with_limit(input, super::DEFAULT_MAX_UNCOMPRESSED)
+}
+
+/// Decompresses with an explicit cap on the declared uncompressed size.
+///
+/// # Errors
+/// [`CodecError::Corrupt`] if the declared size exceeds `max_len`, plus all
+/// the structural errors of the format.
+pub fn decompress_with_limit(input: &[u8], max_len: usize) -> CodecResult<Vec<u8>> {
+    let (expected, mut pos) = uncompressed_length(input)?;
+    if expected > max_len {
+        return Err(CodecError::Corrupt(format!(
+            "declared uncompressed size {expected} exceeds limit {max_len}"
+        )));
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(expected);
+
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        match tag & 0b11 {
+            t if t == super::TAG_LITERAL => {
+                let len_code = (tag >> 2) as usize;
+                let len = if len_code < 60 {
+                    len_code + 1
+                } else {
+                    let nbytes = len_code - 59; // 1..=4 extra length bytes
+                    let raw = read_le(input, &mut pos, nbytes, "literal length")?;
+                    usize::try_from(raw)
+                        .ok()
+                        .and_then(|v| v.checked_add(1))
+                        .ok_or_else(|| CodecError::Corrupt("literal length overflow".into()))?
+                };
+                let end = pos
+                    .checked_add(len)
+                    .ok_or_else(|| CodecError::Corrupt("literal length overflow".into()))?;
+                if end > input.len() {
+                    return Err(CodecError::Truncated { context: "literal payload" });
+                }
+                if out.len() + len > expected {
+                    return Err(CodecError::Corrupt("output overruns declared size".into()));
+                }
+                out.extend_from_slice(&input[pos..end]);
+                pos = end;
+            }
+            t if t == TAG_COPY1 => {
+                let len = ((tag >> 2) & 0x7) as usize + 4;
+                let hi = ((tag >> 5) as usize) << 8;
+                let lo = read_le(input, &mut pos, 1, "copy1 offset")? as usize;
+                copy_back(&mut out, hi | lo, len, expected)?;
+            }
+            t if t == TAG_COPY2 => {
+                let len = (tag >> 2) as usize + 1;
+                let off = read_le(input, &mut pos, 2, "copy2 offset")? as usize;
+                copy_back(&mut out, off, len, expected)?;
+            }
+            t if t == TAG_COPY4 => {
+                let len = (tag >> 2) as usize + 1;
+                let off = read_le(input, &mut pos, 4, "copy4 offset")? as usize;
+                copy_back(&mut out, off, len, expected)?;
+            }
+            _ => unreachable!("two-bit tag covers all cases"),
+        }
+    }
+
+    if out.len() != expected {
+        return Err(CodecError::LengthMismatch { expected, actual: out.len() });
+    }
+    Ok(out)
+}
+
+/// Reads `nbytes` little-endian from `input` at `*pos`, advancing it.
+fn read_le(input: &[u8], pos: &mut usize, nbytes: usize, context: &'static str) -> CodecResult<u64> {
+    if *pos + nbytes > input.len() {
+        return Err(CodecError::Truncated { context });
+    }
+    let mut v = 0u64;
+    for k in 0..nbytes {
+        v |= (input[*pos + k] as u64) << (8 * k);
+    }
+    *pos += nbytes;
+    Ok(v)
+}
+
+/// Appends `len` bytes copied from `offset` back in `out`. Handles
+/// overlapping copies (offset < len) byte-by-byte, which is exactly the
+/// run-extension semantics the format requires.
+fn copy_back(out: &mut Vec<u8>, offset: usize, len: usize, expected: usize) -> CodecResult<()> {
+    if offset == 0 {
+        return Err(CodecError::Corrupt("copy offset zero".into()));
+    }
+    if offset > out.len() {
+        return Err(CodecError::Corrupt(format!(
+            "copy offset {offset} reaches before the start of output ({} written)",
+            out.len()
+        )));
+    }
+    if out.len() + len > expected {
+        return Err(CodecError::Corrupt("copy overruns declared size".into()));
+    }
+    let start = out.len() - offset;
+    for k in 0..len {
+        let b = out[start + k];
+        out.push(b);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snappy::compress;
+
+    #[test]
+    fn rejects_zero_offset_copy() {
+        // varint len=4, then copy1 with offset 0.
+        let bad = [4u8, TAG_COPY1, 0x00];
+        assert!(matches!(decompress(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_offset_before_start() {
+        // varint len=8, literal "ab", then copy1 len4 offset 5 (> 2 written).
+        let bad = [8u8, 0b0000_0100, b'a', b'b', TAG_COPY1, 5];
+        assert!(matches!(decompress(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_literal() {
+        let bad = [10u8, 0b0010_0100, b'x']; // literal of 10, only 1 byte present
+        assert!(matches!(decompress(&bad), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_output_overrun() {
+        // Declared 2 bytes but literal provides 3.
+        let bad = [2u8, 0b0000_1000, b'a', b'b', b'c'];
+        assert!(matches!(decompress(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_output_underrun() {
+        // Declared 5 bytes but only a 2-byte literal arrives.
+        let bad = [5u8, 0b0000_0100, b'a', b'b'];
+        assert!(matches!(decompress(&bad), Err(CodecError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_oversize_declaration() {
+        let mut bad = Vec::new();
+        crate::varint::write_uvarint(&mut bad, u64::MAX / 2);
+        assert!(matches!(decompress(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let data = vec![1u8; 1000];
+        let c = compress(&data);
+        assert!(decompress_with_limit(&c, 999).is_err());
+        assert_eq!(decompress_with_limit(&c, 1000).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_copy_extends_runs() {
+        // Hand-built stream: literal 'a', copy offset 1 len 7 => "aaaaaaaa".
+        let stream = [8u8, 0b0000_0000, b'a', TAG_COPY1 | (3 << 2), 1];
+        assert_eq!(decompress(&stream).unwrap(), b"aaaaaaaa");
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Exhaustive 2-byte inputs plus a pile of longer pseudo-random ones.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let _ = decompress(&[a, b]);
+            }
+        }
+        let mut x = 0x12345678u64;
+        for len in 0..64 {
+            let mut buf = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                buf.push((x >> 33) as u8);
+            }
+            let _ = decompress(&buf);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Little-endian base-128 varints — the Snappy preamble encoding.
+
+use crate::error::{CodecError, CodecResult};
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `out` as a little-endian varint; returns bytes written.
+pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from the front of `input`, returning `(value, bytes_read)`.
+///
+/// # Errors
+/// [`CodecError::Truncated`] if the continuation chain outruns the input,
+/// [`CodecError::Corrupt`] if it exceeds 10 bytes (u64 overflow).
+pub fn read_uvarint(input: &[u8]) -> CodecResult<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(CodecError::Corrupt("varint longer than 10 bytes".into()));
+        }
+        let payload = (byte & 0x7f) as u64;
+        value |= payload
+            .checked_shl(shift)
+            .filter(|_| shift < 64 && (shift != 63 || payload <= 1))
+            .ok_or_else(|| CodecError::Corrupt("varint overflows u64".into()))?;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(CodecError::Truncated { context: "varint" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            let n = write_uvarint(&mut buf, v);
+            assert_eq!(n, buf.len());
+            let (got, read) = read_uvarint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(read, buf.len());
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 300);
+        assert_eq!(buf, vec![0xAC, 0x02]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert_eq!(read_uvarint(&[0x80]), Err(CodecError::Truncated { context: "varint" }));
+        assert!(read_uvarint(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_varint_errors() {
+        let bad = [0xFFu8; 11];
+        assert!(matches!(read_uvarint(&bad), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let buf = [0x05, 0xAA, 0xBB];
+        let (v, n) = read_uvarint(&buf).unwrap();
+        assert_eq!((v, n), (5, 1));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests: every codec stage and the composed pipeline must be
+//! the identity on arbitrary inputs, and decoders must reject mutations
+//! gracefully (error, never panic).
+
+use proptest::prelude::*;
+use recode_codec::huffman::HuffmanTable;
+use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_codec::{delta, huffman, snappy};
+
+/// Arbitrary byte payloads mixing random and compressible content.
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        // Runs: highly compressible.
+        (any::<u8>(), 1usize..2048).prop_map(|(b, n)| vec![b; n]),
+        // Small-alphabet text-ish data.
+        proptest::collection::vec(0u8..8, 0..2048),
+        // Periodic data (exercises overlapping copies).
+        (1usize..16, 1usize..2048)
+            .prop_map(|(p, n)| (0..n).map(|i| (i % p) as u8).collect()),
+    ]
+}
+
+/// Clears the most significant bit of each little-endian u32 word so the
+/// stream satisfies the delta stage's `< 2^31` index precondition.
+fn clear_index_top_bits(data: &mut [u8]) {
+    for word in data.chunks_exact_mut(4) {
+        word[3] &= 0x7F;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snappy_round_trip(data in payload()) {
+        let c = snappy::compress(&data);
+        prop_assert_eq!(snappy::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn snappy_worst_case_expansion_bound(data in payload()) {
+        let c = snappy::compress(&data);
+        prop_assert!(c.len() <= data.len() + data.len() / 6 + 32);
+    }
+
+    #[test]
+    fn snappy_decoder_survives_mutation(data in payload(), flip in any::<(usize, u8)>()) {
+        let mut c = snappy::compress(&data);
+        if !c.is_empty() {
+            let pos = flip.0 % c.len();
+            c[pos] ^= flip.1 | 1;
+            // Must not panic; may error or decode to something else.
+            let _ = snappy::decompress(&c);
+        }
+    }
+
+    #[test]
+    fn huffman_round_trip(data in payload()) {
+        let mut hist = [1u64; 256];
+        for &b in &data { hist[b as usize] += 1; }
+        let t = HuffmanTable::from_histogram(&hist);
+        let (bytes, bits) = huffman::encode(&data, &t).unwrap();
+        prop_assert_eq!(huffman::decode(&bytes, bits, &t, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_never_beats_entropy_by_much(data in payload()) {
+        // Sanity: coded size >= data len * entropy estimate - slack.
+        if data.len() < 64 { return Ok(()); }
+        let mut hist = [0u64; 256];
+        for &b in &data { hist[b as usize] += 1; }
+        let entropy_bits: f64 = hist.iter().filter(|&&c| c > 0).map(|&c| {
+            let p = c as f64 / data.len() as f64;
+            -(p.log2()) * c as f64
+        }).sum();
+        let mut smooth = [1u64; 256];
+        for &b in &data { smooth[b as usize] += 1; }
+        let t = HuffmanTable::from_histogram(&smooth);
+        let (_, bits) = huffman::encode(&data, &t).unwrap();
+        prop_assert!((bits as f64) + 1.0 >= entropy_bits,
+            "coded {} bits below entropy {}", bits, entropy_bits);
+    }
+
+    #[test]
+    fn delta_round_trip(idx in proptest::collection::vec(0u32..(1 << 31), 0..512)) {
+        let enc = delta::encode_u32(&idx).unwrap();
+        prop_assert_eq!(delta::decode_u32(&enc).unwrap(), idx);
+    }
+
+    #[test]
+    fn delta_decoder_survives_mutation(
+        idx in proptest::collection::vec(0u32..(1 << 31), 1..256),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let mut enc = delta::encode_u32(&idx).unwrap();
+        let pos = flip.0 % enc.len();
+        enc[pos] ^= flip.1 | 1;
+        let _ = delta::decode_u32(&enc);
+    }
+
+    #[test]
+    fn full_pipeline_round_trip(data in payload(), block_pow in 7u32..13) {
+        // Align to 4 bytes and clear each word's top bit so the delta
+        // stage's index precondition (< 2^31) holds.
+        let mut data = data;
+        data.truncate(data.len() & !3);
+        clear_index_top_bits(&mut data);
+        let config = PipelineConfig {
+            delta: true,
+            snappy: true,
+            huffman: true,
+            block_bytes: 1usize << block_pow,
+            huffman_sample_every: 2,
+        };
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let enc = pipe.encode_stream(&data).unwrap();
+        prop_assert_eq!(pipe.decode_stream(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn pipeline_decoder_survives_payload_mutation(data in payload(), flip in any::<(usize, usize, u8)>()) {
+        let mut data = data;
+        data.truncate(data.len() & !3);
+        clear_index_top_bits(&mut data);
+        let pipe = Pipeline::train(PipelineConfig::dsh_udp(), &data).unwrap();
+        let mut enc = pipe.encode_stream(&data).unwrap();
+        if enc.blocks.is_empty() { return Ok(()); }
+        let bi = flip.0 % enc.blocks.len();
+        let block = &mut enc.blocks[bi];
+        if block.payload.is_empty() { return Ok(()); }
+        let pos = flip.1 % block.payload.len();
+        block.payload[pos] ^= flip.2 | 1;
+        // Either an error or (rarely) an aliased decode of equal length —
+        // never a panic or OOB.
+        if let Ok(out) = pipe.decode_stream(&enc) {
+            prop_assert_eq!(out.len(), data.len());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # recode-core — the CPU–UDP heterogeneous architecture
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//!
+//! * [`arch`] — system configurations (CPU-only, CPU+software-decomp,
+//!   CPU+UDP) over `recode-mem` models;
+//! * [`exec`] — *functional* recoding-enhanced SpMV: compressed blocks are
+//!   decoded by real UDP programs on the lane simulator, reassembled, and
+//!   multiplied — the Fig. 6/7 flow, verified bit-exact against the
+//!   uncompressed kernel;
+//! * [`measure`] — measured recoding throughput: per-lane cycle counts from
+//!   the UDP simulator (sampled blocks, extrapolated) and the calibrated
+//!   CPU software rates;
+//! * [`perfmodel`] — the analytic bandwidth-bound SpMV model behind
+//!   Figs. 3, 14, 15;
+//! * [`power`] — iso-performance memory-power savings (Figs. 16, 17);
+//! * [`seven`] — synthetic stand-ins for the paper's 7 representative
+//!   matrices (copter2, g7jac160, gas_sensor, m3dc1_a30, matrix-new_3,
+//!   shipsec1, xenon1);
+//! * [`corpus`] — the 369-matrix TAMU-substitute corpus;
+//! * [`experiment`] — per-figure experiment runners with serializable
+//!   results;
+//! * [`report`] — plain-text tables matching the paper's figures.
+
+pub mod arch;
+pub mod corpus;
+pub mod exec;
+pub mod experiment;
+pub mod measure;
+pub mod perfmodel;
+pub mod power;
+pub mod report;
+pub mod seven;
+
+pub use arch::SystemConfig;
+pub use exec::RecodedSpmv;
+pub use perfmodel::SpmvPerfModel;
+pub use power::PowerSavings;

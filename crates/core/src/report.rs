@@ -1,0 +1,237 @@
+//! Plain-text rendering of experiment results, one function per figure,
+//! printing the same series the paper plots.
+
+use crate::experiment::{
+    CompressionRow, DecompRow, Fig3Row, PowerRow, SpmvRow,
+};
+use crate::perfmodel::ScenarioResult;
+use recode_sparse::util::geometric_mean;
+use std::fmt::Write as _;
+
+/// Renders Fig. 3 (CPU-only SpMV rates).
+pub fn fig3(rows: &[Fig3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 3 — Single-die CPU SpMV, memory-bandwidth limited");
+    let _ = writeln!(s, "{:<24} {:>12} {:>16} {:>16}", "matrix", "nnz", "modeled Gflop/s", "host Gflop/s");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>12} {:>16.2} {:>16.2}",
+            r.name, r.nnz, r.modeled_gflops, r.host_gflops
+        );
+    }
+    s
+}
+
+/// Renders Fig. 10 (compressed-size geomean bars) given per-matrix rows.
+pub fn fig10(rows: &[CompressionRow]) -> String {
+    let g = crate::experiment::compression_geomeans(rows);
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 10 — Compressed size, geometric mean bytes per non-zero");
+    let _ = writeln!(s, "(paper: CPU Snappy 5.20, UDP Delta-Snappy 5.92, UDP DSH 5.00; raw CSR 12)");
+    if let Some(g) = g {
+        let _ = writeln!(s, "{:<28} {:>10}", "configuration", "B/nnz");
+        let _ = writeln!(s, "{:<28} {:>10.2}", "Raw CSR", 12.0);
+        let _ = writeln!(s, "{:<28} {:>10.2}", "CPU Snappy (32KB)", g.cpu_snappy);
+        let _ = writeln!(s, "{:<28} {:>10.2}", "UDP Delta+Snappy (8KB)", g.ds);
+        let _ = writeln!(s, "{:<28} {:>10.2}", "UDP Delta+Snappy+Huffman", g.dsh);
+        let _ = writeln!(s, "matrices: {}", rows.len());
+    }
+    s
+}
+
+/// Renders Fig. 11 (bytes/nnz vs nnz scatter) as CSV-ish rows.
+pub fn fig11(rows: &[CompressionRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 11 — Bytes per non-zero vs #non-zeros (scatter)");
+    let _ = writeln!(s, "{:<24} {:<12} {:>12} {:>10} {:>10} {:>10}", "matrix", "family", "nnz", "snappy", "ds", "dsh");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:<12} {:>12} {:>10.2} {:>10.2} {:>10.2}",
+            r.name, r.family, r.nnz, r.cpu_snappy_bpnnz, r.ds_bpnnz, r.dsh_bpnnz
+        );
+    }
+    s
+}
+
+/// Renders Fig. 12 (decompression throughput bars).
+pub fn fig12(rows: &[DecompRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 12 — Decompression throughput: 32-thread CPU vs 64-lane UDP");
+    let _ = writeln!(s, "(paper: UDP 2-5x on the seven, geomean ~7x, >20 GB/s; 21.7 us/block geomean)");
+    let _ = writeln!(
+        s,
+        "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "matrix", "nnz", "CPU GB/s", "UDP GB/s", "speedup", "us/8KB-blk"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>12} {:>12.2} {:>12.2} {:>10.2} {:>12.2}",
+            r.name,
+            r.nnz,
+            r.cpu_bps / 1e9,
+            r.udp_bps / 1e9,
+            r.speedup,
+            r.us_per_block
+        );
+    }
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    if let Some(g) = geometric_mean(&speedups) {
+        let _ = writeln!(s, "geomean speedup: {g:.2}x");
+    }
+    let blocks: Vec<f64> = rows.iter().map(|r| r.us_per_block).collect();
+    if let Some(g) = geometric_mean(&blocks) {
+        let _ = writeln!(s, "geomean single-lane block latency: {g:.1} us (paper: 21.7 us)");
+    }
+    s
+}
+
+/// Renders Fig. 13 (UDP throughput vs nnz scatter).
+pub fn fig13(rows: &[DecompRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 13 — 64-lane UDP decompression throughput vs #non-zeros");
+    let _ = writeln!(s, "{:<24} {:<12} {:>12} {:>12}", "matrix", "family", "nnz", "UDP GB/s");
+    for r in rows {
+        let _ = writeln!(s, "{:<24} {:<12} {:>12} {:>12.2}", r.name, r.family, r.nnz, r.udp_bps / 1e9);
+    }
+    s
+}
+
+/// Renders Figs. 14/15 (three-scenario SpMV bars).
+pub fn fig14_15(title: &str, rows: &[SpmvRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(s, "(paper: geomean hetero speedup 2.4x; Decomp(CPU) >30x below hetero)");
+    let _ = writeln!(
+        s,
+        "{:<24} {:>10} {:>8} {:>14} {:>14} {:>16} {:>9} {:>6}",
+        "matrix", "nnz", "B/nnz", "Uncompressed", "Decomp(CPU)", "Decomp(UDP+CPU)", "speedup", "UDPs"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>10} {:>8.2} {:>14.2} {:>14.2} {:>16.2} {:>9.2} {:>6}",
+            r.name,
+            r.nnz,
+            r.bytes_per_nnz,
+            r.uncompressed_gflops,
+            r.cpu_decomp_gflops,
+            r.hetero_gflops,
+            r.speedup,
+            r.udps
+        );
+    }
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup).collect();
+    if let Some(g) = geometric_mean(&speedups) {
+        let _ = writeln!(s, "geomean speedup: {g:.2}x (paper: 2.4x)");
+    }
+    s
+}
+
+/// Renders Figs. 16/17 (power savings bars).
+pub fn fig16_17(title: &str, rows: &[PowerRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>8} {:>10} {:>12} {:>12} {:>10} {:>12} {:>6}",
+        "matrix", "B/nnz", "max W", "mem W", "raw save W", "UDP W", "net save W", "UDPs"
+    );
+    let mut net_sum = 0.0;
+    for r in rows {
+        let p = &r.savings;
+        net_sum += p.net_saving_w;
+        let _ = writeln!(
+            s,
+            "{:<16} {:>8.2} {:>10.1} {:>12.1} {:>12.1} {:>10.2} {:>12.1} {:>6}",
+            r.name,
+            r.bytes_per_nnz,
+            p.max_power_w,
+            p.compressed_power_w,
+            p.raw_saving_w,
+            p.udp_power_w,
+            p.net_saving_w,
+            p.udps
+        );
+    }
+    if !rows.is_empty() {
+        let max_p = rows[0].savings.max_power_w;
+        let _ = writeln!(
+            s,
+            "average net saving: {:.1} W of {:.0} W ({:.0}%)",
+            net_sum / rows.len() as f64,
+            max_p,
+            net_sum / rows.len() as f64 / max_p * 100.0
+        );
+    }
+    s
+}
+
+/// Renders a single scenario triple (used by examples).
+pub fn scenarios(rows: &[ScenarioResult]) -> String {
+    let mut s = String::new();
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<20} {:>10.2} Gflop/s  (mem {:>6.1} GB/s, {} UDPs)",
+            r.scenario.label(),
+            r.gflops,
+            r.mem_bw_used / 1e9,
+            r.udps
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerSavings;
+
+    #[test]
+    fn reports_render_without_panicking_and_contain_key_labels() {
+        let rows = vec![CompressionRow {
+            name: "m000_test".into(),
+            family: "femband".into(),
+            nnz: 1000,
+            cpu_snappy_bpnnz: 5.2,
+            ds_bpnnz: 5.9,
+            dsh_bpnnz: 5.0,
+        }];
+        let s = fig10(&rows);
+        assert!(s.contains("5.20") || s.contains("5.2"));
+        assert!(fig11(&rows).contains("m000_test"));
+
+        let drows = vec![DecompRow {
+            name: "copter2".into(),
+            family: "femband".into(),
+            nnz: 759952,
+            cpu_bps: 6.4e9,
+            udp_bps: 24e9,
+            us_per_block: 21.7,
+            speedup: 3.75,
+        }];
+        let s = fig12(&drows);
+        assert!(s.contains("copter2"));
+        assert!(s.contains("geomean"));
+        assert!(fig13(&drows).contains("copter2"));
+
+        let prows = vec![PowerRow {
+            name: "shipsec1".into(),
+            bytes_per_nnz: 4.0,
+            savings: PowerSavings {
+                max_power_w: 80.0,
+                compressed_power_w: 26.7,
+                raw_saving_w: 53.3,
+                udp_power_w: 1.6,
+                net_saving_w: 51.7,
+                udps: 10,
+            },
+        }];
+        let s = fig16_17("Fig. 16 — DDR4", &prows);
+        assert!(s.contains("shipsec1"));
+        assert!(s.contains("average net saving"));
+    }
+}

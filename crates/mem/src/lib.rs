@@ -1,0 +1,24 @@
+//! # recode-mem — memory-system and CPU models
+//!
+//! The paper's evaluation reduces the hardware to a small set of
+//! well-sourced constants (§IV-A); this crate is their home:
+//!
+//! * [`memsys`] — DDR4 (AMD Epyc single-die: 100 GB/s, 100 pJ/bit) and HBM2
+//!   (4 stacks: 1 TB/s, 8 pJ/bit) bandwidth/energy models. Max memory power
+//!   falls out as 80 W (DDR) and 64 W (HBM), exactly the paper's Fig. 16/17
+//!   denominators.
+//! * [`dma`] — the lightweight DMA engine that streams compressed blocks
+//!   from DRAM into UDP local memory (Thanh-Hoang et al., DATE'16 style).
+//! * [`cpu`] — the host CPU: bandwidth-bound SpMV rate plus software
+//!   recoding throughputs *calibrated to the paper's measurements* on its
+//!   Xeon E5-2670v3 platform (see DESIGN.md §3, substitution 4 — the real
+//!   machine is unavailable, so constants are fitted to the reported
+//!   ratios and used consistently across all experiments).
+
+pub mod cpu;
+pub mod dma;
+pub mod memsys;
+
+pub use cpu::CpuModel;
+pub use dma::DmaModel;
+pub use memsys::MemorySystem;

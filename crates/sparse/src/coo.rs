@@ -1,0 +1,309 @@
+//! Coordinate (triplet) format — the natural construction and interchange
+//! format. MatrixMarket files and the synthetic generators both produce
+//! [`Coo`], which is then converted to [`crate::Csr`] for computation.
+
+use crate::error::{Result, SparseError};
+use crate::util::exclusive_prefix_sum;
+use crate::Csr;
+
+/// A sparse matrix as an unordered list of `(row, col, value)` triplets,
+/// stored struct-of-arrays for cache-friendly scans.
+///
+/// Duplicate coordinates are allowed while building; [`Coo::to_csr`] and
+/// [`Coo::compact`] sum them, which is the MatrixMarket convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty matrix of the given shape.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::ColumnIndexOverflow`] if either dimension
+    /// exceeds the 4-byte index space (the paper's CSR layout stores 4-byte
+    /// indices, so larger shapes cannot round-trip).
+    pub fn new(nrows: usize, ncols: usize) -> Result<Self> {
+        if nrows > u32::MAX as usize {
+            return Err(SparseError::ColumnIndexOverflow(nrows));
+        }
+        if ncols > u32::MAX as usize {
+            return Err(SparseError::ColumnIndexOverflow(ncols));
+        }
+        Ok(Coo { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() })
+    }
+
+    /// Creates an empty matrix and reserves space for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Result<Self> {
+        let mut m = Self::new(nrows, ncols)?;
+        m.rows.reserve(cap);
+        m.cols.reserve(cap);
+        m.vals.reserve(cap);
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (including any duplicates not yet compacted).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends one triplet.
+    ///
+    /// # Errors
+    /// [`SparseError::IndexOutOfBounds`] if `(row, col)` lies outside the
+    /// declared shape.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Appends a triplet, skipping exact zeros (generators use this so that
+    /// structural nnz equals stored nnz).
+    pub fn push_nonzero(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if val == 0.0 {
+            return Ok(());
+        }
+        self.push(row, col, val)
+    }
+
+    /// Borrowed triplet views `(rows, cols, vals)`.
+    pub fn triplets(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Builds a `Coo` from parallel triplet arrays.
+    ///
+    /// # Errors
+    /// Shape/validity errors as in [`Coo::push`]; also
+    /// [`SparseError::InvalidStructure`] if the arrays disagree in length.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Result<Self> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "triplet arrays disagree: rows={}, cols={}, vals={}",
+                rows.len(),
+                cols.len(),
+                vals.len()
+            )));
+        }
+        let mut m = Self::with_capacity(nrows, ncols, vals.len())?;
+        for i in 0..vals.len() {
+            m.push(rows[i], cols[i], vals[i])?;
+        }
+        Ok(m)
+    }
+
+    /// Sorts triplets by `(row, col)` and sums duplicates in place.
+    /// Entries that sum to exactly zero are removed.
+    pub fn compact(&mut self) {
+        if self.vals.is_empty() {
+            return;
+        }
+        let mut order: Vec<u32> = (0..self.vals.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            (self.rows[i as usize], self.cols[i as usize])
+        });
+        let mut rows = Vec::with_capacity(self.vals.len());
+        let mut cols = Vec::with_capacity(self.vals.len());
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for &i in &order {
+            let i = i as usize;
+            let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("parallel arrays") += v;
+                    if *vals.last().expect("parallel arrays") == 0.0 {
+                        rows.pop();
+                        cols.pop();
+                        vals.pop();
+                    }
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Converts to CSR, sorting and summing duplicates. This is a counting
+    /// sort over rows followed by per-row sorts, O(nnz log(nnz/row)).
+    pub fn to_csr(&self) -> Csr {
+        let nnz = self.vals.len();
+        let mut counts = vec![0usize; self.nrows];
+        for &r in &self.rows {
+            counts[r as usize] += 1;
+        }
+        let row_ptr = exclusive_prefix_sum(&counts);
+        let mut col_idx = vec![0u32; nnz];
+        let mut vals = vec![0f64; nnz];
+        let mut next = row_ptr.clone();
+        for i in 0..nnz {
+            let r = self.rows[i] as usize;
+            let dst = next[r];
+            col_idx[dst] = self.cols[i];
+            vals[dst] = self.vals[i];
+            next[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_col = Vec::with_capacity(nnz);
+        let mut out_val = Vec::with_capacity(nnz);
+        let mut out_ptr = Vec::with_capacity(self.nrows + 1);
+        out_ptr.push(0usize);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+            scratch.clear();
+            scratch.extend(col_idx[s..e].iter().copied().zip(vals[s..e].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < scratch.len() {
+                let (c, mut v) = scratch[k];
+                k += 1;
+                while k < scratch.len() && scratch[k].0 == c {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    out_col.push(c);
+                    out_val.push(v);
+                }
+            }
+            out_ptr.push(out_col.len());
+        }
+        Csr::from_parts_unchecked(self.nrows, self.ncols, out_ptr, out_col, out_val)
+    }
+
+    /// Transposes in place (swaps row/column roles).
+    pub fn transpose(&mut self) {
+        std::mem::swap(&mut self.rows, &mut self.cols);
+        std::mem::swap(&mut self.nrows, &mut self.ncols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // Paper Fig. 2 example matrix:
+        // [1 0 2 0; 0 0 0 0; 3 0 4 5; 0 6 0 7]
+        let mut m = Coo::new(4, 4).unwrap();
+        for &(r, c, v) in
+            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 2, 4.0), (2, 3, 5.0), (3, 1, 6.0), (3, 3, 7.0)]
+        {
+            m.push(r, c, v).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut m = Coo::new(2, 2).unwrap();
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 2, 1.0).is_err());
+        assert!(m.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn to_csr_matches_paper_figure_2() {
+        let csr = sample().to_csr();
+        assert_eq!(csr.row_ptr(), &[0, 2, 2, 5, 7]);
+        assert_eq!(csr.col_idx(), &[0, 2, 0, 2, 3, 1, 3]);
+        assert_eq!(csr.values(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn to_csr_sums_duplicates_and_drops_cancellations() {
+        let mut m = Coo::new(2, 2).unwrap();
+        m.push(0, 0, 1.0).unwrap();
+        m.push(0, 0, 2.0).unwrap();
+        m.push(1, 1, 5.0).unwrap();
+        m.push(1, 1, -5.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.values(), &[3.0]);
+        assert_eq!(csr.row_ptr(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn to_csr_sorts_columns_within_rows() {
+        let mut m = Coo::new(1, 5).unwrap();
+        m.push(0, 4, 4.0).unwrap();
+        m.push(0, 1, 1.0).unwrap();
+        m.push(0, 3, 3.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.col_idx(), &[1, 3, 4]);
+        assert_eq!(csr.values(), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn compact_merges_duplicates() {
+        let mut m = Coo::new(3, 3).unwrap();
+        m.push(1, 1, 1.0).unwrap();
+        m.push(0, 0, 2.0).unwrap();
+        m.push(1, 1, 3.0).unwrap();
+        m.compact();
+        assert_eq!(m.nnz(), 2);
+        let (r, c, v) = m.triplets();
+        assert_eq!(r, &[0, 1]);
+        assert_eq!(c, &[0, 1]);
+        assert_eq!(v, &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn push_nonzero_skips_zeros() {
+        let mut m = Coo::new(1, 1).unwrap();
+        m.push_nonzero(0, 0, 0.0).unwrap();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn transpose_swaps_shape_and_entries() {
+        let mut m = sample();
+        m.transpose();
+        assert_eq!((m.nrows(), m.ncols()), (4, 4));
+        let csr = m.to_csr();
+        // Column 3 of the original (entries 5 at (2,3) and 7 at (3,3)) becomes row 3.
+        assert_eq!(&csr.col_idx()[csr.row_ptr()[3]..csr.row_ptr()[4]], &[2, 3]);
+    }
+
+    #[test]
+    fn from_triplets_validates_lengths() {
+        assert!(Coo::from_triplets(2, 2, &[0], &[0, 1], &[1.0]).is_err());
+        let m = Coo::from_triplets(2, 2, &[0, 1], &[0, 1], &[1.0, 2.0]).unwrap();
+        assert_eq!(m.nnz(), 2);
+    }
+}

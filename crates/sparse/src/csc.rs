@@ -1,0 +1,196 @@
+//! Compressed Sparse Column — used for transposes and column-oriented
+//! traversals (e.g. building graph Laplacians and RCM adjacency).
+
+use crate::error::{Result, SparseError};
+use crate::Csr;
+
+/// A sparse matrix in CSC layout. Mirror image of [`Csr`]: `col_ptr` has
+/// `ncols + 1` entries and row indices strictly increase within a column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix after validating all structural invariants.
+    ///
+    /// # Errors
+    /// Mirrors [`Csr::try_from_parts`].
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if nrows > u32::MAX as usize {
+            return Err(SparseError::ColumnIndexOverflow(nrows));
+        }
+        if col_ptr.len() != ncols + 1 || col_ptr.first() != Some(&0) {
+            return Err(SparseError::InvalidStructure("bad col_ptr shape".into()));
+        }
+        if *col_ptr.last().expect("len >= 1") != row_idx.len() || row_idx.len() != values.len() {
+            return Err(SparseError::InvalidStructure("array length mismatch".into()));
+        }
+        for c in 0..ncols {
+            if col_ptr[c] > col_ptr[c + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "col_ptr decreases at column {c}"
+                )));
+            }
+            let col = &row_idx[col_ptr[c]..col_ptr[c + 1]];
+            for (k, &r) in col.iter().enumerate() {
+                if r as usize >= nrows {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r as usize,
+                        col: c,
+                        nrows,
+                        ncols,
+                    });
+                }
+                if k > 0 && col[k - 1] >= r {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "column {c} rows not strictly increasing"
+                    )));
+                }
+            }
+        }
+        Ok(Csc { nrows, ncols, col_ptr, row_idx, values })
+    }
+
+    /// Builds without validation; callers must uphold the invariants.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(col_ptr.len(), ncols + 1);
+        debug_assert_eq!(row_idx.len(), values.len());
+        Csc { nrows, ncols, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `col_ptr` array (`ncols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices, one per non-zero.
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// Values, one per non-zero.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices and values of column `c`.
+    pub fn col(&self, c: usize) -> (&[u32], &[f64]) {
+        let rng = self.col_ptr[c]..self.col_ptr[c + 1];
+        (&self.row_idx[rng.clone()], &self.values[rng])
+    }
+
+    /// Converts to CSR via a stable counting transpose.
+    pub fn to_csr(&self) -> Csr {
+        let nnz = self.nnz();
+        let mut counts = vec![0usize; self.nrows];
+        for &r in &self.row_idx {
+            counts[r as usize] += 1;
+        }
+        let row_ptr = crate::util::exclusive_prefix_sum(&counts);
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0f64; nnz];
+        let mut next = row_ptr.clone();
+        for c in 0..self.ncols {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                let r = self.row_idx[k] as usize;
+                let dst = next[r];
+                col_idx[dst] = c as u32;
+                values[dst] = self.values[k];
+                next[r] += 1;
+            }
+        }
+        Csr::from_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+
+    /// Computes `y = A^T x` directly from CSC storage (a column sweep over
+    /// `A` is a row sweep over `A^T`).
+    pub fn transpose_matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "x must have nrows entries");
+        assert_eq!(y.len(), self.ncols, "y must have ncols entries");
+        for (c, y_c) in y.iter_mut().enumerate() {
+            let (rows, vals) = self.col(c);
+            let mut acc = 0.0;
+            for (&r, &v) in rows.iter().zip(vals) {
+                acc += v * x[r as usize];
+            }
+            *y_c = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_csr() -> Csr {
+        Csr::try_from_parts(
+            4,
+            4,
+            vec![0, 2, 2, 5, 7],
+            vec![0, 2, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_structure() {
+        let csc = paper_csr().to_csc();
+        assert_eq!(csc.col_ptr(), &[0, 2, 3, 5, 7]);
+        assert_eq!(csc.row_idx(), &[0, 2, 3, 0, 2, 2, 3]);
+        assert_eq!(csc.values(), &[1.0, 3.0, 6.0, 2.0, 4.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn validation_mirrors_csr() {
+        assert!(Csc::try_from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(Csc::try_from_parts(2, 1, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(Csc::try_from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).is_err());
+        assert!(Csc::try_from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_matvec_matches_csr_transpose() {
+        let a = paper_csr();
+        let csc = a.to_csc();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        csc.transpose_matvec(&x, &mut y);
+        let at = a.transpose();
+        let mut want = [0.0; 4];
+        crate::spmv::spmv_into(&at, &x, &mut want);
+        assert_eq!(y, want);
+    }
+}

@@ -1,0 +1,100 @@
+//! Tiny dense matrix used as the ground-truth oracle in tests and property
+//! checks. Deliberately minimal: row-major storage, indexing, matvec.
+
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// An all-zeros matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Builds from a row-major slice. Panics if the length does not match.
+    pub fn from_rows(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "row-major data length mismatch");
+        Dense { nrows, ncols, data: data.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Row-major backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Dense reference matvec: `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        let mut y = vec![0.0; self.nrows];
+        for (r, y_r) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *y_r = acc;
+        }
+        y
+    }
+}
+
+impl Index<(usize, usize)> for Dense {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.nrows && c < self.ncols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Dense {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.nrows && c < self.ncols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_matvec() {
+        let mut m = Dense::zeros(2, 3);
+        m[(0, 0)] = 1.0;
+        m[(0, 2)] = 2.0;
+        m[(1, 1)] = 3.0;
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Dense::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Dense::zeros(1, 1);
+        let _ = m[(1, 0)];
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by all sparse-matrix operations.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+/// Errors produced while constructing, converting or parsing matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// A structural array (e.g. `row_ptr`) is malformed.
+    InvalidStructure(String),
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the expectation that failed.
+        expected: String,
+        /// What was actually provided.
+        found: String,
+    },
+    /// The matrix has more columns than a 4-byte index can address.
+    ColumnIndexOverflow(usize),
+    /// MatrixMarket (or other) text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line (0 = header).
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix shape {nrows}x{ncols}"
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            SparseError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            SparseError::ColumnIndexOverflow(n) => write!(
+                f,
+                "matrix has {n} columns, exceeding the 4-byte index space used by the paper's CSR layout"
+            ),
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        assert!(e.to_string().contains("(5, 7)"));
+        let e = SparseError::ColumnIndexOverflow(5_000_000_000);
+        assert!(e.to_string().contains("5000000000"));
+        let e = SparseError::Parse { line: 3, msg: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let e = SparseError::from(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! ELLPACK: every row padded to the longest row's length, laid out
+//! column-major so SIMD lanes stride unit distance. Simple and fast on
+//! regular matrices; catastrophic padding on skewed ones — which is exactly
+//! the storage trade the paper's Fig. 2 CSR choice avoids.
+
+use crate::error::{Result, SparseError};
+use crate::Csr;
+
+/// An ELLPACK matrix. Entries are stored column-major in `k = max_nnz_row`
+/// slabs of `nrows` each; padding slots carry column `u32::MAX` and value 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell {
+    nrows: usize,
+    ncols: usize,
+    /// Entries per row (the padded width).
+    k: usize,
+    /// `k * nrows` column indices, column-major; `PAD` marks padding.
+    col_idx: Vec<u32>,
+    /// `k * nrows` values, column-major.
+    values: Vec<f64>,
+    nnz: usize,
+}
+
+/// Padding marker.
+pub const PAD: u32 = u32::MAX;
+
+impl Ell {
+    /// Converts from CSR.
+    ///
+    /// # Errors
+    /// [`SparseError::InvalidStructure`] if the padded size would overflow
+    /// memory accounting (`k * nrows` elements).
+    pub fn from_csr(a: &Csr) -> Result<Self> {
+        let k = (0..a.nrows()).map(|r| a.row(r).0.len()).max().unwrap_or(0);
+        let slots = k
+            .checked_mul(a.nrows())
+            .ok_or_else(|| SparseError::InvalidStructure("ELL padding overflow".into()))?;
+        let mut col_idx = vec![PAD; slots];
+        let mut values = vec![0.0; slots];
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (j, (&c, &v)) in cols.iter().zip(vals).enumerate() {
+                col_idx[j * a.nrows() + r] = c;
+                values[j * a.nrows() + r] = v;
+            }
+        }
+        Ok(Ell { nrows: a.nrows(), ncols: a.ncols(), k, col_idx, values, nnz: a.nnz() })
+    }
+
+    /// Converts back to CSR (drops padding; lossless for the stored matrix).
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = crate::Coo::with_capacity(self.nrows, self.ncols, self.nnz)
+            .expect("shape validated at construction");
+        for r in 0..self.nrows {
+            for j in 0..self.k {
+                let c = self.col_idx[j * self.nrows + r];
+                if c != PAD {
+                    coo.push(r, c as usize, self.values[j * self.nrows + r])
+                        .expect("in bounds");
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Stored (non-padding) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Padded width.
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// Fraction of slots that are padding.
+    pub fn padding_ratio(&self) -> f64 {
+        let slots = self.k * self.nrows;
+        if slots == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / slots as f64
+    }
+
+    /// Bytes the format stores per non-zero (padding included): 12 bytes per
+    /// slot.
+    pub fn bytes_per_nnz(&self) -> f64 {
+        if self.nnz == 0 {
+            return 0.0;
+        }
+        (self.k * self.nrows * 12) as f64 / self.nnz as f64
+    }
+
+    /// `y = A x` with the ELL slab traversal.
+    ///
+    /// # Panics
+    /// On shape mismatch, like the CSR kernels.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length must equal ncols");
+        assert_eq!(y.len(), self.nrows, "y length must equal nrows");
+        y.fill(0.0);
+        for j in 0..self.k {
+            let cols = &self.col_idx[j * self.nrows..(j + 1) * self.nrows];
+            let vals = &self.values[j * self.nrows..(j + 1) * self.nrows];
+            for (r, (c, v)) in cols.iter().zip(vals).enumerate() {
+                if *c != PAD {
+                    y[r] += v * x[*c as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenSpec, ValueModel};
+    use crate::spmv::spmv;
+
+    fn paper_matrix() -> Csr {
+        Csr::try_from_parts(
+            4,
+            4,
+            vec![0, 2, 2, 5, 7],
+            vec![0, 2, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_and_width() {
+        let a = paper_matrix();
+        let e = Ell::from_csr(&a).unwrap();
+        assert_eq!(e.width(), 3);
+        assert_eq!(e.nnz(), 7);
+        assert_eq!(e.to_csr(), a);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = generate(
+            &GenSpec::FemBand { n: 300, band: 7, fill: 0.5, values: ValueModel::MixedRepeated { distinct: 9 } },
+            3,
+        );
+        let e = Ell::from_csr(&a).unwrap();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        e.spmv_into(&x, &mut y);
+        assert_eq!(y, spmv(&a, &x));
+    }
+
+    #[test]
+    fn skewed_rows_explode_padding() {
+        // One dense row in an otherwise diagonal matrix.
+        let mut coo = crate::Coo::new(100, 100).unwrap();
+        for c in 0..100 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        for r in 1..100 {
+            coo.push(r, r, 1.0).unwrap();
+        }
+        let e = Ell::from_csr(&coo.to_csr()).unwrap();
+        assert_eq!(e.width(), 100);
+        assert!(e.padding_ratio() > 0.9);
+        assert!(e.bytes_per_nnz() > 100.0, "{}", e.bytes_per_nnz());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::try_from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![]).unwrap();
+        let e = Ell::from_csr(&a).unwrap();
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.to_csr(), a);
+        let mut y = vec![1.0; 3];
+        e.spmv_into(&[0.0; 3], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Alternative sparse formats from the paper's related work (§VI-B).
+//!
+//! The paper positions UDP recoding *against* format-specialized
+//! compression: "many block-oriented, customized data storage formats have
+//! been proposed … In contrast, our approach requires no specialized coding
+//! and format design for the CPU". These modules implement the cited
+//! baselines so that comparison can actually be run (see the
+//! `ablation_formats` binary):
+//!
+//! * [`ell`] — ELLPACK, the classic padded SIMD/GPU format;
+//! * [`sellcs`] — SELL-C-σ (Kreutzer et al. \[27\]), sliced ELLPACK with a
+//!   sorting window;
+//! * [`bbcsr`] — bitmasked register blocks (after Buluç et al. \[15\]):
+//!   r×c register blocks carrying a bitmask instead of per-element indices;
+//! * [`vcsr`] — varint-delta compressed CSR (after Lawlor \[28\]):
+//!   per-row delta+varint column indices decoded *inline* during SpMV —
+//!   the "CPU pays for decompression in the kernel" design point.
+//!
+//! Every format provides lossless `from_csr`/`to_csr`, its own SpMV agreeing
+//! with the CSR kernels, and an `index_bytes()` accounting so the
+//! bytes-per-non-zero comparison against DSH recoding is apples-to-apples.
+
+pub mod bbcsr;
+pub mod ell;
+pub mod sellcs;
+pub mod vcsr;
+
+pub use bbcsr::BitmaskBlockCsr;
+pub use ell::Ell;
+pub use sellcs::SellCs;
+pub use vcsr::VarintCsr;

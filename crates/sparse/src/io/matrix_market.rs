@@ -1,0 +1,260 @@
+//! MatrixMarket coordinate-format reader/writer.
+//!
+//! Supports the subset SuiteSparse actually uses for sparse matrices:
+//! `matrix coordinate {real,integer,pattern} {general,symmetric,skew-symmetric}`.
+//! Pattern entries read as 1.0; symmetric files are expanded to full storage
+//! (both triangles), matching how SpMV consumes them.
+
+use crate::error::{Result, SparseError};
+use crate::{Coo, Csr};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> SparseError {
+    SparseError::Parse { line, msg: msg.into() }
+}
+
+/// Reads a MatrixMarket matrix from any reader.
+///
+/// # Errors
+/// [`SparseError::Parse`] with the offending line for malformed input,
+/// [`SparseError::Io`] for reader failures, and the usual shape errors if
+/// entries are out of bounds.
+pub fn read_matrix_market<R: std::io::Read>(reader: R) -> Result<Csr> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(0, "empty input"))?
+        .map_err(SparseError::Io)?;
+    let mut toks = header.split_whitespace();
+    let banner = toks.next().unwrap_or("");
+    if !banner.eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(parse_err(1, format!("bad banner: {banner:?}")));
+    }
+    let object = toks.next().unwrap_or("").to_ascii_lowercase();
+    let format = toks.next().unwrap_or("").to_ascii_lowercase();
+    let field = toks.next().unwrap_or("").to_ascii_lowercase();
+    let symmetry = toks.next().unwrap_or("general").to_ascii_lowercase();
+    if object != "matrix" || format != "coordinate" {
+        return Err(parse_err(
+            1,
+            format!("only `matrix coordinate` supported, got `{object} {format}`"),
+        ));
+    }
+    let field = match field.as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(parse_err(1, format!("unsupported field `{other}`"))),
+    };
+    let symmetry = match symmetry.as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(parse_err(1, format!("unsupported symmetry `{other}`"))),
+    };
+
+    // Skip comments, read size line.
+    let mut lineno = 1usize;
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(SparseError::Io)?;
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((lineno, line));
+        break;
+    }
+    let (size_lineno, size_line) =
+        size_line.ok_or_else(|| parse_err(lineno, "missing size line"))?;
+    let mut st = size_line.split_whitespace();
+    let nrows: usize = st
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err(size_lineno, "bad row count"))?;
+    let ncols: usize = st
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err(size_lineno, "bad column count"))?;
+    let declared_nnz: usize = st
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err(size_lineno, "bad nnz count"))?;
+
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        match symmetry {
+            Symmetry::General => declared_nnz,
+            _ => declared_nnz * 2,
+        },
+    )?;
+
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::Io)?;
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut et = t.split_whitespace();
+        let r: usize = et
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad row index"))?;
+        let c: usize = et
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad column index"))?;
+        if r == 0 || c == 0 {
+            return Err(parse_err(lineno, "MatrixMarket indices are 1-based"));
+        }
+        let v = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => et
+                .next()
+                .and_then(|s| s.parse::<f64>().ok())
+                .ok_or_else(|| parse_err(lineno, "bad value"))?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, v)?;
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r != c => coo.push(c, r, v)?,
+            Symmetry::SkewSymmetric if r != c => coo.push(c, r, -v)?,
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(parse_err(
+            lineno,
+            format!("header declared {declared_nnz} entries, found {seen}"),
+        ));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Reads a MatrixMarket file from disk.
+///
+/// # Errors
+/// As [`read_matrix_market`], plus file-open failures.
+pub fn read_matrix_market_path<P: AsRef<Path>>(path: P) -> Result<Csr> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes `a` as `matrix coordinate real general`.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_matrix_market<W: Write>(a: &Csr, mut w: W) -> Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by recode-sparse")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GENERAL: &str = "%%MatrixMarket matrix coordinate real general\n\
+         % paper Fig. 2 example\n\
+         4 4 7\n\
+         1 1 1.0\n1 3 2.0\n3 1 3.0\n3 3 4.0\n3 4 5.0\n4 2 6.0\n4 4 7.0\n";
+
+    #[test]
+    fn reads_general_real() {
+        let a = read_matrix_market(GENERAL.as_bytes()).unwrap();
+        assert_eq!(a.row_ptr(), &[0, 2, 2, 5, 7]);
+        assert_eq!(a.col_idx(), &[0, 2, 0, 2, 3, 1, 3]);
+        assert_eq!(a.values(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn reads_symmetric_and_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+             3 3 3\n\
+             1 1 2.0\n2 1 5.0\n3 3 1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 1), 5.0);
+        assert_eq!(a.get(1, 0), 5.0);
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn reads_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+             2 2 1\n\
+             2 1 3.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 0), 3.0);
+        assert_eq!(a.get(0, 1), -3.0);
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+             2 2 2\n\
+             1 1\n2 2\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_banner_and_counts() {
+        assert!(read_matrix_market("%%NotMM matrix\n1 1 0\n".as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+        let zero_based = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(zero_based.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format_and_complex_field() {
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let a = read_matrix_market(GENERAL.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_reader_reports_missing_file() {
+        assert!(read_matrix_market_path("/nonexistent/foo.mtx").is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Matrix I/O. The TAMU/SuiteSparse collection the paper evaluates on is
+//! distributed in MatrixMarket format, so supporting it lets every
+//! experiment in this repository run on the real collection as well as on
+//! the synthetic substitute corpus.
+
+pub mod matrix_market;
+
+pub use matrix_market::{read_matrix_market, read_matrix_market_path, write_matrix_market};

@@ -1,0 +1,255 @@
+//! Iterative solvers built on the SpMV kernels — the application layer the
+//! paper's introduction motivates (PDE solvers, graph analytics, ML). Each
+//! solver takes a kernel choice so it runs identically over plain CSR or a
+//! matrix recovered from the recoded representation.
+
+use crate::spmv::{spmv_with_into, SpmvKernel};
+use crate::Csr;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The solution (or final iterate).
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm (CG/Jacobi) or iterate delta (power iteration).
+    pub residual: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// Conjugate gradients for symmetric positive-definite systems `A x = b`.
+///
+/// # Panics
+/// If `a` is not square or `b.len() != a.nrows()`.
+pub fn conjugate_gradient(
+    a: &Csr,
+    b: &[f64],
+    kernel: SpmvKernel,
+    tol: f64,
+    max_iters: usize,
+) -> SolveResult {
+    assert_eq!(a.nrows(), a.ncols(), "CG needs a square matrix");
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal nrows");
+    let n = a.nrows();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+    for iter in 0..max_iters {
+        let res = rs_old.sqrt();
+        if res < tol {
+            return SolveResult { x, iterations: iter, residual: res, converged: true };
+        }
+        spmv_with_into(kernel, a, &p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(pi, api)| pi * api).sum();
+        if pap <= 0.0 {
+            // Not SPD (or numerically broken-down): stop honestly.
+            return SolveResult { x, iterations: iter, residual: res, converged: false };
+        }
+        let alpha = rs_old / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    let res = rs_old.sqrt();
+    SolveResult { x, iterations: max_iters, residual: res, converged: res < tol }
+}
+
+/// Jacobi iteration for diagonally dominant systems `A x = b`.
+///
+/// # Panics
+/// If `a` is not square, `b` has the wrong length, or a diagonal entry is
+/// zero.
+pub fn jacobi(
+    a: &Csr,
+    b: &[f64],
+    kernel: SpmvKernel,
+    tol: f64,
+    max_iters: usize,
+) -> SolveResult {
+    assert_eq!(a.nrows(), a.ncols(), "Jacobi needs a square matrix");
+    assert_eq!(b.len(), a.nrows(), "rhs length must equal nrows");
+    let n = a.nrows();
+    let diag: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = a.get(i, i);
+            assert!(d != 0.0, "zero diagonal at row {i}");
+            d
+        })
+        .collect();
+    let mut x = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    for iter in 0..max_iters {
+        spmv_with_into(kernel, a, &x, &mut ax);
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            // x_i <- x_i + (b_i - (A x)_i) / a_ii
+            let step = (b[i] - ax[i]) / diag[i];
+            x[i] += step;
+            delta = delta.max(step.abs());
+        }
+        if delta < tol {
+            return SolveResult { x, iterations: iter + 1, residual: delta, converged: true };
+        }
+    }
+    // Final residual for reporting.
+    spmv_with_into(kernel, a, &x, &mut ax);
+    let res = b.iter().zip(&ax).map(|(bi, axi)| (bi - axi).abs()).fold(0.0f64, f64::max);
+    SolveResult { x, iterations: max_iters, residual: res, converged: res < tol }
+}
+
+/// Power iteration: dominant eigenvector of `A` (normalized to unit
+/// 2-norm) plus its eigenvalue estimate, returned as the second tuple
+/// element.
+///
+/// # Panics
+/// If `a` is not square or is empty.
+pub fn power_iteration(
+    a: &Csr,
+    kernel: SpmvKernel,
+    tol: f64,
+    max_iters: usize,
+) -> (SolveResult, f64) {
+    assert_eq!(a.nrows(), a.ncols(), "power iteration needs a square matrix");
+    assert!(a.nrows() > 0, "matrix must be non-empty");
+    let n = a.nrows();
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut ax = vec![0.0; n];
+    let mut eigenvalue = 0.0;
+    for iter in 0..max_iters {
+        spmv_with_into(kernel, a, &x, &mut ax);
+        let norm: f64 = ax.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return (
+                SolveResult { x, iterations: iter, residual: 0.0, converged: true },
+                0.0,
+            );
+        }
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            let next = ax[i] / norm;
+            delta = delta.max((next - x[i]).abs());
+            x[i] = next;
+        }
+        eigenvalue = norm;
+        if delta < tol {
+            return (
+                SolveResult { x, iterations: iter + 1, residual: delta, converged: true },
+                eigenvalue,
+            );
+        }
+    }
+    (
+        SolveResult { x, iterations: max_iters, residual: f64::NAN, converged: false },
+        eigenvalue,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    /// SPD 1D Laplacian with Dirichlet boundaries.
+    fn laplacian_1d(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn residual_norm(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+        let ax = crate::spmv::spmv(a, x);
+        ax.iter().zip(b).map(|(axi, bi)| (axi - bi) * (axi - bi)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let a = laplacian_1d(200);
+        let b = vec![1.0; 200];
+        let r = conjugate_gradient(&a, &b, SpmvKernel::Serial, 1e-10, 1000);
+        assert!(r.converged, "residual {}", r.residual);
+        assert!(residual_norm(&a, &r.x, &b) < 1e-8);
+        // CG on an n-point 1D Laplacian converges in at most n steps.
+        assert!(r.iterations <= 200);
+    }
+
+    #[test]
+    fn cg_detects_non_spd_breakdown() {
+        // Indefinite matrix: CG must stop with converged=false, not loop.
+        let mut coo = Coo::new(2, 2).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csr();
+        let r = conjugate_gradient(&a, &[0.0, 1.0], SpmvKernel::Serial, 1e-12, 100);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn jacobi_solves_diagonally_dominant_system() {
+        let mut coo = Coo::new(50, 50).unwrap();
+        for i in 0..50 {
+            coo.push(i, i, 5.0).unwrap();
+            coo.push(i, (i + 1) % 50, 1.0).unwrap();
+            coo.push(i, (i + 7) % 50, 1.0).unwrap();
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..50).map(|i| (i % 3) as f64).collect();
+        let r = jacobi(&a, &b, SpmvKernel::RowParallel, 1e-12, 500);
+        assert!(r.converged, "residual {}", r.residual);
+        assert!(residual_norm(&a, &r.x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn all_kernels_reach_the_same_solution() {
+        let a = laplacian_1d(64);
+        let b = vec![1.0; 64];
+        let xs: Vec<Vec<f64>> = SpmvKernel::ALL
+            .iter()
+            .map(|&k| conjugate_gradient(&a, &b, k, 1e-12, 500).x)
+            .collect();
+        for x in &xs[1..] {
+            for (u, v) in xs[0].iter().zip(x) {
+                assert!((u - v).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenpair() {
+        // Diagonal matrix with known spectrum.
+        let mut coo = Coo::new(4, 4).unwrap();
+        for (i, lambda) in [1.0, 3.0, 9.0, 2.0].iter().enumerate() {
+            coo.push(i, i, *lambda).unwrap();
+        }
+        let a = coo.to_csr();
+        let (r, lambda) = power_iteration(&a, SpmvKernel::Serial, 1e-12, 10_000);
+        assert!(r.converged);
+        assert!((lambda - 9.0).abs() < 1e-6, "eigenvalue {lambda}");
+        assert!(r.x[2].abs() > 0.999, "eigenvector {:?}", r.x);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero diagonal")]
+    fn jacobi_rejects_zero_diagonal() {
+        let a = Csr::try_from_parts(2, 2, vec![0, 1, 1], vec![1], vec![1.0]).unwrap();
+        let _ = jacobi(&a, &[1.0, 1.0], SpmvKernel::Serial, 1e-9, 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! SpMV kernels.
+//!
+//! Three CPU kernels, mirroring the implementations the paper discusses:
+//!
+//! * [`serial`] — the paper's Fig. 2 basic CSR loop;
+//! * [`parallel`] — row-parallel CSR using Rayon (the "state-of-the-art
+//!   libraries easily saturate memory bandwidth" point of §III-B);
+//! * [`merge`] — merge-path SpMV after Merrill & Garland \[33\], the
+//!   load-balanced baseline the related-work section highlights.
+//!
+//! All kernels compute `y = A x`. Serial and row-parallel reduce each row
+//! left-to-right and are bit-identical; merge-path may split a row across
+//! partitions, so it can differ by floating-point reassociation (bounded by
+//! ordinary summation error and checked in tests).
+
+pub mod merge;
+pub mod parallel;
+pub mod serial;
+
+use crate::Csr;
+
+/// Which SpMV implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmvKernel {
+    /// Basic CSR loop (paper Fig. 2).
+    Serial,
+    /// Rayon row-parallel CSR.
+    RowParallel,
+    /// Merge-path load-balanced CSR.
+    MergePath,
+}
+
+impl SpmvKernel {
+    /// All kernels, for exhaustive test sweeps.
+    pub const ALL: [SpmvKernel; 3] =
+        [SpmvKernel::Serial, SpmvKernel::RowParallel, SpmvKernel::MergePath];
+}
+
+/// Computes `y = A x` with the chosen kernel, allocating `y`.
+pub fn spmv_with(kernel: SpmvKernel, a: &Csr, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.nrows()];
+    spmv_with_into(kernel, a, x, &mut y);
+    y
+}
+
+/// Computes `y = A x` with the chosen kernel into a caller-provided buffer.
+///
+/// # Panics
+/// If `x.len() != a.ncols()` or `y.len() != a.nrows()`.
+pub fn spmv_with_into(kernel: SpmvKernel, a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols(), "x length must equal ncols");
+    assert_eq!(y.len(), a.nrows(), "y length must equal nrows");
+    match kernel {
+        SpmvKernel::Serial => serial::spmv_into(a, x, y),
+        SpmvKernel::RowParallel => parallel::spmv_into(a, x, y),
+        SpmvKernel::MergePath => merge::spmv_into(a, x, y),
+    }
+}
+
+/// Default-kernel (serial) convenience: `y = A x`, allocating `y`.
+pub fn spmv(a: &Csr, x: &[f64]) -> Vec<f64> {
+    spmv_with(SpmvKernel::Serial, a, x)
+}
+
+/// Default-kernel (serial) convenience into a caller-provided buffer.
+pub fn spmv_into(a: &Csr, x: &[f64], y: &mut [f64]) {
+    spmv_with_into(SpmvKernel::Serial, a, x, y)
+}
+
+/// Floating-point operations an SpMV performs: the paper counts 2 flops
+/// (one multiply, one add) per stored non-zero.
+pub fn flops(a: &Csr) -> u64 {
+    2 * a.nnz() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    fn paper_matrix() -> Csr {
+        Csr::try_from_parts(
+            4,
+            4,
+            vec![0, 2, 2, 5, 7],
+            vec![0, 2, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_kernels_agree_with_dense_reference() {
+        let a = paper_matrix();
+        let x = [1.0, -2.0, 0.5, 3.0];
+        let want = a.to_dense().matvec(&x);
+        for k in SpmvKernel::ALL {
+            assert_eq!(spmv_with(k, &a, &x), want, "kernel {k:?}");
+        }
+    }
+
+    #[test]
+    fn flops_counts_two_per_nnz() {
+        assert_eq!(flops(&paper_matrix()), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn wrong_x_length_panics() {
+        let a = paper_matrix();
+        let _ = spmv(&a, &[1.0]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_vector() {
+        let a = Csr::try_from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![]).unwrap();
+        for k in SpmvKernel::ALL {
+            assert_eq!(spmv_with(k, &a, &[1.0, 1.0, 1.0]), vec![0.0; 3]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's basic CSR SpMV (Fig. 2), transcribed directly:
+//!
+//! ```c
+//! for (int i = 0; i < m; i++) {
+//!     double temp = y[i];
+//!     for (int j = row_ptr[i]; j < row_ptr[i+1]; j++)
+//!         temp = temp + val[j] * x[col_idx[j]];
+//!     y[i] = temp;
+//! }
+//! ```
+
+use crate::Csr;
+
+/// `y = A x` — overwrites `y`.
+pub fn spmv_into(a: &Csr, x: &[f64], y: &mut [f64]) {
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let val = a.values();
+    for i in 0..a.nrows() {
+        let mut temp = 0.0;
+        for j in row_ptr[i]..row_ptr[i + 1] {
+            temp += val[j] * x[col_idx[j] as usize];
+        }
+        y[i] = temp;
+    }
+}
+
+/// `y += A x` — the accumulate form the paper's listing actually shows
+/// (it starts from the existing `y[i]`). Used by iterative solvers.
+pub fn spmv_acc(a: &Csr, x: &[f64], y: &mut [f64]) {
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let val = a.values();
+    for i in 0..a.nrows() {
+        let mut temp = y[i];
+        for j in row_ptr[i]..row_ptr[i + 1] {
+            temp += val[j] * x[col_idx[j] as usize];
+        }
+        y[i] = temp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    #[test]
+    fn accumulate_adds_to_existing_y() {
+        let a = Csr::identity(3);
+        let mut y = vec![10.0, 20.0, 30.0];
+        spmv_acc(&a, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn overwrite_ignores_existing_y() {
+        let a = Csr::identity(2);
+        let mut y = vec![99.0, 99.0];
+        spmv_into(&a, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+}

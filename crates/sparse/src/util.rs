@@ -1,0 +1,94 @@
+//! Small shared helpers: prefix sums, float comparison, geometric means.
+
+/// Exclusive prefix sum: `out[0] = 0`, `out[i] = counts[0] + .. + counts[i-1]`,
+/// with one extra trailing element holding the total.
+///
+/// This is the canonical step for bucketing entries into CSR/CSC rows.
+pub fn exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
+}
+
+/// Relative-tolerance float comparison used by structural/numeric symmetry
+/// checks and test assertions.
+pub fn approx_eq(a: f64, b: f64, rel: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    (a - b).abs() <= rel * scale
+}
+
+/// Geometric mean of strictly positive samples. Returns `None` for an empty
+/// slice or any non-positive sample (the paper reports geometric means for
+/// bytes/nnz, throughput and speedup — all positive quantities).
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0f64;
+    for &x in xs {
+        if x <= 0.0 || x.is_nan() || !x.is_finite() {
+            return None;
+        }
+        acc += x.ln();
+    }
+    Some((acc / xs.len() as f64).exp())
+}
+
+/// Deterministic splitmix64 step — used to derive independent sub-seeds from
+/// a single corpus seed without pulling in a heavier RNG.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_basic() {
+        assert_eq!(exclusive_prefix_sum(&[2, 0, 3]), vec![0, 2, 2, 5]);
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn approx_eq_handles_scales_and_nan() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        let mut s1 = 42;
+        let mut s2 = 42;
+        let a = splitmix64(&mut s1);
+        let b = splitmix64(&mut s2);
+        assert_eq!(a, b);
+        assert_ne!(splitmix64(&mut s1), a);
+    }
+}

@@ -1,0 +1,674 @@
+//! Textual UDP assembly.
+//!
+//! The UDP's value proposition is that recoding transformations are
+//! *software*; this module provides the human-writable format. Example — a
+//! run-length decoder (pairs of `count, byte`):
+//!
+//! ```text
+//! ; rle.udp — expand (count, byte) pairs
+//! .entry init
+//! init:
+//!     mov r2, r14          ; output cursor
+//!     jump head
+//! head:
+//!     inrem r3
+//!     beq r3, r0, done
+//!     insymle r4, 1        ; count
+//!     insymle r5, 1        ; byte value
+//! emit:
+//!     beq r4, r0, head
+//!     storeb r5, r2, 0
+//!     addi r2, r2, 1
+//!     addi r4, r4, -1
+//!     jump emit
+//! done:
+//!     sub r15, r2, r14
+//!     halt
+//! ```
+//!
+//! Grammar (one statement per line; `;` starts a comment):
+//!
+//! * `.entry LABEL` — entry point (required once).
+//! * `LABEL:` — block label. Falling off the end of a labeled run into the
+//!   next label inserts an implicit `jump`.
+//! * actions: `limm rd, imm` · `mov rd, rs` · `add|sub|and|or|xor rd, rs, rt`
+//!   · `addi rd, rs, imm` · `shli|shri rd, rs, amt` ·
+//!   `loadb|loadh|loadw|loadd rd, rbase, off` ·
+//!   `storeb|storeh|storew|stored rs, rbase, off` · `insym rd, bits` ·
+//!   `insymle rd, bytes` · `peek rd, bits` · `skip bits` · `skipreg rs` ·
+//!   `inrem rd`
+//! * terminators: `jump LABEL` · `halt` ·
+//!   `beq|bne|bltu|bgeu|blts|bges rs, rt, LABEL` (fall-through = next line) ·
+//!   `dispatch.sym BITS, GROUP` · `dispatch.peek BITS, GROUP` ·
+//!   `dispatch.reg rs, GROUP`
+//! * `.group NAME { OFFSET: LABEL ... }` — dispatch group (offsets decimal).
+//!
+//! Blocks longer than four actions are split automatically with `jump`
+//! continuations, so straight-line code of any length assembles.
+
+use crate::isa::{Action, Block, BlockId, Cond, Transition, Width};
+use crate::program::{Program, ProgramBuilder};
+use std::collections::HashMap;
+
+/// Assembly error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Offending line (0 = file-level).
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+/// A group definition awaiting label resolution: `(name, entries, line)`.
+type PendingGroup = (String, Vec<(u32, String)>, usize);
+
+/// A pending statement in source order.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Label(String),
+    Action(Action),
+    Jump(String),
+    Halt,
+    Branch { cond: Cond, rs: u8, rt: u8, taken: String },
+    DispatchSym { bits: u8, group: String },
+    DispatchPeek { bits: u8, group: String },
+    DispatchReg { rs: u8, group: String },
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+/// [`AsmError`] naming the offending line.
+pub fn assemble_text(name: &str, src: &str) -> Result<Program, AsmError> {
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut groups: Vec<PendingGroup> = Vec::new();
+    let mut entry: Option<(String, usize)> = None;
+
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".entry") {
+            let label = rest.trim();
+            if label.is_empty() {
+                return Err(err(lineno, ".entry needs a label"));
+            }
+            if entry.is_some() {
+                return Err(err(lineno, "duplicate .entry"));
+            }
+            entry = Some((label.to_string(), lineno));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".group") {
+            let rest = rest.trim();
+            let (gname, tail) = rest
+                .split_once('{')
+                .ok_or_else(|| err(lineno, ".group NAME { ... } expected"))?;
+            let gname = gname.trim().to_string();
+            if gname.is_empty() {
+                return Err(err(lineno, ".group needs a name"));
+            }
+            let mut entries = Vec::new();
+            let mut closed = tail.trim() == "}";
+            let mut body_line = lineno;
+            if !closed && !tail.trim().is_empty() {
+                parse_group_entries(tail, lineno, &mut entries, &mut closed)?;
+            }
+            while !closed {
+                let (gidx, graw) = lines
+                    .next()
+                    .ok_or_else(|| err(body_line, "unterminated .group"))?;
+                body_line = gidx + 1;
+                let gline = strip_comment(graw).trim().to_string();
+                if gline.is_empty() {
+                    continue;
+                }
+                parse_group_entries(&gline, body_line, &mut entries, &mut closed)?;
+            }
+            groups.push((gname, entries, lineno));
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(lineno, "bad label"));
+            }
+            stmts.push((lineno, Stmt::Label(label.to_string())));
+            continue;
+        }
+        stmts.push((lineno, parse_instruction(&line, lineno)?));
+    }
+
+    lower(name, stmts, groups, entry)
+}
+
+fn parse_group_entries(
+    text: &str,
+    lineno: usize,
+    entries: &mut Vec<(u32, String)>,
+    closed: &mut bool,
+) -> Result<(), AsmError> {
+    // Accepts `OFFSET:LABEL`, or `OFFSET:` followed by `LABEL` as separate
+    // tokens (i.e. whitespace after the colon is fine).
+    let mut pending_offset: Option<u32> = None;
+    for part in text.split_whitespace() {
+        if part == "}" {
+            *closed = true;
+            continue;
+        }
+        if *closed {
+            return Err(err(lineno, "content after closing }"));
+        }
+        if let Some(off) = pending_offset.take() {
+            entries.push((off, part.to_string()));
+            continue;
+        }
+        let (off, label) = part
+            .split_once(':')
+            .ok_or_else(|| err(lineno, format!("group entry `{part}` needs OFFSET:LABEL")))?;
+        let off: u32 =
+            off.parse().map_err(|_| err(lineno, format!("bad group offset `{off}`")))?;
+        if label.is_empty() {
+            pending_offset = Some(off);
+        } else {
+            entries.push((off, label.to_string()));
+        }
+    }
+    if pending_offset.is_some() {
+        return Err(err(lineno, "group offset without a label"));
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let t = tok.trim();
+    let n = t
+        .strip_prefix('r')
+        .and_then(|s| s.parse::<u8>().ok())
+        .ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    if n >= 16 {
+        return Err(err(line, format!("register r{n} out of range")));
+    }
+    Ok(n)
+}
+
+fn parse_int<T: std::str::FromStr>(tok: &str, line: usize) -> Result<T, AsmError> {
+    tok.trim()
+        .parse::<T>()
+        .map_err(|_| err(line, format!("bad integer `{}`", tok.trim())))
+}
+
+fn parse_instruction(line: &str, lineno: usize) -> Result<Stmt, AsmError> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if args.len() != n {
+            Err(err(lineno, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+    let m = mnemonic.to_ascii_lowercase();
+    let stmt = match m.as_str() {
+        "halt" => {
+            need(0)?;
+            Stmt::Halt
+        }
+        "jump" => {
+            need(1)?;
+            Stmt::Jump(args[0].to_string())
+        }
+        "limm" => {
+            need(2)?;
+            Stmt::Action(Action::LoadImm { rd: parse_reg(args[0], lineno)?, imm: parse_int(args[1], lineno)? })
+        }
+        "mov" => {
+            need(2)?;
+            Stmt::Action(Action::Mov { rd: parse_reg(args[0], lineno)?, rs: parse_reg(args[1], lineno)? })
+        }
+        "add" | "sub" | "and" | "or" | "xor" => {
+            need(3)?;
+            let (rd, rs, rt) = (
+                parse_reg(args[0], lineno)?,
+                parse_reg(args[1], lineno)?,
+                parse_reg(args[2], lineno)?,
+            );
+            Stmt::Action(match m.as_str() {
+                "add" => Action::Add { rd, rs, rt },
+                "sub" => Action::Sub { rd, rs, rt },
+                "and" => Action::And { rd, rs, rt },
+                "or" => Action::Or { rd, rs, rt },
+                _ => Action::Xor { rd, rs, rt },
+            })
+        }
+        "addi" => {
+            need(3)?;
+            Stmt::Action(Action::AddI {
+                rd: parse_reg(args[0], lineno)?,
+                rs: parse_reg(args[1], lineno)?,
+                imm: parse_int(args[2], lineno)?,
+            })
+        }
+        "shli" | "shri" => {
+            need(3)?;
+            let (rd, rs) = (parse_reg(args[0], lineno)?, parse_reg(args[1], lineno)?);
+            let amount: u8 = parse_int(args[2], lineno)?;
+            Stmt::Action(if m == "shli" {
+                Action::ShlI { rd, rs, amount }
+            } else {
+                Action::ShrI { rd, rs, amount }
+            })
+        }
+        "loadb" | "loadh" | "loadw" | "loadd" => {
+            need(3)?;
+            Stmt::Action(Action::Load {
+                rd: parse_reg(args[0], lineno)?,
+                base: parse_reg(args[1], lineno)?,
+                offset: parse_int(args[2], lineno)?,
+                width: width_of(&m),
+            })
+        }
+        "loadbi" | "loadwi" | "loaddi" => {
+            need(2)?;
+            Stmt::Action(Action::LoadInc {
+                rd: parse_reg(args[0], lineno)?,
+                base: parse_reg(args[1], lineno)?,
+                width: width_of(&m[..m.len() - 1]),
+            })
+        }
+        "storebi" | "storewi" | "storedi" => {
+            need(2)?;
+            Stmt::Action(Action::StoreInc {
+                rs: parse_reg(args[0], lineno)?,
+                base: parse_reg(args[1], lineno)?,
+                width: width_of(&m[..m.len() - 1]),
+            })
+        }
+        "storeb" | "storeh" | "storew" | "stored" => {
+            need(3)?;
+            Stmt::Action(Action::Store {
+                rs: parse_reg(args[0], lineno)?,
+                base: parse_reg(args[1], lineno)?,
+                offset: parse_int(args[2], lineno)?,
+                width: width_of(&m),
+            })
+        }
+        "insym" => {
+            need(2)?;
+            Stmt::Action(Action::InSym { rd: parse_reg(args[0], lineno)?, bits: parse_int(args[1], lineno)? })
+        }
+        "insymle" => {
+            need(2)?;
+            Stmt::Action(Action::InSymLe { rd: parse_reg(args[0], lineno)?, bytes: parse_int(args[1], lineno)? })
+        }
+        "peek" => {
+            need(2)?;
+            Stmt::Action(Action::PeekSym { rd: parse_reg(args[0], lineno)?, bits: parse_int(args[1], lineno)? })
+        }
+        "skip" => {
+            need(1)?;
+            Stmt::Action(Action::SkipSym { bits: parse_int(args[0], lineno)? })
+        }
+        "skipreg" => {
+            need(1)?;
+            Stmt::Action(Action::SkipReg { rs: parse_reg(args[0], lineno)? })
+        }
+        "inrem" => {
+            need(1)?;
+            Stmt::Action(Action::InRem { rd: parse_reg(args[0], lineno)? })
+        }
+        "beq" | "bne" | "bltu" | "bgeu" | "blts" | "bges" => {
+            need(3)?;
+            let cond = match m.as_str() {
+                "beq" => Cond::Eq,
+                "bne" => Cond::Ne,
+                "bltu" => Cond::Ltu,
+                "bgeu" => Cond::Geu,
+                "blts" => Cond::Lts,
+                _ => Cond::Ges,
+            };
+            Stmt::Branch {
+                cond,
+                rs: parse_reg(args[0], lineno)?,
+                rt: parse_reg(args[1], lineno)?,
+                taken: args[2].to_string(),
+            }
+        }
+        "dispatch.sym" | "dispatch.peek" => {
+            need(2)?;
+            let bits: u8 = parse_int(args[0], lineno)?;
+            let group = args[1].to_string();
+            if m == "dispatch.sym" {
+                Stmt::DispatchSym { bits, group }
+            } else {
+                Stmt::DispatchPeek { bits, group }
+            }
+        }
+        "dispatch.reg" => {
+            need(2)?;
+            Stmt::DispatchReg { rs: parse_reg(args[0], lineno)?, group: args[1].to_string() }
+        }
+        other => return Err(err(lineno, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(stmt)
+}
+
+fn width_of(m: &str) -> Width {
+    match m.as_bytes()[m.len() - 1] {
+        b'b' => Width::B1,
+        b'h' => Width::B2,
+        b'w' => Width::B4,
+        _ => Width::B8,
+    }
+}
+
+/// Lowers the statement list to a [`Program`]: groups statements into
+/// blocks, splits over-long action runs, and resolves labels.
+fn lower(
+    name: &str,
+    stmts: Vec<(usize, Stmt)>,
+    group_defs: Vec<PendingGroup>,
+    entry: Option<(String, usize)>,
+) -> Result<Program, AsmError> {
+    let mut pb = ProgramBuilder::new(name);
+    let mut label_block: HashMap<String, BlockId> = HashMap::new();
+    let mut group_ids: HashMap<String, u32> = HashMap::new();
+
+    // Pre-reserve a block per label and an id per group so references
+    // resolve in one pass.
+    for (_, s) in &stmts {
+        if let Stmt::Label(l) = s {
+            if label_block.contains_key(l) {
+                return Err(err(0, format!("duplicate label `{l}`")));
+            }
+            label_block.insert(l.clone(), pb.reserve());
+        }
+    }
+    // Group ids follow after; entries resolved at the end.
+    for (gname, _, gline) in &group_defs {
+        if group_ids.contains_key(gname) {
+            return Err(err(*gline, format!("duplicate group `{gname}`")));
+        }
+        let placeholder = pb.group(vec![]);
+        group_ids.insert(gname.clone(), placeholder);
+    }
+
+    let resolve_label = |label_block: &HashMap<String, BlockId>, l: &str, line: usize| {
+        label_block
+            .get(l)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown label `{l}`")))
+    };
+    let resolve_group = |group_ids: &HashMap<String, u32>, g: &str, line: usize| {
+        group_ids
+            .get(g)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown group `{g}`")))
+    };
+
+    // Walk statements, accumulating actions into the current block.
+    // `current` is the reserved id the accumulated actions will fill.
+    let mut current: Option<BlockId> = None;
+    let mut actions: Vec<Action> = Vec::new();
+    /// Closes the open block: splits the action run into ≤4-action chunks
+    /// chained by jumps, placing the first chunk into the reserved label
+    /// block when one is pending.
+    fn finish(
+        pb: &mut ProgramBuilder,
+        current: &mut Option<BlockId>,
+        actions: &mut Vec<Action>,
+        transition: Transition,
+    ) {
+        let mut chunks: Vec<Vec<Action>> = Vec::new();
+        let mut run = std::mem::take(actions);
+        while run.len() > 4 {
+            let rest = run.split_off(4);
+            chunks.push(run);
+            run = rest;
+        }
+        chunks.push(run);
+        // Build tail-first so each chunk knows its successor's id.
+        let mut succ: Option<BlockId> = None;
+        for (idx, chunk) in chunks.into_iter().enumerate().rev() {
+            let t = match succ {
+                Some(next) => Transition::Jump(next),
+                None => transition,
+            };
+            let block = Block { actions: chunk, transition: t };
+            let id = if idx == 0 {
+                match current.take() {
+                    Some(reserved) => {
+                        pb.define(reserved, block);
+                        reserved
+                    }
+                    None => pb.block(block),
+                }
+            } else {
+                pb.block(block)
+            };
+            succ = Some(id);
+        }
+    }
+
+    let mut i = 0usize;
+    while i < stmts.len() {
+        let (line, stmt) = &stmts[i];
+        match stmt {
+            Stmt::Label(l) => {
+                if current.is_some() || !actions.is_empty() {
+                    // Implicit fall into the label: close with a jump.
+                    let target = resolve_label(&label_block, l, *line)?;
+                    finish(&mut pb, &mut current, &mut actions, Transition::Jump(target));
+                }
+                current = Some(label_block[l]);
+            }
+            Stmt::Action(a) => {
+                if current.is_none() && actions.is_empty() {
+                    // Code before any label: fine, becomes the entry chain if
+                    // .entry names a label later — actually require labels.
+                    return Err(err(*line, "instruction before any label"));
+                }
+                actions.push(*a);
+            }
+            Stmt::Halt => {
+                finish(&mut pb, &mut current, &mut actions, Transition::Halt);
+            }
+            Stmt::Jump(l) => {
+                let t = resolve_label(&label_block, l, *line)?;
+                finish(&mut pb, &mut current, &mut actions, Transition::Jump(t));
+            }
+            Stmt::DispatchSym { bits, group } => {
+                let g = resolve_group(&group_ids, group, *line)?;
+                finish(&mut pb, &mut current, &mut actions, Transition::DispatchSym { bits: *bits, group: g });
+            }
+            Stmt::DispatchPeek { bits, group } => {
+                let g = resolve_group(&group_ids, group, *line)?;
+                finish(&mut pb, &mut current, &mut actions, Transition::DispatchPeek { bits: *bits, group: g });
+            }
+            Stmt::DispatchReg { rs, group } => {
+                let g = resolve_group(&group_ids, group, *line)?;
+                finish(&mut pb, &mut current, &mut actions, Transition::DispatchReg { rs: *rs, group: g });
+            }
+            Stmt::Branch { cond, rs, rt, taken } => {
+                let t = resolve_label(&label_block, taken, *line)?;
+                // Fall-through target: a fresh anonymous block starting at
+                // the next statement.
+                let fall = pb.reserve();
+                finish(
+                    &mut pb,
+                    &mut current,
+                    &mut actions,
+                    Transition::Branch { cond: *cond, rs: *rs, rt: *rt, taken: t, fallthrough: fall },
+                );
+                current = Some(fall);
+            }
+        }
+        i += 1;
+    }
+    if current.is_some() || !actions.is_empty() {
+        return Err(err(0, "program falls off the end (missing halt/jump?)"));
+    }
+
+    // Fill groups.
+    for (gname, entries, gline) in &group_defs {
+        let gid = group_ids[gname];
+        let mut resolved = Vec::with_capacity(entries.len());
+        for (off, l) in entries {
+            resolved.push((*off, resolve_label(&label_block, l, *gline)?));
+        }
+        pb.set_group(gid, resolved);
+    }
+
+    let (entry_label, entry_line) = entry.ok_or_else(|| err(0, "missing .entry"))?;
+    let e = resolve_label(&label_block, &entry_label, entry_line)?;
+    pb.entry(e);
+    pb.build().map_err(|m| err(0, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{Lane, RunConfig};
+    use crate::machine::assemble;
+
+    const RLE: &str = "\n\
+        ; rle decoder\n\
+        .entry init\n\
+        init:\n\
+            mov r2, r14\n\
+            jump head\n\
+        head:\n\
+            inrem r3\n\
+            beq r3, r0, done\n\
+            insymle r4, 1\n\
+            insymle r5, 1\n\
+        emit:\n\
+            beq r4, r0, head\n\
+            storeb r5, r2, 0\n\
+            addi r2, r2, 1\n\
+            addi r4, r4, -1\n\
+            jump emit\n\
+        done:\n\
+            sub r15, r2, r14\n\
+            halt\n";
+
+    #[test]
+    fn rle_decoder_assembles_and_runs() {
+        let program = assemble_text("rle", RLE).unwrap();
+        let image = assemble(&program).unwrap();
+        let mut lane = Lane::new();
+        let input = [3u8, b'a', 0, b'x', 2, b'b'];
+        let r = lane.run(&image, &input, input.len() * 8, RunConfig::default()).unwrap();
+        assert_eq!(r.output, b"aaabb");
+    }
+
+    #[test]
+    fn dispatch_group_syntax() {
+        let src = "\n\
+            .entry main\n\
+            main:\n\
+                dispatch.sym 2, tbl\n\
+            .group tbl { 0: h0 1: h1 2: h2 3: h3 }\n\
+            h0:\n\
+                limm r15, 0\n\
+                halt\n\
+            h1:\n\
+                limm r15, 0\n\
+                halt\n\
+            h2:\n\
+                limm r15, 0\n\
+                halt\n\
+            h3:\n\
+                limm r1, 1\n\
+                storeb r1, r14, 0\n\
+                limm r15, 1\n\
+                halt\n";
+        let program = assemble_text("disp", src).unwrap();
+        let image = assemble(&program).unwrap();
+        let mut lane = Lane::new();
+        // Symbol 3 (top 2 bits = 0b11) routes to h3, which emits one byte.
+        let r = lane.run(&image, &[0b1100_0000], 8, RunConfig::default()).unwrap();
+        assert_eq!(r.output, vec![1]);
+        // Symbol 0 routes to h0: no output.
+        let r = lane.run(&image, &[0b0000_0000], 8, RunConfig::default()).unwrap();
+        assert!(r.output.is_empty());
+    }
+
+    #[test]
+    fn long_action_runs_are_split() {
+        let src = "\n\
+            .entry main\n\
+            main:\n\
+                limm r1, 1\n\
+                limm r2, 2\n\
+                limm r3, 3\n\
+                limm r4, 4\n\
+                limm r5, 5\n\
+                limm r6, 6\n\
+                add r7, r5, r6\n\
+                storeb r7, r14, 0\n\
+                limm r15, 1\n\
+                halt\n";
+        let program = assemble_text("long", src).unwrap();
+        assert!(program.blocks.iter().all(|b| b.actions.len() <= 4));
+        let image = assemble(&program).unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &[], 0, RunConfig::default()).unwrap();
+        assert_eq!(r.output, vec![11]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble_text("bad", ".entry m\nm:\n    bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("bogus"));
+        let e = assemble_text("bad", ".entry m\nm:\n    limm r99, 0\n    halt\n").unwrap_err();
+        assert!(e.msg.contains("register"));
+        let e = assemble_text("bad", ".entry m\nm:\n    jump nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn missing_entry_or_trailing_code_rejected() {
+        assert!(assemble_text("bad", "m:\n    halt\n").unwrap_err().msg.contains(".entry"));
+        assert!(assemble_text("bad", ".entry m\nm:\n    limm r1, 0\n")
+            .unwrap_err()
+            .msg
+            .contains("falls off"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "; header\n\n.entry m ; entry\nm: ; label\n    halt ; stop\n";
+        assert!(assemble_text("c", src).is_ok());
+    }
+}

@@ -1,0 +1,40 @@
+//! UDP power/area constants from the paper (§IV-A): 28 nm → 14 nm scaling
+//! takes a 64-lane UDP from 1 GHz / 864 mW to **1.6 GHz / 160 mW**, with
+//! performance and power dominated by SRAM access (CACTI-backed scaling).
+
+/// Lanes per UDP accelerator.
+pub const LANES: usize = 64;
+
+/// Clock frequency at 14 nm.
+pub const FREQ_HZ: f64 = 1.6e9;
+
+/// Whole-accelerator power at 14 nm (64 lanes, busy).
+pub const POWER_W: f64 = 0.16;
+
+/// Energy per accelerator-second of busy time.
+pub const JOULES_PER_SECOND: f64 = POWER_W;
+
+/// Energy attributed to `cycles` of makespan on one 64-lane UDP.
+pub fn energy_joules(makespan_cycles: u64) -> f64 {
+    POWER_W * makespan_cycles as f64 / FREQ_HZ
+}
+
+/// The paper's area comparison: one 64-lane UDP ≈ 1% of a 4-core Xeon die,
+/// ≈ 0.13% of a modern 32-core die. Exposed for reports.
+pub const AREA_FRACTION_OF_4CORE_XEON: f64 = 0.01;
+
+/// Area fraction of a modern 32-core server die.
+pub const AREA_FRACTION_OF_32CORE: f64 = 0.0013;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly_with_cycles() {
+        let e1 = energy_joules(1_600_000_000);
+        assert!((e1 - 0.16).abs() < 1e-12, "1 second of cycles = 0.16 J");
+        assert!((energy_joules(800_000_000) - 0.08).abs() < 1e-12);
+        assert_eq!(energy_joules(0), 0.0);
+    }
+}

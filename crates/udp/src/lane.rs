@@ -1,0 +1,579 @@
+//! One UDP lane: Dispatch unit + Stream Prefetch unit + Action unit, plus a
+//! private scratchpad (paper Fig. 9), executing a binary [`Image`].
+//!
+//! ## Cycle model
+//!
+//! Each code block costs **1 dispatch cycle + 1 cycle per action**. The
+//! stream prefetcher hides input latency (the paper's Stream Prefetch unit
+//! exists precisely for that), and scratchpad banks are private per lane, so
+//! neither adds stalls. This is the same abstraction level at which the
+//! paper's cycle-accurate simulator feeds its evaluation: lane throughput =
+//! `output bytes / (cycles / 1.6 GHz)`.
+//!
+//! ## Runtime conventions
+//!
+//! * `r0` is hard-wired zero.
+//! * At start, `r14` holds the output base address in scratchpad.
+//! * At halt, `r15` must hold the number of output bytes written at `r14`.
+//! * Input is consumed through the stream unit (`insym`/`peek`/`skip`);
+//!   programs must not assume input lives in the scratchpad.
+
+use crate::isa::{Action, NUM_REGS, SCRATCHPAD_BYTES};
+use crate::machine::{DecodedTransition, Image};
+
+/// Errors a lane can trap on. Corrupt compressed blocks surface as traps,
+/// never as panics or out-of-bounds access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneError {
+    /// Control transferred to an unmapped address (EffCLiP hole or out of
+    /// range) — the hardware analogue of an invalid dispatch.
+    UnmappedAddress {
+        /// The offending code address.
+        addr: u32,
+        /// Address of the block that transferred there.
+        from: u32,
+    },
+    /// A scratchpad access fell outside the 64 KB lane memory.
+    ScratchpadOob {
+        /// Byte address of the access.
+        addr: i64,
+        /// Access width.
+        width: usize,
+    },
+    /// The stream unit was asked for more bits than remain.
+    StreamUnderflow {
+        /// Bits requested.
+        wanted: usize,
+        /// Bits available.
+        available: usize,
+    },
+    /// The cycle budget was exhausted (runaway program).
+    CycleLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// `r15` declared an output range outside the scratchpad at halt.
+    BadOutputRange {
+        /// Declared byte count.
+        declared: u64,
+    },
+}
+
+impl std::fmt::Display for LaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneError::UnmappedAddress { addr, from } => {
+                write!(f, "dispatch from {from} into unmapped code address {addr}")
+            }
+            LaneError::ScratchpadOob { addr, width } => {
+                write!(f, "scratchpad access at {addr} width {width} out of bounds")
+            }
+            LaneError::StreamUnderflow { wanted, available } => {
+                write!(f, "stream underflow: wanted {wanted} bits, {available} left")
+            }
+            LaneError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            LaneError::BadOutputRange { declared } => {
+                write!(f, "r15 declared {declared} output bytes, outside scratchpad")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaneError {}
+
+/// Per-run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Scratchpad address where output is written (`r14` at start).
+    pub out_base: u32,
+    /// Trap after this many cycles.
+    pub cycle_limit: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        // Output in the upper half of the scratchpad leaves the lower half
+        // for program temporaries.
+        RunConfig { out_base: (SCRATCHPAD_BYTES / 2) as u32, cycle_limit: 200_000_000 }
+    }
+}
+
+/// Result of one lane run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total cycles consumed (dispatches + actions).
+    pub cycles: u64,
+    /// Number of block dispatches executed.
+    pub dispatches: u64,
+    /// Number of actions executed.
+    pub actions: u64,
+    /// Output bytes (scratchpad `[r14, r14 + r15)` at halt).
+    pub output: Vec<u8>,
+}
+
+/// Bit-granular input stream with MSB-first reads — the Stream Prefetch
+/// unit's software model. Mirrors `recode_codec::bitstream::BitReader`
+/// semantics exactly (peek pads zeros past the end).
+struct StreamUnit<'a> {
+    bytes: &'a [u8],
+    bit_len: usize,
+    pos: usize,
+}
+
+impl<'a> StreamUnit<'a> {
+    fn new(bytes: &'a [u8], bit_len: usize) -> Self {
+        debug_assert!(bit_len <= bytes.len() * 8);
+        StreamUnit { bytes, bit_len, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+
+    fn peek(&self, nbits: u8) -> u64 {
+        let mut out = 0u64;
+        for k in 0..nbits as usize {
+            let p = self.pos + k;
+            let bit = if p < self.bit_len {
+                (self.bytes[p / 8] >> (7 - (p % 8))) & 1
+            } else {
+                0
+            };
+            out = (out << 1) | bit as u64;
+        }
+        out
+    }
+
+    fn read(&mut self, nbits: u8) -> Result<u64, LaneError> {
+        if nbits as usize > self.remaining() {
+            return Err(LaneError::StreamUnderflow {
+                wanted: nbits as usize,
+                available: self.remaining(),
+            });
+        }
+        let v = self.peek(nbits);
+        self.pos += nbits as usize;
+        Ok(v)
+    }
+
+    fn skip(&mut self, nbits: usize) -> Result<(), LaneError> {
+        if nbits > self.remaining() {
+            return Err(LaneError::StreamUnderflow { wanted: nbits, available: self.remaining() });
+        }
+        self.pos += nbits;
+        Ok(())
+    }
+
+    /// Little-endian byte-symbol read: `bytes` 8-bit groups, first group in
+    /// the least significant byte of the result.
+    fn read_le(&mut self, bytes: u8) -> Result<u64, LaneError> {
+        let mut v = 0u64;
+        for k in 0..bytes {
+            let b = self.read(8)?;
+            v |= b << (8 * k);
+        }
+        Ok(v)
+    }
+}
+
+/// A reusable lane (scratchpad allocation is recycled across runs).
+pub struct Lane {
+    scratch: Vec<u8>,
+    regs: [u64; NUM_REGS],
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lane {
+    /// Fresh lane with a zeroed scratchpad.
+    pub fn new() -> Self {
+        Lane { scratch: vec![0u8; SCRATCHPAD_BYTES], regs: [0; NUM_REGS] }
+    }
+
+    /// Executes `image` over `input` (valid bits: `input_bits`).
+    ///
+    /// # Errors
+    /// Any [`LaneError`] trap.
+    pub fn run(
+        &mut self,
+        image: &Image,
+        input: &[u8],
+        input_bits: usize,
+        cfg: RunConfig,
+    ) -> Result<RunResult, LaneError> {
+        self.scratch.fill(0);
+        self.regs = [0; NUM_REGS];
+        self.regs[14] = cfg.out_base as u64;
+        let mut stream = StreamUnit::new(input, input_bits);
+
+        let mut pc = image.entry;
+        let mut cycles = 0u64;
+        let mut dispatches = 0u64;
+        let mut actions_run = 0u64;
+        let mut prev_pc = pc;
+
+        loop {
+            let block = image
+                .decode(pc)
+                .ok_or(LaneError::UnmappedAddress { addr: pc, from: prev_pc })?;
+            dispatches += 1;
+            cycles += 1 + block.actions.len() as u64;
+            actions_run += block.actions.len() as u64;
+            if cycles > cfg.cycle_limit {
+                return Err(LaneError::CycleLimit { limit: cfg.cycle_limit });
+            }
+            for a in &block.actions {
+                self.exec_action(a, &mut stream)?;
+            }
+            prev_pc = pc;
+            pc = match block.transition {
+                DecodedTransition::Halt => break,
+                DecodedTransition::Jump(a) => a,
+                DecodedTransition::DispatchSym { bits, base } => {
+                    base + stream.read(bits)? as u32
+                }
+                DecodedTransition::DispatchPeek { bits, base } => {
+                    base + stream.peek(bits) as u32
+                }
+                DecodedTransition::DispatchReg { rs, base } => {
+                    base.wrapping_add(self.reg(rs) as u32)
+                }
+                DecodedTransition::Branch { cond, rs, rt, taken } => {
+                    if cond.eval(self.reg(rs), self.reg(rt)) {
+                        taken
+                    } else {
+                        prev_pc + 1
+                    }
+                }
+            };
+        }
+
+        let declared = self.regs[15];
+        let start = cfg.out_base as usize;
+        let end = start.checked_add(declared as usize).filter(|&e| e <= SCRATCHPAD_BYTES);
+        let end = end.ok_or(LaneError::BadOutputRange { declared })?;
+        Ok(RunResult {
+            cycles,
+            dispatches,
+            actions: actions_run,
+            output: self.scratch[start..end].to_vec(),
+        })
+    }
+
+    #[inline]
+    fn reg(&self, r: u8) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn mem_addr(&self, base: u8, offset: i16, width: usize) -> Result<usize, LaneError> {
+        let addr = self.reg(base) as i64 + offset as i64;
+        if addr < 0 || (addr as usize) + width > SCRATCHPAD_BYTES {
+            return Err(LaneError::ScratchpadOob { addr, width });
+        }
+        Ok(addr as usize)
+    }
+
+    fn exec_action(&mut self, a: &Action, stream: &mut StreamUnit<'_>) -> Result<(), LaneError> {
+        match *a {
+            Action::LoadImm { rd, imm } => self.set_reg(rd, imm as i64 as u64),
+            Action::Mov { rd, rs } => self.set_reg(rd, self.reg(rs)),
+            Action::Add { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)));
+            }
+            Action::Sub { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)));
+            }
+            Action::And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
+            Action::Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
+            Action::Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Action::AddI { rd, rs, imm } => {
+                self.set_reg(rd, self.reg(rs).wrapping_add(imm as i64 as u64));
+            }
+            Action::ShlI { rd, rs, amount } => {
+                let v = if amount >= 64 { 0 } else { self.reg(rs) << amount };
+                self.set_reg(rd, v);
+            }
+            Action::ShrI { rd, rs, amount } => {
+                let v = if amount >= 64 { 0 } else { self.reg(rs) >> amount };
+                self.set_reg(rd, v);
+            }
+            Action::Load { rd, base, offset, width } => {
+                let w = width.bytes();
+                let addr = self.mem_addr(base, offset, w)?;
+                let mut v = 0u64;
+                for k in 0..w {
+                    v |= (self.scratch[addr + k] as u64) << (8 * k);
+                }
+                self.set_reg(rd, v);
+            }
+            Action::Store { rs, base, offset, width } => {
+                let w = width.bytes();
+                let addr = self.mem_addr(base, offset, w)?;
+                let v = self.reg(rs);
+                for k in 0..w {
+                    self.scratch[addr + k] = (v >> (8 * k)) as u8;
+                }
+            }
+            Action::LoadInc { rd, base, width } => {
+                let w = width.bytes();
+                let addr = self.mem_addr(base, 0, w)?;
+                let mut v = 0u64;
+                for k in 0..w {
+                    v |= (self.scratch[addr + k] as u64) << (8 * k);
+                }
+                // Increment before the destination write so `rd == base`
+                // keeps the loaded value (load-then-update ordering).
+                self.set_reg(base, self.reg(base).wrapping_add(w as u64));
+                self.set_reg(rd, v);
+            }
+            Action::StoreInc { rs, base, width } => {
+                let w = width.bytes();
+                let addr = self.mem_addr(base, 0, w)?;
+                let v = self.reg(rs);
+                for k in 0..w {
+                    self.scratch[addr + k] = (v >> (8 * k)) as u8;
+                }
+                self.set_reg(base, self.reg(base).wrapping_add(w as u64));
+            }
+            Action::InSym { rd, bits } => {
+                let v = stream.read(bits)?;
+                self.set_reg(rd, v);
+            }
+            Action::InSymLe { rd, bytes } => {
+                let v = stream.read_le(bytes)?;
+                self.set_reg(rd, v);
+            }
+            Action::PeekSym { rd, bits } => self.set_reg(rd, stream.peek(bits)),
+            Action::SkipSym { bits } => stream.skip(bits as usize)?,
+            Action::SkipReg { rs } => stream.skip(self.reg(rs) as usize)?,
+            Action::InRem { rd } => self.set_reg(rd, stream.remaining() as u64),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Action, Block, Cond, Transition, Width};
+    use crate::machine::assemble;
+    use crate::program::ProgramBuilder;
+
+    /// A program that copies its byte-aligned input to the output, one byte
+    /// per iteration.
+    fn byte_copy_program() -> crate::program::Program {
+        let mut pb = ProgramBuilder::new("bytecopy");
+        // done: r15 = r2 - r14; halt
+        let done = pb.block(Block {
+            actions: vec![Action::Sub { rd: 15, rs: 2, rt: 14 }],
+            transition: Transition::Halt,
+        });
+        // body: r1 = in byte; mem[r2] = r1; r2 += 1  -> jump head
+        let head = pb.reserve();
+        let body = pb.block(Block {
+            actions: vec![
+                Action::InSymLe { rd: 1, bytes: 1 },
+                Action::Store { rs: 1, base: 2, offset: 0, width: Width::B1 },
+                Action::AddI { rd: 2, rs: 2, imm: 1 },
+            ],
+            transition: Transition::Jump(head),
+        });
+        // head: r3 = rem; if r3 == 0 -> done else fall to body2 (jump body)
+        let cont = pb.block(Block { actions: vec![], transition: Transition::Jump(body) });
+        pb.define(head, Block {
+            actions: vec![Action::InRem { rd: 3 }],
+            transition: Transition::Branch { cond: Cond::Eq, rs: 3, rt: 0, taken: done, fallthrough: cont },
+        });
+        // init: r2 = r14
+        let init = pb.block(Block {
+            actions: vec![Action::Mov { rd: 2, rs: 14 }],
+            transition: Transition::Jump(head),
+        });
+        pb.entry(init);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn byte_copy_copies_and_counts_cycles() {
+        let image = assemble(&byte_copy_program()).unwrap();
+        let mut lane = Lane::new();
+        let input = b"hello, udp lane!";
+        let r = lane.run(&image, input, input.len() * 8, RunConfig::default()).unwrap();
+        assert_eq!(r.output, input);
+        // init(2) + n*(head(2) + cont(1) + body(4)) + final head(2) + done(2)
+        let n = input.len() as u64;
+        assert_eq!(r.cycles, 2 + n * 7 + 2 + 2);
+        assert!(r.dispatches > n);
+    }
+
+    #[test]
+    fn empty_input_halts_immediately_with_empty_output() {
+        let image = assemble(&byte_copy_program()).unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &[], 0, RunConfig::default()).unwrap();
+        assert!(r.output.is_empty());
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut pb = ProgramBuilder::new("r0");
+        let start = pb.block(Block {
+            actions: vec![
+                Action::LoadImm { rd: 0, imm: 123 },
+                Action::Add { rd: 15, rs: 0, rt: 0 },
+            ],
+            transition: Transition::Halt,
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &[], 0, RunConfig::default()).unwrap();
+        assert!(r.output.is_empty(), "r15 stayed 0 because r0 ignores writes");
+    }
+
+    #[test]
+    fn stream_underflow_traps() {
+        let mut pb = ProgramBuilder::new("uf");
+        let start = pb.block(Block {
+            actions: vec![Action::InSym { rd: 1, bits: 16 }],
+            transition: Transition::Halt,
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let err = lane.run(&image, &[0xFF], 8, RunConfig::default()).unwrap_err();
+        assert!(matches!(err, LaneError::StreamUnderflow { wanted: 16, available: 8 }));
+    }
+
+    #[test]
+    fn scratchpad_oob_traps() {
+        let mut pb = ProgramBuilder::new("oob");
+        let start = pb.block(Block {
+            actions: vec![
+                Action::LoadImm { rd: 1, imm: -8 },
+                Action::Store { rs: 2, base: 1, offset: 0, width: Width::B8 },
+            ],
+            transition: Transition::Halt,
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let err = lane.run(&image, &[], 0, RunConfig::default()).unwrap_err();
+        assert!(matches!(err, LaneError::ScratchpadOob { .. }));
+    }
+
+    #[test]
+    fn unmapped_dispatch_traps() {
+        // Dispatch into a group hole.
+        let mut pb = ProgramBuilder::new("hole");
+        let only = pb.block(Block { actions: vec![], transition: Transition::Halt });
+        let g = pb.group(vec![(0, only)]);
+        let start = pb.block(Block {
+            actions: vec![],
+            transition: Transition::DispatchSym { bits: 4, group: g },
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        // Symbol 9 -> base+9, unmapped (only offset 0 exists).
+        let err = lane.run(&image, &[0b1001_0000], 8, RunConfig::default()).unwrap_err();
+        assert!(matches!(err, LaneError::UnmappedAddress { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn runaway_program_hits_cycle_limit() {
+        let mut pb = ProgramBuilder::new("loop");
+        let a = pb.reserve();
+        pb.define(a, Block { actions: vec![], transition: Transition::Jump(a) });
+        pb.entry(a);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let cfg = RunConfig { cycle_limit: 1000, ..Default::default() };
+        let err = lane.run(&image, &[], 0, cfg).unwrap_err();
+        assert!(matches!(err, LaneError::CycleLimit { limit: 1000 }));
+    }
+
+    #[test]
+    fn bad_output_range_traps() {
+        let mut pb = ProgramBuilder::new("badout");
+        let start = pb.block(Block {
+            actions: vec![
+                Action::LoadImm { rd: 1, imm: 1 },
+                Action::ShlI { rd: 15, rs: 1, amount: 40 },
+            ],
+            transition: Transition::Halt,
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let err = lane.run(&image, &[], 0, RunConfig::default()).unwrap_err();
+        assert!(matches!(err, LaneError::BadOutputRange { .. }));
+    }
+
+    #[test]
+    fn dispatch_peek_does_not_consume() {
+        let mut pb = ProgramBuilder::new("peek");
+        // Entry peeks 4 bits and dispatches; target consumes all 8 bits and
+        // stores them; if peek had consumed, insym would underflow.
+        let mut handlers = Vec::new();
+        let done = pb.block(Block {
+            actions: vec![Action::Sub { rd: 15, rs: 2, rt: 14 }],
+            transition: Transition::Halt,
+        });
+        for _ in 0..16u32 {
+            handlers.push(pb.block(Block {
+                actions: vec![
+                    Action::Mov { rd: 2, rs: 14 },
+                    Action::InSym { rd: 1, bits: 8 },
+                    Action::Store { rs: 1, base: 2, offset: 0, width: Width::B1 },
+                    Action::AddI { rd: 2, rs: 2, imm: 1 },
+                ],
+                transition: Transition::Jump(done),
+            }));
+        }
+        let g = pb.group(handlers.iter().enumerate().map(|(i, &b)| (i as u32, b)).collect());
+        let start = pb.block(Block {
+            actions: vec![],
+            transition: Transition::DispatchPeek { bits: 4, group: g },
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &[0xA7], 8, RunConfig::default()).unwrap();
+        assert_eq!(r.output, vec![0xA7]);
+    }
+
+    #[test]
+    fn wide_loads_and_stores_are_little_endian() {
+        let mut pb = ProgramBuilder::new("le");
+        let start = pb.block(Block {
+            actions: vec![
+                Action::InSymLe { rd: 1, bytes: 8 },
+                Action::Store { rs: 1, base: 14, offset: 0, width: Width::B8 },
+                Action::LoadImm { rd: 15, imm: 8 },
+            ],
+            transition: Transition::Halt,
+        });
+        pb.entry(start);
+        let image = assemble(&pb.build().unwrap()).unwrap();
+        let mut lane = Lane::new();
+        let input = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let r = lane.run(&image, &input, 64, RunConfig::default()).unwrap();
+        assert_eq!(r.output, input, "LE read then LE store must preserve byte order");
+    }
+}

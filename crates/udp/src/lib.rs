@@ -1,0 +1,40 @@
+//! # recode-udp — cycle-level simulator of the UDP recoding accelerator
+//!
+//! The Unstructured Data Processor (Fang et al., MICRO'17) is the paper's
+//! enabling substrate: a 64-lane MIMD accelerator whose lanes excel at
+//! branch-intensive recoding via **multi-way dispatch** (next code address =
+//! `base + symbol`, one cycle, no prediction). This crate rebuilds the whole
+//! stack in Rust:
+//!
+//! * [`isa`] — code blocks, actions, transitions (16×64-bit registers,
+//!   64 KB scratchpad, bit-granular stream unit);
+//! * [`program`] — symbolic programs and a builder API;
+//! * [`asm`] — a textual assembler, because the UDP's selling point is
+//!   *software* programmability;
+//! * [`effclip`] — the EffCLiP coupled-linear-packing placer that makes
+//!   `base + symbol` a perfect hash into dense code memory;
+//! * [`machine`] — 128-bit code-word encoding (4 action slots + transition)
+//!   and the executable [`machine::Image`];
+//! * [`lane`] — the lane interpreter with the paper's cycle model
+//!   (1 cycle/dispatch, 1 cycle/action);
+//! * [`accel`] — the 64-lane accelerator: MIMD block scheduling, makespan,
+//!   throughput and energy (1.6 GHz, 160 mW at 14 nm);
+//! * [`progs`] — real UDP programs for the paper's pipeline: inverse delta,
+//!   Snappy decode (256-way tag dispatch), and per-matrix compiled Huffman
+//!   decoders (two-level peek dispatch), each validated bit-for-bit against
+//!   `recode-codec`'s software encoders.
+
+pub mod accel;
+pub mod asm;
+pub mod effclip;
+pub mod energy;
+pub mod isa;
+pub mod lane;
+pub mod machine;
+pub mod program;
+pub mod progs;
+
+pub use accel::{Accelerator, AccelReport};
+pub use lane::{Lane, LaneError, RunConfig, RunResult};
+pub use machine::Image;
+pub use program::{Program, ProgramBuilder};

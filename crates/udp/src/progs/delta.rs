@@ -1,0 +1,111 @@
+//! Inverse zigzag delta, written in UDP assembly (see `crate::asm` for the
+//! grammar). Input: 4-byte little-endian words — the first absolute, the
+//! rest zigzagged differences (`recode_codec::delta`). Output: the restored
+//! little-endian `u32` index stream.
+
+use crate::asm::assemble_text;
+use crate::machine::{assemble, Image};
+
+/// The program source. Register roles:
+/// `r1` previous index · `r2` output cursor · `r3` remaining-bits ·
+/// `r4` current word · `r5`/`r6` zigzag temporaries · `r11` constant 1.
+pub const SOURCE: &str = "\
+; inverse zigzag delta over 4-byte LE words
+.entry init
+init:
+    mov r2, r14
+    limm r11, 1
+    inrem r3
+    beq r3, r0, done
+first:
+    insymle r1, 4
+    storewi r1, r2       ; 4-byte store truncates to u32 naturally
+    jump loop
+loop:
+    inrem r3
+    beq r3, r0, done
+body:
+    insymle r4, 4
+    and r5, r4, r11      ; sign bit
+    shri r6, r4, 1       ; magnitude
+    sub r5, r0, r5       ; 0 or all-ones
+    xor r6, r6, r5       ; signed delta (two's complement)
+    add r1, r1, r6       ; prev += delta (wrapping; valid streams stay in range)
+    storewi r1, r2
+    jump loop
+done:
+    sub r15, r2, r14
+    halt
+";
+
+/// Assembles the inverse-delta image (table-independent; build once, reuse
+/// across blocks and matrices).
+///
+/// # Errors
+/// Assembly/placement failures (a bug, not a data condition).
+pub fn build() -> Result<Image, String> {
+    let program = assemble_text("udp-delta-decode", SOURCE).map_err(|e| e.to_string())?;
+    assemble(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{Lane, RunConfig};
+    use recode_codec::delta;
+
+    fn run(input: &[u8]) -> Vec<u8> {
+        let image = build().unwrap();
+        let mut lane = Lane::new();
+        lane.run(&image, input, input.len() * 8, RunConfig::default()).unwrap().output
+    }
+
+    #[test]
+    fn decodes_banded_indices() {
+        let idx: Vec<u32> = (0..2048u32).map(|i| (i / 3) * 2 + (i % 3)).collect();
+        let enc = delta::encode_u32(&idx).unwrap();
+        let out = run(&enc);
+        assert_eq!(out, delta::decode_bytes(&enc).unwrap());
+        let words: Vec<u32> = out
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words, idx);
+    }
+
+    #[test]
+    fn decodes_descending_and_large_jumps() {
+        let idx = vec![1_000_000u32, 5, 2_000_000, 0, 123, 122, 121];
+        let enc = delta::encode_u32(&idx).unwrap();
+        let words: Vec<u32> = run(&enc)
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words, idx);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(run(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_word() {
+        let enc = delta::encode_u32(&[42]).unwrap();
+        assert_eq!(run(&enc), 42u32.to_le_bytes());
+    }
+
+    #[test]
+    fn cycle_cost_is_linear_and_modest() {
+        let idx: Vec<u32> = (0..2048u32).collect();
+        let enc = delta::encode_u32(&idx).unwrap();
+        let image = build().unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &enc, enc.len() * 8, RunConfig::default()).unwrap();
+        let cyc_per_byte = r.cycles as f64 / (idx.len() * 4) as f64;
+        assert!(
+            cyc_per_byte < 5.0,
+            "delta decode should cost a few cycles/byte, got {cyc_per_byte:.2}"
+        );
+    }
+}

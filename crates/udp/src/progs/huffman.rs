@@ -1,0 +1,257 @@
+//! Per-matrix compiled Huffman decoders.
+//!
+//! The paper generates a Huffman tree per matrix; the UDP consumes it as a
+//! *program*: this compiler turns canonical code lengths into a two-level
+//! multi-way dispatch structure —
+//!
+//! * a **primary 256-entry `dispatch.peek 8` group**: every 8-bit window
+//!   resolves either to an emit handler (codes ≤ 8 bits, which skip their
+//!   code length and store the symbol) or to a secondary dispatch (the
+//!   window is a prefix of longer codes);
+//! * **secondary `dispatch.peek k` groups** (k ≤ 7, since codes are capped
+//!   at 15 bits) per long-code prefix.
+//!
+//! EffCLiP then packs the hundreds of handler blocks densely. Because the
+//! codec's tables are Kraft-complete (add-one smoothing covers all 256 byte
+//! values), every window in both levels is mapped; there are no reachable
+//! holes on valid streams.
+//!
+//! Register roles: `r2` output cursor · `r3` remaining-bits · `r4` symbol.
+
+use crate::isa::{Action, Block, Cond, Transition, Width};
+use crate::machine::{assemble, Image};
+use crate::program::ProgramBuilder;
+use recode_codec::huffman::HuffmanTable;
+
+/// Default primary dispatch width in bits.
+const PRIMARY_BITS: u8 = 8;
+
+/// Compiles the decode image with the default 8-bit primary dispatch.
+///
+/// # Errors
+/// Invalid lengths (Kraft violation, >15 bits) or placement failures.
+pub fn compile(lengths: &[u8]) -> Result<Image, String> {
+    compile_with_width(lengths, PRIMARY_BITS)
+}
+
+/// Compiles with an explicit primary dispatch width (4..=12 bits) — the
+/// knob behind the dispatch-width ablation: wider dispatch resolves more
+/// codes in one hop but costs exponentially more code-memory slots.
+///
+/// # Errors
+/// Invalid width/lengths or placement failures.
+pub fn compile_with_width(lengths: &[u8], primary_bits: u8) -> Result<Image, String> {
+    if !(4..=12).contains(&primary_bits) {
+        return Err(format!("primary dispatch width {primary_bits} outside 4..=12"));
+    }
+    let table = HuffmanTable::from_lengths(lengths.to_vec()).map_err(|e| e.to_string())?;
+    let mut pb = ProgramBuilder::new("udp-huffman-decode");
+
+    let done = pb.block(Block {
+        actions: vec![Action::Sub { rd: 15, rs: 2, rt: 14 }],
+        transition: Transition::Halt,
+    });
+    let loop_head = pb.reserve();
+
+    // Emit handler: consume `skip` bits, output `sym`, continue.
+    let emit = |pb: &mut ProgramBuilder, skip: u8, sym: u8| {
+        let mut actions = Vec::with_capacity(4);
+        if skip > 0 {
+            actions.push(Action::SkipSym { bits: skip });
+        }
+        actions.extend([
+            Action::LoadImm { rd: 4, imm: sym as i16 },
+            Action::StoreInc { rs: 4, base: 2, width: Width::B1 },
+        ]);
+        pb.block(Block { actions, transition: Transition::Jump(loop_head) })
+    };
+
+    // Partition symbols by code length.
+    let mut primary_entries: Vec<(u32, u32)> = Vec::new();
+    // Long codes grouped by their first 8 bits.
+    let mut by_prefix: std::collections::BTreeMap<u32, Vec<(u8, u8, u16)>> =
+        std::collections::BTreeMap::new();
+    for s in 0..256usize {
+        let l = table.lengths[s];
+        if l == 0 {
+            continue;
+        }
+        let c = table.codes[s] as u32;
+        if l <= primary_bits {
+            // All 8-bit windows whose top `l` bits equal the code.
+            let lo = c << (primary_bits - l);
+            let hi = lo + (1 << (primary_bits - l));
+            for w in lo..hi {
+                let h = emit(&mut pb, l, s as u8);
+                primary_entries.push((w, h));
+            }
+        } else {
+            let prefix = c >> (l - primary_bits);
+            by_prefix.entry(prefix).or_default().push((s as u8, l, table.codes[s]));
+        }
+    }
+
+    // Secondary groups.
+    for (prefix, syms) in by_prefix {
+        let max_ext = syms.iter().map(|&(_, l, _)| l - primary_bits).max().expect("non-empty");
+        let mut secondary_entries: Vec<(u32, u32)> = Vec::new();
+        for &(sym, l, code) in &syms {
+            let ext_len = l - primary_bits;
+            let ext = (code as u32) & ((1 << ext_len) - 1);
+            let lo = ext << (max_ext - ext_len);
+            let hi = lo + (1 << (max_ext - ext_len));
+            for v in lo..hi {
+                let h = emit(&mut pb, ext_len, sym);
+                secondary_entries.push((v, h));
+            }
+        }
+        let sec_group = pb.group(secondary_entries);
+        // Primary handler for this prefix: consume the 8 prefix bits, then
+        // peek-dispatch the extension.
+        let h = pb.block(Block {
+            actions: vec![Action::SkipSym { bits: primary_bits }],
+            transition: Transition::DispatchPeek { bits: max_ext, group: sec_group },
+        });
+        primary_entries.push((prefix, h));
+    }
+
+    let primary = pb.group(primary_entries);
+    let dispatch_blk = pb.block(Block {
+        actions: vec![],
+        transition: Transition::DispatchPeek { bits: primary_bits, group: primary },
+    });
+    pb.define(loop_head, Block {
+        actions: vec![Action::InRem { rd: 3 }],
+        transition: Transition::Branch {
+            cond: Cond::Eq,
+            rs: 3,
+            rt: 0,
+            taken: done,
+            fallthrough: dispatch_blk,
+        },
+    });
+    let init = pb.block(Block {
+        actions: vec![Action::Mov { rd: 2, rs: 14 }],
+        transition: Transition::Jump(loop_head),
+    });
+    pb.entry(init);
+
+    let program = pb.build()?;
+    assemble(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{Lane, RunConfig};
+    use recode_codec::huffman::{decode, encode};
+
+    fn smoothed_table(data: &[u8]) -> HuffmanTable {
+        let mut hist = [1u64; 256];
+        for &b in data {
+            hist[b as usize] += 1;
+        }
+        HuffmanTable::from_histogram(&hist)
+    }
+
+    fn round_trip(data: &[u8]) -> u64 {
+        let t = smoothed_table(data);
+        let (bytes, bits) = encode(data, &t).unwrap();
+        let image = compile(&t.lengths).unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &bytes, bits, RunConfig::default()).unwrap();
+        assert_eq!(r.output, data, "UDP huffman decode mismatch");
+        // Cross-check against the software decoder too.
+        assert_eq!(decode(&bytes, bits, &t, data.len()).unwrap(), data);
+        r.cycles
+    }
+
+    #[test]
+    fn decodes_skewed_data() {
+        let data: Vec<u8> = (0..4000).map(|i| if i % 11 == 0 { 200 } else { 3 }).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decodes_uniform_bytes_with_8bit_codes() {
+        let data: Vec<u8> = (0..2048u32).map(|i| (i % 256) as u8).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decodes_data_requiring_long_codes() {
+        // Exponentially skewed histogram drives some codes past 8 bits,
+        // exercising the secondary dispatch level.
+        let mut data = Vec::new();
+        for s in 0..40u8 {
+            let reps = 1usize << (s.min(16) as usize / 3);
+            data.extend(std::iter::repeat_n(s, reps));
+        }
+        let t = smoothed_table(&data);
+        let max_len = t.lengths.iter().copied().max().unwrap();
+        assert!(max_len > 8, "test needs long codes, got max {max_len}");
+        round_trip(&data);
+    }
+
+    #[test]
+    fn empty_stream() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(&[0x42]);
+    }
+
+    #[test]
+    fn cycles_per_symbol_is_small_constant() {
+        let data: Vec<u8> = (0..4096).map(|i| ((i * 7) % 40) as u8).collect();
+        let cycles = round_trip(&data);
+        let per_sym = cycles as f64 / data.len() as f64;
+        assert!(
+            per_sym < 12.0,
+            "multi-way dispatch should decode in ~8 cycles/symbol, got {per_sym:.1}"
+        );
+    }
+
+    #[test]
+    fn alternate_dispatch_widths_decode_identically() {
+        let data: Vec<u8> = (0..3000).map(|i| ((i * 13) % 97) as u8).collect();
+        let t = smoothed_table(&data);
+        let (bytes, bits) = encode(&data, &t).unwrap();
+        for width in [4u8, 6, 10, 12] {
+            let image = compile_with_width(&t.lengths, width).unwrap();
+            let mut lane = Lane::new();
+            let r = lane.run(&image, &bytes, bits, RunConfig::default()).unwrap();
+            assert_eq!(r.output, data, "width {width}");
+        }
+        assert!(compile_with_width(&t.lengths, 3).is_err());
+        assert!(compile_with_width(&t.lengths, 13).is_err());
+    }
+
+    #[test]
+    fn wider_dispatch_costs_code_memory() {
+        let data: Vec<u8> = (0..3000).map(|i| ((i * 7) % 61) as u8).collect();
+        let t = smoothed_table(&data);
+        let narrow = compile_with_width(&t.lengths, 6).unwrap();
+        let wide = compile_with_width(&t.lengths, 12).unwrap();
+        assert!(
+            wide.code_bytes() > narrow.code_bytes(),
+            "wide {} vs narrow {}",
+            wide.code_bytes(),
+            narrow.code_bytes()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        let mut bad = vec![0u8; 256];
+        bad[0] = 16;
+        assert!(compile(&bad).is_err());
+        let mut overfull = vec![0u8; 256];
+        overfull[0] = 1;
+        overfull[1] = 1;
+        overfull[2] = 1;
+        assert!(compile(&overfull).is_err());
+    }
+}

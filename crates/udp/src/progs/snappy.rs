@@ -1,0 +1,335 @@
+//! Snappy decode as a UDP program.
+//!
+//! This is the paper's flagship multi-way-dispatch workload: the element
+//! format is tag-value pairs, "with the corresponding operation to decode
+//! the value stored in the tag field" (§III-E). The program reads each tag
+//! byte and dispatches through a **256-entry group** — every tag value gets
+//! its own handler block with the literal length / copy length / offset
+//! split baked in at program-construction time, so there is no branch tree
+//! and no prediction, just `base + tag`.
+//!
+//! Copy loops move 8 bytes per iteration when length and offset allow
+//! (overlapping copies fall back to the byte loop, preserving Snappy's
+//! run-extension semantics).
+//!
+//! Register roles: `r1` tag · `r2` output cursor · `r3` remaining-bits ·
+//! `r4` length · `r5` offset · `r6` data · `r7` copy-source cursor ·
+//! `r9` constant 0x80 · `r12` constant 4 · `r13` constant 8.
+
+use crate::isa::{Action, Block, Cond, Transition, Width};
+use crate::machine::{assemble, Image};
+use crate::program::ProgramBuilder;
+
+/// Builds the (table-independent) Snappy decode image.
+///
+/// # Errors
+/// Construction/placement failures (a bug, not a data condition).
+pub fn build() -> Result<Image, String> {
+    let mut pb = ProgramBuilder::new("udp-snappy-decode");
+
+    // done: r15 = out length; halt.
+    let done = pb.block(Block {
+        actions: vec![Action::Sub { rd: 15, rs: 2, rt: 14 }],
+        transition: Transition::Halt,
+    });
+
+    // Forward declarations.
+    let main = pb.reserve();
+    let lit_loop = pb.reserve();
+    let lit_tail_head = pb.reserve();
+    let bc_loop = pb.reserve();
+    let bc_tail_head = pb.reserve();
+
+    // ---- literal copy: r4 bytes from input to output ----
+    let lit_wide = pb.block(Block {
+        actions: vec![
+            Action::InSymLe { rd: 6, bytes: 8 },
+            Action::StoreInc { rs: 6, base: 2, width: Width::B8 },
+            Action::AddI { rd: 4, rs: 4, imm: -8 },
+        ],
+        transition: Transition::Jump(lit_loop),
+    });
+    pb.define(lit_loop, Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Ltu,
+            rs: 4,
+            rt: 13,
+            taken: lit_tail_head,
+            fallthrough: lit_wide,
+        },
+    });
+    let lit_tail_body = pb.block(Block {
+        actions: vec![
+            Action::InSymLe { rd: 6, bytes: 1 },
+            Action::StoreInc { rs: 6, base: 2, width: Width::B1 },
+            Action::AddI { rd: 4, rs: 4, imm: -1 },
+        ],
+        transition: Transition::Jump(lit_tail_head),
+    });
+    pb.define(lit_tail_head, Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Eq,
+            rs: 4,
+            rt: 0,
+            taken: main,
+            fallthrough: lit_tail_body,
+        },
+    });
+
+    // ---- back copy: r4 bytes from distance r5 ----
+    // Three tiers: 8-byte chunks (len >= 8, offset >= 8), 4-byte chunks
+    // (len >= 4, offset >= 4 — common for delta-coded index streams whose
+    // period is one 4-byte word), then the byte loop for short overlaps.
+    let bc_four_loop = pb.reserve();
+    let bc_init = pb.block(Block {
+        actions: vec![Action::Sub { rd: 7, rs: 2, rt: 5 }],
+        transition: Transition::Jump(bc_loop),
+    });
+    let bc_wide = pb.block(Block {
+        actions: vec![
+            Action::LoadInc { rd: 6, base: 7, width: Width::B8 },
+            Action::StoreInc { rs: 6, base: 2, width: Width::B8 },
+            Action::AddI { rd: 4, rs: 4, imm: -8 },
+        ],
+        transition: Transition::Jump(bc_loop),
+    });
+    // Overlap guard: 8-byte path only when offset >= 8.
+    let bc_check_off = pb.block(Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Ltu,
+            rs: 5,
+            rt: 13,
+            taken: bc_four_loop,
+            fallthrough: bc_wide,
+        },
+    });
+    pb.define(bc_loop, Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Ltu,
+            rs: 4,
+            rt: 13,
+            taken: bc_four_loop,
+            fallthrough: bc_check_off,
+        },
+    });
+    // 4-byte tier.
+    let bc_wide4 = pb.block(Block {
+        actions: vec![
+            Action::LoadInc { rd: 6, base: 7, width: Width::B4 },
+            Action::StoreInc { rs: 6, base: 2, width: Width::B4 },
+            Action::AddI { rd: 4, rs: 4, imm: -4 },
+        ],
+        transition: Transition::Jump(bc_four_loop),
+    });
+    let bc_four_checkoff = pb.block(Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Ltu,
+            rs: 5,
+            rt: 12,
+            taken: bc_tail_head,
+            fallthrough: bc_wide4,
+        },
+    });
+    pb.define(bc_four_loop, Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Ltu,
+            rs: 4,
+            rt: 12,
+            taken: bc_tail_head,
+            fallthrough: bc_four_checkoff,
+        },
+    });
+    let bc_tail_body = pb.block(Block {
+        actions: vec![
+            Action::LoadInc { rd: 6, base: 7, width: Width::B1 },
+            Action::StoreInc { rs: 6, base: 2, width: Width::B1 },
+            Action::AddI { rd: 4, rs: 4, imm: -1 },
+        ],
+        transition: Transition::Jump(bc_tail_head),
+    });
+    pb.define(bc_tail_head, Block {
+        actions: vec![],
+        transition: Transition::Branch {
+            cond: Cond::Eq,
+            rs: 4,
+            rt: 0,
+            taken: main,
+            fallthrough: bc_tail_body,
+        },
+    });
+
+    // ---- 256 tag handlers ----
+    let mut handlers = Vec::with_capacity(256);
+    for tag in 0..=255u32 {
+        let handler = match tag & 0b11 {
+            0 => {
+                // Literal.
+                let len_code = tag >> 2;
+                if len_code < 60 {
+                    pb.block(Block {
+                        actions: vec![Action::LoadImm { rd: 4, imm: (len_code + 1) as i16 }],
+                        transition: Transition::Jump(lit_loop),
+                    })
+                } else {
+                    let nbytes = (len_code - 59) as u8;
+                    pb.block(Block {
+                        actions: vec![
+                            Action::InSymLe { rd: 4, bytes: nbytes },
+                            Action::AddI { rd: 4, rs: 4, imm: 1 },
+                        ],
+                        transition: Transition::Jump(lit_loop),
+                    })
+                }
+            }
+            1 => {
+                // Copy, 1-byte offset: len 4..11, offset high bits in tag.
+                let len = ((tag >> 2) & 0x7) + 4;
+                let off_hi = (tag >> 5) << 8;
+                pb.block(Block {
+                    actions: vec![
+                        Action::LoadImm { rd: 4, imm: len as i16 },
+                        Action::LoadImm { rd: 5, imm: off_hi as i16 },
+                        Action::InSymLe { rd: 6, bytes: 1 },
+                        Action::Or { rd: 5, rs: 5, rt: 6 },
+                    ],
+                    transition: Transition::Jump(bc_init),
+                })
+            }
+            2 => {
+                // Copy, 2-byte offset: len 1..64.
+                pb.block(Block {
+                    actions: vec![
+                        Action::LoadImm { rd: 4, imm: ((tag >> 2) + 1) as i16 },
+                        Action::InSymLe { rd: 5, bytes: 2 },
+                    ],
+                    transition: Transition::Jump(bc_init),
+                })
+            }
+            _ => {
+                // Copy, 4-byte offset.
+                pb.block(Block {
+                    actions: vec![
+                        Action::LoadImm { rd: 4, imm: ((tag >> 2) + 1) as i16 },
+                        Action::InSymLe { rd: 5, bytes: 4 },
+                    ],
+                    transition: Transition::Jump(bc_init),
+                })
+            }
+        };
+        handlers.push((tag, handler));
+    }
+    let tags = pb.group(handlers);
+
+    // ---- main loop: element per iteration ----
+    let gettag = pb.block(Block {
+        actions: vec![Action::InSymLe { rd: 1, bytes: 1 }],
+        transition: Transition::DispatchReg { rs: 1, group: tags },
+    });
+    pb.define(main, Block {
+        actions: vec![Action::InRem { rd: 3 }],
+        transition: Transition::Branch { cond: Cond::Eq, rs: 3, rt: 0, taken: done, fallthrough: gettag },
+    });
+
+    // ---- varint preamble skip ----
+    let varint = pb.reserve();
+    let to_main = pb.block(Block { actions: vec![], transition: Transition::Jump(main) });
+    pb.define(varint, Block {
+        actions: vec![
+            Action::InSymLe { rd: 6, bytes: 1 },
+            Action::And { rd: 7, rs: 6, rt: 9 },
+        ],
+        transition: Transition::Branch { cond: Cond::Ne, rs: 7, rt: 0, taken: varint, fallthrough: to_main },
+    });
+
+    // ---- init ----
+    let init = pb.block(Block {
+        actions: vec![
+            Action::Mov { rd: 2, rs: 14 },
+            Action::LoadImm { rd: 13, imm: 8 },
+            Action::LoadImm { rd: 12, imm: 4 },
+            Action::LoadImm { rd: 9, imm: 128 },
+        ],
+        transition: Transition::Jump(varint),
+    });
+    pb.entry(init);
+
+    let program = pb.build()?;
+    assemble(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{Lane, RunConfig};
+    use recode_codec::snappy;
+
+    fn udp_decode(compressed: &[u8]) -> Vec<u8> {
+        let image = build().unwrap();
+        let mut lane = Lane::new();
+        lane.run(&image, compressed, compressed.len() * 8, RunConfig::default())
+            .unwrap()
+            .output
+    }
+
+    fn check(data: &[u8]) {
+        let c = snappy::compress(data);
+        assert_eq!(udp_decode(&c), data, "UDP snappy decode mismatch ({} bytes)", data.len());
+    }
+
+    #[test]
+    fn literals_only() {
+        check(b"");
+        check(b"x");
+        check(b"The quick brown fox jumps over the lazy dog");
+    }
+
+    #[test]
+    fn runs_and_overlapping_copies() {
+        check(&vec![7u8; 3000]);
+        let periodic: Vec<u8> = (0..2000).map(|i| (i % 3) as u8).collect();
+        check(&periodic);
+        let periodic5: Vec<u8> = (0..2000).map(|i| (i % 5) as u8).collect();
+        check(&periodic5);
+    }
+
+    #[test]
+    fn far_copies_and_long_literals() {
+        // > 60-byte literal forces the extended-length handlers.
+        let mut data: Vec<u8> =
+            (0..1000u32).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect();
+        let head = data[..200].to_vec();
+        data.extend_from_slice(&head);
+        check(&data);
+    }
+
+    #[test]
+    fn delta_like_small_words_match_host_decoder() {
+        let mut data = Vec::new();
+        for i in 0..2048u32 {
+            data.extend_from_slice(&(if i % 7 == 0 { 9u32 } else { 2 }).to_le_bytes());
+        }
+        let c = snappy::compress(&data);
+        assert_eq!(udp_decode(&c), snappy::decompress(&c).unwrap());
+    }
+
+    #[test]
+    fn full_8kb_block_throughput_is_plausible() {
+        // The paper's single-lane geomean is 21.7 us per 8 KB block for the
+        // whole DSH pipeline; the snappy stage alone must be well under that.
+        let data: Vec<u8> = (0..2048u32).flat_map(|i| ((i / 5) % 300).to_le_bytes()).collect();
+        assert_eq!(data.len(), 8192);
+        let c = snappy::compress(&data);
+        let image = build().unwrap();
+        let mut lane = Lane::new();
+        let r = lane.run(&image, &c, c.len() * 8, RunConfig::default()).unwrap();
+        assert_eq!(r.output, data);
+        let us = r.cycles as f64 / 1.6e9 * 1e6;
+        assert!(us < 25.0, "snappy stage took {us:.1} us for one 8 KB block");
+    }
+}

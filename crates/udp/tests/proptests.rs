@@ -1,0 +1,166 @@
+//! Property tests: the UDP decoder programs must agree bit-for-bit with the
+//! software codecs on arbitrary inputs, and the EffCLiP pipeline must place
+//! arbitrary generated programs validly.
+
+use proptest::prelude::*;
+use recode_codec::huffman::HuffmanTable;
+use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_codec::{delta, huffman, snappy};
+use recode_udp::lane::{Lane, RunConfig};
+use recode_udp::machine;
+use recode_udp::progs::{self, DshDecoder};
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..1500),
+        (any::<u8>(), 1usize..1500).prop_map(|(b, n)| vec![b; n]),
+        proptest::collection::vec(0u8..6, 0..1500),
+        (1usize..12, 1usize..1500).prop_map(|(p, n)| (0..n).map(|i| (i % p) as u8).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn udp_snappy_matches_software(data in payload()) {
+        let c = snappy::compress(&data);
+        let image = progs::snappy::build().unwrap();
+        let mut lane = Lane::new();
+        let out = lane.run(&image, &c, c.len() * 8, RunConfig::default()).unwrap().output;
+        prop_assert_eq!(out, snappy::decompress(&c).unwrap());
+    }
+
+    #[test]
+    fn udp_huffman_matches_software(data in payload()) {
+        let mut hist = [1u64; 256];
+        for &b in &data { hist[b as usize] += 1; }
+        let t = HuffmanTable::from_histogram(&hist);
+        let (bytes, bits) = huffman::encode(&data, &t).unwrap();
+        let image = progs::huffman::compile(&t.lengths).unwrap();
+        let mut lane = Lane::new();
+        let out = lane.run(&image, &bytes, bits, RunConfig::default()).unwrap().output;
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn udp_delta_matches_software(idx in proptest::collection::vec(0u32..(1 << 31), 0..400)) {
+        let enc = delta::encode_u32(&idx).unwrap();
+        let image = progs::delta::build().unwrap();
+        let mut lane = Lane::new();
+        let out = lane.run(&image, &enc, enc.len() * 8, RunConfig::default()).unwrap().output;
+        prop_assert_eq!(out, delta::decode_bytes(&enc).unwrap());
+    }
+
+    #[test]
+    fn udp_full_pipeline_matches_encoder_input(data in payload()) {
+        let mut data = data;
+        data.truncate(data.len() & !3);
+        for word in data.chunks_exact_mut(4) {
+            word[3] &= 0x7F; // keep words < 2^31 for the delta stage
+        }
+        let config = PipelineConfig { block_bytes: 2048, ..PipelineConfig::dsh_udp() };
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let stream = pipe.encode_stream(&data).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let mut lane = Lane::new();
+        let mut out = Vec::new();
+        for block in &stream.blocks {
+            out.extend(decoder.decode_block(&mut lane, block).unwrap().output);
+        }
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn corrupt_payload_never_panics_the_lane(data in payload(), flip in any::<(usize, usize, u8)>()) {
+        let mut data = data;
+        data.truncate(data.len() & !3);
+        for word in data.chunks_exact_mut(4) {
+            word[3] &= 0x7F;
+        }
+        let config = PipelineConfig { block_bytes: 2048, ..PipelineConfig::dsh_udp() };
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let mut stream = pipe.encode_stream(&data).unwrap();
+        if stream.blocks.is_empty() { return Ok(()); }
+        let bi = flip.0 % stream.blocks.len();
+        let block = &mut stream.blocks[bi];
+        if block.payload.is_empty() { return Ok(()); }
+        let pos = flip.1 % block.payload.len();
+        block.payload[pos] ^= flip.2 | 1;
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let mut lane = Lane::new();
+        let _ = decoder.decode_block(&mut lane, &stream.blocks[bi]); // trap or garbage, never panic
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random well-formed programs place validly under EffCLiP and their
+    /// binary encodings decode back to the same logical blocks.
+    #[test]
+    fn random_programs_place_and_encode_round_trip(
+        n_singles in 1usize..40,
+        group_sizes in proptest::collection::vec(1usize..20, 0..4),
+        chain_lens in proptest::collection::vec(1usize..6, 0..6),
+        imm in -100i16..100,
+    ) {
+        use recode_udp::isa::{Action, Block, Cond, Transition};
+        use recode_udp::program::ProgramBuilder;
+        let mut pb = ProgramBuilder::new("fuzz");
+        let done = pb.block(Block { actions: vec![], transition: Transition::Halt });
+        let mut groups = Vec::new();
+        for gs in &group_sizes {
+            let members: Vec<_> = (0..*gs)
+                .map(|k| {
+                    pb.block(Block {
+                        actions: vec![Action::LoadImm { rd: 1, imm: imm.wrapping_add(k as i16) }],
+                        transition: Transition::Jump(done),
+                    })
+                })
+                .collect();
+            groups.push(pb.group(
+                members.iter().enumerate().map(|(i, &b)| (2 * i as u32, b)).collect(),
+            ));
+        }
+        for len in &chain_lens {
+            let mut next = done;
+            for _ in 0..*len {
+                let fall = pb.block(Block { actions: vec![], transition: Transition::Jump(done) });
+                next = pb.block(Block {
+                    actions: vec![],
+                    transition: Transition::Branch {
+                        cond: Cond::Ne,
+                        rs: 1,
+                        rt: 0,
+                        taken: next,
+                        fallthrough: fall,
+                    },
+                });
+            }
+        }
+        for _ in 0..n_singles {
+            pb.block(Block {
+                actions: vec![Action::AddI { rd: 2, rs: 2, imm: 1 }],
+                transition: Transition::Jump(done),
+            });
+        }
+        let entry = if let Some(&g) = groups.first() {
+            pb.block(Block { actions: vec![], transition: Transition::DispatchSym { bits: 6, group: g } })
+        } else {
+            pb.block(Block { actions: vec![], transition: Transition::Jump(done) })
+        };
+        pb.entry(entry);
+        let program = pb.build().unwrap();
+        let placement = recode_udp::effclip::place(&program).unwrap();
+        recode_udp::effclip::verify(&program, &placement).unwrap();
+        let image = machine::encode(&program, &placement).unwrap();
+        // Every placed block decodes to its logical actions.
+        for (bid, block) in program.blocks.iter().enumerate() {
+            let dec = image.decode(placement.block_addr[bid]).unwrap();
+            prop_assert_eq!(&dec.actions, &block.actions);
+        }
+        // Packing density stays reasonable even for adversarial mixes.
+        prop_assert!(placement.utilization > 0.3, "utilization {}", placement.utilization);
+    }
+}

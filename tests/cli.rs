@@ -1,0 +1,79 @@
+//! End-to-end test of the `recode` CLI binary: generate, inspect, compress,
+//! decompress, verify, and run the simulated SpMV — the full workflow a
+//! downstream user drives from the shell.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_recode"))
+}
+
+fn tmpdir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("recode-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+#[test]
+fn gen_info_compress_decompress_spmv_workflow() {
+    let dir = tmpdir();
+    let mtx = dir.join("m.mtx");
+    let rcmx = dir.join("m.rcmx");
+    let back = dir.join("back.mtx");
+
+    // gen
+    let out = bin()
+        .args(["gen", "femband", "60000", "-o", mtx.to_str().unwrap(), "--seed", "7"])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen: {}", String::from_utf8_lossy(&out.stderr));
+
+    // info
+    let out = bin().args(["info", mtx.to_str().unwrap()]).output().expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("non-zeros"), "{text}");
+    assert!(text.contains("DSH compression"), "{text}");
+
+    // compress
+    let out = bin()
+        .args(["compress", mtx.to_str().unwrap(), "-o", rcmx.to_str().unwrap()])
+        .output()
+        .expect("run compress");
+    assert!(out.status.success(), "compress: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(rcmx.exists());
+
+    // decompress
+    let out = bin()
+        .args(["decompress", rcmx.to_str().unwrap(), "-o", back.to_str().unwrap()])
+        .output()
+        .expect("run decompress");
+    assert!(out.status.success(), "decompress: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The round trip must preserve the matrix exactly.
+    let a = recode_spmv::sparse::io::read_matrix_market_path(&mtx).unwrap();
+    let b = recode_spmv::sparse::io::read_matrix_market_path(&back).unwrap();
+    assert_eq!(a, b, "CLI compress/decompress round trip");
+
+    // spmv (verifies internally against the uncompressed kernel)
+    let out = bin().args(["spmv", mtx.to_str().unwrap()]).output().expect("run spmv");
+    assert!(out.status.success(), "spmv: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified against the uncompressed kernel"), "{text}");
+    assert!(text.contains("Decomp(UDP+CPU)"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let out = bin().output().expect("run bare");
+    assert!(!out.status.success());
+    let out = bin().args(["info", "/nonexistent/file.mtx"]).output().expect("run info");
+    assert!(!out.status.success());
+    let out = bin().args(["gen", "nosuchfamily", "1000", "-o", "/tmp/x.mtx"]).output().expect("gen");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown family"), "{err}");
+}
