@@ -28,6 +28,28 @@ pub enum CodecError {
     /// Input violates a precondition (e.g. delta stream length not a
     /// multiple of 4).
     Precondition(String),
+    /// Block CRC32c did not match its contents.
+    ChecksumMismatch {
+        /// Checksum carried in the block header.
+        stored: u32,
+        /// Checksum recomputed from the received contents.
+        computed: u32,
+    },
+    /// A block sits at the wrong position in its stream (reorder/duplication).
+    BlockSequence {
+        /// Sequence number the position requires.
+        expected: usize,
+        /// Sequence number the block carries.
+        found: usize,
+    },
+    /// Stream block count disagrees with its declared uncompressed size
+    /// (block drop or duplication).
+    BlockCount {
+        /// Blocks the declared stream size implies.
+        expected: usize,
+        /// Blocks actually present.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -40,6 +62,15 @@ impl fmt::Display for CodecError {
             }
             CodecError::MissingTable => write!(f, "huffman stage requires a code table"),
             CodecError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(f, "block checksum mismatch: header says {stored:#010x}, contents hash to {computed:#010x}")
+            }
+            CodecError::BlockSequence { expected, found } => {
+                write!(f, "block sequence mismatch: position {expected} holds block {found}")
+            }
+            CodecError::BlockCount { expected, actual } => {
+                write!(f, "stream declares {expected} blocks but carries {actual}")
+            }
         }
     }
 }
@@ -55,5 +86,10 @@ mod tests {
         assert!(CodecError::Truncated { context: "tag byte" }.to_string().contains("tag byte"));
         assert!(CodecError::LengthMismatch { expected: 8, actual: 4 }.to_string().contains('8'));
         assert!(CodecError::MissingTable.to_string().contains("table"));
+        assert!(CodecError::ChecksumMismatch { stored: 0xDEAD, computed: 0xBEEF }
+            .to_string()
+            .contains("0x0000dead"));
+        assert!(CodecError::BlockSequence { expected: 2, found: 5 }.to_string().contains('5'));
+        assert!(CodecError::BlockCount { expected: 4, actual: 3 }.to_string().contains('3'));
     }
 }

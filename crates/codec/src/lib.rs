@@ -18,14 +18,19 @@
 //!   `recode()` calls in the paper's Fig. 7.
 //! * [`metrics`] — the bytes-per-non-zero accounting used throughout the
 //!   evaluation (raw CSR = 12 B/nnz).
+//! * [`crc32c`] — hand-rolled table-driven CRC32c sealing every block's
+//!   framing, and [`faults`] — a deterministic seed-driven injector that
+//!   exercises the integrity layer with every corruption class.
 //!
 //! Every decoder is hardened against corrupt or truncated input: they
 //! return [`CodecError`], never panic, and never read out of bounds.
 
 pub mod bitstream;
 pub mod block;
+pub mod crc32c;
 pub mod delta;
 pub mod error;
+pub mod faults;
 pub mod huffman;
 pub mod metrics;
 pub mod pipeline;
@@ -33,8 +38,10 @@ pub mod snappy;
 pub mod varint;
 
 pub use block::{BlockStream, CompressedBlock};
+pub use crc32c::crc32c;
 pub use error::{CodecError, CodecResult};
-pub use pipeline::{CompressedMatrix, Pipeline, PipelineConfig};
+pub use faults::{FaultInjector, FaultKind, FaultReport};
+pub use pipeline::{CompressedMatrix, MatrixCodecConfig, Pipeline, PipelineConfig};
 
 /// The paper's UDP-side uncompressed block size: 8 KB.
 pub const UDP_BLOCK_BYTES: usize = 8 * 1024;

@@ -99,7 +99,7 @@ impl Pipeline {
         let table = if config.huffman {
             let stride = config.huffman_sample_every.max(1);
             let mut hist = [1u64; 256]; // add-one smoothing
-            for (i, block) in split_blocks(data, config.block_bytes).into_iter().enumerate() {
+            for (i, block) in split_blocks(data, config.block_bytes)?.into_iter().enumerate() {
                 if i % stride != 0 {
                     continue;
                 }
@@ -148,11 +148,20 @@ impl Pipeline {
         Ok(if config.snappy { snappy::compress(&after_delta) } else { after_delta })
     }
 
-    /// Encodes one block.
+    /// Encodes one standalone block (sealed with sequence number 0).
     ///
     /// # Errors
     /// Stage preconditions (alignment) and internal encoding failures.
     pub fn encode_block(&self, block: &[u8]) -> CodecResult<CompressedBlock> {
+        self.encode_block_at(block, 0)
+    }
+
+    /// Encodes one block destined for stream position `seq`, sealing it with
+    /// its checksum.
+    ///
+    /// # Errors
+    /// Stage preconditions (alignment) and internal encoding failures.
+    pub fn encode_block_at(&self, block: &[u8], seq: u32) -> CodecResult<CompressedBlock> {
         let pre = Self::run_pre_huffman(&self.config, block)?;
         let (payload, bit_len) = if self.config.huffman {
             let table = self.table.as_ref().ok_or(CodecError::MissingTable)?;
@@ -161,15 +170,19 @@ impl Pipeline {
             let bits = pre.len() * 8;
             (pre, bits)
         };
-        Ok(CompressedBlock { payload, bit_len, uncompressed_len: block.len() })
+        Ok(CompressedBlock::sealed(payload, bit_len, block.len(), seq))
     }
 
-    /// Decodes one block back to its uncompressed bytes.
+    /// Decodes one block back to its uncompressed bytes. The block checksum
+    /// is verified before any stage touches the payload, so corruption is
+    /// reported as [`CodecError::ChecksumMismatch`] rather than whatever a
+    /// stage happens to notice (or fail to notice).
     ///
     /// # Errors
-    /// Any stage's corruption/truncation errors; the final length is
-    /// verified against the block header.
+    /// Checksum mismatch, any stage's corruption/truncation errors; the
+    /// final length is verified against the block header.
     pub fn decode_block(&self, block: &CompressedBlock) -> CodecResult<Vec<u8>> {
+        block.verify_checksum()?;
         // Stage 1: Huffman decode (needs the intermediate length, which is
         // recoverable: snappy self-describes, so decode until the bitstream
         // is exhausted — we instead store the intermediate implicitly by
@@ -203,9 +216,10 @@ impl Pipeline {
     /// # Errors
     /// First failing block's error.
     pub fn encode_stream(&self, data: &[u8]) -> CodecResult<BlockStream> {
-        let blocks: Vec<CompressedBlock> = split_blocks(data, self.config.block_bytes)
+        let blocks: Vec<CompressedBlock> = split_blocks(data, self.config.block_bytes)?
             .into_par_iter()
-            .map(|b| self.encode_block(b))
+            .enumerate()
+            .map(|(k, b)| self.encode_block_at(b, k as u32))
             .collect::<CodecResult<_>>()?;
         Ok(BlockStream {
             block_bytes: self.config.block_bytes,
@@ -215,10 +229,15 @@ impl Pipeline {
     }
 
     /// Decodes a framed stream back to bytes (parallel across blocks).
+    /// Stream structure (block count, sequence numbers, checksums) is
+    /// verified up front, so dropped/duplicated/reordered blocks surface as
+    /// typed errors instead of silently wrong bytes.
     ///
     /// # Errors
-    /// First failing block's error; total length is re-verified.
+    /// Structural integrity errors, the first failing block's error; total
+    /// length is re-verified.
     pub fn decode_stream(&self, stream: &BlockStream) -> CodecResult<Vec<u8>> {
+        stream.verify()?;
         let parts: Vec<Vec<u8>> = stream
             .blocks
             .par_iter()
@@ -265,7 +284,7 @@ fn decode_all_symbols(bytes: &[u8], bit_len: usize, table: &HuffmanTable) -> Cod
         if len == 0 || (len as usize) > reader.remaining() {
             return Err(CodecError::Corrupt("invalid or truncated huffman code".into()));
         }
-        reader.skip_bits(len).expect("checked");
+        reader.skip_bits(len)?;
         out.push(sym);
     }
     if reader.remaining() != 0 {
@@ -414,12 +433,20 @@ impl CompressedMatrix {
         }
         let col_idx: Vec<u32> = index_bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact")))
-            .collect();
+            .map(|c| {
+                c.try_into()
+                    .map(u32::from_le_bytes)
+                    .map_err(|_| CodecError::Corrupt("index stream not 4-byte aligned".into()))
+            })
+            .collect::<CodecResult<_>>()?;
         let values: Vec<f64> = value_bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact")))
-            .collect();
+            .map(|c| {
+                c.try_into()
+                    .map(f64::from_le_bytes)
+                    .map_err(|_| CodecError::Corrupt("value stream not 8-byte aligned".into()))
+            })
+            .collect::<CodecResult<_>>()?;
         Csr::try_from_parts(self.nrows, self.ncols, self.row_ptr.clone(), col_idx, values)
             .map_err(|e| CodecError::Corrupt(format!("decoded matrix invalid: {e}")))
     }
@@ -558,6 +585,41 @@ mod tests {
         let mut c = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
         c.index_table_lengths = None;
         assert!(matches!(c.decompress(), Err(CodecError::MissingTable)));
+    }
+
+    #[test]
+    fn checksum_catches_stage_undetected_corruption() {
+        // With every stage off the payload IS the data: pre-CRC framing, a
+        // bit flip here decoded to silently wrong bytes. The checksum is the
+        // only line of defense and must catch it.
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let config = PipelineConfig {
+            delta: false,
+            snappy: false,
+            huffman: false,
+            block_bytes: 1024,
+            huffman_sample_every: 1,
+        };
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let mut enc = pipe.encode_stream(&data).unwrap();
+        enc.blocks[3].payload[10] ^= 1;
+        assert!(matches!(pipe.decode_stream(&enc), Err(CodecError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn reordered_blocks_are_rejected_by_stream_decode() {
+        let data: Vec<u8> = (0..40_000u32).flat_map(|i| (i % 251).to_le_bytes()).collect();
+        let config = PipelineConfig {
+            delta: false,
+            snappy: true,
+            huffman: false,
+            block_bytes: 4096,
+            huffman_sample_every: 1,
+        };
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let mut enc = pipe.encode_stream(&data).unwrap();
+        enc.blocks.swap(0, 1);
+        assert!(matches!(pipe.decode_stream(&enc), Err(CodecError::BlockSequence { .. })));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! gracefully (error, never panic).
 
 use proptest::prelude::*;
+use recode_codec::faults::{FaultInjector, FaultKind};
 use recode_codec::huffman::HuffmanTable;
-use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig, Pipeline, PipelineConfig};
 use recode_codec::{delta, huffman, snappy};
 
 /// Arbitrary byte payloads mixing random and compressible content.
@@ -135,6 +136,60 @@ proptest! {
         // never a panic or OOB.
         if let Ok(out) = pipe.decode_stream(&enc) {
             prop_assert_eq!(out.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn faulted_streams_decode_ok_or_typed_error(
+        data in payload(),
+        seed in any::<u64>(),
+        kidx in 0usize..6,
+    ) {
+        let mut data = data;
+        data.truncate(data.len() & !3);
+        clear_index_top_bits(&mut data);
+        let config = PipelineConfig {
+            delta: true,
+            snappy: true,
+            huffman: true,
+            block_bytes: 256,
+            huffman_sample_every: 2,
+        };
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let mut enc = pipe.encode_stream(&data).unwrap();
+        let report = FaultInjector::new(seed).inject(&mut enc, FaultKind::ALL[kidx]);
+        // Every outcome is Ok(original) or a typed error — never a panic,
+        // never silently wrong bytes.
+        match pipe.decode_stream(&enc) {
+            Ok(out) => prop_assert_eq!(out, data),
+            Err(_) => prop_assert!(report.is_some(), "typed error on an unmutated stream"),
+        }
+    }
+
+    #[test]
+    fn faulted_matrix_decompress_ok_or_typed_error(
+        n in 20usize..80,
+        mseed in any::<u64>(),
+        fseed in any::<u64>(),
+        kidx in 0usize..6,
+        hit_values in any::<bool>(),
+    ) {
+        use recode_sparse::prelude::*;
+        let a = generate(
+            &GenSpec::ErdosRenyi { n, avg_deg: 4.0, values: ValueModel::MixedRepeated { distinct: 4 } },
+            mseed,
+        );
+        // Small blocks so even small matrices span several of them.
+        let cfg = MatrixCodecConfig {
+            index: PipelineConfig { block_bytes: 512, ..PipelineConfig::dsh_udp() },
+            value: PipelineConfig { block_bytes: 512, ..PipelineConfig::sh_udp() },
+        };
+        let mut c = CompressedMatrix::compress(&a, cfg).unwrap();
+        let stream = if hit_values { &mut c.value_stream } else { &mut c.index_stream };
+        let report = FaultInjector::new(fseed).inject(stream, FaultKind::ALL[kidx]);
+        match c.decompress() {
+            Ok(b) => prop_assert_eq!(b, a),
+            Err(_) => prop_assert!(report.is_some(), "typed error on an unmutated matrix"),
         }
     }
 }

@@ -5,30 +5,89 @@
 //! the CPU multiplies the recovered CSR. This module is the workspace's
 //! end-to-end correctness proof: `RecodedSpmv::spmv` must equal the
 //! uncompressed kernel bit-for-bit, because the pipeline is lossless.
+//!
+//! ## Fault tolerance
+//!
+//! A batch never dies on one bad block. Each failed job (lane trap or CRC
+//! mismatch) is retried up to [`MAX_BLOCK_RETRIES`] times on a fresh lane —
+//! transient faults clear, integrity failures do not — and a block that
+//! still fails is re-fetched from the optional [`RawFallbackStore`] holding
+//! the uncompressed stream bytes, with the extra memory traffic charged to
+//! [`ExecStats`]. Only when both paths are exhausted does the call fail,
+//! with [`ExecError::Unrecoverable`] naming the block.
 
 use crate::arch::SystemConfig;
-use recode_codec::block::CompressedBlock;
+use crate::error::{ExecError, ExecResult};
+use recode_codec::block::{BlockStream, CompressedBlock};
 use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
 use recode_codec::CodecError;
 use recode_sparse::spmv::{spmv_with_into, SpmvKernel};
 use recode_sparse::Csr;
-use recode_udp::accel::AccelReport;
-use recode_udp::Lane;
+use recode_udp::accel::{AccelReport, BatchOutcome, FaultHook};
 use recode_udp::progs::DshDecoder;
+use recode_udp::{Lane, UdpError};
 use serde::{Deserialize, Serialize};
+
+/// How many times a failed block is re-decoded on a fresh lane before the
+/// raw-store fallback kicks in.
+pub const MAX_BLOCK_RETRIES: usize = 2;
 
 /// Statistics from one UDP-decoded execution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecStats {
-    /// Accelerator-side report (cycles, throughput, utilization).
+    /// Accelerator-side report (cycles, throughput, utilization) for the
+    /// initial batch; retry cycles are not folded back into the makespan.
     pub accel: AccelReport,
     /// Modeled wall-clock seconds to stream the compressed matrix from
-    /// memory (the memory side of the pipeline).
+    /// memory (the memory side of the pipeline), including any raw-store
+    /// re-fetch traffic.
     pub mem_stream_seconds: f64,
     /// Modeled DMA seconds moving blocks into UDP local memory.
     pub dma_seconds: f64,
     /// Compressed bytes moved.
     pub compressed_bytes: usize,
+    /// Retry decode attempts made for failed blocks.
+    pub blocks_retried: usize,
+    /// Blocks whose retries were exhausted and were served from the raw
+    /// fallback store instead.
+    pub blocks_fell_back: usize,
+    /// Uncompressed bytes re-fetched through the fallback path.
+    pub fallback_bytes: usize,
+    /// True when any block needed a retry or a fallback — the result is
+    /// still bit-exact, but the run did not complete on the happy path.
+    pub degraded: bool,
+}
+
+/// Uncompressed stream bytes kept aside so a block whose decode cannot be
+/// recovered is re-fetched from memory instead of failing the whole SpMV —
+/// the paper's raw-CSR re-fetch degradation path.
+#[derive(Debug, Clone, Default)]
+pub struct RawFallbackStore {
+    /// Column indices as little-endian `u32` words.
+    pub index_bytes: Vec<u8>,
+    /// Values as little-endian `f64` words.
+    pub value_bytes: Vec<u8>,
+}
+
+impl RawFallbackStore {
+    /// Serializes the fallback streams from an uncompressed matrix.
+    pub fn from_csr(a: &Csr) -> Self {
+        RawFallbackStore {
+            index_bytes: a.col_idx().iter().flat_map(|c| c.to_le_bytes()).collect(),
+            value_bytes: a.values().iter().flat_map(|v| v.to_le_bytes()).collect(),
+        }
+    }
+
+    /// The uncompressed byte range block `block` of a stream covers, or
+    /// `None` if the store is shorter than the block claims.
+    fn block_range(bytes: &[u8], block: usize, block_bytes: usize) -> Option<&[u8]> {
+        let start = block.checked_mul(block_bytes)?;
+        if start >= bytes.len() && !(start == 0 && bytes.is_empty()) {
+            return None;
+        }
+        let end = start.checked_add(block_bytes)?.min(bytes.len());
+        Some(&bytes[start..end])
+    }
 }
 
 /// A sparse matrix held in compressed form, executable through the
@@ -37,29 +96,73 @@ pub struct RecodedSpmv {
     compressed: CompressedMatrix,
     index_decoder: DshDecoder,
     value_decoder: DshDecoder,
+    raw_store: Option<RawFallbackStore>,
+}
+
+/// Job classification for the interleaved decode batch.
+enum Which<'a> {
+    Index(&'a CompressedBlock),
+    Value(&'a CompressedBlock),
+}
+
+/// Transport-structure check: block count and sequence positions. Per-block
+/// CRCs are deliberately *not* checked here — a payload-corrupted block must
+/// reach the per-job retry/fallback machinery, but a dropped, duplicated, or
+/// reordered block (whose CRC is still valid) would otherwise reassemble
+/// into a silently wrong matrix.
+fn check_stream_structure(stream: &BlockStream) -> Result<(), UdpError> {
+    let expected = stream.expected_blocks().map_err(UdpError::from)?;
+    if stream.blocks.len() != expected {
+        return Err(UdpError::from(CodecError::BlockCount {
+            expected,
+            actual: stream.blocks.len(),
+        }));
+    }
+    for (k, b) in stream.blocks.iter().enumerate() {
+        if b.seq as usize != k {
+            return Err(UdpError::from(CodecError::BlockSequence {
+                expected: k,
+                found: b.seq as usize,
+            })
+            .with_block(k));
+        }
+    }
+    Ok(())
 }
 
 impl RecodedSpmv {
-    /// Compresses `a` for the heterogeneous system.
+    /// Compresses `a` for the heterogeneous system, keeping the raw stream
+    /// bytes as the degradation fallback.
     ///
     /// # Errors
     /// Codec preconditions or decoder-construction failures.
-    pub fn new(a: &Csr, config: MatrixCodecConfig) -> Result<Self, String> {
-        let compressed =
-            CompressedMatrix::compress(a, config).map_err(|e| e.to_string())?;
-        Self::from_compressed(compressed)
+    pub fn new(a: &Csr, config: MatrixCodecConfig) -> ExecResult<Self> {
+        let compressed = CompressedMatrix::compress(a, config)?;
+        Self::from_compressed_with_store(compressed, Some(RawFallbackStore::from_csr(a)))
     }
 
-    /// Wraps an already-compressed matrix.
+    /// Wraps an already-compressed matrix (no fallback store: unrecoverable
+    /// blocks become hard errors).
     ///
     /// # Errors
     /// Decoder-construction failures (bad tables).
-    pub fn from_compressed(compressed: CompressedMatrix) -> Result<Self, String> {
+    pub fn from_compressed(compressed: CompressedMatrix) -> ExecResult<Self> {
+        Self::from_compressed_with_store(compressed, None)
+    }
+
+    /// Wraps an already-compressed matrix with an explicit fallback store.
+    ///
+    /// # Errors
+    /// Decoder-construction failures (bad tables).
+    pub fn from_compressed_with_store(
+        compressed: CompressedMatrix,
+        raw_store: Option<RawFallbackStore>,
+    ) -> ExecResult<Self> {
         let index_decoder =
             DshDecoder::new(compressed.config.index, compressed.index_table_lengths.as_deref())?;
         let value_decoder =
             DshDecoder::new(compressed.config.value, compressed.value_table_lengths.as_deref())?;
-        Ok(RecodedSpmv { compressed, index_decoder, value_decoder })
+        Ok(RecodedSpmv { compressed, index_decoder, value_decoder, raw_store })
     }
 
     /// The compressed representation.
@@ -67,36 +170,133 @@ impl RecodedSpmv {
         &self.compressed
     }
 
+    /// Mutable access to the compressed representation — the fault-injection
+    /// tests corrupt blocks through this.
+    pub fn compressed_mut(&mut self) -> &mut CompressedMatrix {
+        &mut self.compressed
+    }
+
     /// Decodes the whole matrix through the UDP simulator and reassembles
     /// the CSR form, with accelerator statistics.
     ///
     /// # Errors
-    /// Lane traps or structural errors (both indicate bugs — the blocks come
-    /// from our own encoder).
-    pub fn decompress_via_udp(&self, sys: &SystemConfig) -> Result<(Csr, ExecStats), String> {
+    /// [`ExecError::Unrecoverable`] if a block fails decoding, exhausts its
+    /// retries, and no fallback store covers it; [`ExecError::Reassembly`]
+    /// if the decoded streams do not form a valid matrix.
+    pub fn decompress_via_udp(&self, sys: &SystemConfig) -> ExecResult<(Csr, ExecStats)> {
+        self.decompress_via_udp_faulty(sys, None)
+    }
+
+    /// [`RecodedSpmv::decompress_via_udp`] with an optional fault-injection
+    /// hook applied to the initial batch (retries run hook-free, modeling
+    /// transient faults that clear on a second attempt).
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::decompress_via_udp`].
+    pub fn decompress_via_udp_faulty(
+        &self,
+        sys: &SystemConfig,
+        hook: Option<&FaultHook>,
+    ) -> ExecResult<(Csr, ExecStats)> {
+        check_stream_structure(&self.compressed.index_stream)?;
+        check_stream_structure(&self.compressed.value_stream)?;
+
         // Interleave index and value blocks, as the DMA engine would.
-        enum Which<'a> {
-            Index(&'a CompressedBlock),
-            Value(&'a CompressedBlock),
-        }
-        let mut jobs: Vec<Which<'_>> = Vec::with_capacity(
-            self.compressed.index_stream.blocks.len()
-                + self.compressed.value_stream.blocks.len(),
-        );
+        let n_index = self.compressed.index_stream.blocks.len();
+        let mut jobs: Vec<Which<'_>> =
+            Vec::with_capacity(n_index + self.compressed.value_stream.blocks.len());
         jobs.extend(self.compressed.index_stream.blocks.iter().map(Which::Index));
         jobs.extend(self.compressed.value_stream.blocks.iter().map(Which::Value));
 
-        let (report, outputs) = sys
-            .udp
-            .run_jobs(&jobs, |lane, job| match job {
-                Which::Index(b) => self.index_decoder.decode_block(lane, b),
-                Which::Value(b) => self.value_decoder.decode_block(lane, b),
-            })
-            .map_err(|(k, e)| format!("block {k} trapped: {e}"))?;
+        let run = |lane: &mut Lane, job: &Which<'_>| match job {
+            Which::Index(b) => self.index_decoder.decode_block(lane, b),
+            Which::Value(b) => self.value_decoder.decode_block(lane, b),
+        };
+        let empty_hook = FaultHook::default();
+        let outcome: BatchOutcome<UdpError> =
+            sys.udp.run_jobs_with_faults(&jobs, run, hook.unwrap_or(&empty_hook));
 
-        let n_index = self.compressed.index_stream.blocks.len();
+        let mut report = outcome.report;
+        let mut blocks_retried = 0usize;
+        let mut blocks_fell_back = 0usize;
+        let mut fallback_bytes = 0usize;
+        let mut outputs: Vec<Vec<u8>> = Vec::with_capacity(jobs.len());
+
+        for (k, result) in outcome.results.into_iter().enumerate() {
+            let first_err = match result {
+                Ok(o) => {
+                    outputs.push(o.output);
+                    continue;
+                }
+                Err(e) => e,
+            };
+            // Bounded retry on a fresh lane. Transient faults (injected
+            // traps, late DMA) clear; CRC failures repeat deterministically
+            // and fall through to the raw store.
+            let mut recovered: Option<Vec<u8>> = None;
+            let mut last_err = first_err;
+            for _ in 0..MAX_BLOCK_RETRIES {
+                blocks_retried += 1;
+                let mut lane = Lane::new();
+                match run(&mut lane, &jobs[k]) {
+                    Ok(o) => {
+                        report.output_bytes += o.output.len() as u64;
+                        recovered = Some(o.output);
+                        break;
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            if let Some(bytes) = recovered {
+                outputs.push(bytes);
+                continue;
+            }
+            // Retries exhausted: re-fetch the block's uncompressed range.
+            let (store, block_bytes, pos) = if k < n_index {
+                (
+                    self.raw_store.as_ref().map(|s| s.index_bytes.as_slice()),
+                    self.compressed.index_stream.block_bytes,
+                    k,
+                )
+            } else {
+                (
+                    self.raw_store.as_ref().map(|s| s.value_bytes.as_slice()),
+                    self.compressed.value_stream.block_bytes,
+                    k - n_index,
+                )
+            };
+            let raw = store.and_then(|b| RawFallbackStore::block_range(b, pos, block_bytes));
+            match raw {
+                Some(raw) => {
+                    blocks_fell_back += 1;
+                    fallback_bytes += raw.len();
+                    report.output_bytes += raw.len() as u64;
+                    outputs.push(raw.to_vec());
+                }
+                None => {
+                    return Err(ExecError::Unrecoverable {
+                        block: last_err.block().or(Some(pos)),
+                        lane: None,
+                        source: last_err,
+                    });
+                }
+            }
+        }
+
         let index_bytes: Vec<u8> = outputs[..n_index].concat();
         let value_bytes: Vec<u8> = outputs[n_index..].concat();
+        if index_bytes.len() % 4 != 0 {
+            return Err(ExecError::Reassembly(format!(
+                "index stream decoded to {} bytes, not 4-byte aligned",
+                index_bytes.len()
+            )));
+        }
+        if value_bytes.len() % 8 != 0 {
+            return Err(ExecError::Reassembly(format!(
+                "value stream decoded to {} bytes, not 8-byte aligned",
+                value_bytes.len()
+            )));
+        }
         let col_idx: Vec<u32> = index_bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact")))
@@ -112,14 +312,21 @@ impl RecodedSpmv {
             col_idx,
             values,
         )
-        .map_err(|e| format!("decoded matrix invalid: {e}"))?;
+        .map_err(|e| ExecError::Reassembly(format!("decoded matrix invalid: {e}")))?;
 
         let compressed_bytes = self.compressed.wire_bytes();
+        // Fallback re-fetch is extra memory traffic over the same channel.
+        let mem_stream_seconds = sys.mem.stream_seconds(compressed_bytes as u64)
+            + sys.mem.stream_seconds(fallback_bytes as u64);
         let stats = ExecStats {
             accel: report,
-            mem_stream_seconds: sys.mem.stream_seconds(compressed_bytes as u64),
+            mem_stream_seconds,
             dma_seconds: sys.dma.transfer_seconds(jobs.len() as u64, compressed_bytes as u64),
             compressed_bytes,
+            blocks_retried,
+            blocks_fell_back,
+            fallback_bytes,
+            degraded: blocks_retried > 0 || blocks_fell_back > 0,
         };
         Ok((a, stats))
     }
@@ -134,8 +341,22 @@ impl RecodedSpmv {
         sys: &SystemConfig,
         kernel: SpmvKernel,
         x: &[f64],
-    ) -> Result<(Vec<f64>, ExecStats), String> {
-        let (a, stats) = self.decompress_via_udp(sys)?;
+    ) -> ExecResult<(Vec<f64>, ExecStats)> {
+        self.spmv_faulty(sys, kernel, x, None)
+    }
+
+    /// [`RecodedSpmv::spmv`] with an optional fault-injection hook.
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::decompress_via_udp`].
+    pub fn spmv_faulty(
+        &self,
+        sys: &SystemConfig,
+        kernel: SpmvKernel,
+        x: &[f64],
+        hook: Option<&FaultHook>,
+    ) -> ExecResult<(Vec<f64>, ExecStats)> {
+        let (a, stats) = self.decompress_via_udp_faulty(sys, hook)?;
         let mut y = vec![0.0; a.nrows()];
         spmv_with_into(kernel, &a, x, &mut y);
         Ok((y, stats))
@@ -157,13 +378,15 @@ impl RecodedSpmv {
     /// paper's tiled loop.
     ///
     /// # Errors
-    /// Lane traps or stream misalignment (both indicate bugs for
-    /// self-encoded inputs).
+    /// [`ExecError::Udp`] on lane traps or CRC failures (with block
+    /// context), [`ExecError::Reassembly`] on stream misalignment.
     ///
     /// # Panics
     /// If `x.len() != ncols`.
-    pub fn spmv_streaming(&self, x: &[f64]) -> Result<(Vec<f64>, StreamingStats), String> {
+    pub fn spmv_streaming(&self, x: &[f64]) -> ExecResult<(Vec<f64>, StreamingStats)> {
         assert_eq!(x.len(), self.compressed.ncols, "x length must equal ncols");
+        check_stream_structure(&self.compressed.index_stream)?;
+        check_stream_structure(&self.compressed.value_stream)?;
         let mut lane = Lane::new();
         let mut y = vec![0.0f64; self.compressed.nrows];
         let row_ptr = &self.compressed.row_ptr;
@@ -176,20 +399,16 @@ impl RecodedSpmv {
         let mut val_blocks = self.compressed.value_stream.blocks.iter();
 
         for idx_block in &self.compressed.index_stream.blocks {
-            let idx_out = self
-                .index_decoder
-                .decode_block(&mut lane, idx_block)
-                .map_err(|e| format!("index block trapped: {e}"))?;
+            let idx_out = self.index_decoder.decode_block(&mut lane, idx_block)?;
             stats.lane_cycles += idx_out.cycles;
             stats.blocks += 1;
             let tile_nnz = idx_out.output.len() / 4;
             // Pull value blocks until the tile's values are resident.
             while val_buf.len() < tile_nnz * 8 {
-                let vb = val_blocks.next().ok_or("value stream ended early")?;
-                let v = self
-                    .value_decoder
-                    .decode_block(&mut lane, vb)
-                    .map_err(|e| format!("value block trapped: {e}"))?;
+                let vb = val_blocks
+                    .next()
+                    .ok_or_else(|| ExecError::Reassembly("value stream ended early".into()))?;
+                let v = self.value_decoder.decode_block(&mut lane, vb)?;
                 stats.lane_cycles += v.cycles;
                 stats.blocks += 1;
                 val_buf.extend_from_slice(&v.output);
@@ -218,10 +437,10 @@ impl RecodedSpmv {
             val_buf.drain(..tile_nnz * 8);
         }
         if k_global != self.compressed.nnz {
-            return Err(format!(
+            return Err(ExecError::Reassembly(format!(
                 "streamed {} non-zeros but the matrix has {}",
                 k_global, self.compressed.nnz
-            ));
+            )));
         }
         Ok((y, stats))
     }
@@ -268,6 +487,9 @@ mod tests {
         assert!(stats.mem_stream_seconds > 0.0);
         assert!(stats.dma_seconds > 0.0);
         assert!(stats.compressed_bytes < a.nnz() * 12);
+        assert!(!stats.degraded, "clean decode must not be degraded");
+        assert_eq!(stats.blocks_retried, 0);
+        assert_eq!(stats.blocks_fell_back, 0);
     }
 
     #[test]
@@ -292,6 +514,66 @@ mod tests {
     }
 
     #[test]
+    fn injected_lane_trap_recovers_via_retry() {
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().trap(0).trap(1);
+        let (b, stats) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        assert_eq!(b, a, "retried decode must stay bit-exact");
+        assert!(stats.degraded);
+        assert!(stats.blocks_retried >= 2, "retried {}", stats.blocks_retried);
+        // Traps are transient: the hook does not apply to retries, so the
+        // raw store is never needed.
+        assert_eq!(stats.blocks_fell_back, 0);
+        assert_eq!(stats.accel.jobs_failed, 2);
+    }
+
+    #[test]
+    fn corrupt_block_falls_back_to_raw_store_bit_exact() {
+        let a = test_matrix();
+        let mut r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        // Flip a payload bit; CRC catches it on every decode attempt.
+        r.compressed_mut().index_stream.blocks[0].payload[0] ^= 0x40;
+        let (b, stats) = r.decompress_via_udp(&sys).unwrap();
+        assert_eq!(b, a, "fallback decode must stay bit-exact");
+        assert!(stats.degraded);
+        assert!(stats.blocks_retried > 0);
+        assert_eq!(stats.blocks_fell_back, 1);
+        assert!(stats.fallback_bytes > 0);
+    }
+
+    #[test]
+    fn corrupt_block_without_store_is_a_typed_error_naming_the_block() {
+        let a = test_matrix();
+        let cm = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let mut r = RecodedSpmv::from_compressed(cm).unwrap();
+        r.compressed_mut().value_stream.blocks[1].payload[0] ^= 0x40;
+        let err = r.decompress_via_udp(&SystemConfig::ddr4()).unwrap_err();
+        match &err {
+            ExecError::Unrecoverable { block, source, .. } => {
+                assert_eq!(*block, Some(1), "{err}");
+                assert!(source.codec_error().is_some(), "{err}");
+            }
+            other => panic!("expected Unrecoverable, got {other}"),
+        }
+        assert!(err.to_string().contains("block 1"), "{err}");
+    }
+
+    #[test]
+    fn injected_dma_stall_charges_cycles_without_degrading() {
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().stall(0, 100_000);
+        let (b, stats) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(stats.accel.injected_stall_cycles, 100_000);
+        assert!(!stats.degraded, "a stall slows the batch but decodes cleanly");
+    }
+
+    #[test]
     fn streaming_spmv_matches_full_decode_and_bounds_memory() {
         let a = test_matrix();
         let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
@@ -303,6 +585,17 @@ mod tests {
         assert!(stats.peak_resident_bytes < a.nnz() * 12 / 4);
         assert!(stats.blocks >= r.compressed().index_stream.len());
         assert!(stats.lane_cycles > 0);
+    }
+
+    #[test]
+    fn streaming_spmv_surfaces_corruption_as_typed_error() {
+        let a = test_matrix();
+        let mut r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        r.compressed_mut().index_stream.blocks[2].payload[3] ^= 0x08;
+        let x = vec![1.0; a.ncols()];
+        let err = r.spmv_streaming(&x).unwrap_err();
+        assert_eq!(err.block(), Some(2), "{err}");
+        assert!(err.codec_error().is_some(), "{err}");
     }
 
     #[test]

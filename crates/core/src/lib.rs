@@ -24,6 +24,7 @@
 
 pub mod arch;
 pub mod corpus;
+pub mod error;
 pub mod exec;
 pub mod experiment;
 pub mod measure;
@@ -33,6 +34,7 @@ pub mod report;
 pub mod seven;
 
 pub use arch::SystemConfig;
-pub use exec::RecodedSpmv;
+pub use error::{ExecError, ExecResult};
+pub use exec::{ExecStats, RawFallbackStore, RecodedSpmv};
 pub use perfmodel::SpmvPerfModel;
 pub use power::PowerSavings;

@@ -6,6 +6,7 @@
 //! exactly how the paper's cycle-accurate simulator feeds its Figs. 12/13.
 //! CPU software numbers come from the calibrated `recode_mem::CpuModel`.
 
+use crate::error::{ExecError, ExecResult};
 use recode_codec::block::CompressedBlock;
 use recode_codec::pipeline::CompressedMatrix;
 use recode_udp::accel::Accelerator;
@@ -40,7 +41,7 @@ pub fn measure_udp_decomp(
     cm: &CompressedMatrix,
     accel: &Accelerator,
     max_blocks_per_stream: usize,
-) -> Result<DecompMeasurement, String> {
+) -> ExecResult<DecompMeasurement> {
     let index_decoder =
         DshDecoder::new(cm.config.index, cm.index_table_lengths.as_deref())?;
     let value_decoder =
@@ -69,9 +70,13 @@ pub fn measure_udp_decomp(
         });
     }
 
-    let (report, _outputs) = accel
-        .run_jobs(&jobs, |lane, (decoder, block)| decoder.decode_block(lane, block))
-        .map_err(|(k, e)| format!("block {k} trapped: {e}"))?;
+    let outcome =
+        accel.run_jobs(&jobs, |lane, (decoder, block)| decoder.decode_block(lane, block));
+    // Measurement wants a clean run; self-encoded blocks failing is a bug.
+    if let Some(err) = outcome.results.iter().find_map(|r| r.as_ref().err()) {
+        return Err(ExecError::Udp(err.clone()));
+    }
+    let report = outcome.report;
 
     let bytes_per_cycle = report.output_bytes as f64 / report.busy_cycles.max(1) as f64;
     let lane_out_bps = bytes_per_cycle * accel.freq_hz;
@@ -106,27 +111,26 @@ pub struct HostCodecRates {
 ///
 /// # Errors
 /// Decode failures (impossible for self-encoded blocks).
-pub fn measure_host_codec(cm: &CompressedMatrix, reps: usize) -> Result<HostCodecRates, String> {
+pub fn measure_host_codec(cm: &CompressedMatrix, reps: usize) -> ExecResult<HostCodecRates> {
     use recode_codec::pipeline::{MatrixCodecConfig, Pipeline};
     let reps = reps.max(1);
     // DSH: decode this matrix's own streams.
-    let (index_pipe, value_pipe) = cm.pipelines().map_err(|e| e.to_string())?;
+    let (index_pipe, value_pipe) = cm.pipelines()?;
     let mut best_dsh = f64::INFINITY;
     let total_out = (cm.index_stream.total_uncompressed + cm.value_stream.total_uncompressed) as f64;
     for _ in 0..reps {
         let t0 = std::time::Instant::now();
         for (pipe, stream) in [(&index_pipe, &cm.index_stream), (&value_pipe, &cm.value_stream)] {
             for b in &stream.blocks {
-                std::hint::black_box(pipe.decode_block(b).map_err(|e| e.to_string())?);
+                std::hint::black_box(pipe.decode_block(b)?);
             }
         }
         best_dsh = best_dsh.min(t0.elapsed().as_secs_f64());
     }
     // Snappy-only: re-encode under the CPU baseline and decode.
-    let a = cm.decompress().map_err(|e| e.to_string())?;
-    let snappy_cm =
-        CompressedMatrix::compress(&a, MatrixCodecConfig::cpu_snappy()).map_err(|e| e.to_string())?;
-    let (sp, vp) = snappy_cm.pipelines().map_err(|e| e.to_string())?;
+    let a = cm.decompress()?;
+    let snappy_cm = CompressedMatrix::compress(&a, MatrixCodecConfig::cpu_snappy())?;
+    let (sp, vp) = snappy_cm.pipelines()?;
     let mut best_snappy = f64::INFINITY;
     for _ in 0..reps {
         let t0 = std::time::Instant::now();
@@ -134,7 +138,7 @@ pub fn measure_host_codec(cm: &CompressedMatrix, reps: usize) -> Result<HostCode
             [(&sp, &snappy_cm.index_stream), (&vp, &snappy_cm.value_stream)]
         {
             for b in &stream.blocks {
-                std::hint::black_box(Pipeline::decode_block(pipe, b).map_err(|e| e.to_string())?);
+                std::hint::black_box(Pipeline::decode_block(pipe, b)?);
             }
         }
         best_snappy = best_snappy.min(t0.elapsed().as_secs_f64());

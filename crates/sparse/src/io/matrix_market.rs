@@ -28,6 +28,12 @@ fn parse_err(line: usize, msg: impl Into<String>) -> SparseError {
     SparseError::Parse { line, msg: msg.into() }
 }
 
+/// Pre-allocation cap (entries). The size line is untrusted input: a header
+/// declaring `usize::MAX` nonzeros must not translate into a giant up-front
+/// `reserve`. Beyond this cap the triplet buffers grow incrementally, paced
+/// by bytes actually read.
+const MAX_PREALLOC_ENTRIES: usize = 1 << 22;
+
 /// Reads a MatrixMarket matrix from any reader.
 ///
 /// # Errors
@@ -97,12 +103,17 @@ pub fn read_matrix_market<R: std::io::Read>(reader: R) -> Result<Csr> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err(size_lineno, "bad nnz count"))?;
 
+    // Clamp to what the shape can hold and to the pre-allocation cap; the
+    // `seen != declared_nnz` check below still catches the lie.
+    let cap = declared_nnz
+        .min(nrows.saturating_mul(ncols))
+        .min(MAX_PREALLOC_ENTRIES);
     let mut coo = Coo::with_capacity(
         nrows,
         ncols,
         match symmetry {
-            Symmetry::General => declared_nnz,
-            _ => declared_nnz * 2,
+            Symmetry::General => cap,
+            _ => cap.saturating_mul(2).min(MAX_PREALLOC_ENTRIES),
         },
     )?;
 
@@ -256,5 +267,65 @@ mod tests {
     #[test]
     fn path_reader_reports_missing_file() {
         assert!(read_matrix_market_path("/nonexistent/foo.mtx").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_truncated_input() {
+        let e = read_matrix_market("".as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::Parse { .. }), "{e}");
+        // Header but no size line.
+        let e = read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n% comment only\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("missing size line"), "{e}");
+        // Entry line cut off before the value token.
+        let e = read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("bad value"), "{e}");
+    }
+
+    #[test]
+    fn rejects_malformed_size_line() {
+        for size in ["x 2 1", "2 y 1", "2 2 z", "2", "2 2", "-1 2 1"] {
+            let text = format!("%%MatrixMarket matrix coordinate real general\n{size}\n1 1 1.0\n");
+            let e = read_matrix_market(text.as_bytes()).unwrap_err();
+            assert!(matches!(e, SparseError::Parse { .. }), "size line {size:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinates() {
+        // Row 3 in a 2x2 matrix: typed bounds error, not a panic.
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { row: 2, .. }), "{e}");
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1.0\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { col: 8, .. }), "{e}");
+    }
+
+    #[test]
+    fn malicious_declared_nnz_errors_without_huge_allocation() {
+        // u64::MAX entries declared, one supplied. The reader must clamp its
+        // pre-allocation (not `reserve` per the header) and report the
+        // mismatch as a parse error.
+        let text = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
+            u64::MAX
+        );
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("declared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_entry_tokens() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\none 1 1.0\n";
+        let e = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bad row index"), "{e}");
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 not-a-float\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
     }
 }

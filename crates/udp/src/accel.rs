@@ -2,11 +2,17 @@
 //! across lanes, with makespan, throughput, utilization and energy
 //! accounting (paper Fig. 8: parallel lanes exploit the block-oriented
 //! pattern of SpMV recoding).
+//!
+//! A batch never aborts on the first lane trap: every job's outcome is
+//! collected so callers can retry or re-fetch just the failed blocks. A
+//! [`FaultHook`] lets tests inject transient lane traps and DMA stalls into
+//! the batch deterministically.
 
 use crate::energy;
 use crate::lane::{Lane, LaneError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What one job produced on a lane.
 #[derive(Debug, Clone)]
@@ -17,11 +23,64 @@ pub struct JobOutcome {
     pub output: Vec<u8>,
 }
 
-/// A batch result: aggregate report plus every job's output in job order.
-pub type BatchResult = (AccelReport, Vec<Vec<u8>>);
+/// Result of a batch: aggregate report plus every job's individual outcome
+/// in job order. Failed jobs are `Err` entries — the batch itself always
+/// completes so callers can recover per job.
+#[derive(Debug)]
+pub struct BatchOutcome<E> {
+    /// Aggregate cycle/throughput accounting (failed jobs contribute their
+    /// stall cycles but no output bytes).
+    pub report: AccelReport,
+    /// Per-job outcome, indexed by job position in the submitted batch.
+    pub results: Vec<Result<JobOutcome, E>>,
+}
 
-/// A failed job: its index and the lane trap it hit.
-pub type JobFailure = (usize, LaneError);
+impl<E> BatchOutcome<E> {
+    /// Indices of the jobs that failed.
+    pub fn failed_jobs(&self) -> Vec<usize> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(k, r)| r.is_err().then_some(k))
+            .collect()
+    }
+}
+
+/// Deterministic fault injection for a batch: jobs listed in `trap_jobs`
+/// trap (as [`LaneError::InjectedFault`]) instead of running, and jobs in
+/// `stall_cycles` are charged extra lane cycles, modeling a DMA engine that
+/// delivered their block late.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHook {
+    /// Jobs that trap instead of executing.
+    pub trap_jobs: BTreeSet<usize>,
+    /// Extra cycles charged to a job's lane before it runs.
+    pub stall_cycles: BTreeMap<usize, u64>,
+}
+
+impl FaultHook {
+    /// Empty hook (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `job` to trap.
+    pub fn trap(mut self, job: usize) -> Self {
+        self.trap_jobs.insert(job);
+        self
+    }
+
+    /// Charges `cycles` of DMA stall to `job`.
+    pub fn stall(mut self, job: usize, cycles: u64) -> Self {
+        self.stall_cycles.insert(job, cycles);
+        self
+    }
+
+    /// True when the hook injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.trap_jobs.is_empty() && self.stall_cycles.is_empty()
+    }
+}
 
 /// Accelerator configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -43,13 +102,17 @@ impl Default for Accelerator {
 pub struct AccelReport {
     /// Jobs executed.
     pub jobs: usize,
+    /// Jobs that failed (trapped or returned an error).
+    pub jobs_failed: usize,
     /// Lanes configured.
     pub lanes: usize,
     /// Longest per-lane cycle sum — wall-clock cycles for the batch.
     pub makespan_cycles: u64,
     /// Sum of cycles across all lanes (busy cycles).
     pub busy_cycles: u64,
-    /// Total bytes produced.
+    /// Injected DMA-stall cycles included in the totals above.
+    pub injected_stall_cycles: u64,
+    /// Total bytes produced (successful jobs only).
     pub output_bytes: u64,
     /// `busy / (makespan * lanes)` — MIMD load balance.
     pub lane_utilization: f64,
@@ -81,61 +144,92 @@ impl AccelReport {
 
 impl Accelerator {
     /// Runs `jobs` across the lanes (round-robin assignment, each lane
-    /// processes its jobs in order) and returns the report plus every job's
-    /// output in job order.
+    /// processes its jobs in order) and collects every job's outcome in job
+    /// order. A failed job does not abort the batch — its `Err` is recorded
+    /// and the lane moves on to its next job.
     ///
     /// `run` is invoked once per job with a reusable [`Lane`]; it should
     /// execute however many program stages the job needs and return the
     /// total cycles and final output.
-    ///
-    /// # Errors
-    /// The index and trap of the first failing job (corrupt inputs trap).
-    pub fn run_jobs<J, F>(
+    pub fn run_jobs<J, E, F>(&self, jobs: &[J], run: F) -> BatchOutcome<E>
+    where
+        J: Sync,
+        E: From<LaneError> + Send,
+        F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
+    {
+        self.run_jobs_with_faults(jobs, run, &FaultHook::default())
+    }
+
+    /// [`Accelerator::run_jobs`] with deterministic fault injection: jobs in
+    /// `hook.trap_jobs` trap as [`LaneError::InjectedFault`] without
+    /// executing, and `hook.stall_cycles` charges extra lane cycles.
+    pub fn run_jobs_with_faults<J, E, F>(
         &self,
         jobs: &[J],
         run: F,
-    ) -> Result<BatchResult, JobFailure>
+        hook: &FaultHook,
+    ) -> BatchOutcome<E>
     where
         J: Sync,
-        F: Fn(&mut Lane, &J) -> Result<JobOutcome, LaneError> + Sync,
+        E: From<LaneError> + Send,
+        F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
     {
         assert!(self.lanes > 0, "need at least one lane");
         // Each simulated lane runs on a host thread; job k goes to lane
         // k % lanes, preserving the paper's block-round-robin assignment.
-        let per_lane: Vec<Result<Vec<(usize, JobOutcome)>, JobFailure>> = (0..self.lanes)
+        let per_lane: Vec<(u64, Vec<(usize, Result<JobOutcome, E>)>)> = (0..self.lanes)
             .into_par_iter()
             .map(|lane_idx| {
                 let mut lane = Lane::new();
                 let mut done = Vec::new();
+                let mut stalls = 0u64;
                 for (k, job) in jobs.iter().enumerate().skip(lane_idx).step_by(self.lanes) {
-                    match run(&mut lane, job) {
-                        Ok(outcome) => done.push((k, outcome)),
-                        Err(e) => return Err((k, e)),
-                    }
+                    stalls += hook.stall_cycles.get(&k).copied().unwrap_or(0);
+                    let result = if hook.trap_jobs.contains(&k) {
+                        Err(E::from(LaneError::InjectedFault))
+                    } else {
+                        run(&mut lane, job)
+                    };
+                    done.push((k, result));
                 }
-                Ok(done)
+                (stalls, done)
             })
             .collect();
 
-        let mut outputs: Vec<Vec<u8>> = vec![Vec::new(); jobs.len()];
+        let mut results: Vec<Option<Result<JobOutcome, E>>> =
+            (0..jobs.len()).map(|_| None).collect();
         let mut makespan = 0u64;
         let mut busy = 0u64;
         let mut out_bytes = 0u64;
-        for lane_result in per_lane {
-            let lane_jobs = lane_result?;
-            let lane_cycles: u64 = lane_jobs.iter().map(|(_, o)| o.cycles).sum();
+        let mut failed = 0usize;
+        let mut stall_total = 0u64;
+        for (stalls, lane_jobs) in per_lane {
+            let mut lane_cycles = stalls;
+            stall_total += stalls;
+            for (k, r) in lane_jobs {
+                match &r {
+                    Ok(o) => {
+                        lane_cycles += o.cycles;
+                        out_bytes += o.output.len() as u64;
+                    }
+                    Err(_) => failed += 1,
+                }
+                results[k] = Some(r);
+            }
             makespan = makespan.max(lane_cycles);
             busy += lane_cycles;
-            for (k, o) in lane_jobs {
-                out_bytes += o.output.len() as u64;
-                outputs[k] = o.output;
-            }
         }
+        let results: Vec<Result<JobOutcome, E>> = results
+            .into_iter()
+            .map(|r| r.expect("round-robin covers every job index exactly once"))
+            .collect();
         let report = AccelReport {
             jobs: jobs.len(),
+            jobs_failed: failed,
             lanes: self.lanes,
             makespan_cycles: makespan,
             busy_cycles: busy,
+            injected_stall_cycles: stall_total,
             output_bytes: out_bytes,
             lane_utilization: if makespan == 0 {
                 1.0
@@ -144,7 +238,7 @@ impl Accelerator {
             },
             freq_hz: self.freq_hz,
         };
-        Ok((report, outputs))
+        BatchOutcome { report, results }
     }
 }
 
@@ -167,12 +261,15 @@ mod tests {
     fn balanced_jobs_keep_lanes_busy() {
         let acc = Accelerator { lanes: 4, freq_hz: 1e9 };
         let jobs: Vec<Fake> = (0..16).map(|_| Fake { cycles: 100, bytes: 10 }).collect();
-        let (r, outs) = acc.run_jobs(&jobs, run_fake).unwrap();
+        let out = acc.run_jobs(&jobs, run_fake);
+        let r = &out.report;
         assert_eq!(r.makespan_cycles, 400);
         assert_eq!(r.busy_cycles, 1600);
         assert!((r.lane_utilization - 1.0).abs() < 1e-12);
         assert_eq!(r.output_bytes, 160);
-        assert_eq!(outs.len(), 16);
+        assert_eq!(r.jobs_failed, 0);
+        assert_eq!(out.results.len(), 16);
+        assert!(out.results.iter().all(Result::is_ok));
         // throughput = 160 B / (400 cycles / 1e9) = 400 MB/s
         assert!((r.throughput_bps() - 4e8).abs() < 1.0);
     }
@@ -182,34 +279,63 @@ mod tests {
         let acc = Accelerator { lanes: 4, freq_hz: 1e9 };
         let mut jobs: Vec<Fake> = (0..4).map(|_| Fake { cycles: 10, bytes: 1 }).collect();
         jobs[0].cycles = 1000;
-        let (r, _) = acc.run_jobs(&jobs, run_fake).unwrap();
-        assert_eq!(r.makespan_cycles, 1000);
-        assert!(r.lane_utilization < 0.3);
+        let out = acc.run_jobs(&jobs, run_fake);
+        assert_eq!(out.report.makespan_cycles, 1000);
+        assert!(out.report.lane_utilization < 0.3);
     }
 
     #[test]
-    fn failing_job_reports_its_index() {
+    fn failing_job_is_isolated_not_fatal() {
         let acc = Accelerator { lanes: 2, freq_hz: 1e9 };
         let jobs = vec![1u8, 2, 3];
-        let err = acc
-            .run_jobs(&jobs, |_lane, &j| {
-                if j == 3 {
-                    Err(LaneError::CycleLimit { limit: 1 })
-                } else {
-                    Ok(JobOutcome { cycles: 1, output: vec![] })
-                }
-            })
-            .unwrap_err();
-        assert_eq!(err.0, 2);
+        let out = acc.run_jobs(&jobs, |_lane, &j| {
+            if j == 3 {
+                Err(LaneError::CycleLimit { limit: 1 })
+            } else {
+                Ok(JobOutcome { cycles: 1, output: vec![7] })
+            }
+        });
+        assert_eq!(out.report.jobs_failed, 1);
+        assert_eq!(out.failed_jobs(), vec![2]);
+        assert!(out.results[0].is_ok());
+        assert!(out.results[1].is_ok());
+        assert!(matches!(out.results[2], Err(LaneError::CycleLimit { .. })));
+        // The healthy jobs' output still arrived.
+        assert_eq!(out.report.output_bytes, 2);
+    }
+
+    #[test]
+    fn injected_trap_hits_exactly_the_marked_job() {
+        let acc = Accelerator { lanes: 2, freq_hz: 1e9 };
+        let jobs: Vec<Fake> = (0..6).map(|_| Fake { cycles: 10, bytes: 4 }).collect();
+        let hook = FaultHook::new().trap(3);
+        let out = acc.run_jobs_with_faults(&jobs, run_fake, &hook);
+        assert_eq!(out.failed_jobs(), vec![3]);
+        assert!(matches!(out.results[3], Err(LaneError::InjectedFault)));
+        assert_eq!(out.report.jobs_failed, 1);
+        // 5 successful jobs * 4 bytes.
+        assert_eq!(out.report.output_bytes, 20);
+    }
+
+    #[test]
+    fn injected_stall_charges_cycles() {
+        let acc = Accelerator { lanes: 2, freq_hz: 1e9 };
+        let jobs: Vec<Fake> = (0..4).map(|_| Fake { cycles: 100, bytes: 1 }).collect();
+        let hook = FaultHook::new().stall(0, 500);
+        let out = acc.run_jobs_with_faults::<_, LaneError, _>(&jobs, run_fake, &hook);
+        // Lane 0 runs jobs 0 and 2 (200 cycles) plus the 500-cycle stall.
+        assert_eq!(out.report.makespan_cycles, 700);
+        assert_eq!(out.report.injected_stall_cycles, 500);
+        assert_eq!(out.report.jobs_failed, 0);
     }
 
     #[test]
     fn empty_batch_is_trivial() {
         let acc = Accelerator::default();
-        let (r, outs) = acc.run_jobs::<Fake, _>(&[], run_fake).unwrap();
-        assert_eq!(r.makespan_cycles, 0);
-        assert!(outs.is_empty());
-        assert_eq!(r.throughput_bps(), 0.0);
+        let out = acc.run_jobs::<Fake, LaneError, _>(&[], run_fake);
+        assert_eq!(out.report.makespan_cycles, 0);
+        assert!(out.results.is_empty());
+        assert_eq!(out.report.throughput_bps(), 0.0);
     }
 
     #[test]

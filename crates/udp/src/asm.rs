@@ -551,7 +551,7 @@ fn lower(
     let (entry_label, entry_line) = entry.ok_or_else(|| err(0, "missing .entry"))?;
     let e = resolve_label(&label_block, &entry_label, entry_line)?;
     pb.entry(e);
-    pb.build().map_err(|m| err(0, m))
+    pb.build().map_err(|m| err(0, m.to_string()))
 }
 
 #[cfg(test)]

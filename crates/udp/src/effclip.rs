@@ -18,6 +18,7 @@
 //! The result reports memory utilization, which the ablation benches track
 //! (the paper's "dense memory utilization" claim).
 
+use crate::error::UdpError;
 use crate::isa::{BlockId, Transition};
 use crate::program::Program;
 use serde::{Deserialize, Serialize};
@@ -38,9 +39,9 @@ pub struct Placement {
 /// Places `program` into linear code memory.
 ///
 /// # Errors
-/// A message if the program violates the placement rules
+/// [`UdpError::Program`] if the program violates the placement rules
 /// ([`Program::validate`] catches these earlier; this is a defensive check).
-pub fn place(program: &Program) -> Result<Placement, String> {
+pub fn place(program: &Program) -> Result<Placement, UdpError> {
     program.validate()?;
     let n = program.blocks.len();
     let mut addr: Vec<Option<u32>> = vec![None; n];
@@ -161,7 +162,14 @@ fn used_at(used: &mut Vec<bool>, idx: usize) -> &mut bool {
 
 /// Verifies that a placement satisfies every coupling constraint — used by
 /// tests and by the machine encoder as a pre-encoding assertion.
-pub fn verify(program: &Program, p: &Placement) -> Result<(), String> {
+///
+/// # Errors
+/// [`UdpError::Placement`] naming the first violated constraint.
+pub fn verify(program: &Program, p: &Placement) -> Result<(), UdpError> {
+    verify_str(program, p).map_err(UdpError::Placement)
+}
+
+fn verify_str(program: &Program, p: &Placement) -> Result<(), String> {
     let n = program.blocks.len();
     if p.block_addr.len() != n {
         return Err("placement size mismatch".into());

@@ -1,0 +1,169 @@
+//! Typed error hierarchy for the UDP crate.
+//!
+//! Everything the accelerator stack can fail on — program construction,
+//! EffCLiP placement, machine encoding, Huffman table compilation, lane
+//! traps, and codec-level block integrity — funnels into [`UdpError`], with
+//! block index and lane id context attached where the failure has one.
+//! `Result<_, String>` does not appear on any public API: callers can match
+//! on the failure class and recover (retry a trapped block, re-fetch a
+//! corrupt one) instead of parsing prose.
+
+use crate::lane::LaneError;
+use recode_codec::CodecError;
+use std::fmt;
+
+/// Result alias for UDP operations.
+pub type UdpResult<T> = std::result::Result<T, UdpError>;
+
+/// Errors raised by the UDP accelerator stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdpError {
+    /// Program construction or structural validation failed.
+    Program(String),
+    /// EffCLiP placement failed or a placement violated its constraints.
+    Placement(String),
+    /// A field does not fit its machine-encoding slot.
+    Encoding(String),
+    /// A Huffman decoder could not be compiled from its table.
+    Table(String),
+    /// A lane trapped while executing a job.
+    Trap {
+        /// Stream-position of the block being decoded, when known.
+        block: Option<usize>,
+        /// Lane the job ran on, when known.
+        lane: Option<usize>,
+        /// The underlying trap.
+        source: LaneError,
+    },
+    /// Block-integrity or decode failure from the codec layer.
+    Codec {
+        /// Stream-position of the offending block, when known.
+        block: Option<usize>,
+        /// The underlying codec error.
+        source: CodecError,
+    },
+}
+
+impl UdpError {
+    /// Attaches a block index to trap/codec errors (no-op for the rest).
+    pub fn with_block(self, block: usize) -> Self {
+        match self {
+            UdpError::Trap { lane, source, .. } => {
+                UdpError::Trap { block: Some(block), lane, source }
+            }
+            UdpError::Codec { source, .. } => UdpError::Codec { block: Some(block), source },
+            other => other,
+        }
+    }
+
+    /// Attaches a lane id to trap errors (no-op for the rest).
+    pub fn with_lane(self, lane: usize) -> Self {
+        match self {
+            UdpError::Trap { block, source, .. } => {
+                UdpError::Trap { block, lane: Some(lane), source }
+            }
+            other => other,
+        }
+    }
+
+    /// The wrapped codec error, if this is a codec failure.
+    pub fn codec_error(&self) -> Option<&CodecError> {
+        match self {
+            UdpError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+
+    /// The wrapped lane trap, if this is a trap.
+    pub fn lane_error(&self) -> Option<&LaneError> {
+        match self {
+            UdpError::Trap { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+
+    /// The block index attached to this error, if any.
+    pub fn block(&self) -> Option<usize> {
+        match self {
+            UdpError::Trap { block, .. } | UdpError::Codec { block, .. } => *block,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for UdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdpError::Program(msg) => write!(f, "program error: {msg}"),
+            UdpError::Placement(msg) => write!(f, "placement error: {msg}"),
+            UdpError::Encoding(msg) => write!(f, "encoding error: {msg}"),
+            UdpError::Table(msg) => write!(f, "huffman table error: {msg}"),
+            UdpError::Trap { block, lane, source } => {
+                match (block, lane) {
+                    (Some(b), Some(l)) => write!(f, "lane {l} trapped on block {b}: {source}"),
+                    (Some(b), None) => write!(f, "lane trapped on block {b}: {source}"),
+                    (None, Some(l)) => write!(f, "lane {l} trapped: {source}"),
+                    (None, None) => write!(f, "lane trapped: {source}"),
+                }
+            }
+            UdpError::Codec { block, source } => match block {
+                Some(b) => write!(f, "block {b}: {source}"),
+                None => write!(f, "codec error: {source}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for UdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UdpError::Trap { source, .. } => Some(source),
+            UdpError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaneError> for UdpError {
+    fn from(source: LaneError) -> Self {
+        UdpError::Trap { block: None, lane: None, source }
+    }
+}
+
+impl From<CodecError> for UdpError {
+    fn from(source: CodecError) -> Self {
+        UdpError::Codec { block: None, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_block_and_lane_context() {
+        let e = UdpError::from(LaneError::CycleLimit { limit: 99 }).with_block(7).with_lane(3);
+        let msg = e.to_string();
+        assert!(msg.contains("lane 3"), "{msg}");
+        assert!(msg.contains("block 7"), "{msg}");
+        assert!(msg.contains("99"), "{msg}");
+    }
+
+    #[test]
+    fn codec_error_round_trips_with_context() {
+        let inner = CodecError::ChecksumMismatch { stored: 1, computed: 2 };
+        let e = UdpError::from(inner.clone()).with_block(4);
+        assert_eq!(e.codec_error(), Some(&inner));
+        assert_eq!(e.block(), Some(4));
+        let msg = e.to_string();
+        assert!(msg.contains("block 4"), "{msg}");
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn context_is_a_no_op_on_structural_errors() {
+        let e = UdpError::Program("bad".into()).with_block(1).with_lane(2);
+        assert_eq!(e, UdpError::Program("bad".into()));
+        assert_eq!(e.block(), None);
+    }
+}

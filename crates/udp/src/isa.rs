@@ -13,6 +13,7 @@
 //! ([`SCRATCHPAD_BYTES`]) and a bit-granular input stream with prefetch
 //! (`insym`/`peek`/`skip`/`inrem`).
 
+use crate::error::UdpError;
 use serde::{Deserialize, Serialize};
 
 /// Register index (0..16). `r0` reads as zero and ignores writes.
@@ -227,8 +228,13 @@ pub enum Action {
 impl Action {
     /// Validates field ranges that the machine encoding can represent.
     ///
-    /// Returns a human-readable violation, if any.
-    pub fn validate(&self) -> Result<(), String> {
+    /// # Errors
+    /// [`UdpError::Program`] naming the violated field.
+    pub fn validate(&self) -> Result<(), UdpError> {
+        self.validate_str().map_err(UdpError::Program)
+    }
+
+    fn validate_str(&self) -> Result<(), String> {
         let reg_ok = |r: Reg| (r as usize) < NUM_REGS;
         let regs: Vec<Reg> = match *self {
             Action::LoadImm { rd, .. } => vec![rd],
@@ -374,7 +380,14 @@ pub enum Transition {
 
 impl Transition {
     /// Validates representable field ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// [`UdpError::Program`] naming the violated field.
+    pub fn validate(&self) -> Result<(), UdpError> {
+        self.validate_str().map_err(UdpError::Program)
+    }
+
+    fn validate_str(&self) -> Result<(), String> {
         match *self {
             Transition::DispatchSym { bits, .. } | Transition::DispatchPeek { bits, .. } => {
                 if bits == 0 || bits > 16 {
@@ -410,12 +423,15 @@ pub struct Block {
 
 impl Block {
     /// Validates action count and field ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// [`UdpError::Program`] naming the violation.
+    pub fn validate(&self) -> Result<(), UdpError> {
         if self.actions.len() > MAX_ACTIONS_PER_BLOCK {
-            return Err(format!(
+            return Err(UdpError::Program(format!(
                 "{} actions exceed the {MAX_ACTIONS_PER_BLOCK}-slot code word",
                 self.actions.len()
-            ));
+            )));
         }
         for a in &self.actions {
             a.validate()?;

@@ -57,6 +57,17 @@ pub enum LaneError {
         /// Declared byte count.
         declared: u64,
     },
+    /// The job's input declared more valid bits than its buffer holds —
+    /// the framing layer handed the lane an inconsistent block.
+    BadInputLength {
+        /// Bits the caller declared.
+        declared_bits: usize,
+        /// Bits the buffer can hold.
+        buffer_bits: usize,
+    },
+    /// A transient fault injected by the test harness (see
+    /// `accel::FaultHook`) — models an SEU/DMA glitch that a retry clears.
+    InjectedFault,
 }
 
 impl std::fmt::Display for LaneError {
@@ -75,6 +86,10 @@ impl std::fmt::Display for LaneError {
             LaneError::BadOutputRange { declared } => {
                 write!(f, "r15 declared {declared} output bytes, outside scratchpad")
             }
+            LaneError::BadInputLength { declared_bits, buffer_bits } => {
+                write!(f, "input declares {declared_bits} bits but buffer holds {buffer_bits}")
+            }
+            LaneError::InjectedFault => write!(f, "injected transient fault"),
         }
     }
 }
@@ -205,6 +220,12 @@ impl Lane {
         input_bits: usize,
         cfg: RunConfig,
     ) -> Result<RunResult, LaneError> {
+        if input_bits > input.len() * 8 {
+            return Err(LaneError::BadInputLength {
+                declared_bits: input_bits,
+                buffer_bits: input.len() * 8,
+            });
+        }
         self.scratch.fill(0);
         self.regs = [0; NUM_REGS];
         self.regs[14] = cfg.out_base as u64;

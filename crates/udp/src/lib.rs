@@ -22,19 +22,23 @@
 //! * [`progs`] — real UDP programs for the paper's pipeline: inverse delta,
 //!   Snappy decode (256-way tag dispatch), and per-matrix compiled Huffman
 //!   decoders (two-level peek dispatch), each validated bit-for-bit against
-//!   `recode-codec`'s software encoders.
+//!   `recode-codec`'s software encoders;
+//! * [`error`] — the typed [`error::UdpError`] hierarchy every public API
+//!   reports through, carrying block-index and lane-id context.
 
 pub mod accel;
 pub mod asm;
 pub mod effclip;
 pub mod energy;
+pub mod error;
 pub mod isa;
 pub mod lane;
 pub mod machine;
 pub mod program;
 pub mod progs;
 
-pub use accel::{Accelerator, AccelReport};
+pub use accel::{Accelerator, AccelReport, BatchOutcome, FaultHook, JobOutcome};
+pub use error::{UdpError, UdpResult};
 pub use lane::{Lane, LaneError, RunConfig, RunResult};
 pub use machine::Image;
 pub use program::{Program, ProgramBuilder};

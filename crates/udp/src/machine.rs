@@ -5,6 +5,7 @@
 //! accelerator.
 
 use crate::effclip::{self, Placement};
+use crate::error::UdpError;
 use crate::isa::{Action, Block, Cond, Transition, Width};
 use crate::program::Program;
 
@@ -144,9 +145,9 @@ impl Image {
 /// Encodes a validated, placed program into an executable image.
 ///
 /// # Errors
-/// Field-range violations (address too large for its encoding slot) or an
-/// invalid placement.
-pub fn encode(program: &Program, placement: &Placement) -> Result<Image, String> {
+/// [`UdpError::Encoding`] for field-range violations (address too large for
+/// its encoding slot) or [`UdpError::Placement`] for an invalid placement.
+pub fn encode(program: &Program, placement: &Placement) -> Result<Image, UdpError> {
     effclip::verify(program, placement)?;
     let mut words = vec![HOLE; placement.code_len];
     for (bid, block) in program.blocks.iter().enumerate() {
@@ -165,12 +166,12 @@ pub fn encode(program: &Program, placement: &Placement) -> Result<Image, String>
 ///
 /// # Errors
 /// Placement or encoding failures.
-pub fn assemble(program: &Program) -> Result<Image, String> {
+pub fn assemble(program: &Program) -> Result<Image, UdpError> {
     let placement = effclip::place(program)?;
     encode(program, &placement)
 }
 
-fn encode_word(block: &Block, placement: &Placement) -> Result<u128, String> {
+fn encode_word(block: &Block, placement: &Placement) -> Result<u128, UdpError> {
     block.validate()?;
     let mut w: u128 = 0;
     for (slot, action) in block.actions.iter().enumerate() {
@@ -182,7 +183,7 @@ fn encode_word(block: &Block, placement: &Placement) -> Result<u128, String> {
     Ok(w)
 }
 
-fn encode_action(a: &Action) -> Result<u32, String> {
+fn encode_action(a: &Action) -> Result<u32, UdpError> {
     a.validate()?;
     let r = |x: u8| x as u32;
     let enc = match *a {
@@ -246,7 +247,11 @@ fn encode_action(a: &Action) -> Result<u32, String> {
                 Width::B1 => op::STORE_B_INC,
                 // The 5-bit opcode space has no row left for a 2-byte
                 // post-increment store; no decoder program needs one.
-                Width::B2 => return Err("StoreInc does not support 2-byte width".into()),
+                Width::B2 => {
+                    return Err(UdpError::Encoding(
+                        "StoreInc does not support 2-byte width".into(),
+                    ))
+                }
                 Width::B4 => op::STORE_W_INC,
                 Width::B8 => op::STORE_D_INC,
             };
@@ -266,7 +271,7 @@ fn encode_action(a: &Action) -> Result<u32, String> {
     Ok(enc)
 }
 
-fn encode_transition(t: &Transition, placement: &Placement) -> Result<u32, String> {
+fn encode_transition(t: &Transition, placement: &Placement) -> Result<u32, UdpError> {
     let addr_of = |b: u32| placement.block_addr[b as usize];
     let base_of = |g: u32| placement.group_base[g as usize];
     let enc = match *t {
@@ -274,35 +279,35 @@ fn encode_transition(t: &Transition, placement: &Placement) -> Result<u32, Strin
         Transition::Jump(b) => {
             let a = addr_of(b);
             if a >= (1 << 24) {
-                return Err(format!("jump target address {a} exceeds 24 bits"));
+                return Err(UdpError::Encoding(format!("jump target address {a} exceeds 24 bits")));
             }
             (tt::JUMP << 29) | a
         }
         Transition::DispatchSym { bits, group } => {
             let base = base_of(group);
             if base >= (1 << 24) {
-                return Err(format!("group base {base} exceeds 24 bits"));
+                return Err(UdpError::Encoding(format!("group base {base} exceeds 24 bits")));
             }
             (tt::DISPATCH_SYM << 29) | ((bits as u32) << 24) | base
         }
         Transition::DispatchPeek { bits, group } => {
             let base = base_of(group);
             if base >= (1 << 24) {
-                return Err(format!("group base {base} exceeds 24 bits"));
+                return Err(UdpError::Encoding(format!("group base {base} exceeds 24 bits")));
             }
             (tt::DISPATCH_PEEK << 29) | ((bits as u32) << 24) | base
         }
         Transition::DispatchReg { rs, group } => {
             let base = base_of(group);
             if base >= (1 << 24) {
-                return Err(format!("group base {base} exceeds 24 bits"));
+                return Err(UdpError::Encoding(format!("group base {base} exceeds 24 bits")));
             }
             (tt::DISPATCH_REG << 29) | ((rs as u32) << 24) | base
         }
         Transition::Branch { cond, rs, rt, taken, .. } => {
             let a = addr_of(taken);
             if a >= (1 << 18) {
-                return Err(format!("branch target address {a} exceeds 18 bits"));
+                return Err(UdpError::Encoding(format!("branch target address {a} exceeds 18 bits")));
             }
             (tt::BRANCH << 29)
                 | ((cond as u32) << 26)

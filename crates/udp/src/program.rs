@@ -15,6 +15,7 @@
 //!   fall-through edges are acyclic (they form chains the placer lays out
 //!   contiguously).
 
+use crate::error::UdpError;
 use crate::isa::{Block, BlockId, GroupId, Transition};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -46,8 +47,12 @@ impl Program {
     /// Full structural validation (see module docs for the rules).
     ///
     /// # Errors
-    /// A human-readable description of the first violated rule.
-    pub fn validate(&self) -> Result<(), String> {
+    /// [`UdpError::Program`] describing the first violated rule.
+    pub fn validate(&self) -> Result<(), UdpError> {
+        self.validate_str().map_err(UdpError::Program)
+    }
+
+    fn validate_str(&self) -> Result<(), String> {
         let n = self.blocks.len() as u32;
         if self.entry >= n {
             return Err(format!("entry block {} out of range ({n} blocks)", self.entry));
@@ -200,16 +205,20 @@ impl ProgramBuilder {
     ///
     /// # Errors
     /// Undefined blocks, missing entry, or any [`Program::validate`] rule.
-    pub fn build(self) -> Result<Program, String> {
+    pub fn build(self) -> Result<Program, UdpError> {
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (i, b) in self.blocks.into_iter().enumerate() {
-            blocks.push(b.ok_or_else(|| format!("block {i} reserved but never defined"))?);
+            blocks.push(
+                b.ok_or_else(|| UdpError::Program(format!("block {i} reserved but never defined")))?,
+            );
         }
         let program = Program {
             name: self.name,
             blocks,
             groups: self.groups,
-            entry: self.entry.ok_or("no entry block set")?,
+            entry: self
+                .entry
+                .ok_or_else(|| UdpError::Program("no entry block set".into()))?,
         };
         program.validate()?;
         Ok(program)
@@ -245,14 +254,14 @@ mod tests {
         let _hole = pb.reserve();
         let b = pb.block(halt_block());
         pb.entry(b);
-        assert!(pb.build().unwrap_err().contains("never defined"));
+        assert!(pb.build().unwrap_err().to_string().contains("never defined"));
     }
 
     #[test]
     fn missing_entry_fails() {
         let mut pb = ProgramBuilder::new("test");
         pb.block(halt_block());
-        assert!(pb.build().unwrap_err().contains("entry"));
+        assert!(pb.build().unwrap_err().to_string().contains("entry"));
     }
 
     #[test]
@@ -265,7 +274,7 @@ mod tests {
             transition: Transition::DispatchSym { bits: 1, group: g },
         });
         pb.entry(start);
-        assert!(pb.build().unwrap_err().contains("more than one group slot"));
+        assert!(pb.build().unwrap_err().to_string().contains("more than one group slot"));
     }
 
     #[test]
@@ -279,7 +288,7 @@ mod tests {
             transition: Transition::DispatchSym { bits: 1, group: g },
         });
         pb.entry(start);
-        assert!(pb.build().unwrap_err().contains("offset 0"));
+        assert!(pb.build().unwrap_err().to_string().contains("offset 0"));
     }
 
     #[test]
@@ -297,7 +306,7 @@ mod tests {
             transition: Transition::DispatchSym { bits: 1, group: g },
         });
         pb.entry(start);
-        assert!(pb.build().unwrap_err().contains("ends in a branch"));
+        assert!(pb.build().unwrap_err().to_string().contains("ends in a branch"));
     }
 
     #[test]
@@ -320,7 +329,7 @@ mod tests {
         let b1 = mk_branch(&mut pb);
         let _b2 = mk_branch(&mut pb);
         pb.entry(b1);
-        assert!(pb.build().unwrap_err().contains("fall-through of both"));
+        assert!(pb.build().unwrap_err().to_string().contains("fall-through of both"));
     }
 
     #[test]
@@ -338,7 +347,7 @@ mod tests {
             transition: Transition::Branch { cond: Cond::Ne, rs: 0, rt: 0, taken: done, fallthrough: a },
         });
         pb.entry(a);
-        assert!(pb.build().unwrap_err().contains("cycle"));
+        assert!(pb.build().unwrap_err().to_string().contains("cycle"));
     }
 
     #[test]
@@ -349,7 +358,7 @@ mod tests {
             groups: vec![],
             entry: 0,
         };
-        assert!(p.validate().unwrap_err().contains("jump target"));
+        assert!(p.validate().unwrap_err().to_string().contains("jump target"));
         let p = Program {
             name: "bad".into(),
             blocks: vec![Block {
@@ -359,6 +368,6 @@ mod tests {
             groups: vec![],
             entry: 0,
         };
-        assert!(p.validate().unwrap_err().contains("group 3"));
+        assert!(p.validate().unwrap_err().to_string().contains("group 3"));
     }
 }

@@ -4,6 +4,7 @@
 //! little-endian `u32` index stream.
 
 use crate::asm::assemble_text;
+use crate::error::UdpError;
 use crate::machine::{assemble, Image};
 
 /// The program source. Register roles:
@@ -43,8 +44,9 @@ done:
 ///
 /// # Errors
 /// Assembly/placement failures (a bug, not a data condition).
-pub fn build() -> Result<Image, String> {
-    let program = assemble_text("udp-delta-decode", SOURCE).map_err(|e| e.to_string())?;
+pub fn build() -> Result<Image, UdpError> {
+    let program = assemble_text("udp-delta-decode", SOURCE)
+        .map_err(|e| UdpError::Program(e.to_string()))?;
     assemble(&program)
 }
 

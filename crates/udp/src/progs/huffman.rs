@@ -18,6 +18,7 @@
 //!
 //! Register roles: `r2` output cursor · `r3` remaining-bits · `r4` symbol.
 
+use crate::error::UdpError;
 use crate::isa::{Action, Block, Cond, Transition, Width};
 use crate::machine::{assemble, Image};
 use crate::program::ProgramBuilder;
@@ -30,7 +31,7 @@ const PRIMARY_BITS: u8 = 8;
 ///
 /// # Errors
 /// Invalid lengths (Kraft violation, >15 bits) or placement failures.
-pub fn compile(lengths: &[u8]) -> Result<Image, String> {
+pub fn compile(lengths: &[u8]) -> Result<Image, UdpError> {
     compile_with_width(lengths, PRIMARY_BITS)
 }
 
@@ -40,11 +41,14 @@ pub fn compile(lengths: &[u8]) -> Result<Image, String> {
 ///
 /// # Errors
 /// Invalid width/lengths or placement failures.
-pub fn compile_with_width(lengths: &[u8], primary_bits: u8) -> Result<Image, String> {
+pub fn compile_with_width(lengths: &[u8], primary_bits: u8) -> Result<Image, UdpError> {
     if !(4..=12).contains(&primary_bits) {
-        return Err(format!("primary dispatch width {primary_bits} outside 4..=12"));
+        return Err(UdpError::Table(format!(
+            "primary dispatch width {primary_bits} outside 4..=12"
+        )));
     }
-    let table = HuffmanTable::from_lengths(lengths.to_vec()).map_err(|e| e.to_string())?;
+    let table =
+        HuffmanTable::from_lengths(lengths.to_vec()).map_err(|e| UdpError::Table(e.to_string()))?;
     let mut pb = ProgramBuilder::new("udp-huffman-decode");
 
     let done = pb.block(Block {

@@ -21,7 +21,8 @@ pub mod huffman;
 pub mod snappy;
 
 use crate::accel::JobOutcome;
-use crate::lane::{Lane, LaneError, RunConfig};
+use crate::error::UdpError;
+use crate::lane::{Lane, RunConfig};
 use crate::machine::Image;
 use recode_codec::block::CompressedBlock;
 use recode_codec::pipeline::PipelineConfig;
@@ -46,10 +47,14 @@ impl DshDecoder {
     ///
     /// # Errors
     /// Program-construction failures (invalid table lengths).
-    pub fn new(config: PipelineConfig, huffman_lengths: Option<&[u8]>) -> Result<Self, String> {
+    pub fn new(
+        config: PipelineConfig,
+        huffman_lengths: Option<&[u8]>,
+    ) -> Result<Self, UdpError> {
         let huffman = if config.huffman {
-            let lengths =
-                huffman_lengths.ok_or("config enables huffman but no table provided")?;
+            let lengths = huffman_lengths.ok_or_else(|| {
+                UdpError::Table("config enables huffman but no table provided".into())
+            })?;
             Some(huffman::compile(lengths)?)
         } else {
             None
@@ -63,20 +68,30 @@ impl DshDecoder {
     /// in reverse pipeline order. Returns the decoded bytes and the *total*
     /// lane cycles across stages.
     ///
+    /// The block's CRC32c framing checksum is verified before any lane
+    /// cycles are spent — a corrupt block surfaces as
+    /// [`UdpError::Codec`] with the block's stream position attached, not
+    /// as a wrong decode. Lane traps surface as [`UdpError::Trap`] with
+    /// the same context.
+    ///
     /// # Errors
-    /// Lane traps (corrupt blocks trap; they never panic).
+    /// Checksum mismatches and lane traps (corrupt blocks never panic).
     pub fn decode_block(
         &self,
         lane: &mut Lane,
         block: &CompressedBlock,
-    ) -> Result<JobOutcome, LaneError> {
+    ) -> Result<JobOutcome, UdpError> {
+        let seq = block.seq as usize;
+        block.verify_checksum().map_err(|e| UdpError::from(e).with_block(seq))?;
         let cfg = RunConfig::default();
         let mut cycles = 0u64;
         // Stage 1: Huffman (bit stream in, bytes out).
         let mut data: Vec<u8>;
         let mut bits: usize;
         if let Some(img) = &self.huffman {
-            let r = lane.run(img, &block.payload, block.bit_len, cfg)?;
+            let r = lane
+                .run(img, &block.payload, block.bit_len, cfg)
+                .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             data = r.output;
             bits = data.len() * 8;
@@ -86,14 +101,18 @@ impl DshDecoder {
         }
         // Stage 2: Snappy.
         if let Some(img) = &self.snappy {
-            let r = lane.run(img, &data, bits, cfg)?;
+            let r = lane
+                .run(img, &data, bits, cfg)
+                .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             data = r.output;
             bits = data.len() * 8;
         }
         // Stage 3: inverse delta.
         if let Some(img) = &self.delta {
-            let r = lane.run(img, &data, bits, cfg)?;
+            let r = lane
+                .run(img, &data, bits, cfg)
+                .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             data = r.output;
         }
@@ -187,7 +206,29 @@ mod tests {
             block.payload[i] ^= 0xA5;
         }
         let mut lane = Lane::new();
-        // Either a trap or a wrong-but-bounded decode; must not panic.
+        // The framing CRC catches the corruption before any lane cycle runs.
+        let err = decoder.decode_block(&mut lane, &stream.blocks[0]).unwrap_err();
+        assert!(err.codec_error().is_some(), "expected checksum failure, got {err}");
+        assert_eq!(err.block(), Some(0));
+    }
+
+    #[test]
+    fn corrupt_block_that_is_resealed_traps_in_the_lane() {
+        // If an attacker (or fault) rewrites the CRC to match the corrupt
+        // payload, integrity checking cannot help — but the lane still
+        // traps or produces bounded output instead of panicking.
+        let data = banded_index_stream(4000);
+        let config = PipelineConfig::dsh_udp();
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let mut stream = pipe.encode_stream(&data).unwrap();
+        let decoder =
+            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let block = &mut stream.blocks[0];
+        for i in 0..block.payload.len().min(32) {
+            block.payload[i] ^= 0xA5;
+        }
+        block.reseal();
+        let mut lane = Lane::new();
         let _ = decoder.decode_block(&mut lane, &stream.blocks[0]);
     }
 

@@ -16,6 +16,7 @@
 //! `r4` length · `r5` offset · `r6` data · `r7` copy-source cursor ·
 //! `r9` constant 0x80 · `r12` constant 4 · `r13` constant 8.
 
+use crate::error::UdpError;
 use crate::isa::{Action, Block, Cond, Transition, Width};
 use crate::machine::{assemble, Image};
 use crate::program::ProgramBuilder;
@@ -24,7 +25,7 @@ use crate::program::ProgramBuilder;
 ///
 /// # Errors
 /// Construction/placement failures (a bug, not a data condition).
-pub fn build() -> Result<Image, String> {
+pub fn build() -> Result<Image, UdpError> {
     let mut pb = ProgramBuilder::new("udp-snappy-decode");
 
     // done: r15 = out length; halt.

@@ -176,9 +176,10 @@ fn cmd_decompress(flags: &Flags) -> Result<(), String> {
 fn cmd_spmv(flags: &Flags) -> Result<(), String> {
     let a = load(flags)?;
     let sys = SystemConfig::ddr4();
-    let recoded = RecodedSpmv::new(&a, flags.config)?;
+    let recoded = RecodedSpmv::new(&a, flags.config).map_err(|e| e.to_string())?;
     let x = vec![1.0; a.ncols()];
-    let (y, stats) = recoded.spmv(&sys, SpmvKernel::RowParallel, &x)?;
+    let (y, stats) =
+        recoded.spmv(&sys, SpmvKernel::RowParallel, &x).map_err(|e| e.to_string())?;
     let y_ref = spmv(&a, &x);
     if y != y_ref {
         return Err("recoded SpMV diverged from the uncompressed kernel".into());
@@ -207,8 +208,8 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
 fn cmd_disasm(flags: &Flags) -> Result<(), String> {
     let which = flags.positional.first().map(String::as_str).unwrap_or("");
     let image = match which {
-        "snappy" => recode_spmv::udp::progs::snappy::build()?,
-        "delta" => recode_spmv::udp::progs::delta::build()?,
+        "snappy" => recode_spmv::udp::progs::snappy::build().map_err(|e| e.to_string())?,
+        "delta" => recode_spmv::udp::progs::delta::build().map_err(|e| e.to_string())?,
         other => return Err(format!("disasm takes `snappy` or `delta`, got `{other}`")),
     };
     print!("{}", image.disassemble());

@@ -1,0 +1,194 @@
+//! End-to-end fault-injection suite for the recoded-SpMV pipeline.
+//!
+//! Every trial injects one seeded fault — a stream mutation from the codec's
+//! [`FaultInjector`] or an accelerator-side trap/stall from a [`FaultHook`] —
+//! and then demands exactly one of two outcomes:
+//!
+//! 1. **bit-exact recovery** with `degraded == true` and nonzero
+//!    retry/fallback counters (or a clean result when the fault landed on
+//!    dead bytes / was a pure stall), or
+//! 2. a **typed error** that names the offending block.
+//!
+//! Panics and silently wrong results both fail the suite. The trial count
+//! is ≥ 256 across all fault classes, per the robustness acceptance bar.
+
+use recode_spmv::core::error::ExecError;
+use recode_spmv::core::exec::RecodedSpmv;
+use recode_spmv::core::SystemConfig;
+use recode_spmv::codec::faults::{FaultInjector, FaultKind};
+use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
+use recode_spmv::prelude::*;
+use recode_spmv::udp::FaultHook;
+
+fn test_matrix() -> Csr {
+    generate(
+        &GenSpec::FemBand {
+            n: 700,
+            band: 10,
+            fill: 0.6,
+            values: ValueModel::MixedRepeated { distinct: 8 },
+        },
+        99,
+    )
+}
+
+/// The paper's stage mix, but 2 KB blocks: several blocks per stream (so
+/// drop/reorder faults have targets) at a fraction of the simulation cost.
+fn small_block_config() -> MatrixCodecConfig {
+    MatrixCodecConfig {
+        index: PipelineConfig { block_bytes: 2048, ..PipelineConfig::dsh_udp() },
+        value: PipelineConfig { block_bytes: 2048, ..PipelineConfig::sh_udp() },
+    }
+}
+
+/// Outcome bookkeeping across the whole campaign.
+#[derive(Default, Debug)]
+struct Tally {
+    recovered_degraded: usize,
+    clean: usize,
+    typed_error: usize,
+}
+
+/// Runs one stream-mutation trial; panics (failing the test) on silent
+/// corruption or an error without block context.
+fn run_stream_trial(
+    a: &Csr,
+    clean_cm: &CompressedMatrix,
+    seed: u64,
+    kind: FaultKind,
+    hit_values: bool,
+    with_store: bool,
+    tally: &mut Tally,
+) {
+    let mut cm = clean_cm.clone();
+    let mut inj = FaultInjector::new(seed);
+    let report = if hit_values {
+        inj.inject(&mut cm.value_stream, kind)
+    } else {
+        inj.inject(&mut cm.index_stream, kind)
+    };
+
+    let r = if with_store {
+        RecodedSpmv::from_compressed_with_store(
+            cm,
+            Some(recode_spmv::core::exec::RawFallbackStore::from_csr(a)),
+        )
+        .expect("decoder construction is fault-independent")
+    } else {
+        RecodedSpmv::from_compressed(cm).expect("decoder construction is fault-independent")
+    };
+
+    let sys = SystemConfig::ddr4();
+    match r.decompress_via_udp(&sys) {
+        Ok((b, stats)) => {
+            assert_eq!(
+                &b, a,
+                "seed {seed} kind {kind} (values={hit_values}): decode differs from original \
+                 without an error — silent corruption"
+            );
+            if report.is_some() && stats.degraded {
+                assert!(
+                    stats.blocks_retried > 0 || stats.blocks_fell_back > 0,
+                    "degraded run must count retries or fallbacks"
+                );
+                tally.recovered_degraded += 1;
+            } else {
+                // No-op mutation (e.g. truncation of an empty payload) or a
+                // fault on bytes the decode never depends on.
+                tally.clean += 1;
+            }
+        }
+        Err(e) => {
+            assert!(
+                report.is_some(),
+                "seed {seed} kind {kind}: error {e} from an uncorrupted stream"
+            );
+            match &e {
+                ExecError::Udp(u) => assert!(
+                    u.block().is_some() || u.codec_error().is_some(),
+                    "seed {seed} kind {kind}: untyped context in {e}"
+                ),
+                ExecError::Unrecoverable { block, .. } => {
+                    assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}")
+                }
+                ExecError::Reassembly(_) | ExecError::Codec(_) => {}
+            }
+            tally.typed_error += 1;
+        }
+    }
+}
+
+#[test]
+fn seeded_stream_faults_recover_or_error_never_corrupt() {
+    let a = test_matrix();
+    let clean = CompressedMatrix::compress(&a, small_block_config()).unwrap();
+    let mut tally = Tally::default();
+    let mut trials = 0usize;
+    // 2 store modes x 2 streams x 6 kinds x 12 seeds = 288 trials.
+    for with_store in [true, false] {
+        for hit_values in [false, true] {
+            for (ki, kind) in FaultKind::ALL.into_iter().enumerate() {
+                for s in 0..12u64 {
+                    let seed = 1 + s + 100 * ki as u64 + 10_000 * u64::from(hit_values);
+                    run_stream_trial(&a, &clean, seed, kind, hit_values, with_store, &mut tally);
+                    trials += 1;
+                }
+            }
+        }
+    }
+    assert!(trials >= 256, "need >=256 trials, ran {trials}");
+    // The campaign must actually exercise both recovery paths.
+    assert!(tally.recovered_degraded > 0, "no trial recovered via degradation: {tally:?}");
+    assert!(tally.typed_error > 0, "no trial produced a typed error: {tally:?}");
+}
+
+#[test]
+fn injected_lane_traps_recover_transparently() {
+    let a = test_matrix();
+    let r = RecodedSpmv::new(&a, small_block_config()).unwrap();
+    let sys = SystemConfig::ddr4();
+    let n_jobs =
+        r.compressed().index_stream.blocks.len() + r.compressed().value_stream.blocks.len();
+    assert!(n_jobs >= 2, "matrix too small for trap trials");
+    for trial in 0..32usize {
+        let hook = FaultHook::new().trap(trial % n_jobs).trap((trial * 7 + 1) % n_jobs);
+        let (b, stats) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        assert_eq!(b, a, "trial {trial}: trap recovery must stay bit-exact");
+        assert!(stats.degraded, "trial {trial}: traps must mark the run degraded");
+        assert!(stats.blocks_retried > 0);
+        assert_eq!(stats.blocks_fell_back, 0, "transient traps never need the raw store");
+    }
+}
+
+#[test]
+fn injected_dma_stalls_only_cost_cycles() {
+    let a = test_matrix();
+    let r = RecodedSpmv::new(&a, small_block_config()).unwrap();
+    let sys = SystemConfig::ddr4();
+    for trial in 0..8u64 {
+        let hook = FaultHook::new().stall(trial as usize, 50_000 * (trial + 1));
+        let (b, stats) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(stats.accel.injected_stall_cycles, 50_000 * (trial + 1));
+        assert!(!stats.degraded, "stalls are slowdown, not degradation");
+    }
+}
+
+#[test]
+fn spmv_stays_correct_under_combined_faults() {
+    let a = test_matrix();
+    let mut r = RecodedSpmv::new(&a, small_block_config()).unwrap();
+    // Corrupt one index block (CRC path) while also trapping a value job.
+    r.compressed_mut().index_stream.blocks[0].payload[0] ^= 0x01;
+    let n_index = r.compressed().index_stream.blocks.len();
+    let hook = FaultHook::new().trap(n_index); // first value job
+    let sys = SystemConfig::ddr4();
+    let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 29) % 13) as f64 - 6.0).collect();
+    let (y, stats) = r.spmv_faulty(&sys, SpmvKernel::Serial, &x, Some(&hook)).unwrap();
+    assert_eq!(y, recode_spmv::sparse::spmv::spmv(&a, &x));
+    assert!(stats.degraded);
+    assert!(stats.blocks_retried > 0);
+    assert_eq!(stats.blocks_fell_back, 1, "the CRC-broken block needs the raw store");
+    assert!(stats.fallback_bytes > 0);
+    assert!(stats.mem_stream_seconds > 0.0);
+}
