@@ -1,0 +1,154 @@
+//! `BENCH_telemetry.json` — headline observability snapshot from the trace
+//! path over a sampled synthetic corpus: geomean compressed bytes/nnz,
+//! geomean single-lane µs per 8 KB block, mean lane utilization, and the
+//! batch-wide opcode-class / decode-stage cycle mix (paper Figs. 12/13).
+//!
+//! Usage: `bench_telemetry [--scale ...] [--sample N] [--json PATH]`
+//! (defaults: small scale, 12 matrices, writes BENCH_telemetry.json).
+
+use recode_bench::{corpus_entries, parse_args};
+use recode_codec::pipeline::MatrixCodecConfig;
+use recode_core::corpus::CorpusScale;
+use recode_core::exec::RecodedSpmv;
+use recode_core::SystemConfig;
+use recode_sparse::spmv::SpmvKernel;
+use recode_sparse::util::geometric_mean;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PerMatrix {
+    name: String,
+    nnz: usize,
+    bytes_per_nnz: f64,
+    us_per_block: f64,
+    lane_utilization: f64,
+    makespan_cycles: u64,
+    wall_ns_total: u64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    schema: &'static str,
+    matrices: usize,
+    geomean_bytes_per_nnz: f64,
+    geomean_us_per_block: f64,
+    mean_lane_utilization: f64,
+    /// Fraction of batch cycles by opcode class, summed over all runs.
+    opclass_share: OpclassShare,
+    /// Fraction of batch cycles by decode stage, summed over all runs.
+    stage_share: StageShare,
+    per_matrix: Vec<PerMatrix>,
+}
+
+#[derive(Serialize)]
+struct OpclassShare {
+    dispatch: f64,
+    alu: f64,
+    mem: f64,
+    stream: f64,
+}
+
+#[derive(Serialize)]
+struct StageShare {
+    huffman: f64,
+    snappy: f64,
+    delta: f64,
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.sample.is_none() {
+        args.sample = Some(12);
+        args.scale = CorpusScale::Small;
+    }
+    let out_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_telemetry.json"));
+
+    let sys = SystemConfig::ddr4();
+    let mut per_matrix = Vec::new();
+    let mut opclass = recode_udp::OpClassCycles::default();
+    let mut stages = recode_udp::StageCycles::default();
+    for entry in corpus_entries(&args) {
+        let a = entry.generate();
+        let r = match RecodedSpmv::new_traced(&a, MatrixCodecConfig::udp_dsh()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: skipped ({e})", entry.name);
+                continue;
+            }
+        };
+        let x = vec![1.0; a.ncols()];
+        let (_, stats, doc) = r
+            .spmv_traced(&sys, SpmvKernel::Serial, &x, None, &entry.name)
+            .expect("traced spmv on self-encoded corpus");
+        let accel = &stats.accel;
+        opclass.merge(&accel.opclass);
+        stages.merge(&accel.stage_cycles);
+        let us_per_block = if accel.jobs == 0 {
+            0.0
+        } else {
+            accel.busy_cycles as f64 / accel.jobs as f64 / accel.freq_hz * 1e6
+        };
+        per_matrix.push(PerMatrix {
+            name: entry.name.clone(),
+            nnz: a.nnz(),
+            bytes_per_nnz: doc.matrix.bytes_per_nnz,
+            us_per_block,
+            lane_utilization: accel.lane_utilization,
+            makespan_cycles: accel.makespan_cycles,
+            wall_ns_total: doc.wall_ns_total,
+        });
+        eprintln!(
+            "{}: {:.2} B/nnz, {:.1} us/block, {:.0}% lanes",
+            entry.name,
+            doc.matrix.bytes_per_nnz,
+            us_per_block,
+            accel.lane_utilization * 100.0
+        );
+    }
+
+    let bpn: Vec<f64> = per_matrix.iter().map(|m| m.bytes_per_nnz).collect();
+    let uspb: Vec<f64> =
+        per_matrix.iter().map(|m| m.us_per_block).filter(|v| *v > 0.0).collect();
+    let util_sum: f64 = per_matrix.iter().map(|m| m.lane_utilization).sum();
+    let oc_total = opclass.total().max(1) as f64;
+    let st_total = stages.total().max(1) as f64;
+    let snapshot = Snapshot {
+        schema: "recode-bench-telemetry/v1",
+        matrices: per_matrix.len(),
+        geomean_bytes_per_nnz: geometric_mean(&bpn).unwrap_or(0.0),
+        geomean_us_per_block: geometric_mean(&uspb).unwrap_or(0.0),
+        mean_lane_utilization: if per_matrix.is_empty() {
+            0.0
+        } else {
+            util_sum / per_matrix.len() as f64
+        },
+        opclass_share: OpclassShare {
+            dispatch: opclass.dispatch as f64 / oc_total,
+            alu: opclass.alu as f64 / oc_total,
+            mem: opclass.mem as f64 / oc_total,
+            stream: opclass.stream as f64 / oc_total,
+        },
+        stage_share: StageShare {
+            huffman: stages.huffman as f64 / st_total,
+            snappy: stages.snappy as f64 / st_total,
+            delta: stages.delta as f64 / st_total,
+        },
+        per_matrix,
+    };
+    let text = serde_json::to_string_pretty(&snapshot).expect("snapshot serialize");
+    std::fs::write(&out_path, text).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {} ({} matrices, geomean {:.2} B/nnz, {:.1} us/block, {:.0}% mean lane utilization)",
+        out_path.display(),
+        snapshot.matrices,
+        snapshot.geomean_bytes_per_nnz,
+        snapshot.geomean_us_per_block,
+        snapshot.mean_lane_utilization * 100.0
+    );
+}

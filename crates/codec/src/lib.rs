@@ -17,7 +17,8 @@
 //!   column-index stream and the value stream exactly as the two
 //!   `recode()` calls in the paper's Fig. 7.
 //! * [`metrics`] — the bytes-per-non-zero accounting used throughout the
-//!   evaluation (raw CSR = 12 B/nnz).
+//!   evaluation (raw CSR = 12 B/nnz), and [`telemetry`] — optional
+//!   per-stage encode/decode timing + byte counters for the trace path.
 //! * [`crc32c`] — hand-rolled table-driven CRC32c sealing every block's
 //!   framing, and [`faults`] — a deterministic seed-driven injector that
 //!   exercises the integrity layer with every corruption class.
@@ -35,6 +36,7 @@ pub mod huffman;
 pub mod metrics;
 pub mod pipeline;
 pub mod snappy;
+pub mod telemetry;
 pub mod varint;
 
 pub use block::{BlockStream, CompressedBlock};
@@ -42,6 +44,7 @@ pub use crc32c::crc32c;
 pub use error::{CodecError, CodecResult};
 pub use faults::{FaultInjector, FaultKind, FaultReport};
 pub use pipeline::{CompressedMatrix, MatrixCodecConfig, Pipeline, PipelineConfig};
+pub use telemetry::{CodecStageReport, StageStats, StageTelemetry};
 
 /// The paper's UDP-side uncompressed block size: 8 KB.
 pub const UDP_BLOCK_BYTES: usize = 8 * 1024;

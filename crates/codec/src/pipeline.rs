@@ -14,10 +14,13 @@
 use crate::block::{split_blocks, BlockStream, CompressedBlock};
 use crate::error::{CodecError, CodecResult};
 use crate::huffman::{self, HuffmanTable};
+use crate::telemetry::StageTelemetry;
 use crate::{delta, snappy};
 use rayon::prelude::*;
 use recode_sparse::Csr;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which stages a pipeline runs and at what block granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +83,9 @@ impl PipelineConfig {
 pub struct Pipeline {
     config: PipelineConfig,
     table: Option<HuffmanTable>,
+    /// Optional shared per-stage telemetry. `None` (the default) keeps the
+    /// encode/decode hot paths free of any timing calls.
+    telemetry: Option<Arc<StageTelemetry>>,
 }
 
 impl Pipeline {
@@ -112,7 +118,7 @@ impl Pipeline {
         } else {
             None
         };
-        Ok(Pipeline { config, table })
+        Ok(Pipeline { config, table, telemetry: None })
     }
 
     /// Builds a pipeline with an externally supplied table (e.g. decoder
@@ -125,7 +131,7 @@ impl Pipeline {
         if config.huffman && table.is_none() {
             return Err(CodecError::MissingTable);
         }
-        Ok(Pipeline { config, table })
+        Ok(Pipeline { config, table, telemetry: None })
     }
 
     /// The configuration this pipeline runs.
@@ -138,14 +144,48 @@ impl Pipeline {
         self.table.as_ref()
     }
 
+    /// Attaches (or detaches) shared per-stage telemetry. With `None`, the
+    /// encode/decode paths make no timing calls at all.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<StageTelemetry>>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<StageTelemetry>> {
+        self.telemetry.as_ref()
+    }
+
     /// Stages before Huffman (shared by encoding and table training).
     fn run_pre_huffman(config: &PipelineConfig, block: &[u8]) -> CodecResult<Vec<u8>> {
+        Self::run_pre_huffman_observed(config, block, None)
+    }
+
+    /// [`Self::run_pre_huffman`] with optional per-stage instrumentation.
+    fn run_pre_huffman_observed(
+        config: &PipelineConfig,
+        block: &[u8],
+        tel: Option<&StageTelemetry>,
+    ) -> CodecResult<Vec<u8>> {
         let after_delta = if config.delta {
-            delta::encode_bytes(block)?
+            let t0 = tel.map(|_| Instant::now());
+            let out = delta::encode_bytes(block)?;
+            if let (Some(tel), Some(t0)) = (tel, t0) {
+                tel.encode.delta.record(t0, block.len(), out.len());
+            }
+            out
         } else {
             block.to_vec()
         };
-        Ok(if config.snappy { snappy::compress(&after_delta) } else { after_delta })
+        Ok(if config.snappy {
+            let t0 = tel.map(|_| Instant::now());
+            let out = snappy::compress(&after_delta);
+            if let (Some(tel), Some(t0)) = (tel, t0) {
+                tel.encode.snappy.record(t0, after_delta.len(), out.len());
+            }
+            out
+        } else {
+            after_delta
+        })
     }
 
     /// Encodes one standalone block (sealed with sequence number 0).
@@ -162,10 +202,16 @@ impl Pipeline {
     /// # Errors
     /// Stage preconditions (alignment) and internal encoding failures.
     pub fn encode_block_at(&self, block: &[u8], seq: u32) -> CodecResult<CompressedBlock> {
-        let pre = Self::run_pre_huffman(&self.config, block)?;
+        let tel = self.telemetry.as_deref();
+        let pre = Self::run_pre_huffman_observed(&self.config, block, tel)?;
         let (payload, bit_len) = if self.config.huffman {
             let table = self.table.as_ref().ok_or(CodecError::MissingTable)?;
-            huffman::encode(&pre, table)?
+            let t0 = tel.map(|_| Instant::now());
+            let (payload, bit_len) = huffman::encode(&pre, table)?;
+            if let (Some(tel), Some(t0)) = (tel, t0) {
+                tel.encode.huffman.record(t0, pre.len(), payload.len());
+            }
+            (payload, bit_len)
         } else {
             let bits = pre.len() * 8;
             (pre, bits)
@@ -183,24 +229,49 @@ impl Pipeline {
     /// final length is verified against the block header.
     pub fn decode_block(&self, block: &CompressedBlock) -> CodecResult<Vec<u8>> {
         block.verify_checksum()?;
+        let tel = self.telemetry.as_deref();
         // Stage 1: Huffman decode (needs the intermediate length, which is
         // recoverable: snappy self-describes, so decode until the bitstream
         // is exhausted — we instead store the intermediate implicitly by
         // decoding symbol-by-symbol until all bits are consumed).
         let pre = if self.config.huffman {
             let table = self.table.as_ref().ok_or(CodecError::MissingTable)?;
-            decode_all_symbols(&block.payload, block.bit_len, table)?
+            let t0 = tel.map(|_| Instant::now());
+            let out = decode_all_symbols(&block.payload, block.bit_len, table)?;
+            if let (Some(tel), Some(t0)) = (tel, t0) {
+                tel.decode.huffman.record(t0, block.payload.len(), out.len());
+            }
+            out
         } else {
             block.payload.clone()
         };
         // Stage 2: Snappy decode.
         let after_snappy = if self.config.snappy {
-            snappy::decompress_with_limit(&pre, self.config.block_bytes.max(block.uncompressed_len))?
+            let t0 = tel.map(|_| Instant::now());
+            let in_len = pre.len();
+            let out = snappy::decompress_with_limit(
+                &pre,
+                self.config.block_bytes.max(block.uncompressed_len),
+            )?;
+            if let (Some(tel), Some(t0)) = (tel, t0) {
+                tel.decode.snappy.record(t0, in_len, out.len());
+            }
+            out
         } else {
             pre
         };
         // Stage 3: inverse delta.
-        let out = if self.config.delta { delta::decode_bytes(&after_snappy)? } else { after_snappy };
+        let out = if self.config.delta {
+            let t0 = tel.map(|_| Instant::now());
+            let in_len = after_snappy.len();
+            let out = delta::decode_bytes(&after_snappy)?;
+            if let (Some(tel), Some(t0)) = (tel, t0) {
+                tel.decode.delta.record(t0, in_len, out.len());
+            }
+            out
+        } else {
+            after_snappy
+        };
         if out.len() != block.uncompressed_len {
             return Err(CodecError::LengthMismatch {
                 expected: block.uncompressed_len,
@@ -375,12 +446,35 @@ impl CompressedMatrix {
     /// Stage preconditions (e.g. a matrix with `ncols > 2^31` cannot be
     /// delta-coded).
     pub fn compress(a: &Csr, config: MatrixCodecConfig) -> CodecResult<Self> {
+        Self::compress_observed(a, config, None)
+    }
+
+    /// [`Self::compress`] with per-stage encode telemetry recorded into
+    /// `telemetry`.
+    ///
+    /// # Errors
+    /// Same as [`Self::compress`].
+    pub fn compress_with_telemetry(
+        a: &Csr,
+        config: MatrixCodecConfig,
+        telemetry: &Arc<StageTelemetry>,
+    ) -> CodecResult<Self> {
+        Self::compress_observed(a, config, Some(telemetry))
+    }
+
+    fn compress_observed(
+        a: &Csr,
+        config: MatrixCodecConfig,
+        telemetry: Option<&Arc<StageTelemetry>>,
+    ) -> CodecResult<Self> {
         let index_bytes: Vec<u8> =
             a.col_idx().iter().flat_map(|c| c.to_le_bytes()).collect();
         let value_bytes: Vec<u8> =
             a.values().iter().flat_map(|v| v.to_le_bytes()).collect();
-        let index_pipe = Pipeline::train(config.index, &index_bytes)?;
-        let value_pipe = Pipeline::train(config.value, &value_bytes)?;
+        let mut index_pipe = Pipeline::train(config.index, &index_bytes)?;
+        let mut value_pipe = Pipeline::train(config.value, &value_bytes)?;
+        index_pipe.set_telemetry(telemetry.cloned());
+        value_pipe.set_telemetry(telemetry.cloned());
         Ok(CompressedMatrix {
             nrows: a.nrows(),
             ncols: a.ncols(),
@@ -392,6 +486,21 @@ impl CompressedMatrix {
             index_table_lengths: index_pipe.table().map(|t| t.lengths.clone()),
             value_table_lengths: value_pipe.table().map(|t| t.lengths.clone()),
         })
+    }
+
+    /// Rebuilds the per-stream decode pipelines with shared telemetry
+    /// attached to both.
+    ///
+    /// # Errors
+    /// Corrupt table lengths or missing tables.
+    pub fn pipelines_with_telemetry(
+        &self,
+        telemetry: &Arc<StageTelemetry>,
+    ) -> CodecResult<(Pipeline, Pipeline)> {
+        let (mut index_pipe, mut value_pipe) = self.pipelines()?;
+        index_pipe.set_telemetry(Some(Arc::clone(telemetry)));
+        value_pipe.set_telemetry(Some(Arc::clone(telemetry)));
+        Ok((index_pipe, value_pipe))
     }
 
     /// Rebuilds the per-stream decode pipelines from the serialized state.
@@ -422,7 +531,29 @@ impl CompressedMatrix {
     /// Decode errors, or structural errors if the decoded streams do not
     /// reassemble into a valid CSR matrix.
     pub fn decompress(&self) -> CodecResult<Csr> {
-        let (index_pipe, value_pipe) = self.pipelines()?;
+        self.decompress_observed(None)
+    }
+
+    /// [`Self::decompress`] with per-stage decode telemetry recorded into
+    /// `telemetry`.
+    ///
+    /// # Errors
+    /// Same as [`Self::decompress`].
+    pub fn decompress_with_telemetry(
+        &self,
+        telemetry: &Arc<StageTelemetry>,
+    ) -> CodecResult<Csr> {
+        self.decompress_observed(Some(telemetry))
+    }
+
+    fn decompress_observed(
+        &self,
+        telemetry: Option<&Arc<StageTelemetry>>,
+    ) -> CodecResult<Csr> {
+        let (index_pipe, value_pipe) = match telemetry {
+            Some(t) => self.pipelines_with_telemetry(t)?,
+            None => self.pipelines()?,
+        };
         let index_bytes = index_pipe.decode_stream(&self.index_stream)?;
         let value_bytes = value_pipe.decode_stream(&self.value_stream)?;
         if index_bytes.len() != self.nnz * 4 || value_bytes.len() != self.nnz * 8 {
@@ -620,6 +751,37 @@ mod tests {
         let mut enc = pipe.encode_stream(&data).unwrap();
         enc.blocks.swap(0, 1);
         assert!(matches!(pipe.decode_stream(&enc), Err(CodecError::BlockSequence { .. })));
+    }
+
+    #[test]
+    fn telemetry_sees_enabled_stages_in_both_directions() {
+        use crate::telemetry::StageTelemetry;
+        use std::sync::Arc;
+        let a = banded_matrix();
+        let tel = Arc::new(StageTelemetry::new());
+        let c =
+            CompressedMatrix::compress_with_telemetry(&a, MatrixCodecConfig::udp_dsh(), &tel)
+                .unwrap();
+        let enc = tel.snapshot().encode;
+        // Index stream is DSH, value stream SH: every stage ran somewhere.
+        assert!(enc.delta.calls > 0 && enc.snappy.calls > 0 && enc.huffman.calls > 0);
+        assert_eq!(enc.delta.bytes_in, (a.nnz() * 4) as u64, "delta sees raw index bytes");
+        // Decode through instrumented pipelines and check the other side.
+        let (ip, vp) = c.pipelines_with_telemetry(&tel).unwrap();
+        ip.decode_stream(&c.index_stream).unwrap();
+        vp.decode_stream(&c.value_stream).unwrap();
+        let dec = tel.snapshot().decode;
+        assert!(dec.delta.calls > 0 && dec.snappy.calls > 0 && dec.huffman.calls > 0);
+        assert_eq!(dec.delta.bytes_out, (a.nnz() * 4) as u64);
+        assert_eq!(dec.snappy.bytes_out, ((a.nnz() * 12) as u64), "snappy emits both streams");
+    }
+
+    #[test]
+    fn untraced_pipeline_has_no_telemetry_attached() {
+        let a = banded_matrix();
+        let c = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let (ip, vp) = c.pipelines().unwrap();
+        assert!(ip.telemetry().is_none() && vp.telemetry().is_none());
     }
 
     #[test]

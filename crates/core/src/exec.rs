@@ -18,15 +18,23 @@
 
 use crate::arch::SystemConfig;
 use crate::error::{ExecError, ExecResult};
+use crate::telemetry::{
+    BlockEvent, BlockOutcome, MatrixMeta, StreamKind, SystemMeta, Telemetry, TraceDocument,
+};
 use recode_codec::block::{BlockStream, CompressedBlock};
 use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
+use recode_codec::telemetry::StageTelemetry;
 use recode_codec::CodecError;
+use recode_mem::traffic::TrafficSource;
 use recode_sparse::spmv::{spmv_with_into, SpmvKernel};
 use recode_sparse::Csr;
-use recode_udp::accel::{AccelReport, BatchOutcome, FaultHook};
+use recode_udp::accel::{AccelReport, BatchOutcome, FaultHook, JobEvent, JobEventSink};
 use recode_udp::progs::DshDecoder;
 use recode_udp::{Lane, UdpError};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How many times a failed block is re-decoded on a fresh lane before the
 /// raw-store fallback kicks in.
@@ -35,8 +43,11 @@ pub const MAX_BLOCK_RETRIES: usize = 2;
 /// Statistics from one UDP-decoded execution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecStats {
-    /// Accelerator-side report (cycles, throughput, utilization) for the
-    /// initial batch; retry cycles are not folded back into the makespan.
+    /// Accelerator-side report (cycles, throughput, utilization). Cycles
+    /// spent on successful retry decodes *are* folded into the makespan and
+    /// busy totals (retries run serially after the batch, extending the
+    /// critical path), and utilization is recomputed accordingly; the extra
+    /// amount is broken out in [`ExecStats::retry_cycles`].
     pub accel: AccelReport,
     /// Modeled wall-clock seconds to stream the compressed matrix from
     /// memory (the memory side of the pipeline), including any raw-store
@@ -53,6 +64,10 @@ pub struct ExecStats {
     pub blocks_fell_back: usize,
     /// Uncompressed bytes re-fetched through the fallback path.
     pub fallback_bytes: usize,
+    /// Lane cycles spent on successful retry decodes, already included in
+    /// `accel.makespan_cycles` / `accel.busy_cycles`.
+    #[serde(default)]
+    pub retry_cycles: u64,
     /// True when any block needed a retry or a fallback — the result is
     /// still bit-exact, but the run did not complete on the happy path.
     pub degraded: bool,
@@ -97,6 +112,10 @@ pub struct RecodedSpmv {
     index_decoder: DshDecoder,
     value_decoder: DshDecoder,
     raw_store: Option<RawFallbackStore>,
+    /// Software-codec stage telemetry, present on traced instances
+    /// ([`RecodedSpmv::new_traced`]). Encode timings accumulate at
+    /// compression; decode timings whenever the software path runs.
+    stage_telemetry: Option<Arc<StageTelemetry>>,
 }
 
 /// Job classification for the interleaved decode batch.
@@ -141,6 +160,23 @@ impl RecodedSpmv {
         Self::from_compressed_with_store(compressed, Some(RawFallbackStore::from_csr(a)))
     }
 
+    /// [`RecodedSpmv::new`] with codec-stage telemetry attached: per-stage
+    /// encode timings are recorded during compression here, decode timings
+    /// whenever [`RecodedSpmv::decompress_via_software`] runs, and the
+    /// accumulated snapshot lands in the [`TraceDocument`] that
+    /// [`RecodedSpmv::spmv_traced`] produces.
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::new`].
+    pub fn new_traced(a: &Csr, config: MatrixCodecConfig) -> ExecResult<Self> {
+        let stage_telemetry = Arc::new(StageTelemetry::new());
+        let compressed = CompressedMatrix::compress_with_telemetry(a, config, &stage_telemetry)?;
+        let mut this =
+            Self::from_compressed_with_store(compressed, Some(RawFallbackStore::from_csr(a)))?;
+        this.stage_telemetry = Some(stage_telemetry);
+        Ok(this)
+    }
+
     /// Wraps an already-compressed matrix (no fallback store: unrecoverable
     /// blocks become hard errors).
     ///
@@ -162,7 +198,19 @@ impl RecodedSpmv {
             DshDecoder::new(compressed.config.index, compressed.index_table_lengths.as_deref())?;
         let value_decoder =
             DshDecoder::new(compressed.config.value, compressed.value_table_lengths.as_deref())?;
-        Ok(RecodedSpmv { compressed, index_decoder, value_decoder, raw_store })
+        Ok(RecodedSpmv {
+            compressed,
+            index_decoder,
+            value_decoder,
+            raw_store,
+            stage_telemetry: None,
+        })
+    }
+
+    /// The codec-stage telemetry attached by [`RecodedSpmv::new_traced`],
+    /// if any.
+    pub fn stage_telemetry(&self) -> Option<&Arc<StageTelemetry>> {
+        self.stage_telemetry.as_ref()
     }
 
     /// The compressed representation.
@@ -198,6 +246,24 @@ impl RecodedSpmv {
         sys: &SystemConfig,
         hook: Option<&FaultHook>,
     ) -> ExecResult<(Csr, ExecStats)> {
+        self.decompress_via_udp_traced(sys, hook, None)
+    }
+
+    /// [`RecodedSpmv::decompress_via_udp_faulty`] with an optional telemetry
+    /// registry. When `tel` is `Some`, the run records per-phase spans
+    /// (`exec.decode_batch`, `exec.retry`, `exec.fallback`,
+    /// `exec.reassemble`, `exec.mem_stream`, `exec.dma`), per-block events
+    /// with lane and outcome, dotted counters, and memory traffic by source;
+    /// when `None`, no clocks are read and no events are collected.
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::decompress_via_udp`].
+    pub fn decompress_via_udp_traced(
+        &self,
+        sys: &SystemConfig,
+        hook: Option<&FaultHook>,
+        mut tel: Option<&mut Telemetry>,
+    ) -> ExecResult<(Csr, ExecStats)> {
         check_stream_structure(&self.compressed.index_stream)?;
         check_stream_structure(&self.compressed.value_stream)?;
 
@@ -213,13 +279,24 @@ impl RecodedSpmv {
             Which::Value(b) => self.value_decoder.decode_block(lane, b),
         };
         let empty_hook = FaultHook::default();
+        let events: Mutex<Vec<JobEvent>> = Mutex::new(Vec::new());
+        let sink_fn = |e: &JobEvent| events.lock().expect("event sink poisoned").push(*e);
+        let sink: Option<JobEventSink<'_>> = if tel.is_some() { Some(&sink_fn) } else { None };
+        let t_batch = tel.is_some().then(Instant::now);
         let outcome: BatchOutcome<UdpError> =
-            sys.udp.run_jobs_with_faults(&jobs, run, hook.unwrap_or(&empty_hook));
+            sys.udp.run_jobs_observed(&jobs, run, hook.unwrap_or(&empty_hook), sink);
+        let batch_ns = t_batch.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         let mut report = outcome.report;
         let mut blocks_retried = 0usize;
         let mut blocks_fell_back = 0usize;
         let mut fallback_bytes = 0usize;
+        let mut retry_cycles = 0u64;
+        let mut retry_ns = 0u64;
+        let mut fallback_ns = 0u64;
+        // Per-job corrections for the event records: successful-retry cycles
+        // or the fallback marker. Empty on a clean run.
+        let mut recovered_jobs: BTreeMap<usize, (u64, BlockOutcome)> = BTreeMap::new();
         let mut outputs: Vec<Vec<u8>> = Vec::with_capacity(jobs.len());
 
         for (k, result) in outcome.results.into_iter().enumerate() {
@@ -235,23 +312,32 @@ impl RecodedSpmv {
             // and fall through to the raw store.
             let mut recovered: Option<Vec<u8>> = None;
             let mut last_err = first_err;
+            let t_retry = tel.is_some().then(Instant::now);
             for _ in 0..MAX_BLOCK_RETRIES {
                 blocks_retried += 1;
                 let mut lane = Lane::new();
                 match run(&mut lane, &jobs[k]) {
                     Ok(o) => {
                         report.output_bytes += o.output.len() as u64;
+                        report.opclass.merge(&o.opclass);
+                        report.stage_cycles.merge(&o.stage_cycles);
+                        retry_cycles += o.cycles;
+                        recovered_jobs.insert(k, (o.cycles, BlockOutcome::Retried));
                         recovered = Some(o.output);
                         break;
                     }
                     Err(e) => last_err = e,
                 }
             }
+            if let Some(t) = t_retry {
+                retry_ns += t.elapsed().as_nanos() as u64;
+            }
             if let Some(bytes) = recovered {
                 outputs.push(bytes);
                 continue;
             }
             // Retries exhausted: re-fetch the block's uncompressed range.
+            let t_fallback = tel.is_some().then(Instant::now);
             let (store, block_bytes, pos) = if k < n_index {
                 (
                     self.raw_store.as_ref().map(|s| s.index_bytes.as_slice()),
@@ -266,11 +352,15 @@ impl RecodedSpmv {
                 )
             };
             let raw = store.and_then(|b| RawFallbackStore::block_range(b, pos, block_bytes));
+            if let Some(t) = t_fallback {
+                fallback_ns += t.elapsed().as_nanos() as u64;
+            }
             match raw {
                 Some(raw) => {
                     blocks_fell_back += 1;
                     fallback_bytes += raw.len();
                     report.output_bytes += raw.len() as u64;
+                    recovered_jobs.insert(k, (0, BlockOutcome::FellBack));
                     outputs.push(raw.to_vec());
                 }
                 None => {
@@ -283,6 +373,17 @@ impl RecodedSpmv {
             }
         }
 
+        // Fold retry decode cycles into the batch totals: retries run
+        // serially after the batch on one lane, so they extend the critical
+        // path as well as the busy sum, and utilization must be recomputed.
+        if retry_cycles > 0 {
+            report.makespan_cycles += retry_cycles;
+            report.busy_cycles += retry_cycles;
+            report.lane_utilization = report.busy_cycles as f64
+                / (report.makespan_cycles as f64 * report.lanes as f64);
+        }
+
+        let t_reassemble = tel.is_some().then(Instant::now);
         let index_bytes: Vec<u8> = outputs[..n_index].concat();
         let value_bytes: Vec<u8> = outputs[n_index..].concat();
         if index_bytes.len() % 4 != 0 {
@@ -297,6 +398,7 @@ impl RecodedSpmv {
                 value_bytes.len()
             )));
         }
+        let decoded_bytes = (index_bytes.len() + value_bytes.len()) as u64;
         let col_idx: Vec<u32> = index_bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact")))
@@ -313,6 +415,7 @@ impl RecodedSpmv {
             values,
         )
         .map_err(|e| ExecError::Reassembly(format!("decoded matrix invalid: {e}")))?;
+        let reassemble_ns = t_reassemble.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         let compressed_bytes = self.compressed.wire_bytes();
         // Fallback re-fetch is extra memory traffic over the same channel.
@@ -326,8 +429,64 @@ impl RecodedSpmv {
             blocks_retried,
             blocks_fell_back,
             fallback_bytes,
+            retry_cycles,
             degraded: blocks_retried > 0 || blocks_fell_back > 0,
         };
+
+        if let Some(tel) = tel.as_deref_mut() {
+            let freq = sys.udp.freq_hz;
+            let batch_modeled =
+                (stats.accel.makespan_cycles - stats.retry_cycles) as f64 / freq;
+            tel.span("exec.decode_batch", batch_ns, batch_modeled, stats.accel.output_bytes);
+            if stats.blocks_retried > 0 {
+                tel.span("exec.retry", retry_ns, stats.retry_cycles as f64 / freq, 0);
+            }
+            if stats.blocks_fell_back > 0 {
+                tel.span("exec.fallback", fallback_ns, 0.0, stats.fallback_bytes as u64);
+            }
+            tel.span("exec.reassemble", reassemble_ns, 0.0, decoded_bytes);
+            tel.span(
+                "exec.mem_stream",
+                0,
+                stats.mem_stream_seconds,
+                (compressed_bytes + fallback_bytes) as u64,
+            );
+            tel.span("exec.dma", 0, stats.dma_seconds, compressed_bytes as u64);
+
+            tel.add("exec.jobs", stats.accel.jobs as u64);
+            tel.add("exec.jobs_failed", stats.accel.jobs_failed as u64);
+            tel.add("exec.blocks_retried", stats.blocks_retried as u64);
+            tel.add("exec.blocks_fell_back", stats.blocks_fell_back as u64);
+            tel.add("exec.fallback_bytes", stats.fallback_bytes as u64);
+            tel.add("exec.retry_cycles", stats.retry_cycles);
+
+            tel.traffic.read(TrafficSource::CompressedStream, compressed_bytes as u64);
+            tel.traffic.read(TrafficSource::FallbackRefetch, stats.fallback_bytes as u64);
+            tel.traffic
+                .read(TrafficSource::RowPtr, ((self.compressed.nrows + 1) * 8) as u64);
+
+            let mut evs = events.into_inner().expect("event sink poisoned");
+            evs.sort_by_key(|e| e.job);
+            for e in evs {
+                let (cycles, outcome) = recovered_jobs
+                    .get(&e.job)
+                    .copied()
+                    .unwrap_or((e.cycles, BlockOutcome::Ok));
+                let (stream, block) = if e.job < n_index {
+                    (StreamKind::Index, e.job)
+                } else {
+                    (StreamKind::Value, e.job - n_index)
+                };
+                tel.block_event(BlockEvent {
+                    job: e.job,
+                    stream,
+                    block,
+                    lane: e.lane,
+                    cycles,
+                    outcome,
+                });
+            }
+        }
         Ok((a, stats))
     }
 
@@ -362,12 +521,85 @@ impl RecodedSpmv {
         Ok((y, stats))
     }
 
+    /// Fully traced SpMV: [`RecodedSpmv::spmv_faulty`] plus a sealed
+    /// [`TraceDocument`] covering every phase — UDP decode with per-lane and
+    /// per-opcode-class breakdowns, retry/fallback recovery, reassembly,
+    /// modeled memory/DMA streaming, and the CPU multiply — along with
+    /// per-block events, dotted counters, memory traffic by source, and the
+    /// codec-stage snapshot (non-zero when built via
+    /// [`RecodedSpmv::new_traced`]). `name` labels the matrix in the trace.
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::decompress_via_udp`].
+    pub fn spmv_traced(
+        &self,
+        sys: &SystemConfig,
+        kernel: SpmvKernel,
+        x: &[f64],
+        hook: Option<&FaultHook>,
+        name: &str,
+    ) -> ExecResult<(Vec<f64>, ExecStats, TraceDocument)> {
+        let t_total = Instant::now();
+        let mut tel = Telemetry::new();
+        let (a, stats) = self.decompress_via_udp_traced(sys, hook, Some(&mut tel))?;
+
+        let t_multiply = Instant::now();
+        let mut y = vec![0.0; a.nrows()];
+        spmv_with_into(kernel, &a, x, &mut y);
+        let multiply_ns = t_multiply.elapsed().as_nanos() as u64;
+
+        // The multiply streams the dense vectors through the memory
+        // interface (the decoded matrix stays on-chip in the paper's tiled
+        // flow, so only x and y are charged to DRAM).
+        let vector_read = (a.ncols() * 8) as u64;
+        let vector_write = (a.nrows() * 8) as u64;
+        tel.traffic.read(TrafficSource::Vectors, vector_read);
+        tel.traffic.write(TrafficSource::Vectors, vector_write);
+        tel.span(
+            "exec.cpu_multiply",
+            multiply_ns,
+            sys.mem.stream_seconds(vector_read + vector_write),
+            vector_read + vector_write,
+        );
+
+        let matrix = MatrixMeta {
+            name: name.to_string(),
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            compressed_bytes: stats.compressed_bytes,
+            bytes_per_nnz: self.compressed.bytes_per_nnz(),
+        };
+        let system = SystemMeta {
+            memory: sys.mem.name.to_string(),
+            lanes: sys.udp.lanes,
+            freq_hz: sys.udp.freq_hz,
+        };
+        let codec_stages =
+            self.stage_telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default();
+        let wall_ns_total = t_total.elapsed().as_nanos() as u64;
+        let doc = tel.into_document(
+            matrix,
+            system,
+            stats.clone(),
+            codec_stages,
+            &sys.mem,
+            wall_ns_total,
+        );
+        Ok((y, stats, doc))
+    }
+
     /// Software-only decode path (reference), for differential testing.
+    /// On a traced instance ([`RecodedSpmv::new_traced`]) the per-stage
+    /// decode timings accumulate into the attached telemetry.
     ///
     /// # Errors
     /// Codec errors.
     pub fn decompress_via_software(&self) -> Result<Csr, CodecError> {
-        self.compressed.decompress()
+        match &self.stage_telemetry {
+            Some(t) => self.compressed.decompress_with_telemetry(t),
+            None => self.compressed.decompress(),
+        }
     }
 
     /// **Streaming tiled SpMV** — the paper's Fig. 7 execution mode. The
@@ -611,6 +843,95 @@ mod tests {
         let (y, stats) = r.spmv_streaming(&[1.0, 1.0]).unwrap();
         assert_eq!(y, vec![0.0, 0.0]);
         assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn retry_cycles_are_folded_into_the_makespan() {
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let (_, clean) = r.decompress_via_udp(&sys).unwrap();
+        assert_eq!(clean.retry_cycles, 0);
+        let hook = FaultHook::new().trap(0).trap(1);
+        let (_, faulty) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        assert!(faulty.retry_cycles > 0);
+        // The trapped jobs cost nothing in the batch but their full decode
+        // cycles on retry, so total busy work matches the clean run and the
+        // serialized retries stretch the makespan past it.
+        assert_eq!(faulty.accel.busy_cycles, clean.accel.busy_cycles);
+        assert!(faulty.accel.makespan_cycles > clean.accel.makespan_cycles);
+        // Utilization is recomputed over the folded totals.
+        let expect = faulty.accel.busy_cycles as f64
+            / (faulty.accel.makespan_cycles as f64 * faulty.accel.lanes as f64);
+        assert!((faulty.accel.lane_utilization - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_spmv_emits_a_consistent_document() {
+        let a = test_matrix();
+        let r = RecodedSpmv::new_traced(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let (y, stats, doc) =
+            r.spmv_traced(&sys, SpmvKernel::Serial, &x, None, "stencil").unwrap();
+        assert_eq!(y, recode_sparse::spmv::spmv(&a, &x), "tracing must not change results");
+        let errs = doc.validate();
+        assert!(errs.is_empty(), "trace invariants violated: {errs:?}");
+        assert_eq!(doc.matrix.name, "stencil");
+        assert_eq!(doc.matrix.nnz, a.nnz());
+        assert_eq!(doc.block_events.len(), stats.accel.jobs);
+        assert_eq!(doc.counter("exec.jobs"), stats.accel.jobs as u64);
+        for name in ["exec.decode_batch", "exec.reassemble", "exec.mem_stream", "exec.dma",
+            "exec.cpu_multiply"]
+        {
+            assert!(doc.spans.iter().any(|s| s.name == name), "missing span {name}");
+        }
+        // Encode-stage codec telemetry was captured at compression time.
+        assert!(doc.codec_stages.encode.delta.calls > 0);
+        assert!(doc.codec_stages.encode.huffman.calls > 0);
+        // Traffic covers the compressed stream, row pointers, and vectors.
+        assert!(doc.mem_traffic.total_bytes > 0);
+        assert!(doc.counter("mem.read.compressed_stream") == stats.compressed_bytes as u64);
+        assert!(doc.counter("mem.read.row_ptr") > 0);
+        assert!(doc.counter("mem.read.vectors") > 0);
+        // A traced run and an untraced run model the same machine.
+        let (y2, stats2) = r.spmv(&sys, SpmvKernel::Serial, &x).unwrap();
+        assert_eq!(y, y2);
+        assert_eq!(stats.accel.makespan_cycles, stats2.accel.makespan_cycles);
+    }
+
+    #[test]
+    fn traced_run_classifies_block_outcomes() {
+        use crate::telemetry::{BlockOutcome, StreamKind, Telemetry};
+        let a = test_matrix();
+        let mut r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        // Job 0 (index block 0) traps transiently; value block 0 is corrupt
+        // and falls back to the raw store.
+        r.compressed_mut().value_stream.blocks[0].payload[0] ^= 0x40;
+        let n_index = r.compressed().index_stream.blocks.len();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().trap(0);
+        let mut tel = Telemetry::new();
+        let (b, stats) =
+            r.decompress_via_udp_traced(&sys, Some(&hook), Some(&mut tel)).unwrap();
+        assert_eq!(b, a);
+        let evs = tel.block_events();
+        assert_eq!(evs.len(), stats.accel.jobs);
+        for (k, e) in evs.iter().enumerate() {
+            assert_eq!(e.job, k, "events sorted by job");
+            assert_eq!(e.lane, k % sys.udp.lanes);
+        }
+        assert_eq!(evs[0].outcome, BlockOutcome::Retried);
+        assert_eq!(evs[0].stream, StreamKind::Index);
+        assert!(evs[0].cycles > 0, "retried block reports its successful decode cycles");
+        let fb = &evs[n_index];
+        assert_eq!(fb.stream, StreamKind::Value);
+        assert_eq!(fb.block, 0);
+        assert_eq!(fb.outcome, BlockOutcome::FellBack);
+        assert_eq!(fb.cycles, 0, "fallback block never decoded");
+        let ok = evs.iter().filter(|e| e.outcome == BlockOutcome::Ok).count();
+        assert_eq!(ok, evs.len() - 2);
+        assert_eq!(tel.block_cycles().count, evs.len() as u64);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`corpus`] — the 369-matrix TAMU-substitute corpus;
 //! * [`experiment`] — per-figure experiment runners with serializable
 //!   results;
-//! * [`report`] — plain-text tables matching the paper's figures.
+//! * [`report`] — plain-text tables matching the paper's figures;
+//! * [`telemetry`] — the span/counter/histogram registry behind
+//!   `recode spmv --trace`, sealed into a schema-stable [`TraceDocument`].
 
 pub mod arch;
 pub mod corpus;
@@ -32,9 +34,14 @@ pub mod perfmodel;
 pub mod power;
 pub mod report;
 pub mod seven;
+pub mod telemetry;
 
 pub use arch::SystemConfig;
 pub use error::{ExecError, ExecResult};
 pub use exec::{ExecStats, RawFallbackStore, RecodedSpmv};
 pub use perfmodel::SpmvPerfModel;
 pub use power::PowerSavings;
+pub use telemetry::{
+    render_report, BlockEvent, BlockOutcome, CycleHistogram, MatrixMeta, Span, StreamKind,
+    SystemMeta, Telemetry, TraceDocument, TRACE_SCHEMA,
+};

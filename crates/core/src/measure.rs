@@ -53,7 +53,9 @@ pub fn measure_udp_decomp(
         [(&index_decoder, &cm.index_stream), (&value_decoder, &cm.value_stream)]
     {
         let n = stream.blocks.len();
-        let stride = n.div_ceil(max_blocks_per_stream).max(1);
+        // `max(1)` twice: a zero sample budget degrades to one block per
+        // stream instead of a divide-by-zero panic.
+        let stride = n.div_ceil(max_blocks_per_stream.max(1)).max(1);
         for block in stream.blocks.iter().step_by(stride) {
             jobs.push((decoder, block));
         }
@@ -79,9 +81,17 @@ pub fn measure_udp_decomp(
     let report = outcome.report;
 
     let bytes_per_cycle = report.output_bytes as f64 / report.busy_cycles.max(1) as f64;
-    let lane_out_bps = bytes_per_cycle * accel.freq_hz;
-    let us_per_block =
-        report.busy_cycles as f64 / jobs.len() as f64 / accel.freq_hz * 1e6;
+    // Same degenerate-input policy as the `.max(1)` clamp above: a clock
+    // that is zero, negative, or non-finite yields finite zero rates rather
+    // than NaN/inf leaking into downstream tables.
+    let (lane_out_bps, us_per_block) = if accel.freq_hz.is_finite() && accel.freq_hz > 0.0 {
+        (
+            bytes_per_cycle * accel.freq_hz,
+            report.busy_cycles as f64 / jobs.len() as f64 / accel.freq_hz * 1e6,
+        )
+    } else {
+        (0.0, 0.0)
+    };
     Ok(DecompMeasurement {
         blocks_simulated: jobs.len(),
         blocks_total,
@@ -206,6 +216,28 @@ mod tests {
             r.snappy_bps,
             r.dsh_bps
         );
+    }
+
+    #[test]
+    fn zero_sample_budget_degrades_to_one_block_per_stream() {
+        let cm = compressed_banded();
+        let m = measure_udp_decomp(&cm, &Accelerator::default(), 0).unwrap();
+        assert!(m.blocks_simulated >= 1 && m.blocks_simulated <= 2, "{}", m.blocks_simulated);
+        assert!(m.us_per_block.is_finite() && m.us_per_block > 0.0);
+    }
+
+    #[test]
+    fn degenerate_clock_yields_finite_zero_rates() {
+        let cm = compressed_banded();
+        for freq_hz in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let accel = Accelerator { lanes: 64, freq_hz };
+            let m = measure_udp_decomp(&cm, &accel, 4).unwrap();
+            assert!(m.blocks_simulated > 0);
+            assert!(m.bytes_per_cycle > 0.0, "cycle-level intensity is clock-independent");
+            assert_eq!(m.us_per_block, 0.0, "freq {freq_hz}");
+            assert_eq!(m.lane_out_bps, 0.0, "freq {freq_hz}");
+            assert_eq!(m.accel_out_bps, 0.0, "freq {freq_hz}");
+        }
     }
 
     #[test]

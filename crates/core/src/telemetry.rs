@@ -1,0 +1,659 @@
+//! Lightweight span/counter/histogram telemetry for the whole recoded-SpMV
+//! pipeline, exported as one stable JSON trace document.
+//!
+//! Everything here is plain data + `std` — no new dependencies. The
+//! trace-off path costs nothing: every instrumented function takes
+//! `Option<&mut Telemetry>` and skips all timing when it is `None`.
+//!
+//! ## Schema
+//!
+//! A [`TraceDocument`] (version [`TRACE_SCHEMA`]) aggregates:
+//!
+//! * [`Span`]s — wall-clock (`wall_ns`) and/or modeled (`modeled_seconds`)
+//!   durations for each pipeline phase (`exec.decode_batch`, `exec.retry`,
+//!   `exec.fallback`, `exec.reassemble`, `exec.mem_stream`, `exec.dma`,
+//!   `exec.cpu_multiply`);
+//! * counters — dotted lowercase names (`exec.blocks_retried`,
+//!   `mem.read.compressed_stream`, ...);
+//! * a log₂-bucketed [`CycleHistogram`] of per-block decode cycles;
+//! * per-block [`BlockEvent`] records (job, stream, block, lane, cycles,
+//!   outcome);
+//! * the accelerator's per-lane/per-opcode-class breakdown (via
+//!   `ExecStats::accel`), the codec's per-stage timings, and the memory
+//!   traffic ledger by source.
+
+use crate::exec::ExecStats;
+use recode_codec::telemetry::CodecStageReport;
+use recode_mem::traffic::{TrafficLedger, TrafficReport};
+use recode_mem::MemorySystem;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Trace-document schema identifier. Bump only with a schema change.
+pub const TRACE_SCHEMA: &str = "recode-trace/v1";
+
+/// A log₂-bucketed histogram of `u64` samples (block decode cycles).
+///
+/// Bucket 0 holds zeros; bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b - 1]`. Buckets are stored sparsely so the JSON stays
+/// small and schema-stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sparse `bucket index → count` map.
+    pub buckets: BTreeMap<u8, u64>,
+}
+
+impl CycleHistogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `value` lands in.
+    pub fn bucket_index(value: u64) -> u8 {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as u8
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `b`.
+    pub fn bucket_range(b: u8) -> (u64, u64) {
+        match b {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            b => (1u64 << (b - 1), (1u64 << b) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (&b, &c) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += c;
+        }
+    }
+}
+
+/// One named pipeline phase. `wall_ns` is host wall-clock time actually
+/// spent simulating/executing the phase; `modeled_seconds` is the
+/// architectural model's time for the phase (0.0 when not applicable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Dotted lowercase phase name (e.g. `exec.decode_batch`).
+    pub name: String,
+    /// Host wall-clock nanoseconds spent in the phase.
+    pub wall_ns: u64,
+    /// Modeled seconds on the simulated system (0.0 if not modeled).
+    pub modeled_seconds: f64,
+    /// Bytes the phase processed (0 if not meaningful).
+    pub bytes: u64,
+}
+
+/// Which compressed stream a block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// Column-index stream.
+    Index,
+    /// Value stream.
+    Value,
+}
+
+/// How a block's decode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockOutcome {
+    /// Decoded cleanly on the first attempt.
+    Ok,
+    /// Failed at least once, recovered by a retry on a fresh lane.
+    Retried,
+    /// Retries exhausted; served from the raw fallback store.
+    FellBack,
+}
+
+/// One block's journey through the decode batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockEvent {
+    /// Job index in the interleaved batch.
+    pub job: usize,
+    /// Stream the block belongs to.
+    pub stream: StreamKind,
+    /// Block index within its stream.
+    pub block: usize,
+    /// Lane the job ran on (`job % lanes`).
+    pub lane: usize,
+    /// Decode cycles (the successful attempt's; 0 for fallback blocks).
+    pub cycles: u64,
+    /// Outcome classification.
+    pub outcome: BlockOutcome,
+}
+
+/// In-flight telemetry registry threaded through the pipeline.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    spans: Vec<Span>,
+    counters: BTreeMap<String, u64>,
+    block_cycles: CycleHistogram,
+    block_events: Vec<BlockEvent>,
+    /// Memory traffic by source, filled by the exec path.
+    pub traffic: TrafficLedger,
+}
+
+impl Telemetry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finished span.
+    pub fn span(&mut self, name: &str, wall_ns: u64, modeled_seconds: f64, bytes: u64) {
+        self.spans.push(Span { name: name.to_string(), wall_ns, modeled_seconds, bytes });
+    }
+
+    /// Adds `delta` to counter `name` (created at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one block event (and its cycles into the histogram).
+    pub fn block_event(&mut self, event: BlockEvent) {
+        self.block_cycles.record(event.cycles);
+        self.block_events.push(event);
+    }
+
+    /// Recorded spans, in order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Counter value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Recorded block events, in batch order.
+    pub fn block_events(&self) -> &[BlockEvent] {
+        &self.block_events
+    }
+
+    /// The block-cycle histogram.
+    pub fn block_cycles(&self) -> &CycleHistogram {
+        &self.block_cycles
+    }
+
+    /// Folds `other` into `self`: spans/events append, counters and the
+    /// histogram add, traffic merges.
+    pub fn merge(&mut self, other: Telemetry) {
+        self.spans.extend(other.spans);
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        self.block_cycles.merge(&other.block_cycles);
+        self.block_events.extend(other.block_events);
+        self.traffic.merge(&other.traffic);
+    }
+
+    /// Seals the registry into a [`TraceDocument`]. Memory-traffic counters
+    /// (`mem.read.<source>` / `mem.write.<source>`) are derived from the
+    /// ledger here so counters and the traffic report can never disagree.
+    pub fn into_document(
+        mut self,
+        matrix: MatrixMeta,
+        system: SystemMeta,
+        exec: ExecStats,
+        codec_stages: CodecStageReport,
+        mem: &MemorySystem,
+        wall_ns_total: u64,
+    ) -> TraceDocument {
+        use recode_mem::traffic::TrafficSource;
+        for s in TrafficSource::ALL {
+            let r = self.traffic.read_bytes(s);
+            let w = self.traffic.write_bytes(s);
+            if r > 0 {
+                self.add(&format!("mem.read.{}", s.name()), r);
+            }
+            if w > 0 {
+                self.add(&format!("mem.write.{}", s.name()), w);
+            }
+        }
+        TraceDocument {
+            schema: TRACE_SCHEMA.to_string(),
+            matrix,
+            system,
+            wall_ns_total,
+            spans: self.spans,
+            counters: self.counters,
+            block_cycles: self.block_cycles,
+            block_events: self.block_events,
+            codec_stages,
+            mem_traffic: self.traffic.report(mem),
+            exec,
+        }
+    }
+}
+
+/// Matrix identity in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatrixMeta {
+    /// Display name (file stem or generator name; may be empty).
+    pub name: String,
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// Compressed wire bytes.
+    pub compressed_bytes: usize,
+    /// Compressed bytes per non-zero (raw CSR = 12.0).
+    pub bytes_per_nnz: f64,
+}
+
+/// Simulated-platform identity in a trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemMeta {
+    /// Memory-system name.
+    pub memory: String,
+    /// UDP lanes.
+    pub lanes: usize,
+    /// UDP clock, Hz.
+    pub freq_hz: f64,
+}
+
+/// The exported trace: one self-contained, schema-versioned JSON document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceDocument {
+    /// Schema identifier ([`TRACE_SCHEMA`]).
+    pub schema: String,
+    /// Matrix identity.
+    pub matrix: MatrixMeta,
+    /// Platform identity.
+    pub system: SystemMeta,
+    /// Host wall-clock nanoseconds for the whole traced run.
+    pub wall_ns_total: u64,
+    /// Per-phase spans, in execution order.
+    pub spans: Vec<Span>,
+    /// Dotted-name counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Log₂ histogram of per-block decode cycles.
+    pub block_cycles: CycleHistogram,
+    /// Per-block event records.
+    pub block_events: Vec<BlockEvent>,
+    /// Software-codec per-stage timings and byte counters.
+    pub codec_stages: CodecStageReport,
+    /// Memory traffic by source.
+    pub mem_traffic: TrafficReport,
+    /// Execution stats, including the accelerator report with per-lane
+    /// profiles, opcode-class and stage cycle attribution.
+    pub exec: ExecStats,
+}
+
+impl TraceDocument {
+    /// Sum of measured span time (nanoseconds).
+    pub fn spans_wall_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Structural validation: schema version plus the invariants the
+    /// pipeline guarantees. Returns a list of violations (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.schema != TRACE_SCHEMA {
+            errs.push(format!("schema `{}` != expected `{}`", self.schema, TRACE_SCHEMA));
+        }
+        if self.spans_wall_ns() > self.wall_ns_total {
+            errs.push(format!(
+                "span wall time {} ns exceeds total {} ns",
+                self.spans_wall_ns(),
+                self.wall_ns_total
+            ));
+        }
+        if self.block_cycles.count != self.block_events.len() as u64 {
+            errs.push(format!(
+                "histogram count {} != block events {}",
+                self.block_cycles.count,
+                self.block_events.len()
+            ));
+        }
+        let event_cycles: u64 = self.block_events.iter().map(|e| e.cycles).sum();
+        if self.block_cycles.sum != event_cycles {
+            errs.push(format!(
+                "histogram sum {} != event cycle sum {}",
+                self.block_cycles.sum, event_cycles
+            ));
+        }
+        let accel = &self.exec.accel;
+        if !accel.lane_profiles.is_empty() && accel.lane_profiles.len() != accel.lanes {
+            errs.push(format!(
+                "{} lane profiles for {} lanes",
+                accel.lane_profiles.len(),
+                accel.lanes
+            ));
+        }
+        let lane_busy: u64 =
+            accel.lane_profiles.iter().map(|p| p.busy_cycles + p.stall_cycles).sum();
+        // Retry cycles are folded into the batch totals after the fact, so
+        // lane profiles may undercount busy cycles by exactly that much.
+        if !accel.lane_profiles.is_empty()
+            && lane_busy + self.exec.retry_cycles != accel.busy_cycles
+        {
+            errs.push(format!(
+                "lane profiles sum to {} busy cycles, report says {} (retry {})",
+                lane_busy, accel.busy_cycles, self.exec.retry_cycles
+            ));
+        }
+        let traffic_total: u64 = self
+            .mem_traffic
+            .by_source
+            .iter()
+            .map(|s| s.read_bytes + s.write_bytes)
+            .sum();
+        if traffic_total != self.mem_traffic.total_bytes {
+            errs.push(format!(
+                "traffic by-source sum {} != total {}",
+                traffic_total, self.mem_traffic.total_bytes
+            ));
+        }
+        for (name, stat) in [
+            ("exec.blocks_retried", self.exec.blocks_retried as u64),
+            ("exec.blocks_fell_back", self.exec.blocks_fell_back as u64),
+        ] {
+            if self.counter(name) != stat {
+                errs.push(format!(
+                    "counter {name} = {} disagrees with exec stats {stat}",
+                    self.counter(name)
+                ));
+            }
+        }
+        errs
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Renders the human-readable `recode report` table for a trace.
+pub fn render_report(doc: &TraceDocument) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let m = &doc.matrix;
+    let _ = writeln!(out, "== recode trace report ({}) ==", doc.schema);
+    let _ = writeln!(
+        out,
+        "matrix {}: {} x {}, {} nnz, {} compressed bytes ({:.2} B/nnz)",
+        if m.name.is_empty() { "<unnamed>" } else { &m.name },
+        m.nrows,
+        m.ncols,
+        m.nnz,
+        m.compressed_bytes,
+        m.bytes_per_nnz
+    );
+    let s = &doc.system;
+    let _ = writeln!(
+        out,
+        "system: {} | {} UDP lanes @ {:.2} GHz",
+        s.memory,
+        s.lanes,
+        s.freq_hz / 1e9
+    );
+    let _ = writeln!(out, "\n-- phases (wall {:.3} ms total) --", doc.wall_ns_total as f64 / 1e6);
+    let _ = writeln!(out, "{:<20} {:>12} {:>14} {:>12}", "span", "wall us", "modeled us", "bytes");
+    for sp in &doc.spans {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12.1} {:>14.3} {:>12}",
+            sp.name,
+            sp.wall_ns as f64 / 1e3,
+            sp.modeled_seconds * 1e6,
+            sp.bytes
+        );
+    }
+    let a = &doc.exec.accel;
+    let _ = writeln!(out, "\n-- accelerator --");
+    let _ = writeln!(
+        out,
+        "jobs {} (failed {}), makespan {} cycles, busy {}, utilization {:.1}%",
+        a.jobs,
+        a.jobs_failed,
+        a.makespan_cycles,
+        a.busy_cycles,
+        a.lane_utilization * 100.0
+    );
+    let oc = &a.opclass;
+    let total = oc.total().max(1);
+    let _ = writeln!(
+        out,
+        "opcode classes: dispatch {:.1}% | alu {:.1}% | mem {:.1}% | stream {:.1}%",
+        oc.dispatch as f64 * 100.0 / total as f64,
+        oc.alu as f64 * 100.0 / total as f64,
+        oc.mem as f64 * 100.0 / total as f64,
+        oc.stream as f64 * 100.0 / total as f64
+    );
+    let st = &a.stage_cycles;
+    let stotal = st.total().max(1);
+    let _ = writeln!(
+        out,
+        "decode stages: huffman {:.1}% | snappy {:.1}% | delta {:.1}%",
+        st.huffman as f64 * 100.0 / stotal as f64,
+        st.snappy as f64 * 100.0 / stotal as f64,
+        st.delta as f64 * 100.0 / stotal as f64
+    );
+    let h = &doc.block_cycles;
+    let _ = writeln!(out, "\n-- per-block decode cycles (log2 buckets) --");
+    let _ = writeln!(
+        out,
+        "count {}, mean {:.0}, min {}, max {}",
+        h.count,
+        h.mean(),
+        h.min,
+        h.max
+    );
+    for (&b, &c) in &h.buckets {
+        let (lo, hi) = CycleHistogram::bucket_range(b);
+        let _ = writeln!(out, "  [{lo:>10}, {hi:>10}] {c:>6}");
+    }
+    let _ = writeln!(out, "\n-- memory traffic ({}) --", doc.mem_traffic.memory);
+    for src in &doc.mem_traffic.by_source {
+        let _ = writeln!(
+            out,
+            "{:<20} read {:>12} B  write {:>12} B",
+            src.source.name(),
+            src.read_bytes,
+            src.write_bytes
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total {} B, {:.3} us at peak bandwidth, {:.3} mJ",
+        doc.mem_traffic.total_bytes,
+        doc.mem_traffic.stream_seconds * 1e6,
+        doc.mem_traffic.transfer_joules * 1e3
+    );
+    let cs = &doc.codec_stages;
+    let _ = writeln!(out, "\n-- software codec stages --");
+    for (dir, d) in [("encode", &cs.encode), ("decode", &cs.decode)] {
+        for (stage, st) in
+            [("delta", &d.delta), ("snappy", &d.snappy), ("huffman", &d.huffman)]
+        {
+            if st.calls == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{dir:<7} {stage:<8} {:>8} blocks {:>12.1} us  {:>12} -> {:>12} B",
+                st.calls,
+                st.ns as f64 / 1e3,
+                st.bytes_in,
+                st.bytes_out
+            );
+        }
+    }
+    let e = &doc.exec;
+    let _ = writeln!(out, "\n-- degradation --");
+    let _ = writeln!(
+        out,
+        "retried {} | fell back {} | fallback bytes {} | retry cycles {} | degraded: {}",
+        e.blocks_retried,
+        e.blocks_fell_back,
+        e.fallback_bytes,
+        e.retry_cycles,
+        e.degraded
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_indexing_is_log2() {
+        assert_eq!(CycleHistogram::bucket_index(0), 0);
+        assert_eq!(CycleHistogram::bucket_index(1), 1);
+        assert_eq!(CycleHistogram::bucket_index(2), 2);
+        assert_eq!(CycleHistogram::bucket_index(3), 2);
+        assert_eq!(CycleHistogram::bucket_index(4), 3);
+        assert_eq!(CycleHistogram::bucket_index(1023), 10);
+        assert_eq!(CycleHistogram::bucket_index(1024), 11);
+        assert_eq!(CycleHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_bucket_ranges_tile_the_u64_line() {
+        let (lo0, hi0) = CycleHistogram::bucket_range(0);
+        assert_eq!((lo0, hi0), (0, 0));
+        let mut expected_lo = 1u64;
+        for b in 1..=63u8 {
+            let (lo, hi) = CycleHistogram::bucket_range(b);
+            assert_eq!(lo, expected_lo, "bucket {b}");
+            assert_eq!(hi, lo * 2 - 1, "bucket {b}");
+            // Every value in [lo, hi] maps back to bucket b.
+            assert_eq!(CycleHistogram::bucket_index(lo), b);
+            assert_eq!(CycleHistogram::bucket_index(hi), b);
+            expected_lo = hi + 1;
+        }
+        assert_eq!(CycleHistogram::bucket_range(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = CycleHistogram::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            a.record(v);
+        }
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 1011);
+        assert_eq!(a.min, 0);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.buckets[&0], 1);
+        assert_eq!(a.buckets[&3], 2, "two fives in [4,7]");
+
+        let mut b = CycleHistogram::new();
+        b.record(7);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count, 7);
+        assert_eq!(a.sum, 1011 + 2007);
+        assert_eq!(a.max, 2000);
+        assert_eq!(a.buckets[&3], 3, "7 joins the [4,7] bucket");
+
+        let mut empty = CycleHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a, "merge into empty copies");
+        let snapshot = a.clone();
+        a.merge(&CycleHistogram::new());
+        assert_eq!(a, snapshot, "merging empty is a no-op");
+    }
+
+    #[test]
+    fn counter_merge_adds_and_unions() {
+        let mut a = Telemetry::new();
+        a.add("exec.blocks_retried", 2);
+        a.add("exec.jobs", 10);
+        let mut b = Telemetry::new();
+        b.add("exec.blocks_retried", 3);
+        b.add("exec.blocks_fell_back", 1);
+        a.merge(b);
+        assert_eq!(a.counter("exec.blocks_retried"), 5);
+        assert_eq!(a.counter("exec.jobs"), 10);
+        assert_eq!(a.counter("exec.blocks_fell_back"), 1);
+        assert_eq!(a.counter("never.touched"), 0);
+    }
+
+    #[test]
+    fn telemetry_merge_concatenates_spans_and_events() {
+        let mut a = Telemetry::new();
+        a.span("exec.decode_batch", 100, 0.5, 64);
+        a.block_event(BlockEvent {
+            job: 0,
+            stream: StreamKind::Index,
+            block: 0,
+            lane: 0,
+            cycles: 10,
+            outcome: BlockOutcome::Ok,
+        });
+        let mut b = Telemetry::new();
+        b.span("exec.retry", 50, 0.0, 0);
+        b.block_event(BlockEvent {
+            job: 1,
+            stream: StreamKind::Value,
+            block: 0,
+            lane: 1,
+            cycles: 20,
+            outcome: BlockOutcome::Retried,
+        });
+        a.merge(b);
+        assert_eq!(a.spans().len(), 2);
+        assert_eq!(a.block_events().len(), 2);
+        assert_eq!(a.block_cycles().count, 2);
+        assert_eq!(a.block_cycles().sum, 30);
+    }
+}

@@ -9,6 +9,8 @@
 //!   denominators.
 //! * [`dma`] — the lightweight DMA engine that streams compressed blocks
 //!   from DRAM into UDP local memory (Thanh-Hoang et al., DATE'16 style).
+//! * [`traffic`] — byte-level traffic accounting by source (compressed
+//!   stream, fallback re-fetch, vectors, row pointers) for the trace path.
 //! * [`cpu`] — the host CPU: bandwidth-bound SpMV rate plus software
 //!   recoding throughputs *calibrated to the paper's measurements* on its
 //!   Xeon E5-2670v3 platform (see DESIGN.md §3, substitution 4 — the real
@@ -18,7 +20,9 @@
 pub mod cpu;
 pub mod dma;
 pub mod memsys;
+pub mod traffic;
 
 pub use cpu::CpuModel;
 pub use dma::DmaModel;
 pub use memsys::MemorySystem;
+pub use traffic::{SourceTraffic, TrafficLedger, TrafficReport, TrafficSource};

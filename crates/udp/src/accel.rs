@@ -9,19 +9,90 @@
 //! the batch deterministically.
 
 use crate::energy;
-use crate::lane::{Lane, LaneError};
+use crate::lane::{Lane, LaneError, OpClassCycles};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Per-decode-stage cycle attribution for one job (or aggregated over a
+/// batch). Stages that a pipeline config disables simply stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCycles {
+    /// Canonical-Huffman decode stage.
+    pub huffman: u64,
+    /// Snappy decode stage.
+    pub snappy: u64,
+    /// Inverse zigzag-delta stage.
+    pub delta: u64,
+}
+
+impl StageCycles {
+    /// Sum across stages.
+    pub fn total(&self) -> u64 {
+        self.huffman + self.snappy + self.delta
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &StageCycles) {
+        self.huffman += other.huffman;
+        self.snappy += other.snappy;
+        self.delta += other.delta;
+    }
+}
+
 /// What one job produced on a lane.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct JobOutcome {
     /// Cycles the job consumed on its lane.
     pub cycles: u64,
+    /// Cycle attribution by opcode class (zero when the runner does not
+    /// track it, e.g. synthetic jobs in tests).
+    pub opclass: OpClassCycles,
+    /// Cycle attribution by decode stage (zero when not applicable).
+    pub stage_cycles: StageCycles,
     /// Bytes the job produced.
     pub output: Vec<u8>,
 }
+
+/// One lane's share of a batch — the per-lane busy/stall/trap breakdown
+/// surfaced in [`AccelReport::lane_profiles`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LaneProfile {
+    /// Lane index (job `k` runs on lane `k % lanes`).
+    pub lane: usize,
+    /// Jobs assigned to this lane.
+    pub jobs: usize,
+    /// Jobs that trapped or errored on this lane.
+    pub jobs_failed: usize,
+    /// Cycles spent executing successful jobs.
+    pub busy_cycles: u64,
+    /// Injected DMA-stall cycles charged to this lane.
+    pub stall_cycles: u64,
+    /// Output bytes produced by this lane.
+    pub output_bytes: u64,
+    /// Opcode-class attribution of this lane's busy cycles.
+    pub opclass: OpClassCycles,
+}
+
+/// One per-job record emitted through the event sink of
+/// [`Accelerator::run_jobs_observed`] — enough for the fault-injection
+/// suite to assert on what actually ran where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Job index in the submitted batch.
+    pub job: usize,
+    /// Lane the job ran on.
+    pub lane: usize,
+    /// Cycles the job consumed (0 for failed jobs).
+    pub cycles: u64,
+    /// Injected stall cycles charged to the lane before this job.
+    pub stall_cycles: u64,
+    /// Whether the job completed successfully.
+    pub ok: bool,
+}
+
+/// Event sink: called once per job, from lane worker threads.
+pub type JobEventSink<'a> = &'a (dyn Fn(&JobEvent) + Sync);
 
 /// Result of a batch: aggregate report plus every job's individual outcome
 /// in job order. Failed jobs are `Err` entries — the batch itself always
@@ -118,6 +189,15 @@ pub struct AccelReport {
     pub lane_utilization: f64,
     /// Clock frequency used for time/throughput conversions.
     pub freq_hz: f64,
+    /// Per-lane busy/stall/trap breakdown (one entry per configured lane).
+    #[serde(default)]
+    pub lane_profiles: Vec<LaneProfile>,
+    /// Batch-wide cycle attribution by opcode class (successful jobs).
+    #[serde(default)]
+    pub opclass: OpClassCycles,
+    /// Batch-wide cycle attribution by decode stage (successful jobs).
+    #[serde(default)]
+    pub stage_cycles: StageCycles,
 }
 
 impl AccelReport {
@@ -174,27 +254,73 @@ impl Accelerator {
         E: From<LaneError> + Send,
         F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
     {
+        self.run_jobs_observed(jobs, run, hook, None)
+    }
+
+    /// [`Accelerator::run_jobs_with_faults`] plus an optional per-job event
+    /// sink: `sink` is invoked once per job (from lane worker threads, so it
+    /// must be `Sync`) with the job's lane, cycles, injected stalls, and
+    /// success flag. The fault-injection suite uses this to assert on the
+    /// events the batch actually emitted.
+    pub fn run_jobs_observed<J, E, F>(
+        &self,
+        jobs: &[J],
+        run: F,
+        hook: &FaultHook,
+        sink: Option<JobEventSink<'_>>,
+    ) -> BatchOutcome<E>
+    where
+        J: Sync,
+        E: From<LaneError> + Send,
+        F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
+    {
         assert!(self.lanes > 0, "need at least one lane");
         // Each simulated lane runs on a host thread; job k goes to lane
         // k % lanes, preserving the paper's block-round-robin assignment.
-        let per_lane: Vec<(u64, Vec<(usize, Result<JobOutcome, E>)>)> = (0..self.lanes)
-            .into_par_iter()
-            .map(|lane_idx| {
-                let mut lane = Lane::new();
-                let mut done = Vec::new();
-                let mut stalls = 0u64;
-                for (k, job) in jobs.iter().enumerate().skip(lane_idx).step_by(self.lanes) {
-                    stalls += hook.stall_cycles.get(&k).copied().unwrap_or(0);
-                    let result = if hook.trap_jobs.contains(&k) {
-                        Err(E::from(LaneError::InjectedFault))
-                    } else {
-                        run(&mut lane, job)
-                    };
-                    done.push((k, result));
-                }
-                (stalls, done)
-            })
-            .collect();
+        let per_lane: Vec<(LaneProfile, StageCycles, Vec<(usize, Result<JobOutcome, E>)>)> =
+            (0..self.lanes)
+                .into_par_iter()
+                .map(|lane_idx| {
+                    let mut lane = Lane::new();
+                    let mut done = Vec::new();
+                    let mut profile = LaneProfile { lane: lane_idx, ..Default::default() };
+                    let mut stages = StageCycles::default();
+                    for (k, job) in
+                        jobs.iter().enumerate().skip(lane_idx).step_by(self.lanes)
+                    {
+                        let stall = hook.stall_cycles.get(&k).copied().unwrap_or(0);
+                        profile.stall_cycles += stall;
+                        let result = if hook.trap_jobs.contains(&k) {
+                            Err(E::from(LaneError::InjectedFault))
+                        } else {
+                            run(&mut lane, job)
+                        };
+                        profile.jobs += 1;
+                        let mut cycles = 0u64;
+                        match &result {
+                            Ok(o) => {
+                                cycles = o.cycles;
+                                profile.busy_cycles += o.cycles;
+                                profile.output_bytes += o.output.len() as u64;
+                                profile.opclass.merge(&o.opclass);
+                                stages.merge(&o.stage_cycles);
+                            }
+                            Err(_) => profile.jobs_failed += 1,
+                        }
+                        if let Some(sink) = sink {
+                            sink(&JobEvent {
+                                job: k,
+                                lane: lane_idx,
+                                cycles,
+                                stall_cycles: stall,
+                                ok: result.is_ok(),
+                            });
+                        }
+                        done.push((k, result));
+                    }
+                    (profile, stages, done)
+                })
+                .collect();
 
         let mut results: Vec<Option<Result<JobOutcome, E>>> =
             (0..jobs.len()).map(|_| None).collect();
@@ -203,21 +329,24 @@ impl Accelerator {
         let mut out_bytes = 0u64;
         let mut failed = 0usize;
         let mut stall_total = 0u64;
-        for (stalls, lane_jobs) in per_lane {
-            let mut lane_cycles = stalls;
-            stall_total += stalls;
+        let mut opclass = OpClassCycles::default();
+        let mut stage_cycles = StageCycles::default();
+        let mut lane_profiles = Vec::with_capacity(self.lanes);
+        for (profile, stages, lane_jobs) in per_lane {
+            // A lane's wall-clock share is its successful-job cycles plus
+            // any injected stalls (failed jobs cost no modeled cycles).
+            let lane_cycles = profile.busy_cycles + profile.stall_cycles;
+            stall_total += profile.stall_cycles;
+            out_bytes += profile.output_bytes;
+            failed += profile.jobs_failed;
+            opclass.merge(&profile.opclass);
+            stage_cycles.merge(&stages);
             for (k, r) in lane_jobs {
-                match &r {
-                    Ok(o) => {
-                        lane_cycles += o.cycles;
-                        out_bytes += o.output.len() as u64;
-                    }
-                    Err(_) => failed += 1,
-                }
                 results[k] = Some(r);
             }
             makespan = makespan.max(lane_cycles);
             busy += lane_cycles;
+            lane_profiles.push(profile);
         }
         let results: Vec<Result<JobOutcome, E>> = results
             .into_iter()
@@ -237,6 +366,9 @@ impl Accelerator {
                 busy as f64 / (makespan as f64 * self.lanes as f64)
             },
             freq_hz: self.freq_hz,
+            lane_profiles,
+            opclass,
+            stage_cycles,
         };
         BatchOutcome { report, results }
     }
@@ -254,7 +386,7 @@ mod tests {
     }
 
     fn run_fake(_lane: &mut Lane, j: &Fake) -> Result<JobOutcome, LaneError> {
-        Ok(JobOutcome { cycles: j.cycles, output: vec![0u8; j.bytes] })
+        Ok(JobOutcome { cycles: j.cycles, output: vec![0u8; j.bytes], ..Default::default() })
     }
 
     #[test]
@@ -292,7 +424,7 @@ mod tests {
             if j == 3 {
                 Err(LaneError::CycleLimit { limit: 1 })
             } else {
-                Ok(JobOutcome { cycles: 1, output: vec![7] })
+                Ok(JobOutcome { cycles: 1, output: vec![7], ..Default::default() })
             }
         });
         assert_eq!(out.report.jobs_failed, 1);
@@ -345,10 +477,59 @@ mod tests {
         assert!((acc.freq_hz - 1.6e9).abs() < 1.0);
     }
 
+    #[test]
+    fn lane_profiles_cover_every_lane_and_sum_to_batch_totals() {
+        let acc = Accelerator { lanes: 4, freq_hz: 1e9 };
+        let jobs: Vec<Fake> = (0..10).map(|i| Fake { cycles: 10 * (i + 1), bytes: 3 }).collect();
+        let hook = FaultHook::new().trap(1).stall(2, 77);
+        let out = acc.run_jobs_with_faults::<_, LaneError, _>(&jobs, run_fake, &hook);
+        let r = &out.report;
+        assert_eq!(r.lane_profiles.len(), 4);
+        for (i, p) in r.lane_profiles.iter().enumerate() {
+            assert_eq!(p.lane, i);
+        }
+        let busy: u64 = r.lane_profiles.iter().map(|p| p.busy_cycles + p.stall_cycles).sum();
+        assert_eq!(busy, r.busy_cycles);
+        let stalls: u64 = r.lane_profiles.iter().map(|p| p.stall_cycles).sum();
+        assert_eq!(stalls, r.injected_stall_cycles);
+        let bytes: u64 = r.lane_profiles.iter().map(|p| p.output_bytes).sum();
+        assert_eq!(bytes, r.output_bytes);
+        let failed: usize = r.lane_profiles.iter().map(|p| p.jobs_failed).sum();
+        assert_eq!(failed, r.jobs_failed);
+        let assigned: usize = r.lane_profiles.iter().map(|p| p.jobs).sum();
+        assert_eq!(assigned, r.jobs);
+        // Job 1 runs on lane 1, so that's where the trap must show up.
+        assert_eq!(r.lane_profiles[1].jobs_failed, 1);
+        assert_eq!(r.lane_profiles[2].stall_cycles, 77);
+    }
+
+    #[test]
+    fn event_sink_sees_every_job_with_lane_and_outcome() {
+        use std::sync::Mutex;
+        let acc = Accelerator { lanes: 3, freq_hz: 1e9 };
+        let jobs: Vec<Fake> = (0..7).map(|_| Fake { cycles: 5, bytes: 1 }).collect();
+        let hook = FaultHook::new().trap(4).stall(5, 9);
+        let events: Mutex<Vec<JobEvent>> = Mutex::new(Vec::new());
+        let sink = |e: &JobEvent| events.lock().unwrap().push(*e);
+        let out =
+            acc.run_jobs_observed::<_, LaneError, _>(&jobs, run_fake, &hook, Some(&sink));
+        let mut events = events.into_inner().unwrap();
+        events.sort_by_key(|e| e.job);
+        assert_eq!(events.len(), 7);
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.job, k);
+            assert_eq!(e.lane, k % 3);
+            assert_eq!(e.ok, k != 4);
+            assert_eq!(e.cycles, if k == 4 { 0 } else { 5 });
+            assert_eq!(e.stall_cycles, if k == 5 { 9 } else { 0 });
+        }
+        assert_eq!(out.report.jobs_failed, 1);
+    }
+
     // Silence the unused-import lint while documenting intent: RunResult is
     // the lane-level analogue of JobOutcome.
     #[allow(dead_code)]
     fn _type_bridge(r: RunResult) -> JobOutcome {
-        JobOutcome { cycles: r.cycles, output: r.output }
+        JobOutcome { cycles: r.cycles, opclass: r.opclass, stage_cycles: StageCycles::default(), output: r.output }
     }
 }

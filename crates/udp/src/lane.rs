@@ -20,6 +20,67 @@
 
 use crate::isa::{Action, NUM_REGS, SCRATCHPAD_BYTES};
 use crate::machine::{DecodedTransition, Image};
+use serde::{Deserialize, Serialize};
+
+/// Cycle attribution by opcode class (paper Figs. 12/13 break decode time
+/// down the same way: dispatch overhead vs. ALU vs. memory vs. stream I/O).
+///
+/// Every cycle a lane spends is attributed to exactly one class, so
+/// `total()` equals the run's cycle count — the invariant the telemetry
+/// layer asserts on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpClassCycles {
+    /// Block-dispatch cycles (1 per dispatched code block).
+    pub dispatch: u64,
+    /// Register ALU actions (moves, arithmetic, logic, shifts).
+    pub alu: u64,
+    /// Scratchpad loads/stores (incl. post-increment forms).
+    pub mem: u64,
+    /// Stream-unit actions (`insym`/`peek`/`skip`/`inrem`).
+    pub stream: u64,
+}
+
+impl OpClassCycles {
+    /// Sum across all classes — equals the run's total cycles.
+    pub fn total(&self) -> u64 {
+        self.dispatch + self.alu + self.mem + self.stream
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &OpClassCycles) {
+        self.dispatch += other.dispatch;
+        self.alu += other.alu;
+        self.mem += other.mem;
+        self.stream += other.stream;
+    }
+
+    /// Charges one cycle to the class of `action`.
+    #[inline]
+    pub fn bump(&mut self, action: &Action) {
+        match action {
+            Action::LoadImm { .. }
+            | Action::Mov { .. }
+            | Action::Add { .. }
+            | Action::Sub { .. }
+            | Action::And { .. }
+            | Action::Or { .. }
+            | Action::Xor { .. }
+            | Action::AddI { .. }
+            | Action::ShlI { .. }
+            | Action::ShrI { .. } => self.alu += 1,
+            Action::Load { .. }
+            | Action::Store { .. }
+            | Action::LoadInc { .. }
+            | Action::StoreInc { .. } => self.mem += 1,
+            Action::InSym { .. }
+            | Action::InSymLe { .. }
+            | Action::PeekSym { .. }
+            | Action::SkipSym { .. }
+            | Action::SkipReg { .. }
+            | Action::InRem { .. } => self.stream += 1,
+        }
+    }
+}
 
 /// Errors a lane can trap on. Corrupt compressed blocks surface as traps,
 /// never as panics or out-of-bounds access.
@@ -122,6 +183,8 @@ pub struct RunResult {
     pub dispatches: u64,
     /// Number of actions executed.
     pub actions: u64,
+    /// Cycle attribution by opcode class (`opclass.total() == cycles`).
+    pub opclass: OpClassCycles,
     /// Output bytes (scratchpad `[r14, r14 + r15)` at halt).
     pub output: Vec<u8>,
 }
@@ -235,6 +298,7 @@ impl Lane {
         let mut cycles = 0u64;
         let mut dispatches = 0u64;
         let mut actions_run = 0u64;
+        let mut opclass = OpClassCycles::default();
         let mut prev_pc = pc;
 
         loop {
@@ -244,10 +308,12 @@ impl Lane {
             dispatches += 1;
             cycles += 1 + block.actions.len() as u64;
             actions_run += block.actions.len() as u64;
+            opclass.dispatch += 1;
             if cycles > cfg.cycle_limit {
                 return Err(LaneError::CycleLimit { limit: cfg.cycle_limit });
             }
             for a in &block.actions {
+                opclass.bump(a);
                 self.exec_action(a, &mut stream)?;
             }
             prev_pc = pc;
@@ -281,6 +347,7 @@ impl Lane {
             cycles,
             dispatches,
             actions: actions_run,
+            opclass,
             output: self.scratch[start..end].to_vec(),
         })
     }
@@ -440,6 +507,19 @@ mod tests {
         let n = input.len() as u64;
         assert_eq!(r.cycles, 2 + n * 7 + 2 + 2);
         assert!(r.dispatches > n);
+    }
+
+    #[test]
+    fn opclass_attribution_covers_every_cycle() {
+        let image = assemble(&byte_copy_program()).unwrap();
+        let mut lane = Lane::new();
+        let input = b"opclass invariant";
+        let r = lane.run(&image, input, input.len() * 8, RunConfig::default()).unwrap();
+        assert_eq!(r.opclass.total(), r.cycles, "every cycle must land in one class");
+        assert_eq!(r.opclass.dispatch, r.dispatches);
+        assert_eq!(r.opclass.alu + r.opclass.mem + r.opclass.stream, r.actions);
+        // The copy loop touches all three action classes.
+        assert!(r.opclass.alu > 0 && r.opclass.mem > 0 && r.opclass.stream > 0);
     }
 
     #[test]

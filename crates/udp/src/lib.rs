@@ -37,8 +37,11 @@ pub mod machine;
 pub mod program;
 pub mod progs;
 
-pub use accel::{Accelerator, AccelReport, BatchOutcome, FaultHook, JobOutcome};
+pub use accel::{
+    Accelerator, AccelReport, BatchOutcome, FaultHook, JobEvent, JobEventSink, JobOutcome,
+    LaneProfile, StageCycles,
+};
 pub use error::{UdpError, UdpResult};
-pub use lane::{Lane, LaneError, RunConfig, RunResult};
+pub use lane::{Lane, LaneError, OpClassCycles, RunConfig, RunResult};
 pub use machine::Image;
 pub use program::{Program, ProgramBuilder};

@@ -20,9 +20,9 @@ pub mod delta;
 pub mod huffman;
 pub mod snappy;
 
-use crate::accel::JobOutcome;
+use crate::accel::{JobOutcome, StageCycles};
 use crate::error::UdpError;
-use crate::lane::{Lane, RunConfig};
+use crate::lane::{Lane, OpClassCycles, RunConfig};
 use crate::machine::Image;
 use recode_codec::block::CompressedBlock;
 use recode_codec::pipeline::PipelineConfig;
@@ -85,6 +85,8 @@ impl DshDecoder {
         block.verify_checksum().map_err(|e| UdpError::from(e).with_block(seq))?;
         let cfg = RunConfig::default();
         let mut cycles = 0u64;
+        let mut opclass = OpClassCycles::default();
+        let mut stage_cycles = StageCycles::default();
         // Stage 1: Huffman (bit stream in, bytes out).
         let mut data: Vec<u8>;
         let mut bits: usize;
@@ -93,6 +95,8 @@ impl DshDecoder {
                 .run(img, &block.payload, block.bit_len, cfg)
                 .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
+            stage_cycles.huffman = r.cycles;
+            opclass.merge(&r.opclass);
             data = r.output;
             bits = data.len() * 8;
         } else {
@@ -105,6 +109,8 @@ impl DshDecoder {
                 .run(img, &data, bits, cfg)
                 .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
+            stage_cycles.snappy = r.cycles;
+            opclass.merge(&r.opclass);
             data = r.output;
             bits = data.len() * 8;
         }
@@ -114,10 +120,12 @@ impl DshDecoder {
                 .run(img, &data, bits, cfg)
                 .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
+            stage_cycles.delta = r.cycles;
+            opclass.merge(&r.opclass);
             data = r.output;
         }
         let _ = bits;
-        Ok(JobOutcome { cycles, output: data })
+        Ok(JobOutcome { cycles, opclass, stage_cycles, output: data })
     }
 
     /// Total code-memory bytes across the stage images (for reports).
@@ -230,6 +238,24 @@ mod tests {
         block.reseal();
         let mut lane = Lane::new();
         let _ = decoder.decode_block(&mut lane, &stream.blocks[0]);
+    }
+
+    #[test]
+    fn stage_and_opclass_attribution_sum_to_job_cycles() {
+        let data = banded_index_stream(4000);
+        let config = PipelineConfig::dsh_udp();
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let stream = pipe.encode_stream(&data).unwrap();
+        let decoder =
+            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let mut lane = Lane::new();
+        let o = decoder.decode_block(&mut lane, &stream.blocks[0]).unwrap();
+        assert_eq!(o.stage_cycles.total(), o.cycles);
+        assert_eq!(o.opclass.total(), o.cycles);
+        // The full DSH config runs all three stages.
+        assert!(o.stage_cycles.huffman > 0);
+        assert!(o.stage_cycles.snappy > 0);
+        assert!(o.stage_cycles.delta > 0);
     }
 
     #[test]

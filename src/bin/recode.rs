@@ -4,14 +4,20 @@
 //! recode info      <matrix.mtx>                  structural + value statistics
 //! recode compress  <matrix.mtx> -o <out.rcmx>    DSH-compress (JSON container)
 //! recode decompress <in.rcmx>   -o <matrix.mtx>  restore MatrixMarket
-//! recode spmv      <matrix.mtx>                  run SpMV through the simulated
-//!                                                heterogeneous system and report
+//! recode spmv      <matrix.mtx> [--trace <out.json>]
+//!                                                run SpMV through the simulated
+//!                                                heterogeneous system and report;
+//!                                                --trace writes the full telemetry
+//!                                                document (recode-trace/v1 JSON)
+//! recode report    <trace.json>                  render a trace as a table
+//! recode trace-check <trace.json>                validate a trace's schema and
+//!                                                internal invariants
 //! recode gen       <family> <target_nnz> -o <matrix.mtx>
 //!                                                emit a synthetic matrix
 //! ```
 //!
 //! Flags: `-o PATH` output, `--config dsh|ds|snappy` codec choice,
-//! `--seed N` for `gen`.
+//! `--seed N` for `gen`, `--trace PATH` for `spmv`.
 
 use recode_spmv::codec::metrics::CompressionSummary;
 use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
@@ -27,7 +33,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
@@ -43,6 +49,7 @@ struct Flags {
     output: Option<String>,
     config: MatrixCodecConfig,
     seed: u64,
+    trace: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Flags, String> {
@@ -51,6 +58,7 @@ fn parse(args: &[String]) -> Result<Flags, String> {
         output: None,
         config: MatrixCodecConfig::udp_dsh(),
         seed: 2019,
+        trace: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -67,6 +75,10 @@ fn parse(args: &[String]) -> Result<Flags, String> {
                     Some("snappy") => MatrixCodecConfig::cpu_snappy(),
                     other => return Err(format!("bad --config {other:?}")),
                 };
+            }
+            "--trace" => {
+                i += 1;
+                f.trace = Some(args.get(i).ok_or("missing value for --trace")?.clone());
             }
             "--seed" => {
                 i += 1;
@@ -100,6 +112,8 @@ fn main() -> ExitCode {
         "compress" => cmd_compress(&flags),
         "decompress" => cmd_decompress(&flags),
         "spmv" => cmd_spmv(&flags),
+        "report" => cmd_report(&flags),
+        "trace-check" => cmd_trace_check(&flags),
         "gen" => cmd_gen(&flags),
         "disasm" => cmd_disasm(&flags),
         _ => return usage(),
@@ -176,11 +190,39 @@ fn cmd_decompress(flags: &Flags) -> Result<(), String> {
 fn cmd_spmv(flags: &Flags) -> Result<(), String> {
     let a = load(flags)?;
     let sys = SystemConfig::ddr4();
-    let recoded = RecodedSpmv::new(&a, flags.config).map_err(|e| e.to_string())?;
     let x = vec![1.0; a.ncols()];
-    let (y, stats) =
-        recoded.spmv(&sys, SpmvKernel::RowParallel, &x).map_err(|e| e.to_string())?;
     let y_ref = spmv(&a, &x);
+    let (recoded, y, stats) = if let Some(trace_path) = &flags.trace {
+        let recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
+        // The software decode both cross-checks losslessness and populates
+        // the decode direction of the codec-stage telemetry in the trace.
+        let sw = recoded.decompress_via_software().map_err(|e| e.to_string())?;
+        if sw != a {
+            return Err("software decode diverged from the original matrix".into());
+        }
+        let name = std::path::Path::new(&flags.positional[0])
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let (y, stats, doc) = recoded
+            .spmv_traced(&sys, SpmvKernel::RowParallel, &x, None, &name)
+            .map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
+        println!(
+            "trace ({}) written to {trace_path}: {} spans, {} block events, {} counters",
+            doc.schema,
+            doc.spans.len(),
+            doc.block_events.len(),
+            doc.counters.len()
+        );
+        (recoded, y, stats)
+    } else {
+        let recoded = RecodedSpmv::new(&a, flags.config).map_err(|e| e.to_string())?;
+        let (y, stats) =
+            recoded.spmv(&sys, SpmvKernel::RowParallel, &x).map_err(|e| e.to_string())?;
+        (recoded, y, stats)
+    };
     if y != y_ref {
         return Err("recoded SpMV diverged from the uncompressed kernel".into());
     }
@@ -202,6 +244,40 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
     print!("{}", report::scenarios(&model.evaluate_all(&sys)));
     let p = PowerSavings::compute(&sys, cm.bytes_per_nnz(), m.accel_out_bps.max(1e9));
     println!("iso-performance power: {:.1} W of {:.0} W saved", p.net_saving_w, p.max_power_w);
+    Ok(())
+}
+
+fn load_trace(flags: &Flags) -> Result<recode_spmv::core::telemetry::TraceDocument, String> {
+    let path = flags.positional.first().ok_or("missing trace.json path")?;
+    let json = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_slice(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_report(flags: &Flags) -> Result<(), String> {
+    let doc = load_trace(flags)?;
+    print!("{}", recode_spmv::core::telemetry::render_report(&doc));
+    Ok(())
+}
+
+fn cmd_trace_check(flags: &Flags) -> Result<(), String> {
+    let doc = load_trace(flags)?;
+    let errs = doc.validate();
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("invariant violated: {e}");
+        }
+        return Err(format!("trace failed validation with {} error(s)", errs.len()));
+    }
+    println!(
+        "trace OK: schema {}, matrix {} ({} nnz), {} spans, {} block events, {} counters, {} lanes profiled",
+        doc.schema,
+        if doc.matrix.name.is_empty() { "<unnamed>" } else { &doc.matrix.name },
+        doc.matrix.nnz,
+        doc.spans.len(),
+        doc.block_events.len(),
+        doc.counters.len(),
+        doc.exec.accel.lane_profiles.len()
+    );
     Ok(())
 }
 

@@ -67,6 +67,66 @@ fn gen_info_compress_decompress_spmv_workflow() {
 }
 
 #[test]
+fn spmv_trace_report_and_check_workflow() {
+    let dir = std::env::temp_dir().join(format!("recode-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mtx = dir.join("t.mtx");
+    let trace = dir.join("trace.json");
+
+    let out = bin()
+        .args(["gen", "stencil2d", "50000", "-o", mtx.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen: {}", String::from_utf8_lossy(&out.stderr));
+
+    // spmv --trace writes the telemetry document alongside the normal report.
+    let out = bin()
+        .args(["spmv", mtx.to_str().unwrap(), "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("run spmv --trace");
+    assert!(out.status.success(), "spmv: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trace (recode-trace/v1) written"), "{text}");
+    assert!(text.contains("verified against the uncompressed kernel"), "{text}");
+
+    // The file is a valid, internally consistent TraceDocument.
+    let doc: recode_spmv::core::telemetry::TraceDocument =
+        serde_json::from_slice(&std::fs::read(&trace).expect("read trace")).expect("parse");
+    assert_eq!(doc.schema, recode_spmv::core::telemetry::TRACE_SCHEMA);
+    assert!(doc.validate().is_empty(), "{:?}", doc.validate());
+    assert_eq!(doc.matrix.name, "t");
+    assert!(!doc.exec.accel.lane_profiles.is_empty());
+
+    // `recode report` renders it.
+    let out = bin().args(["report", trace.to_str().unwrap()]).output().expect("run report");
+    assert!(out.status.success(), "report: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recode trace report"), "{text}");
+    assert!(text.contains("exec.decode_batch"), "{text}");
+
+    // `recode trace-check` accepts it...
+    let out = bin()
+        .args(["trace-check", trace.to_str().unwrap()])
+        .output()
+        .expect("run trace-check");
+    assert!(out.status.success(), "trace-check: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("trace OK"));
+
+    // ...and rejects a tampered schema with a nonzero exit.
+    let tampered = dir.join("tampered.json");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    std::fs::write(&tampered, json.replace("recode-trace/v1", "recode-trace/v0")).unwrap();
+    let out = bin()
+        .args(["trace-check", tampered.to_str().unwrap()])
+        .output()
+        .expect("run trace-check tampered");
+    assert!(!out.status.success(), "tampered trace must fail validation");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_bad_usage() {
     let out = bin().output().expect("run bare");
     assert!(!out.status.success());

@@ -175,6 +175,57 @@ fn injected_dma_stalls_only_cost_cycles() {
 }
 
 #[test]
+fn retry_cycles_fold_into_makespan_under_traps() {
+    let a = test_matrix();
+    let r = RecodedSpmv::new(&a, small_block_config()).unwrap();
+    let sys = SystemConfig::ddr4();
+    let (_, clean) = r.decompress_via_udp(&sys).unwrap();
+    assert_eq!(clean.retry_cycles, 0, "clean run has no retry cycles");
+    let hook = FaultHook::new().trap(0).trap(1).trap(2);
+    let (b, stats) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+    assert_eq!(b, a);
+    assert!(stats.retry_cycles > 0, "trap retries must report their cycles");
+    // Trapped jobs cost nothing in the batch and their full decode cycles
+    // on retry, so the folded totals do the same work over a longer
+    // critical path — the makespan is honest about recovery cost.
+    assert_eq!(stats.accel.busy_cycles, clean.accel.busy_cycles);
+    assert!(stats.accel.makespan_cycles > clean.accel.makespan_cycles);
+    let util = stats.accel.busy_cycles as f64
+        / (stats.accel.makespan_cycles as f64 * stats.accel.lanes as f64);
+    assert!(
+        (stats.accel.lane_utilization - util).abs() < 1e-12,
+        "utilization must be recomputed over the folded totals"
+    );
+}
+
+#[test]
+fn telemetry_events_record_fault_outcomes() {
+    use recode_spmv::core::telemetry::{BlockOutcome, Telemetry};
+    let a = test_matrix();
+    let mut r = RecodedSpmv::new(&a, small_block_config()).unwrap();
+    // Index block 1 is CRC-corrupt (falls back); the first value job traps
+    // transiently (recovers via retry).
+    r.compressed_mut().index_stream.blocks[1].payload[0] ^= 0x01;
+    let n_index = r.compressed().index_stream.blocks.len();
+    let hook = FaultHook::new().trap(n_index);
+    let sys = SystemConfig::ddr4();
+    let mut tel = Telemetry::new();
+    let (b, stats) = r.decompress_via_udp_traced(&sys, Some(&hook), Some(&mut tel)).unwrap();
+    assert_eq!(b, a);
+    let evs = tel.block_events();
+    assert_eq!(evs.len(), stats.accel.jobs, "one event per job");
+    assert_eq!(evs[1].outcome, BlockOutcome::FellBack);
+    assert_eq!(evs[1].cycles, 0);
+    assert_eq!(evs[n_index].outcome, BlockOutcome::Retried);
+    assert!(evs[n_index].cycles > 0);
+    let non_ok = evs.iter().filter(|e| e.outcome != BlockOutcome::Ok).count();
+    assert_eq!(non_ok, 2, "exactly the two faulted jobs deviate");
+    assert_eq!(tel.counter("exec.blocks_fell_back"), 1);
+    assert!(tel.counter("exec.blocks_retried") >= 1);
+    assert_eq!(tel.counter("exec.retry_cycles"), stats.retry_cycles);
+}
+
+#[test]
 fn spmv_stays_correct_under_combined_faults() {
     let a = test_matrix();
     let mut r = RecodedSpmv::new(&a, small_block_config()).unwrap();

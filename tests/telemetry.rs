@@ -1,0 +1,140 @@
+//! Integration tests for the observability path: a traced SpMV must produce
+//! a schema-stable JSON document whose numbers are internally consistent —
+//! spans fit inside the wall clock, per-lane cycles sum to the batch totals,
+//! traffic is attributed by source, and serde round-trips losslessly.
+
+use recode_spmv::codec::pipeline::MatrixCodecConfig;
+use recode_spmv::core::exec::RecodedSpmv;
+use recode_spmv::core::telemetry::{TraceDocument, TRACE_SCHEMA};
+use recode_spmv::core::SystemConfig;
+use recode_spmv::prelude::*;
+use recode_spmv::sparse::spmv::SpmvKernel;
+
+fn test_matrix() -> Csr {
+    generate(
+        &GenSpec::Stencil2D {
+            nx: 70,
+            ny: 70,
+            points: 9,
+            values: ValueModel::QuantizedGaussian { levels: 32 },
+        },
+        23,
+    )
+}
+
+fn traced_run() -> (Csr, TraceDocument) {
+    let a = test_matrix();
+    let r = RecodedSpmv::new_traced(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+    // Exercise the software decoder too, so the codec-stage snapshot has
+    // both directions populated.
+    let sw = r.decompress_via_software().unwrap();
+    assert_eq!(sw, a);
+    let sys = SystemConfig::ddr4();
+    let x = vec![1.0; a.ncols()];
+    let (_, _, doc) = r.spmv_traced(&sys, SpmvKernel::Serial, &x, None, "stencil70").unwrap();
+    (a, doc)
+}
+
+#[test]
+fn trace_document_round_trips_through_json() {
+    let (_, doc) = traced_run();
+    let json = serde_json::to_string(&doc).unwrap();
+    let back: TraceDocument = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.schema, TRACE_SCHEMA);
+    assert_eq!(back.matrix, doc.matrix);
+    assert_eq!(back.system, doc.system);
+    assert_eq!(back.wall_ns_total, doc.wall_ns_total);
+    assert_eq!(back.spans, doc.spans);
+    assert_eq!(back.counters, doc.counters);
+    assert_eq!(back.block_cycles, doc.block_cycles);
+    assert_eq!(back.block_events, doc.block_events);
+    assert_eq!(back.codec_stages, doc.codec_stages);
+    assert_eq!(back.mem_traffic, doc.mem_traffic);
+    let errs = back.validate();
+    assert!(errs.is_empty(), "round-tripped trace must still validate: {errs:?}");
+}
+
+#[test]
+fn span_wall_times_fit_inside_the_total() {
+    let (_, doc) = traced_run();
+    assert!(doc.wall_ns_total > 0);
+    assert!(
+        doc.spans_wall_ns() <= doc.wall_ns_total,
+        "phase spans ({} ns) exceed the run's wall clock ({} ns)",
+        doc.spans_wall_ns(),
+        doc.wall_ns_total
+    );
+    // Every expected phase is present, in execution order, and the
+    // simulated decode actually cost wall time.
+    let names: Vec<&str> = doc.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["exec.decode_batch", "exec.reassemble", "exec.mem_stream", "exec.dma",
+         "exec.cpu_multiply"],
+        "clean run emits exactly the happy-path phases"
+    );
+    let batch = &doc.spans[0];
+    assert!(batch.wall_ns > 0, "simulating the decode takes host time");
+    assert!(batch.modeled_seconds > 0.0, "and models accelerator time");
+    assert!(batch.bytes > 0);
+}
+
+#[test]
+fn per_lane_and_per_stage_breakdowns_are_consistent() {
+    let (a, doc) = traced_run();
+    let accel = &doc.exec.accel;
+    assert_eq!(accel.lane_profiles.len(), accel.lanes, "one profile per lane");
+    let lane_busy: u64 = accel.lane_profiles.iter().map(|p| p.busy_cycles).sum();
+    assert_eq!(lane_busy, accel.busy_cycles, "lane profiles tile the busy cycles");
+    // Opcode-class attribution covers every busy cycle of the batch.
+    assert_eq!(accel.opclass.total(), accel.busy_cycles);
+    assert!(accel.opclass.stream > 0, "DSH decode is stream-dominated");
+    // Stage cycles partition each job's cycles, so they sum to busy too.
+    assert_eq!(accel.stage_cycles.total(), accel.busy_cycles);
+    assert!(accel.stage_cycles.huffman > 0);
+    assert!(accel.stage_cycles.snappy > 0);
+    assert!(accel.stage_cycles.delta > 0);
+    // Codec-stage timing has both directions after an encode + sw decode.
+    assert!(doc.codec_stages.encode.huffman.calls > 0);
+    assert!(doc.codec_stages.decode.huffman.calls > 0);
+    assert_eq!(doc.codec_stages.decode.delta.bytes_out, (a.nnz() * 4) as u64);
+    // Every block produced an event and the histogram matches.
+    assert_eq!(doc.block_events.len(), accel.jobs);
+    assert_eq!(doc.block_cycles.count, accel.jobs as u64);
+    assert_eq!(doc.block_cycles.sum, accel.busy_cycles);
+}
+
+#[test]
+fn memory_traffic_is_attributed_by_source() {
+    let (a, doc) = traced_run();
+    assert!(doc.counter("mem.read.compressed_stream") > 0);
+    assert!(doc.counter("mem.read.row_ptr") >= (a.nrows() as u64 + 1) * 8);
+    assert_eq!(doc.counter("mem.read.vectors"), (a.ncols() * 8) as u64);
+    assert_eq!(doc.counter("mem.write.vectors"), (a.nrows() * 8) as u64);
+    assert_eq!(doc.counter("mem.read.fallback_refetch"), 0, "clean run never re-fetches");
+    let by_total: u64 =
+        doc.mem_traffic.by_source.iter().map(|s| s.read_bytes + s.write_bytes).sum();
+    assert_eq!(by_total, doc.mem_traffic.total_bytes);
+    assert!(doc.mem_traffic.stream_seconds > 0.0);
+    assert!(doc.mem_traffic.transfer_joules > 0.0);
+}
+
+#[test]
+fn render_report_mentions_every_section() {
+    let (_, doc) = traced_run();
+    let text = recode_spmv::core::telemetry::render_report(&doc);
+    for needle in [
+        "recode trace report",
+        "stencil70",
+        "exec.decode_batch",
+        "opcode classes",
+        "decode stages",
+        "log2 buckets",
+        "memory traffic",
+        "compressed_stream",
+        "software codec stages",
+        "degradation",
+    ] {
+        assert!(text.contains(needle), "report missing `{needle}`:\n{text}");
+    }
+}
