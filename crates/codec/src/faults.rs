@@ -68,20 +68,23 @@ pub struct FaultReport {
     pub detail: String,
 }
 
-/// Seeded deterministic fault injector.
+/// Seeded splitmix64 generator — tiny, fast, and fully determined by its
+/// seed. This is the *only* randomness source in the workspace's fault and
+/// property tests: no `rand` dependency, and every failure shrinks to a
+/// reproducible seed.
 #[derive(Debug, Clone)]
-pub struct FaultInjector {
+pub struct SplitMix64 {
     state: u64,
 }
 
-impl FaultInjector {
-    /// Injector whose whole mutation sequence is determined by `seed`.
+impl SplitMix64 {
+    /// Generator whose whole sequence is determined by `seed`.
     pub fn new(seed: u64) -> Self {
-        FaultInjector { state: seed }
+        SplitMix64 { state: seed }
     }
 
-    /// splitmix64 step — tiny, fast, and plenty for fault-site selection.
-    fn next_u64(&mut self) -> u64 {
+    /// Next 64-bit draw (the splitmix64 step function).
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -90,8 +93,36 @@ impl FaultInjector {
     }
 
     /// Uniform draw in `0..n`. `n` must be nonzero.
-    fn below(&mut self, n: usize) -> usize {
+    pub fn below(&mut self, n: usize) -> usize {
         (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Seeded deterministic fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SplitMix64,
+}
+
+impl FaultInjector {
+    /// Injector whose whole mutation sequence is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { rng: SplitMix64::new(seed) }
+    }
+
+    /// Next 64-bit draw from the injector's [`SplitMix64`] stream.
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw in `0..n`. `n` must be nonzero.
+    fn below(&mut self, n: usize) -> usize {
+        self.rng.below(n)
     }
 
     /// Picks a fault class uniformly.

@@ -42,7 +42,7 @@ pub mod varint;
 pub use block::{BlockStream, CompressedBlock};
 pub use crc32c::crc32c;
 pub use error::{CodecError, CodecResult};
-pub use faults::{FaultInjector, FaultKind, FaultReport};
+pub use faults::{FaultInjector, FaultKind, FaultReport, SplitMix64};
 pub use pipeline::{CompressedMatrix, MatrixCodecConfig, Pipeline, PipelineConfig};
 pub use telemetry::{CodecStageReport, StageStats, StageTelemetry};
 

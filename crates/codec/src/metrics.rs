@@ -6,6 +6,20 @@ use serde::{Deserialize, Serialize};
 /// Raw CSR storage per non-zero: 4-byte index + 8-byte double.
 pub const RAW_CSR_BYTES_PER_NNZ: f64 = 12.0;
 
+/// The one definition of the paper's bytes-per-non-zero metric:
+/// `wire_bytes / nnz`, with an empty matrix counting as 0.0.
+///
+/// Every consumer — [`CompressedMatrix::bytes_per_nnz`], the streaming and
+/// overlapped executors' stats, and the bench reports — must compute B/nnz
+/// through this helper so the paths cannot drift apart.
+pub fn bytes_per_nnz(wire_bytes: usize, nnz: usize) -> f64 {
+    if nnz == 0 {
+        0.0
+    } else {
+        wire_bytes as f64 / nnz as f64
+    }
+}
+
 /// Per-matrix compression summary (one row of the paper's Fig. 10/11 data).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompressionSummary {

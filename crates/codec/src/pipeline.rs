@@ -590,12 +590,10 @@ impl CompressedMatrix {
     }
 
     /// The paper's headline metric: compressed bytes per non-zero
-    /// (raw CSR = 12.0).
+    /// (raw CSR = 12.0), via the shared [`crate::metrics::bytes_per_nnz`]
+    /// definition.
     pub fn bytes_per_nnz(&self) -> f64 {
-        if self.nnz == 0 {
-            return 0.0;
-        }
-        self.wire_bytes() as f64 / self.nnz as f64
+        crate::metrics::bytes_per_nnz(self.wire_bytes(), self.nnz)
     }
 }
 

@@ -1,0 +1,208 @@
+//! Seeded property-based round-trip fuzzing of the DSH codec — no external
+//! fuzzing crate, so this suite runs everywhere (including offline builds
+//! where `proptest` is unavailable). All randomness comes from the same
+//! [`SplitMix64`] generator the fault injector uses, so any failure is a
+//! reproducible `(MASTER_SEED, case index)` pair.
+//!
+//! Three identities, ~1k cases total:
+//!
+//! 1. software `Pipeline` encode→decode is the identity on random
+//!    CSR-shaped index streams and value payloads (768 cases);
+//! 2. the lane `DshDecoder` (real UDP programs on the cycle simulator)
+//!    produces byte-identical output to the software decoder (128 cases);
+//! 3. `CompressedMatrix` compress→decompress is the identity on random CSR
+//!    matrices covering empty rows, dense rows, single-element rows, and
+//!    extreme column deltas (128 cases).
+
+use recode_codec::faults::SplitMix64;
+use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig, Pipeline, PipelineConfig};
+use recode_sparse::prelude::*;
+use recode_udp::progs::DshDecoder;
+use recode_udp::Lane;
+
+const MASTER_SEED: u64 = 0x5eed_0001;
+
+/// Row shapes the generator mixes: the structural corner cases the DSH
+/// index stream has to survive.
+#[derive(Clone, Copy)]
+enum RowShape {
+    /// No entries at all (row_ptr repeats).
+    Empty,
+    /// A run of consecutive columns (delta 1 — the stencil fast path).
+    Dense,
+    /// Exactly one entry at a random column.
+    Single,
+    /// A few entries scattered across the full column range (deltas up to
+    /// ~2^20 — stresses the varint/zigzag wide-delta path).
+    ExtremeDeltas,
+}
+
+const SHAPES: [RowShape; 4] =
+    [RowShape::Empty, RowShape::Dense, RowShape::Single, RowShape::ExtremeDeltas];
+
+/// Random CSR with a per-row mix of the four shapes.
+fn random_csr(rng: &mut SplitMix64) -> Csr {
+    let nrows = 1 + rng.below(32);
+    let ncols = 1 << (8 + rng.below(13)); // 256 .. 2^20 columns
+    let mut coo = Coo::new(nrows, ncols).expect("coo dims");
+    // A small value alphabet most of the time (compressible, like real PDE
+    // coefficients), raw random doubles otherwise.
+    let palette = [1.0, -4.0, 0.25, 1e-3];
+    for row in 0..nrows {
+        let shape = SHAPES[rng.below(SHAPES.len())];
+        let mut cols: Vec<usize> = match shape {
+            RowShape::Empty => Vec::new(),
+            RowShape::Dense => {
+                let len = 1 + rng.below(24.min(ncols));
+                let start = rng.below(ncols - len + 1);
+                (start..start + len).collect()
+            }
+            RowShape::Single => vec![rng.below(ncols)],
+            RowShape::ExtremeDeltas => {
+                let k = 1 + rng.below(5);
+                let mut c: Vec<usize> = (0..k).map(|_| rng.below(ncols)).collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            }
+        };
+        cols.sort_unstable();
+        for col in cols {
+            let val = if rng.below(4) == 0 {
+                rng.f64() * 2.0 - 1.0
+            } else {
+                palette[rng.below(palette.len())]
+            };
+            coo.push(row, col, val).expect("in-bounds push");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Random stream payload: 4-byte-aligned little-endian u32 words shaped
+/// like a CSR column stream (all four row shapes), each word < 2^31 as the
+/// delta stage requires.
+fn random_index_payload(rng: &mut SplitMix64) -> Vec<u8> {
+    let mut words: Vec<u32> = Vec::new();
+    let rows = rng.below(40);
+    for _ in 0..rows {
+        match SHAPES[rng.below(SHAPES.len())] {
+            RowShape::Empty => {}
+            RowShape::Dense => {
+                let len = 1 + rng.below(32);
+                let start = rng.below(1 << 20) as u32;
+                words.extend((0..len as u32).map(|k| start + k));
+            }
+            RowShape::Single => words.push(rng.below(1 << 30) as u32),
+            RowShape::ExtremeDeltas => {
+                // Deltas that swing across nearly the whole legal range.
+                let k = 1 + rng.below(4);
+                for _ in 0..k {
+                    words.push((rng.next_u64() as u32) & 0x7FFF_FFFF);
+                }
+            }
+        }
+    }
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+/// Random value-like payload: runs, small alphabets, or raw bytes.
+fn random_value_payload(rng: &mut SplitMix64) -> Vec<u8> {
+    let len = rng.below(2048) & !3;
+    let mut data: Vec<u8> = match rng.below(3) {
+        0 => vec![rng.below(256) as u8; len],
+        1 => (0..len).map(|_| rng.below(6) as u8).collect(),
+        _ => (0..len).map(|_| rng.below(256) as u8).collect(),
+    };
+    // Clear each little-endian word's top bit: the delta stage requires
+    // every u32 index < 2^31.
+    for word in data.chunks_exact_mut(4) {
+        word[3] &= 0x7F;
+    }
+    data
+}
+
+fn small_block_config(rng: &mut SplitMix64) -> PipelineConfig {
+    PipelineConfig {
+        block_bytes: 256 << rng.below(3), // 256 / 512 / 1024
+        ..PipelineConfig::dsh_udp()
+    }
+}
+
+#[test]
+fn software_pipeline_round_trips_random_csr_streams() {
+    let mut rng = SplitMix64::new(MASTER_SEED);
+    for case in 0..768 {
+        let data = if case % 2 == 0 {
+            random_index_payload(&mut rng)
+        } else {
+            random_value_payload(&mut rng)
+        };
+        let config = small_block_config(&mut rng);
+        let pipe = Pipeline::train(config, &data)
+            .unwrap_or_else(|e| panic!("case {case}: train failed: {e}"));
+        let enc = pipe
+            .encode_stream(&data)
+            .unwrap_or_else(|e| panic!("case {case}: encode failed: {e}"));
+        let dec = pipe
+            .decode_stream(&enc)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(dec, data, "case {case}: software round trip diverged");
+        assert_eq!(
+            enc.total_uncompressed,
+            data.len(),
+            "case {case}: stream header length drifted"
+        );
+    }
+}
+
+#[test]
+fn lane_decoder_matches_the_software_pipeline() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 0xDEC0DE);
+    let mut lane = Lane::new();
+    for case in 0..128 {
+        let mut data = if case % 2 == 0 {
+            random_index_payload(&mut rng)
+        } else {
+            random_value_payload(&mut rng)
+        };
+        data.truncate(1024); // keep the cycle-level simulation cheap
+        data.truncate(data.len() & !3);
+        let config = small_block_config(&mut rng);
+        let pipe = Pipeline::train(config, &data)
+            .unwrap_or_else(|e| panic!("case {case}: train failed: {e}"));
+        let enc = pipe
+            .encode_stream(&data)
+            .unwrap_or_else(|e| panic!("case {case}: encode failed: {e}"));
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice()))
+            .unwrap_or_else(|e| panic!("case {case}: decoder build failed: {e}"));
+        let mut out = Vec::new();
+        for (bi, block) in enc.blocks.iter().enumerate() {
+            let res = decoder
+                .decode_block(&mut lane, block)
+                .unwrap_or_else(|e| panic!("case {case}: lane decode of block {bi} failed: {e}"));
+            out.extend(res.output);
+        }
+        assert_eq!(out, data, "case {case}: lane decoder diverged from encoder input");
+    }
+}
+
+#[test]
+fn compressed_matrix_round_trips_random_csr() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 0xCC55);
+    for case in 0..128 {
+        let a = random_csr(&mut rng);
+        // Small blocks so even tiny matrices span several of them.
+        let cfg = MatrixCodecConfig {
+            index: PipelineConfig { block_bytes: 512, ..PipelineConfig::dsh_udp() },
+            value: PipelineConfig { block_bytes: 512, ..PipelineConfig::sh_udp() },
+        };
+        let cm = CompressedMatrix::compress(&a, cfg)
+            .unwrap_or_else(|e| panic!("case {case}: compress failed: {e}"));
+        let back = cm
+            .decompress()
+            .unwrap_or_else(|e| panic!("case {case}: decompress failed: {e}"));
+        assert_eq!(back, a, "case {case}: matrix round trip diverged");
+        assert_eq!(cm.nnz, a.nnz(), "case {case}: nnz drifted");
+    }
+}

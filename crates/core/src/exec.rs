@@ -18,6 +18,7 @@
 
 use crate::arch::SystemConfig;
 use crate::error::{ExecError, ExecResult};
+use crate::overlap::OverlapStats;
 use crate::telemetry::{
     BlockEvent, BlockOutcome, MatrixMeta, StreamKind, SystemMeta, Telemetry, TraceDocument,
 };
@@ -71,6 +72,19 @@ pub struct ExecStats {
     /// True when any block needed a retry or a fallback — the result is
     /// still bit-exact, but the run did not complete on the happy path.
     pub degraded: bool,
+    /// Pipelined-schedule and decoded-block-cache statistics. All-zero
+    /// (`enabled == false`) on the plain batch path, populated by the
+    /// [`crate::overlap::OverlapExecutor`].
+    #[serde(default)]
+    pub overlap: OverlapStats,
+}
+
+impl ExecStats {
+    /// Compressed bytes per non-zero actually moved by this run, through the
+    /// one shared [`recode_codec::metrics::bytes_per_nnz`] definition.
+    pub fn bytes_per_nnz(&self, nnz: usize) -> f64 {
+        recode_codec::metrics::bytes_per_nnz(self.compressed_bytes, nnz)
+    }
 }
 
 /// Uncompressed stream bytes kept aside so a block whose decode cannot be
@@ -95,7 +109,7 @@ impl RawFallbackStore {
 
     /// The uncompressed byte range block `block` of a stream covers, or
     /// `None` if the store is shorter than the block claims.
-    fn block_range(bytes: &[u8], block: usize, block_bytes: usize) -> Option<&[u8]> {
+    pub(crate) fn block_range(bytes: &[u8], block: usize, block_bytes: usize) -> Option<&[u8]> {
         let start = block.checked_mul(block_bytes)?;
         if start >= bytes.len() && !(start == 0 && bytes.is_empty()) {
             return None;
@@ -129,7 +143,7 @@ enum Which<'a> {
 /// reach the per-job retry/fallback machinery, but a dropped, duplicated, or
 /// reordered block (whose CRC is still valid) would otherwise reassemble
 /// into a silently wrong matrix.
-fn check_stream_structure(stream: &BlockStream) -> Result<(), UdpError> {
+pub(crate) fn check_stream_structure(stream: &BlockStream) -> Result<(), UdpError> {
     let expected = stream.expected_blocks().map_err(UdpError::from)?;
     if stream.blocks.len() != expected {
         return Err(UdpError::from(CodecError::BlockCount {
@@ -216,6 +230,21 @@ impl RecodedSpmv {
     /// The compressed representation.
     pub fn compressed(&self) -> &CompressedMatrix {
         &self.compressed
+    }
+
+    /// The lane decoder for the column-index stream.
+    pub(crate) fn index_decoder(&self) -> &DshDecoder {
+        &self.index_decoder
+    }
+
+    /// The lane decoder for the value stream.
+    pub(crate) fn value_decoder(&self) -> &DshDecoder {
+        &self.value_decoder
+    }
+
+    /// The raw fallback store, if one was kept at compression time.
+    pub(crate) fn raw_store(&self) -> Option<&RawFallbackStore> {
+        self.raw_store.as_ref()
     }
 
     /// Mutable access to the compressed representation — the fault-injection
@@ -379,8 +408,7 @@ impl RecodedSpmv {
         if retry_cycles > 0 {
             report.makespan_cycles += retry_cycles;
             report.busy_cycles += retry_cycles;
-            report.lane_utilization = report.busy_cycles as f64
-                / (report.makespan_cycles as f64 * report.lanes as f64);
+            report.refresh_utilization();
         }
 
         let t_reassemble = tel.is_some().then(Instant::now);
@@ -431,6 +459,7 @@ impl RecodedSpmv {
             fallback_bytes,
             retry_cycles,
             degraded: blocks_retried > 0 || blocks_fell_back > 0,
+            overlap: OverlapStats::default(),
         };
 
         if let Some(tel) = tel.as_deref_mut() {
@@ -623,7 +652,11 @@ impl RecodedSpmv {
         let mut y = vec![0.0f64; self.compressed.nrows];
         let row_ptr = &self.compressed.row_ptr;
 
-        let mut stats = StreamingStats::default();
+        let mut stats = StreamingStats {
+            compressed_bytes: self.compressed.wire_bytes(),
+            bytes_per_nnz: self.compressed.bytes_per_nnz(),
+            ..StreamingStats::default()
+        };
         let mut row = 0usize; // current output row
         let mut k_global = 0usize; // nnz cursor
         // Value bytes decoded but not yet consumed (at most ~2 blocks).
@@ -687,6 +720,13 @@ pub struct StreamingStats {
     pub blocks: usize,
     /// Peak decoded bytes resident at once — the tiled loop's working set.
     pub peak_resident_bytes: usize,
+    /// Compressed wire bytes streamed (both streams plus tables).
+    #[serde(default)]
+    pub compressed_bytes: usize,
+    /// `compressed_bytes / nnz`, via the shared
+    /// [`recode_codec::metrics::bytes_per_nnz`] definition.
+    #[serde(default)]
+    pub bytes_per_nnz: f64,
 }
 
 #[cfg(test)]
@@ -942,5 +982,56 @@ mod tests {
         // 60x60 9-pt has ~31k nnz -> ~20 blocks over 64 lanes; utilization
         // just needs to be sane, not high.
         assert!(stats.accel.lane_utilization > 0.0 && stats.accel.lane_utilization <= 1.0);
+    }
+
+    /// Drift lock: every executor path must derive bytes-per-nnz and lane
+    /// utilization through the one shared helper each, so the streaming,
+    /// batch, and pipelined stats can never silently diverge.
+    #[test]
+    fn streaming_batch_and_overlap_stats_share_one_metric_definition() {
+        use crate::overlap::{OverlapConfig, OverlapExecutor};
+        use recode_codec::metrics::bytes_per_nnz;
+        use recode_udp::accel::lane_utilization;
+
+        let a = test_matrix();
+        let sys = SystemConfig::ddr4();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let cm = r.compressed();
+        let x = vec![1.0; a.ncols()];
+
+        // Streaming path: stats carry wire bytes and B/nnz directly.
+        let (_, streaming) = r.spmv_streaming(&x).unwrap();
+        assert_eq!(streaming.compressed_bytes, cm.wire_bytes());
+        assert_eq!(streaming.bytes_per_nnz, cm.bytes_per_nnz());
+        assert_eq!(
+            streaming.bytes_per_nnz,
+            bytes_per_nnz(streaming.compressed_bytes, a.nnz()),
+            "StreamingStats must use the shared bytes_per_nnz helper"
+        );
+
+        // Batch path: ExecStats::bytes_per_nnz is the same helper, and the
+        // report's utilization is the shared lane_utilization definition.
+        let (_, batch) = r.spmv(&sys, SpmvKernel::Serial, &x).unwrap();
+        assert_eq!(batch.compressed_bytes, cm.wire_bytes());
+        assert_eq!(batch.bytes_per_nnz(a.nnz()), streaming.bytes_per_nnz);
+        assert_eq!(
+            batch.accel.lane_utilization,
+            lane_utilization(batch.accel.busy_cycles, batch.accel.makespan_cycles, batch.accel.lanes),
+            "batch AccelReport must use the shared lane_utilization helper"
+        );
+
+        // Pipelined path: same two definitions again.
+        let ex = OverlapExecutor::new(&r, OverlapConfig::default());
+        let (_, ov) = ex.spmv(&sys, &x).unwrap();
+        assert_eq!(ov.bytes_per_nnz(a.nnz()), bytes_per_nnz(ov.compressed_bytes, a.nnz()));
+        assert_eq!(
+            ov.accel.lane_utilization,
+            lane_utilization(ov.accel.busy_cycles, ov.accel.makespan_cycles, ov.accel.lanes),
+            "overlap AccelReport must use the shared lane_utilization helper"
+        );
+
+        // Degenerate inputs stay locked down too.
+        assert_eq!(bytes_per_nnz(123, 0), 0.0);
+        assert_eq!(lane_utilization(0, 0, 64), 1.0);
     }
 }

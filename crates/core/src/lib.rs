@@ -8,6 +8,10 @@
 //!   decoded by real UDP programs on the lane simulator, reassembled, and
 //!   multiplied — the Fig. 6/7 flow, verified bit-exact against the
 //!   uncompressed kernel;
+//! * [`overlap`] — the pipelined executor: UDP lanes decode tile *i+1*
+//!   while CPU workers multiply tile *i* (modeled makespan overlaps decode
+//!   with multiply), with a seeded-capacity decoded-block LRU cache so
+//!   iterative solvers pay decode cost once;
 //! * [`measure`] — measured recoding throughput: per-lane cycle counts from
 //!   the UDP simulator (sampled blocks, extrapolated) and the calibrated
 //!   CPU software rates;
@@ -30,6 +34,7 @@ pub mod error;
 pub mod exec;
 pub mod experiment;
 pub mod measure;
+pub mod overlap;
 pub mod perfmodel;
 pub mod power;
 pub mod report;
@@ -39,6 +44,7 @@ pub mod telemetry;
 pub use arch::SystemConfig;
 pub use error::{ExecError, ExecResult};
 pub use exec::{ExecStats, RawFallbackStore, RecodedSpmv};
+pub use overlap::{CacheStats, ExecCache, OverlapConfig, OverlapExecutor, OverlapStats};
 pub use perfmodel::SpmvPerfModel;
 pub use power::PowerSavings;
 pub use telemetry::{

@@ -133,7 +133,7 @@ pub struct Span {
 }
 
 /// Which compressed stream a block belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StreamKind {
     /// Column-index stream.
     Index,
@@ -411,6 +411,46 @@ impl TraceDocument {
                 ));
             }
         }
+        // Overlapped-schedule invariants. The batch path leaves OverlapStats
+        // all-zero and emits none of these counters, so every check below is
+        // vacuously true on old traces.
+        let ov = &self.exec.overlap;
+        if ov.overlapped_makespan_cycles > ov.serial_makespan_cycles {
+            errs.push(format!(
+                "overlapped makespan {} exceeds serial makespan {}",
+                ov.overlapped_makespan_cycles, ov.serial_makespan_cycles
+            ));
+        }
+        if ov.overlapped_makespan_cycles < ov.decode_cycles.max(ov.multiply_cycles) {
+            errs.push(format!(
+                "overlapped makespan {} below an engine's critical path (decode {}, multiply {})",
+                ov.overlapped_makespan_cycles, ov.decode_cycles, ov.multiply_cycles
+            ));
+        }
+        for (name, stat) in [
+            ("pipeline.overlap.stages", ov.stages as u64),
+            ("pipeline.overlap.decode_cycles", ov.decode_cycles),
+            ("pipeline.overlap.multiply_cycles", ov.multiply_cycles),
+            ("pipeline.overlap.makespan_cycles", ov.overlapped_makespan_cycles),
+            ("pipeline.overlap.serial_cycles", ov.serial_makespan_cycles),
+            ("cache.hits", ov.cache_hits),
+            ("cache.misses", ov.cache_misses),
+            ("cache.evictions", ov.cache_evictions),
+            ("cache.hit_bytes", ov.cache_hit_bytes),
+        ] {
+            if self.counter(name) != stat {
+                errs.push(format!(
+                    "counter {name} = {} disagrees with overlap stats {stat}",
+                    self.counter(name)
+                ));
+            }
+        }
+        if ov.enabled && self.exec.accel.makespan_cycles != ov.overlapped_makespan_cycles {
+            errs.push(format!(
+                "accel makespan {} != overlapped makespan {}",
+                self.exec.accel.makespan_cycles, ov.overlapped_makespan_cycles
+            ));
+        }
         errs
     }
 
@@ -547,6 +587,27 @@ pub fn render_report(doc: &TraceDocument) -> String {
         e.retry_cycles,
         e.degraded
     );
+    let ov = &e.overlap;
+    if ov.stages > 0 || ov.enabled {
+        let _ = writeln!(out, "\n-- overlap --");
+        let _ = writeln!(
+            out,
+            "pipelined: {} | stages {} | workers {} | decode {} cy | multiply {} cy",
+            ov.enabled, ov.stages, ov.workers, ov.decode_cycles, ov.multiply_cycles
+        );
+        let _ = writeln!(
+            out,
+            "makespan {} cy overlapped vs {} cy serial (saved {} cy)",
+            ov.overlapped_makespan_cycles,
+            ov.serial_makespan_cycles,
+            ov.saved_cycles()
+        );
+        let _ = writeln!(
+            out,
+            "cache: {} hits / {} misses / {} evictions, {} B served from cache",
+            ov.cache_hits, ov.cache_misses, ov.cache_evictions, ov.cache_hit_bytes
+        );
+    }
     out
 }
 

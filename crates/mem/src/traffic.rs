@@ -23,15 +23,20 @@ pub enum TrafficSource {
     Vectors,
     /// Raw row-pointer array (kept uncompressed, as in the paper).
     RowPtr,
+    /// Decoded blocks served from the executor's block cache instead of
+    /// being re-streamed and re-decoded (reads the cache *avoided* turning
+    /// into DRAM traffic would otherwise not be visible in the ledger).
+    DecodedCache,
 }
 
 impl TrafficSource {
     /// All sources, in a stable order (trace-schema order).
-    pub const ALL: [TrafficSource; 4] = [
+    pub const ALL: [TrafficSource; 5] = [
         TrafficSource::CompressedStream,
         TrafficSource::FallbackRefetch,
         TrafficSource::Vectors,
         TrafficSource::RowPtr,
+        TrafficSource::DecodedCache,
     ];
 
     /// Stable lowercase name used in trace counters
@@ -42,6 +47,7 @@ impl TrafficSource {
             TrafficSource::FallbackRefetch => "fallback_refetch",
             TrafficSource::Vectors => "vectors",
             TrafficSource::RowPtr => "row_ptr",
+            TrafficSource::DecodedCache => "decoded_cache",
         }
     }
 
@@ -51,6 +57,7 @@ impl TrafficSource {
             TrafficSource::FallbackRefetch => 1,
             TrafficSource::Vectors => 2,
             TrafficSource::RowPtr => 3,
+            TrafficSource::DecodedCache => 4,
         }
     }
 }
@@ -58,8 +65,8 @@ impl TrafficSource {
 /// Read/write byte counters for every [`TrafficSource`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficLedger {
-    read: [u64; 4],
-    write: [u64; 4],
+    read: [u64; 5],
+    write: [u64; 5],
 }
 
 impl TrafficLedger {
@@ -95,7 +102,7 @@ impl TrafficLedger {
 
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: &TrafficLedger) {
-        for i in 0..4 {
+        for i in 0..TrafficSource::ALL.len() {
             self.read[i] += other.read[i];
             self.write[i] += other.write[i];
         }
@@ -185,7 +192,7 @@ mod tests {
         let r = t.report(&MemorySystem::ddr4());
         assert_eq!(r.total_bytes, 100_000_000_000);
         assert!((r.stream_seconds - 1.0).abs() < 1e-12);
-        assert_eq!(r.by_source.len(), 4);
+        assert_eq!(r.by_source.len(), 5);
         assert_eq!(r.by_source[0].source, TrafficSource::CompressedStream);
         assert_eq!(r.by_source[0].read_bytes, 100_000_000_000);
     }
@@ -193,6 +200,9 @@ mod tests {
     #[test]
     fn source_names_are_stable() {
         let names: Vec<&str> = TrafficSource::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["compressed_stream", "fallback_refetch", "vectors", "row_ptr"]);
+        assert_eq!(
+            names,
+            ["compressed_stream", "fallback_refetch", "vectors", "row_ptr", "decoded_cache"]
+        );
     }
 }

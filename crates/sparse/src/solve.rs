@@ -2,9 +2,24 @@
 //! paper's introduction motivates (PDE solvers, graph analytics, ML). Each
 //! solver takes a kernel choice so it runs identically over plain CSR or a
 //! matrix recovered from the recoded representation.
+//!
+//! Every solver is implemented once over an abstract, fallible operator
+//! `op(x, y)` computing `y = A x` (`conjugate_gradient_op`, `jacobi_op`,
+//! `power_iteration_op`); the kernel-taking entry points are thin wrappers
+//! over an infallible CSR operator. The operator form is what lets the
+//! overlapped executor in `recode-core` drive the same iteration loops
+//! through UDP-decoded, cached SpMV, where each apply can fail.
 
 use crate::spmv::{spmv_with_into, SpmvKernel};
 use crate::Csr;
+use std::convert::Infallible;
+
+fn unwrap_infallible<T>(r: Result<T, Infallible>) -> T {
+    match r {
+        Ok(t) => t,
+        Err(e) => match e {},
+    }
+}
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone)]
@@ -32,7 +47,24 @@ pub fn conjugate_gradient(
 ) -> SolveResult {
     assert_eq!(a.nrows(), a.ncols(), "CG needs a square matrix");
     assert_eq!(b.len(), a.nrows(), "rhs length must equal nrows");
-    let n = a.nrows();
+    unwrap_infallible(conjugate_gradient_op(b, tol, max_iters, |x, y| {
+        spmv_with_into(kernel, a, x, y);
+        Ok(())
+    }))
+}
+
+/// [`conjugate_gradient`] over an abstract fallible operator `op(x, y)`
+/// computing `y = A x`. The first operator error aborts the solve.
+///
+/// # Errors
+/// Whatever `op` returns, verbatim.
+pub fn conjugate_gradient_op<E>(
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+    mut op: impl FnMut(&[f64], &mut [f64]) -> Result<(), E>,
+) -> Result<SolveResult, E> {
+    let n = b.len();
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut p = r.clone();
@@ -41,13 +73,13 @@ pub fn conjugate_gradient(
     for iter in 0..max_iters {
         let res = rs_old.sqrt();
         if res < tol {
-            return SolveResult { x, iterations: iter, residual: res, converged: true };
+            return Ok(SolveResult { x, iterations: iter, residual: res, converged: true });
         }
-        spmv_with_into(kernel, a, &p, &mut ap);
+        op(&p, &mut ap)?;
         let pap: f64 = p.iter().zip(&ap).map(|(pi, api)| pi * api).sum();
         if pap <= 0.0 {
             // Not SPD (or numerically broken-down): stop honestly.
-            return SolveResult { x, iterations: iter, residual: res, converged: false };
+            return Ok(SolveResult { x, iterations: iter, residual: res, converged: false });
         }
         let alpha = rs_old / pap;
         for i in 0..n {
@@ -62,7 +94,7 @@ pub fn conjugate_gradient(
         rs_old = rs_new;
     }
     let res = rs_old.sqrt();
-    SolveResult { x, iterations: max_iters, residual: res, converged: res < tol }
+    Ok(SolveResult { x, iterations: max_iters, residual: res, converged: res < tol })
 }
 
 /// Jacobi iteration for diagonally dominant systems `A x = b`.
@@ -87,10 +119,34 @@ pub fn jacobi(
             d
         })
         .collect();
+    unwrap_infallible(jacobi_op(b, &diag, tol, max_iters, |x, y| {
+        spmv_with_into(kernel, a, x, y);
+        Ok(())
+    }))
+}
+
+/// [`jacobi`] over an abstract fallible operator `op(x, y)` computing
+/// `y = A x`, with the diagonal of `A` supplied explicitly.
+///
+/// # Errors
+/// Whatever `op` returns, verbatim.
+///
+/// # Panics
+/// If `diag.len() != b.len()` or a diagonal entry is zero.
+pub fn jacobi_op<E>(
+    b: &[f64],
+    diag: &[f64],
+    tol: f64,
+    max_iters: usize,
+    mut op: impl FnMut(&[f64], &mut [f64]) -> Result<(), E>,
+) -> Result<SolveResult, E> {
+    let n = b.len();
+    assert_eq!(diag.len(), n, "diagonal length must equal rhs length");
+    assert!(diag.iter().all(|&d| d != 0.0), "zero diagonal entry");
     let mut x = vec![0.0; n];
     let mut ax = vec![0.0; n];
     for iter in 0..max_iters {
-        spmv_with_into(kernel, a, &x, &mut ax);
+        op(&x, &mut ax)?;
         let mut delta = 0.0f64;
         for i in 0..n {
             // x_i <- x_i + (b_i - (A x)_i) / a_ii
@@ -99,13 +155,13 @@ pub fn jacobi(
             delta = delta.max(step.abs());
         }
         if delta < tol {
-            return SolveResult { x, iterations: iter + 1, residual: delta, converged: true };
+            return Ok(SolveResult { x, iterations: iter + 1, residual: delta, converged: true });
         }
     }
     // Final residual for reporting.
-    spmv_with_into(kernel, a, &x, &mut ax);
+    op(&x, &mut ax)?;
     let res = b.iter().zip(&ax).map(|(bi, axi)| (bi - axi).abs()).fold(0.0f64, f64::max);
-    SolveResult { x, iterations: max_iters, residual: res, converged: res < tol }
+    Ok(SolveResult { x, iterations: max_iters, residual: res, converged: res < tol })
 }
 
 /// Power iteration: dominant eigenvector of `A` (normalized to unit
@@ -122,18 +178,38 @@ pub fn power_iteration(
 ) -> (SolveResult, f64) {
     assert_eq!(a.nrows(), a.ncols(), "power iteration needs a square matrix");
     assert!(a.nrows() > 0, "matrix must be non-empty");
-    let n = a.nrows();
+    unwrap_infallible(power_iteration_op(a.nrows(), tol, max_iters, |x, y| {
+        spmv_with_into(kernel, a, x, y);
+        Ok(())
+    }))
+}
+
+/// [`power_iteration`] over an abstract fallible operator `op(x, y)`
+/// computing `y = A x` for an `n × n` matrix.
+///
+/// # Errors
+/// Whatever `op` returns, verbatim.
+///
+/// # Panics
+/// If `n == 0`.
+pub fn power_iteration_op<E>(
+    n: usize,
+    tol: f64,
+    max_iters: usize,
+    mut op: impl FnMut(&[f64], &mut [f64]) -> Result<(), E>,
+) -> Result<(SolveResult, f64), E> {
+    assert!(n > 0, "matrix must be non-empty");
     let mut x = vec![1.0 / (n as f64).sqrt(); n];
     let mut ax = vec![0.0; n];
     let mut eigenvalue = 0.0;
     for iter in 0..max_iters {
-        spmv_with_into(kernel, a, &x, &mut ax);
+        op(&x, &mut ax)?;
         let norm: f64 = ax.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm == 0.0 {
-            return (
+            return Ok((
                 SolveResult { x, iterations: iter, residual: 0.0, converged: true },
                 0.0,
-            );
+            ));
         }
         let mut delta = 0.0f64;
         for i in 0..n {
@@ -143,16 +219,16 @@ pub fn power_iteration(
         }
         eigenvalue = norm;
         if delta < tol {
-            return (
+            return Ok((
                 SolveResult { x, iterations: iter + 1, residual: delta, converged: true },
                 eigenvalue,
-            );
+            ));
         }
     }
-    (
+    Ok((
         SolveResult { x, iterations: max_iters, residual: f64::NAN, converged: false },
         eigenvalue,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -251,5 +327,43 @@ mod tests {
     fn jacobi_rejects_zero_diagonal() {
         let a = Csr::try_from_parts(2, 2, vec![0, 1, 1], vec![1], vec![1.0]).unwrap();
         let _ = jacobi(&a, &[1.0, 1.0], SpmvKernel::Serial, 1e-9, 10);
+    }
+
+    #[test]
+    fn op_solvers_match_kernel_solvers_exactly() {
+        // The kernel entry points are wrappers over the op forms; the two
+        // must produce bit-identical iterates.
+        let a = laplacian_1d(80);
+        let b: Vec<f64> = (0..80).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let via_kernel = conjugate_gradient(&a, &b, SpmvKernel::Serial, 1e-10, 500);
+        let via_op = conjugate_gradient_op(&b, 1e-10, 500, |x, y| {
+            spmv_with_into(SpmvKernel::Serial, &a, x, y);
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(via_kernel.x, via_op.x);
+        assert_eq!(via_kernel.iterations, via_op.iterations);
+
+        let (pk, lk) = power_iteration(&a, SpmvKernel::Serial, 1e-10, 2000);
+        let (po, lo) = power_iteration_op(80, 1e-10, 2000, |x, y| {
+            spmv_with_into(SpmvKernel::Serial, &a, x, y);
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(pk.x, po.x);
+        assert_eq!(lk, lo);
+    }
+
+    #[test]
+    fn op_solver_errors_abort_the_iteration() {
+        let b = vec![1.0; 8];
+        let mut applies = 0usize;
+        let err = conjugate_gradient_op(&b, 1e-12, 100, |_x, _y| {
+            applies += 1;
+            Err::<(), &str>("operator failed")
+        })
+        .unwrap_err();
+        assert_eq!(err, "operator failed");
+        assert_eq!(applies, 1, "solve must stop at the first operator error");
     }
 }

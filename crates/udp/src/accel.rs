@@ -94,6 +94,20 @@ pub struct JobEvent {
 /// Event sink: called once per job, from lane worker threads.
 pub type JobEventSink<'a> = &'a (dyn Fn(&JobEvent) + Sync);
 
+/// The one definition of MIMD lane utilization: `busy / (makespan * lanes)`.
+///
+/// Every consumer — the batch scheduler, the retry-folding exec path, and
+/// the overlapped executor — must derive utilization through this helper so
+/// the paths cannot drift apart. An empty batch (zero makespan) counts as
+/// fully utilized.
+pub fn lane_utilization(busy_cycles: u64, makespan_cycles: u64, lanes: usize) -> f64 {
+    if makespan_cycles == 0 {
+        1.0
+    } else {
+        busy_cycles as f64 / (makespan_cycles as f64 * lanes as f64)
+    }
+}
+
 /// Result of a batch: aggregate report plus every job's individual outcome
 /// in job order. Failed jobs are `Err` entries — the batch itself always
 /// completes so callers can recover per job.
@@ -220,6 +234,62 @@ impl AccelReport {
     pub fn energy_joules(&self) -> f64 {
         energy::POWER_W * (self.lanes as f64 / energy::LANES as f64) * self.seconds()
     }
+
+    /// Recomputes `lane_utilization` from the current busy/makespan totals
+    /// via [`lane_utilization`]. Callers that fold extra cycles into the
+    /// report after the batch (serialized retries, overlap scheduling) must
+    /// call this instead of open-coding the formula.
+    pub fn refresh_utilization(&mut self) {
+        self.lane_utilization =
+            lane_utilization(self.busy_cycles, self.makespan_cycles, self.lanes);
+    }
+
+    /// Accumulates `other` into `self`: job counts, cycle totals, and
+    /// attribution merge; the makespan extends (waves hand off back-to-back,
+    /// so their critical paths add) and utilization is refreshed. Lane
+    /// profiles are merged per lane when both sides carry them.
+    pub fn absorb_wave(&mut self, other: &AccelReport) {
+        self.jobs += other.jobs;
+        self.jobs_failed += other.jobs_failed;
+        self.makespan_cycles += other.makespan_cycles;
+        self.busy_cycles += other.busy_cycles;
+        self.injected_stall_cycles += other.injected_stall_cycles;
+        self.output_bytes += other.output_bytes;
+        self.opclass.merge(&other.opclass);
+        self.stage_cycles.merge(&other.stage_cycles);
+        if self.lane_profiles.len() == other.lane_profiles.len() {
+            for (mine, theirs) in self.lane_profiles.iter_mut().zip(&other.lane_profiles) {
+                mine.jobs += theirs.jobs;
+                mine.jobs_failed += theirs.jobs_failed;
+                mine.busy_cycles += theirs.busy_cycles;
+                mine.stall_cycles += theirs.stall_cycles;
+                mine.output_bytes += theirs.output_bytes;
+                mine.opclass.merge(&theirs.opclass);
+            }
+        }
+        self.refresh_utilization();
+    }
+}
+
+impl Default for AccelReport {
+    /// An empty report for `lanes`-free aggregation contexts: zero work,
+    /// full utilization (the empty-batch convention), paper clock.
+    fn default() -> Self {
+        AccelReport {
+            jobs: 0,
+            jobs_failed: 0,
+            lanes: energy::LANES,
+            makespan_cycles: 0,
+            busy_cycles: 0,
+            injected_stall_cycles: 0,
+            output_bytes: 0,
+            lane_utilization: 1.0,
+            freq_hz: energy::FREQ_HZ,
+            lane_profiles: Vec::new(),
+            opclass: OpClassCycles::default(),
+            stage_cycles: StageCycles::default(),
+        }
+    }
 }
 
 impl Accelerator {
@@ -274,23 +344,50 @@ impl Accelerator {
         E: From<LaneError> + Send,
         F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
     {
+        self.run_jobs_from(0, jobs, run, hook, sink)
+    }
+
+    /// Batch-handoff entry point: runs a *wave* of jobs whose global batch
+    /// numbering starts at `job_base`. Lane assignment, fault-hook lookups,
+    /// and emitted [`JobEvent`]s all use the global index `job_base + k`, so
+    /// a pipelined caller can hand the accelerator one tile's blocks at a
+    /// time while keeping the exact job→lane mapping and fault semantics of
+    /// a single monolithic batch. `outcome.results` stays indexed by the
+    /// *local* position within `jobs`.
+    pub fn run_jobs_from<J, E, F>(
+        &self,
+        job_base: usize,
+        jobs: &[J],
+        run: F,
+        hook: &FaultHook,
+        sink: Option<JobEventSink<'_>>,
+    ) -> BatchOutcome<E>
+    where
+        J: Sync,
+        E: From<LaneError> + Send,
+        F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
+    {
         assert!(self.lanes > 0, "need at least one lane");
-        // Each simulated lane runs on a host thread; job k goes to lane
-        // k % lanes, preserving the paper's block-round-robin assignment.
-        let per_lane: Vec<(LaneProfile, StageCycles, Vec<(usize, Result<JobOutcome, E>)>)> =
-            (0..self.lanes)
+        // Each simulated lane runs on a host thread; global job g goes to
+        // lane g % lanes, preserving the paper's block-round-robin
+        // assignment across wave boundaries.
+        type LaneRun<E> = (LaneProfile, StageCycles, Vec<(usize, Result<JobOutcome, E>)>);
+        let per_lane: Vec<LaneRun<E>> = (0..self.lanes)
                 .into_par_iter()
                 .map(|lane_idx| {
                     let mut lane = Lane::new();
                     let mut done = Vec::new();
                     let mut profile = LaneProfile { lane: lane_idx, ..Default::default() };
                     let mut stages = StageCycles::default();
-                    for (k, job) in
-                        jobs.iter().enumerate().skip(lane_idx).step_by(self.lanes)
+                    // First local index whose global position lands on this
+                    // lane: job_base + start ≡ lane_idx (mod lanes).
+                    let start = (lane_idx + self.lanes - job_base % self.lanes) % self.lanes;
+                    for (k, job) in jobs.iter().enumerate().skip(start).step_by(self.lanes)
                     {
-                        let stall = hook.stall_cycles.get(&k).copied().unwrap_or(0);
+                        let g = job_base + k;
+                        let stall = hook.stall_cycles.get(&g).copied().unwrap_or(0);
                         profile.stall_cycles += stall;
-                        let result = if hook.trap_jobs.contains(&k) {
+                        let result = if hook.trap_jobs.contains(&g) {
                             Err(E::from(LaneError::InjectedFault))
                         } else {
                             run(&mut lane, job)
@@ -309,7 +406,7 @@ impl Accelerator {
                         }
                         if let Some(sink) = sink {
                             sink(&JobEvent {
-                                job: k,
+                                job: g,
                                 lane: lane_idx,
                                 cycles,
                                 stall_cycles: stall,
@@ -360,11 +457,7 @@ impl Accelerator {
             busy_cycles: busy,
             injected_stall_cycles: stall_total,
             output_bytes: out_bytes,
-            lane_utilization: if makespan == 0 {
-                1.0
-            } else {
-                busy as f64 / (makespan as f64 * self.lanes as f64)
-            },
+            lane_utilization: lane_utilization(busy, makespan, self.lanes),
             freq_hz: self.freq_hz,
             lane_profiles,
             opclass,
@@ -524,6 +617,70 @@ mod tests {
             assert_eq!(e.stall_cycles, if k == 5 { 9 } else { 0 });
         }
         assert_eq!(out.report.jobs_failed, 1);
+    }
+
+    #[test]
+    fn waves_with_offsets_match_one_monolithic_batch() {
+        use std::sync::Mutex;
+        let acc = Accelerator { lanes: 3, freq_hz: 1e9 };
+        let jobs: Vec<Fake> = (0..11).map(|i| Fake { cycles: 10 + i, bytes: 2 }).collect();
+        let hook = FaultHook::new().trap(4).stall(7, 13);
+
+        let mono = acc.run_jobs_with_faults::<_, LaneError, _>(&jobs, run_fake, &hook);
+
+        // Same jobs, handed off in three waves with global numbering.
+        let events: Mutex<Vec<JobEvent>> = Mutex::new(Vec::new());
+        let sink = |e: &JobEvent| events.lock().unwrap().push(*e);
+        let mut agg = AccelReport { lanes: 3, freq_hz: 1e9, ..Default::default() };
+        agg.lane_profiles = (0..3).map(|l| LaneProfile { lane: l, ..Default::default() }).collect();
+        let mut results = Vec::new();
+        let mut base = 0usize;
+        for wave in jobs.chunks(4) {
+            let out = acc.run_jobs_from::<_, LaneError, _>(
+                base, wave, run_fake, &hook, Some(&sink),
+            );
+            agg.absorb_wave(&out.report);
+            results.extend(out.results);
+            base += wave.len();
+        }
+        // Cycle totals and job accounting line up with the monolithic run.
+        assert_eq!(agg.jobs, mono.report.jobs);
+        assert_eq!(agg.jobs_failed, mono.report.jobs_failed);
+        assert_eq!(agg.busy_cycles, mono.report.busy_cycles);
+        assert_eq!(agg.output_bytes, mono.report.output_bytes);
+        assert_eq!(agg.injected_stall_cycles, mono.report.injected_stall_cycles);
+        // Waves serialize at handoff boundaries, so the critical path can
+        // only grow.
+        assert!(agg.makespan_cycles >= mono.report.makespan_cycles);
+        let util = lane_utilization(agg.busy_cycles, agg.makespan_cycles, agg.lanes);
+        assert!((agg.lane_utilization - util).abs() < 1e-12);
+        // Every job kept its global lane assignment and fault outcome.
+        let mut events = events.into_inner().unwrap();
+        events.sort_by_key(|e| e.job);
+        assert_eq!(events.len(), 11);
+        for (g, e) in events.iter().enumerate() {
+            assert_eq!(e.job, g);
+            assert_eq!(e.lane, g % 3, "wave handoff must preserve g % lanes");
+            assert_eq!(e.ok, g != 4);
+            assert_eq!(e.stall_cycles, if g == 7 { 13 } else { 0 });
+        }
+        assert!(matches!(results[4], Err(LaneError::InjectedFault)));
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 10);
+        // Per-lane profiles still tile the busy cycles after merging.
+        let busy: u64 = agg.lane_profiles.iter().map(|p| p.busy_cycles + p.stall_cycles).sum();
+        assert_eq!(busy, agg.busy_cycles);
+    }
+
+    #[test]
+    fn utilization_helper_is_the_single_source_of_truth() {
+        assert_eq!(lane_utilization(0, 0, 64), 1.0, "empty batch convention");
+        assert!((lane_utilization(400, 100, 4) - 1.0).abs() < 1e-12);
+        assert!((lane_utilization(100, 100, 4) - 0.25).abs() < 1e-12);
+        let acc = Accelerator { lanes: 4, freq_hz: 1e9 };
+        let jobs: Vec<Fake> = (0..9).map(|i| Fake { cycles: 5 * (i + 1), bytes: 1 }).collect();
+        let r = acc.run_jobs::<_, LaneError, _>(&jobs, run_fake).report;
+        let want = lane_utilization(r.busy_cycles, r.makespan_cycles, r.lanes);
+        assert!((r.lane_utilization - want).abs() < 1e-12);
     }
 
     // Silence the unused-import lint while documenting intent: RunResult is

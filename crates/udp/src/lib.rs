@@ -38,8 +38,8 @@ pub mod program;
 pub mod progs;
 
 pub use accel::{
-    Accelerator, AccelReport, BatchOutcome, FaultHook, JobEvent, JobEventSink, JobOutcome,
-    LaneProfile, StageCycles,
+    lane_utilization, Accelerator, AccelReport, BatchOutcome, FaultHook, JobEvent, JobEventSink,
+    JobOutcome, LaneProfile, StageCycles,
 };
 pub use error::{UdpError, UdpResult};
 pub use lane::{Lane, LaneError, OpClassCycles, RunConfig, RunResult};

@@ -5,10 +5,17 @@
 //! recode compress  <matrix.mtx> -o <out.rcmx>    DSH-compress (JSON container)
 //! recode decompress <in.rcmx>   -o <matrix.mtx>  restore MatrixMarket
 //! recode spmv      <matrix.mtx> [--trace <out.json>]
+//!                  [--overlap] [--cache-blocks N] [--iters N]
 //!                                                run SpMV through the simulated
 //!                                                heterogeneous system and report;
 //!                                                --trace writes the full telemetry
-//!                                                document (recode-trace/v1 JSON)
+//!                                                document (recode-trace/v1 JSON);
+//!                                                --overlap routes through the
+//!                                                pipelined decode/multiply
+//!                                                executor, --cache-blocks seeds
+//!                                                its decoded-block LRU cache, and
+//!                                                --iters repeats the multiply to
+//!                                                show the warm-cache decode cost
 //! recode report    <trace.json>                  render a trace as a table
 //! recode trace-check <trace.json>                validate a trace's schema and
 //!                                                internal invariants
@@ -17,7 +24,8 @@
 //! ```
 //!
 //! Flags: `-o PATH` output, `--config dsh|ds|snappy` codec choice,
-//! `--seed N` for `gen`, `--trace PATH` for `spmv`.
+//! `--seed N` for `gen`, `--trace PATH` / `--overlap` / `--cache-blocks N` /
+//! `--iters N` for `spmv`.
 
 use recode_spmv::codec::metrics::CompressionSummary;
 use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
@@ -33,7 +41,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--overlap] [--cache-blocks N] [--iters N]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
@@ -50,6 +58,9 @@ struct Flags {
     config: MatrixCodecConfig,
     seed: u64,
     trace: Option<String>,
+    overlap: bool,
+    cache_blocks: usize,
+    iters: usize,
 }
 
 fn parse(args: &[String]) -> Result<Flags, String> {
@@ -59,6 +70,9 @@ fn parse(args: &[String]) -> Result<Flags, String> {
         config: MatrixCodecConfig::udp_dsh(),
         seed: 2019,
         trace: None,
+        overlap: false,
+        cache_blocks: 0,
+        iters: 1,
     };
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +93,22 @@ fn parse(args: &[String]) -> Result<Flags, String> {
             "--trace" => {
                 i += 1;
                 f.trace = Some(args.get(i).ok_or("missing value for --trace")?.clone());
+            }
+            "--overlap" => f.overlap = true,
+            "--cache-blocks" => {
+                i += 1;
+                f.cache_blocks = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("bad --cache-blocks value")?;
+            }
+            "--iters" => {
+                i += 1;
+                f.iters = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("bad --iters value (need an integer >= 1)")?;
             }
             "--seed" => {
                 i += 1;
@@ -189,6 +219,15 @@ fn cmd_decompress(flags: &Flags) -> Result<(), String> {
 
 fn cmd_spmv(flags: &Flags) -> Result<(), String> {
     let a = load(flags)?;
+    if flags.overlap {
+        return cmd_spmv_overlap(flags, &a);
+    }
+    if flags.iters > 1 {
+        return Err("--iters needs --overlap (the batch path has no decoded-block cache)".into());
+    }
+    if flags.cache_blocks > 0 {
+        return Err("--cache-blocks needs --overlap".into());
+    }
     let sys = SystemConfig::ddr4();
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(&a, &x);
@@ -244,6 +283,100 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
     print!("{}", report::scenarios(&model.evaluate_all(&sys)));
     let p = PowerSavings::compute(&sys, cm.bytes_per_nnz(), m.accel_out_bps.max(1e9));
     println!("iso-performance power: {:.1} W of {:.0} W saved", p.net_saving_w, p.max_power_w);
+    Ok(())
+}
+
+/// The `--overlap` arm of `recode spmv`: route through the pipelined
+/// decode/multiply executor with an optional decoded-block LRU cache.
+/// Multi-tile pipelined results reassociate rows that straddle tile
+/// boundaries, so verification is against a 1e-10 relative tolerance
+/// rather than bit equality.
+fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
+    let sys = SystemConfig::ddr4();
+    let x = vec![1.0; a.ncols()];
+    let y_ref = spmv(a, &x);
+    let recoded = if flags.trace.is_some() {
+        RecodedSpmv::new_traced(a, flags.config)
+    } else {
+        RecodedSpmv::new(a, flags.config)
+    }
+    .map_err(|e| e.to_string())?;
+    let ex = OverlapExecutor::new(
+        &recoded,
+        OverlapConfig { overlap: true, cache_blocks: flags.cache_blocks, workers: 0 },
+    );
+    let (y, stats) = if let Some(trace_path) = &flags.trace {
+        let name = std::path::Path::new(&flags.positional[0])
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let (y, stats, doc) =
+            ex.spmv_traced(&sys, &x, None, &name).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
+        println!(
+            "trace ({}) written to {trace_path}: {} spans, {} block events, {} counters",
+            doc.schema,
+            doc.spans.len(),
+            doc.block_events.len(),
+            doc.counters.len()
+        );
+        (y, stats)
+    } else {
+        ex.spmv(&sys, &x).map_err(|e| e.to_string())?
+    };
+    let worst = y.iter().zip(&y_ref).fold(0.0f64, |w, (got, want)| {
+        w.max((got - want).abs() / want.abs().max(1.0))
+    });
+    if worst > 1e-10 {
+        return Err(format!(
+            "pipelined SpMV diverged from the uncompressed kernel (worst rel err {worst:.3e})"
+        ));
+    }
+    println!(
+        "pipelined SpMV verified against the uncompressed kernel ({} rows, worst rel err {:.1e})",
+        y.len(),
+        worst
+    );
+    let ov = stats.overlap;
+    println!(
+        "overlap: {} stages on {} workers; decode {} + multiply {} cycles",
+        ov.stages, ov.workers, ov.decode_cycles, ov.multiply_cycles
+    );
+    println!(
+        "         makespan {} cycles vs {} serial ({} saved, {:.1}% lane utilization)",
+        ov.overlapped_makespan_cycles,
+        ov.serial_makespan_cycles,
+        ov.saved_cycles(),
+        stats.accel.lane_utilization * 100.0
+    );
+    if flags.cache_blocks > 0 {
+        println!(
+            "cache: capacity {} blocks; {} hits / {} misses / {} evictions ({} decoded bytes served)",
+            flags.cache_blocks, ov.cache_hits, ov.cache_misses, ov.cache_evictions, ov.cache_hit_bytes
+        );
+    }
+    if flags.iters > 1 {
+        if a.nrows() != a.ncols() {
+            return Err("--iters needs a square matrix".into());
+        }
+        let (_, per_iter) =
+            ex.spmv_iter(&sys, &x, flags.iters - 1).map_err(|e| e.to_string())?;
+        println!("\niterated multiply (decode cycles per iteration):");
+        let decode: Vec<u64> = std::iter::once(ov.decode_cycles)
+            .chain(per_iter.iter().map(|s| s.overlap.decode_cycles))
+            .collect();
+        for (i, d) in decode.iter().enumerate() {
+            println!("  iter {:>3}: {d:>12} decode cycles", i + 1);
+        }
+        let warm_sum: u64 = decode[1..].iter().sum();
+        if warm_sum == 0 {
+            println!("  warm iterations paid zero decode cycles (every block served from cache)");
+        } else {
+            let warm_avg = warm_sum as f64 / (decode.len() - 1) as f64;
+            println!("  cold/warm decode ratio: {:.1}x", decode[0] as f64 / warm_avg);
+        }
+    }
     Ok(())
 }
 

@@ -39,7 +39,9 @@ pub mod prelude {
     pub use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig, PipelineConfig};
     pub use recode_core::arch::Scenario;
     pub use recode_core::perfmodel::SpmvPerfModel;
-    pub use recode_core::{PowerSavings, RecodedSpmv, SystemConfig};
+    pub use recode_core::{
+        OverlapConfig, OverlapExecutor, PowerSavings, RecodedSpmv, SystemConfig,
+    };
     pub use recode_sparse::prelude::*;
     pub use recode_udp::{Accelerator, Lane};
 }

@@ -1,0 +1,145 @@
+//! Differential SpMV suite: every kernel and every executor must agree on
+//! every matrix family.
+//!
+//! For each matrix in the gallery (one instance per `sparse::gen` family
+//! plus the MatrixMarket fixtures under `tests/fixtures/`), `y = A x` is
+//! computed eight ways — serial CSR, row-parallel CSR, merge-path CSR, the
+//! batch recoded executor, and the pipelined overlap executor under all
+//! four {overlap, cache} settings — and every result must match the serial
+//! reference to a 1e-10 relative tolerance. The pipelined executor merges
+//! per-tile partial sums, which reassociates rows that straddle tile
+//! boundaries; everything else is bit-exact, but one tolerance keeps the
+//! oracle uniform.
+
+use recode_spmv::codec::faults::SplitMix64;
+use recode_spmv::prelude::*;
+use recode_spmv::sparse::gen::KroneckerBase;
+use recode_spmv::sparse::spmv::spmv_with;
+
+const REL_TOL: f64 = 1e-10;
+
+/// One small instance of every generator family (11 of them, matching
+/// `GenSpec::family()`).
+fn gallery() -> Vec<(String, Csr)> {
+    let specs: Vec<GenSpec> = vec![
+        GenSpec::Stencil2D { nx: 24, ny: 24, points: 5, values: ValueModel::StencilCoeffs },
+        GenSpec::Stencil2D { nx: 16, ny: 16, points: 9, values: ValueModel::StencilCoeffs },
+        GenSpec::Stencil3D { nx: 8, ny: 8, nz: 8, points: 7, values: ValueModel::StencilCoeffs },
+        GenSpec::MultiDiagonal {
+            n: 400,
+            offsets: vec![-19, -1, 0, 1, 19],
+            values: ValueModel::MixedRepeated { distinct: 4 },
+        },
+        GenSpec::FemBand {
+            n: 300,
+            band: 12,
+            fill: 0.5,
+            values: ValueModel::QuantizedGaussian { levels: 64 },
+        },
+        GenSpec::BlockJacobian {
+            nblocks: 30,
+            block: 8,
+            coupling: 2.0,
+            values: ValueModel::MixedRepeated { distinct: 6 },
+        },
+        GenSpec::Circuit { n: 350, avg_deg: 3.0, hubs: 4, values: ValueModel::Ones },
+        GenSpec::Rmat { scale: 8, edge_factor: 6, values: ValueModel::Ones },
+        GenSpec::ErdosRenyi { n: 300, avg_deg: 5.0, values: ValueModel::MixedRepeated { distinct: 3 } },
+        GenSpec::Kronecker { base: KroneckerBase::Star, power: 5, values: ValueModel::Ones },
+        GenSpec::SmallWorld { n: 256, k: 3, rewire: 0.1, values: ValueModel::Ones },
+        GenSpec::Laplacian { scale: 8, edge_factor: 4 },
+    ];
+    let mut out: Vec<(String, Csr)> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let a = generate(spec, 2019 + i as u64);
+            (format!("{}#{}", spec.family(), i), a)
+        })
+        .collect();
+    for fixture in ["mixed9.mtx", "sym6.mtx"] {
+        let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+        let a = recode_spmv::sparse::io::read_matrix_market_path(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        out.push((fixture.to_string(), a));
+    }
+    out
+}
+
+/// Deterministic dense vector in [-1, 1) — a stronger differential probe
+/// than all-ones (catches column-index mixups that ones would mask).
+fn probe_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.f64() * 2.0 - 1.0).collect()
+}
+
+fn assert_close(name: &str, how: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{name}/{how}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs() / w.abs().max(1.0);
+        assert!(
+            err <= REL_TOL,
+            "{name}/{how}: row {i} diverged: got {g}, want {w} (rel err {err:.3e})"
+        );
+    }
+}
+
+#[test]
+fn every_kernel_and_executor_agrees_on_every_family() {
+    let sys = SystemConfig::ddr4();
+    for (name, a) in gallery() {
+        let x = probe_vector(a.ncols(), 0xD1FF ^ a.nnz() as u64);
+        let y_ref = spmv(&a, &x);
+
+        for kernel in SpmvKernel::ALL {
+            let y = spmv_with(kernel, &a, &x);
+            assert_close(&name, &format!("{kernel:?}"), &y, &y_ref);
+        }
+
+        let recoded = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh())
+            .unwrap_or_else(|e| panic!("{name}: compress failed: {e}"));
+        let (y_batch, _) = recoded
+            .spmv(&sys, SpmvKernel::Serial, &x)
+            .unwrap_or_else(|e| panic!("{name}: batch executor failed: {e}"));
+        assert_close(&name, "batch-recoded", &y_batch, &y_ref);
+
+        for overlap in [false, true] {
+            for cache_blocks in [0usize, 1024] {
+                let ex = OverlapExecutor::new(
+                    &recoded,
+                    OverlapConfig { overlap, cache_blocks, workers: 0 },
+                );
+                let (y, stats) = ex
+                    .spmv(&sys, &x)
+                    .unwrap_or_else(|e| panic!("{name}: overlap executor failed: {e}"));
+                let how = format!("pipelined(overlap={overlap},cache={cache_blocks})");
+                assert_close(&name, &how, &y, &y_ref);
+                assert_eq!(stats.overlap.enabled, overlap, "{name}/{how}: mode flag drifted");
+                if cache_blocks == 0 {
+                    assert_eq!(
+                        stats.overlap.cache_hits + stats.overlap.cache_misses,
+                        0,
+                        "{name}/{how}: disabled cache recorded traffic"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fixtures_have_the_shapes_the_suite_relies_on() {
+    let base = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let mixed =
+        recode_spmv::sparse::io::read_matrix_market_path(format!("{base}/mixed9.mtx")).unwrap();
+    assert_eq!((mixed.nrows(), mixed.ncols(), mixed.nnz()), (9, 9, 21));
+    // Row 6 (0-based 5) is empty; row 4 (0-based 3) is fully dense.
+    assert_eq!(mixed.row_ptr()[6] - mixed.row_ptr()[5], 0);
+    assert_eq!(mixed.row_ptr()[4] - mixed.row_ptr()[3], 9);
+
+    let sym =
+        recode_spmv::sparse::io::read_matrix_market_path(format!("{base}/sym6.mtx")).unwrap();
+    assert_eq!((sym.nrows(), sym.ncols()), (6, 6));
+    assert!(sym.nnz() > 10, "symmetric expansion should add mirrored entries");
+    assert!(sym.is_symmetric(1e-12));
+}
