@@ -12,7 +12,7 @@ fn bench_placement(c: &mut Criterion) {
         b.iter(|| {
             let image = recode_udp::progs::snappy::build().unwrap();
             std::hint::black_box(image.utilization)
-        })
+        });
     });
 
     // Report utilization once, as a bench side effect.
@@ -24,7 +24,7 @@ fn bench_placement(c: &mut Criterion) {
     c.bench_function("ablation_effclip_verify", |b| {
         let program = assemble_text("delta", recode_udp::progs::delta::SOURCE).unwrap();
         let placement = effclip::place(&program).unwrap();
-        b.iter(|| effclip::verify(&program, &placement).unwrap())
+        b.iter(|| effclip::verify(&program, &placement).unwrap());
     });
 }
 

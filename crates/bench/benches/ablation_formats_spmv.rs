@@ -29,7 +29,7 @@ fn bench_format_spmv(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_formats_spmv");
     group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
     group.bench_function("csr_serial", |b| {
-        b.iter(|| spmv_with_into(SpmvKernel::Serial, &a, &x, &mut y))
+        b.iter(|| spmv_with_into(SpmvKernel::Serial, &a, &x, &mut y));
     });
     group.bench_function("ellpack", |b| b.iter(|| ell.spmv_into(&x, &mut y)));
     group.bench_function("sell_32_512", |b| b.iter(|| sell.spmv_into(&x, &mut y)));
@@ -40,7 +40,7 @@ fn bench_format_spmv(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_format_spmv
 }
 criterion_main!(benches);

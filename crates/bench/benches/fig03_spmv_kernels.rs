@@ -23,11 +23,9 @@ fn bench_kernels(c: &mut Criterion) {
         let mut y = vec![0.0f64; a.nrows()];
         group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
         for kernel in SpmvKernel::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kernel:?}"), a.nnz()),
-                &a,
-                |b, a| b.iter(|| spmv_with_into(kernel, a, &x, &mut y)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{kernel:?}"), a.nnz()), &a, |b, a| {
+                b.iter(|| spmv_with_into(kernel, a, &x, &mut y));
+            });
         }
     }
     group.finish();
@@ -35,7 +33,7 @@ fn bench_kernels(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_kernels
 }
 criterion_main!(benches);

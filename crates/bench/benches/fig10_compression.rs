@@ -25,7 +25,7 @@ fn bench_compression(c: &mut Criterion) {
         ("udp_dsh_8k", MatrixCodecConfig::udp_dsh()),
     ] {
         group.bench_with_input(BenchmarkId::new(name, a.nnz()), &a, |b, a| {
-            b.iter(|| CompressedMatrix::compress(a, cfg).unwrap())
+            b.iter(|| CompressedMatrix::compress(a, cfg).unwrap());
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_decompression(c: &mut Criterion) {
     ] {
         let cm = CompressedMatrix::compress(&a, cfg).unwrap();
         group.bench_with_input(BenchmarkId::new(name, a.nnz()), &cm, |b, cm| {
-            b.iter(|| cm.decompress().unwrap())
+            b.iter(|| cm.decompress().unwrap());
         });
     }
     group.finish();
@@ -57,7 +57,7 @@ fn bench_decompression(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion.sample_size(10);
     targets = bench_compression, bench_decompression
 }
 criterion_main!(benches);

@@ -8,9 +8,7 @@ use recode_udp::progs::DshDecoder;
 use recode_udp::Lane;
 
 fn banded_index_stream(n: usize) -> Vec<u8> {
-    (0..n)
-        .flat_map(|i| (((i / 3) as u32) * 2 + (i % 3) as u32).to_le_bytes())
-        .collect()
+    (0..n).flat_map(|i| (((i / 3) as u32) * 2 + (i % 3) as u32).to_le_bytes()).collect()
 }
 
 fn bench_udp_stage_decode(c: &mut Criterion) {
@@ -29,7 +27,7 @@ fn bench_udp_stage_decode(c: &mut Criterion) {
                 let o = decoder.decode_block(&mut lane, block).unwrap();
                 std::hint::black_box(o.cycles);
             }
-        })
+        });
     });
     group.finish();
 }
@@ -41,16 +39,16 @@ fn bench_program_compile(c: &mut Criterion) {
     let pipe = Pipeline::train(PipelineConfig::dsh_udp(), &data).unwrap();
     let lengths = pipe.table().unwrap().lengths.clone();
     c.bench_function("fig12_huffman_program_compile", |b| {
-        b.iter(|| recode_udp::progs::huffman::compile(&lengths).unwrap())
+        b.iter(|| recode_udp::progs::huffman::compile(&lengths).unwrap());
     });
     c.bench_function("fig12_snappy_program_build", |b| {
-        b.iter(|| recode_udp::progs::snappy::build().unwrap())
+        b.iter(|| recode_udp::progs::snappy::build().unwrap());
     });
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion.sample_size(10);
     targets = bench_udp_stage_decode, bench_program_compile
 }
 criterion_main!(benches);

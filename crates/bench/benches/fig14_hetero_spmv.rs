@@ -26,20 +26,20 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
     group.bench_function("plain_cpu_spmv", |b| {
         let mut y = vec![0.0; a.nrows()];
-        b.iter(|| recode_sparse::spmv::spmv_into(&a, &x, &mut y))
+        b.iter(|| recode_sparse::spmv::spmv_into(&a, &x, &mut y));
     });
     group.bench_function("recoded_spmv_via_udp_sim", |b| {
-        b.iter(|| recoded.spmv(&sys, SpmvKernel::Serial, &x).unwrap())
+        b.iter(|| recoded.spmv(&sys, SpmvKernel::Serial, &x).unwrap());
     });
     group.bench_function("sw_decompress_only", |b| {
-        b.iter(|| recoded.decompress_via_software().unwrap())
+        b.iter(|| recoded.decompress_via_software().unwrap());
     });
     group.finish();
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion.sample_size(10);
     targets = bench_end_to_end
 }
 criterion_main!(benches);

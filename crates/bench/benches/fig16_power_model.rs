@@ -17,7 +17,7 @@ fn bench_models(c: &mut Criterion) {
                 acc += PowerSavings::compute(&hbm, bpnnz, 24e9).net_saving_w;
             }
             std::hint::black_box(acc)
-        })
+        });
     });
     c.bench_function("fig14_perf_model_eval", |b| {
         b.iter(|| {
@@ -29,7 +29,7 @@ fn bench_models(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(acc)
-        })
+        });
     });
 }
 

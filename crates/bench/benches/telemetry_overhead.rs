@@ -42,15 +42,14 @@ fn bench_trace_off_vs_on(c: &mut Criterion) {
         b.iter(|| {
             let (_, stats) = r.decompress_via_udp(&sys).unwrap();
             std::hint::black_box(stats.accel.makespan_cycles);
-        })
+        });
     });
     group.bench_function("spmv_traced", |b| {
         b.iter(|| {
             let mut tel = Telemetry::new();
-            let (_, stats) =
-                r.decompress_via_udp_traced(&sys, None, Some(&mut tel)).unwrap();
+            let (_, stats) = r.decompress_via_udp_traced(&sys, None, Some(&mut tel)).unwrap();
             std::hint::black_box((stats.accel.makespan_cycles, tel.block_events().len()));
-        })
+        });
     });
     group.finish();
 }
@@ -59,21 +58,20 @@ fn bench_lane_decode(c: &mut Criterion) {
     let a = bench_matrix();
     let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
     let cm = r.compressed();
-    let decoder =
-        DshDecoder::new(cm.config.index, cm.index_table_lengths.as_deref()).unwrap();
+    let decoder = DshDecoder::new(cm.config.index, cm.index_table_lengths.as_deref()).unwrap();
     let block = &cm.index_stream.blocks[0];
     c.bench_function("lane_decode_block", |b| {
         let mut lane = Lane::new();
         b.iter(|| {
             let o = decoder.decode_block(&mut lane, block).unwrap();
             std::hint::black_box((o.cycles, o.opclass.total()));
-        })
+        });
     });
 }
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = bench_trace_off_vs_on, bench_lane_decode
 }
 criterion_main!(benches);

@@ -49,7 +49,7 @@ fn main() {
         };
         let g = geometric_mean(&rows.iter().map(|r| r.bpnnz).collect::<Vec<_>>()).unwrap();
         let avg_blocks = rows.iter().map(|r| r.blocks).sum::<usize>() / rows.len();
-        println!("{:>10} {:>10.2} {:>14}", bs, g, avg_blocks);
+        println!("{bs:>10} {g:>10.2} {avg_blocks:>14}");
         all_rows.extend(rows);
     }
     maybe_dump_json(&args, &all_rows);

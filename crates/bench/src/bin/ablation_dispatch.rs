@@ -22,9 +22,8 @@ fn main() {
     let args = parse_args();
     // A realistic Huffman input: the snappy-compressed form of a banded
     // index stream.
-    let data: Vec<u8> = (0..64 * 1024 / 4u32)
-        .flat_map(|i| ((i / 3) * 2 + (i % 3)).to_le_bytes())
-        .collect();
+    let data: Vec<u8> =
+        (0..64 * 1024 / 4u32).flat_map(|i| ((i / 3) * 2 + (i % 3)).to_le_bytes()).collect();
     let config = PipelineConfig { huffman: false, ..PipelineConfig::dsh_udp() };
     let pipe = Pipeline::train(config, &data).expect("train");
     let pre = pipe.encode_stream(&data).expect("encode");

@@ -43,19 +43,14 @@ fn main() {
                     family: e.family.to_string(),
                     nnz: a.nnz(),
                     csr: 12.0,
-                    ell: Ell::from_csr(&a).map(|f| f.bytes_per_nnz()).unwrap_or(f64::NAN),
+                    ell: Ell::from_csr(&a).map_or(f64::NAN, |f| f.bytes_per_nnz()),
                     sell_32_512: SellCs::from_csr(&a, 32, 512)
-                        .map(|f| f.bytes_per_nnz())
-                        .unwrap_or(f64::NAN),
+                        .map_or(f64::NAN, |f| f.bytes_per_nnz()),
                     bitmask_4x4: BitmaskBlockCsr::from_csr(&a)
-                        .map(|f| f.bytes_per_nnz())
-                        .unwrap_or(f64::NAN),
-                    varint_csr: VarintCsr::from_csr(&a)
-                        .map(|f| f.bytes_per_nnz())
-                        .unwrap_or(f64::NAN),
+                        .map_or(f64::NAN, |f| f.bytes_per_nnz()),
+                    varint_csr: VarintCsr::from_csr(&a).map_or(f64::NAN, |f| f.bytes_per_nnz()),
                     dsh: CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh())
-                        .map(|c| c.bytes_per_nnz())
-                        .unwrap_or(f64::NAN),
+                        .map_or(f64::NAN, |c| c.bytes_per_nnz()),
                 }
             })
             .collect()
@@ -90,9 +85,7 @@ fn main() {
         "DSH recoding (this paper)",
         g(|r| r.dsh)
     );
-    println!(
-        "\nper-family geomeans (DSH | best format):"
-    );
+    println!("\nper-family geomeans (DSH | best format):");
     let mut fams: Vec<&str> = rows.iter().map(|r| r.family.as_str()).collect();
     fams.sort_unstable();
     fams.dedup();
@@ -104,9 +97,10 @@ fn main() {
             )
             .unwrap_or(f64::NAN)
         };
-        let best_fmt = [gm(|r| r.ell), gm(|r| r.sell_32_512), gm(|r| r.bitmask_4x4), gm(|r| r.varint_csr)]
-            .into_iter()
-            .fold(f64::INFINITY, f64::min);
+        let best_fmt =
+            [gm(|r| r.ell), gm(|r| r.sell_32_512), gm(|r| r.bitmask_4x4), gm(|r| r.varint_csr)]
+                .into_iter()
+                .fold(f64::INFINITY, f64::min);
         println!("  {:<12} {:>6.2} | {:>6.2}", fam, gm(|r| r.dsh), best_fmt);
     }
     maybe_dump_json(&args, &rows);

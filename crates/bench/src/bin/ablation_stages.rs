@@ -56,7 +56,11 @@ fn main() {
     let g = |f: fn(&Row) -> f64| geometric_mean(&rows.iter().map(f).collect::<Vec<_>>()).unwrap();
     println!("{:<22} {:>8}", "configuration", "B/nnz");
     println!("{:<22} {:>8.2}", "raw CSR", 12.0);
-    println!("{:<22} {:>8.2}  <- fixed-width recode, no size change by design", "delta only", g(|r| r.delta_only));
+    println!(
+        "{:<22} {:>8.2}  <- fixed-width recode, no size change by design",
+        "delta only",
+        g(|r| r.delta_only)
+    );
     println!("{:<22} {:>8.2}", "snappy only", g(|r| r.snappy_only));
     println!("{:<22} {:>8.2}", "delta+snappy", g(|r| r.delta_snappy));
     println!("{:<22} {:>8.2}", "snappy+huffman", g(|r| r.snappy_huffman));

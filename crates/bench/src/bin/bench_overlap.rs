@@ -86,8 +86,7 @@ fn main() {
         let (_, per_iter) =
             ex.spmv_iter(&sys, &x, ITERS).expect("pipelined spmv on self-encoded corpus");
         let cold = &per_iter[0].overlap;
-        let warm_total: u64 =
-            per_iter[1..].iter().map(|s| s.overlap.decode_cycles).sum();
+        let warm_total: u64 = per_iter[1..].iter().map(|s| s.overlap.decode_cycles).sum();
         let warm_mean = warm_total as f64 / (ITERS - 1) as f64;
         let ratio = cold.decode_cycles as f64 / warm_mean.max(1.0);
         per_matrix.push(PerMatrix {

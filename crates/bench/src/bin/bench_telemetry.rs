@@ -61,10 +61,8 @@ fn main() {
         args.sample = Some(12);
         args.scale = CorpusScale::Small;
     }
-    let out_path = args
-        .json
-        .clone()
-        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_telemetry.json"));
+    let out_path =
+        args.json.clone().unwrap_or_else(|| std::path::PathBuf::from("BENCH_telemetry.json"));
 
     let sys = SystemConfig::ddr4();
     let mut per_matrix = Vec::new();
@@ -110,8 +108,7 @@ fn main() {
     }
 
     let bpn: Vec<f64> = per_matrix.iter().map(|m| m.bytes_per_nnz).collect();
-    let uspb: Vec<f64> =
-        per_matrix.iter().map(|m| m.us_per_block).filter(|v| *v > 0.0).collect();
+    let uspb: Vec<f64> = per_matrix.iter().map(|m| m.us_per_block).filter(|v| *v > 0.0).collect();
     let util_sum: f64 = per_matrix.iter().map(|m| m.lane_utilization).sum();
     let oc_total = opclass.total().max(1) as f64;
     let st_total = stages.total().max(1) as f64;

@@ -18,7 +18,7 @@ fn main() {
     print!("{}", report::fig3(&rows));
     println!(
         "\nmodeled bound: 2 flops x 100 GB/s / 12 B per nnz = {:.2} Gflop/s",
-        rows.first().map(|r| r.modeled_gflops).unwrap_or(0.0)
+        rows.first().map_or(0.0, |r| r.modeled_gflops)
     );
     maybe_dump_json(&args, &rows);
 }

@@ -4,20 +4,21 @@
 //! single-lane per-8KB-block latency (paper: 21.7 µs geomean).
 
 use recode_bench::{corpus_entries, maybe_dump_json, parse_args};
+use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
 use recode_core::experiment::{decomp_study, materialize};
 use recode_core::measure::measure_host_codec;
 use recode_core::{report, seven, SystemConfig};
-use recode_codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
 
 fn main() {
     let args = parse_args();
     let sys = SystemConfig::ddr4();
 
     // The seven representative matrices.
-    let seven_mats: Vec<(String, String, recode_sparse::Csr)> = seven::generate_all(args.rep_scale, args.seed)
-        .into_iter()
-        .map(|(rep, m)| (rep.name.to_string(), rep.family.to_string(), m))
-        .collect();
+    let seven_mats: Vec<(String, String, recode_sparse::Csr)> =
+        seven::generate_all(args.rep_scale, args.seed)
+            .into_iter()
+            .map(|(rep, m)| (rep.name.to_string(), rep.family.to_string(), m))
+            .collect();
     let rows = decomp_study(&sys, &seven_mats, args.blocks);
     print!("{}", report::fig12(&rows));
 
@@ -46,7 +47,10 @@ fn main() {
     let corpus_rows = decomp_study(&sys, &materialize(&entries), args.blocks);
     let speedups: Vec<f64> = corpus_rows.iter().map(|r| r.speedup).collect();
     if let Some(g) = recode_sparse::util::geometric_mean(&speedups) {
-        println!("corpus geomean UDP/CPU speedup ({} matrices): {g:.2}x (paper: ~7x)", corpus_rows.len());
+        println!(
+            "corpus geomean UDP/CPU speedup ({} matrices): {g:.2}x (paper: ~7x)",
+            corpus_rows.len()
+        );
     }
     maybe_dump_json(&args, &(rows, corpus_rows));
 }

@@ -11,7 +11,10 @@ fn main() {
     let rows = power_study(&SystemConfig::ddr4(), args.rep_scale, args.seed, args.blocks);
     print!(
         "{}",
-        report::fig16_17("Fig. 16 — Memory power savings, DDR4 100 GB/s (80 W max; paper avg 51 W)", &rows)
+        report::fig16_17(
+            "Fig. 16 — Memory power savings, DDR4 100 GB/s (80 W max; paper avg 51 W)",
+            &rows
+        )
     );
     maybe_dump_json(&args, &rows);
 }

@@ -11,7 +11,10 @@ fn main() {
     let rows = power_study(&SystemConfig::hbm2(), args.rep_scale, args.seed, args.blocks);
     print!(
         "{}",
-        report::fig16_17("Fig. 17 — Memory power savings, HBM2 1 TB/s (64 W max; paper avg 33 W)", &rows)
+        report::fig16_17(
+            "Fig. 17 — Memory power savings, HBM2 1 TB/s (64 W max; paper avg 33 W)",
+            &rows
+        )
     );
     maybe_dump_json(&args, &rows);
 }

@@ -110,11 +110,7 @@ impl<'a> BitReader<'a> {
         let mut out = 0u32;
         for k in 0..nbits {
             let p = self.pos + k as usize;
-            let bit = if p < self.bit_len {
-                (self.bytes[p / 8] >> (7 - (p % 8))) & 1
-            } else {
-                0
-            };
+            let bit = if p < self.bit_len { (self.bytes[p / 8] >> (7 - (p % 8))) & 1 } else { 0 };
             out = (out << 1) | bit as u32;
         }
         out

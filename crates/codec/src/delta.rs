@@ -65,9 +65,7 @@ pub fn decode_u32(bytes: &[u8]) -> CodecResult<Vec<u32>> {
     let mut out = Vec::with_capacity(n);
     let mut prev = 0i64;
     for k in 0..n {
-        let word = u32::from_le_bytes(
-            bytes[k * 4..k * 4 + 4].try_into().expect("length checked"),
-        );
+        let word = u32::from_le_bytes(bytes[k * 4..k * 4 + 4].try_into().expect("length checked"));
         let value = if k == 0 { word as i64 } else { prev + unzigzag(word) };
         if !(0..=u32::MAX as i64).contains(&value) {
             return Err(CodecError::Corrupt(format!(
@@ -142,10 +140,8 @@ mod tests {
         let enc = encode_u32(&idx).unwrap();
         // After the absolute first word, deltas alternate +1, +1, -1...
         // zigzag(+1)=2, zigzag(-1)=1 — tiny repeating values.
-        let words: Vec<u32> = enc
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let words: Vec<u32> =
+            enc.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(words[0], 9);
         assert!(words[1..].iter().all(|&w| w <= 2), "words: {words:?}");
     }
@@ -188,10 +184,7 @@ mod overflow_tests {
 
     #[test]
     fn encode_rejects_indices_above_i32_max() {
-        assert!(matches!(
-            encode_u32(&[i32::MAX as u32 + 1]),
-            Err(CodecError::Precondition(_))
-        ));
+        assert!(matches!(encode_u32(&[i32::MAX as u32 + 1]), Err(CodecError::Precondition(_))));
         assert!(encode_u32(&[i32::MAX as u32]).is_ok());
     }
 }

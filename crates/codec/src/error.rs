@@ -55,7 +55,9 @@ pub enum CodecError {
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated { context } => write!(f, "input truncated while reading {context}"),
+            CodecError::Truncated { context } => {
+                write!(f, "input truncated while reading {context}")
+            }
             CodecError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
             CodecError::LengthMismatch { expected, actual } => {
                 write!(f, "declared {expected} bytes but produced {actual}")

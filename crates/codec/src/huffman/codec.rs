@@ -132,7 +132,8 @@ mod tests {
 
     #[test]
     fn uniform_random_does_not_shrink_much() {
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 20) as u8).collect();
+        let data: Vec<u8> =
+            (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 20) as u8).collect();
         let t = table_for(&data);
         let (bytes, _) = encode(&data, &t).unwrap();
         assert!(bytes.len() as f64 > data.len() as f64 * 0.9);

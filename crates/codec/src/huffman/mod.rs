@@ -82,11 +82,8 @@ impl HuffmanTable {
             return Err(CodecError::Corrupt("code length exceeds 15 bits".into()));
         }
         // Kraft sum in units of 2^-15.
-        let kraft: u64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
-            .sum();
+        let kraft: u64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (MAX_CODE_LEN - l)).sum();
         if kraft > 1 << MAX_CODE_LEN {
             return Err(CodecError::Corrupt("lengths violate Kraft inequality".into()));
         }
@@ -129,6 +126,8 @@ impl HuffmanTable {
 /// Package-merge: optimal code lengths under a maximum length.
 /// Returns 256 lengths (0 for zero-weight symbols).
 fn package_merge_lengths(hist: &[u64; 256], max_len: u8) -> Vec<u8> {
+    // An item is (weight, multiset of leaf symbols it contains).
+    type Item = (u64, Vec<u16>);
     let symbols: Vec<u16> = (0..256u16).filter(|&s| hist[s as usize] > 0).collect();
     let n = symbols.len();
     let mut lengths = vec![0u8; 256];
@@ -140,15 +139,9 @@ fn package_merge_lengths(hist: &[u64; 256], max_len: u8) -> Vec<u8> {
         }
         _ => {}
     }
-    debug_assert!(
-        (1usize << max_len) >= n,
-        "alphabet too large for length limit"
-    );
+    debug_assert!((1usize << max_len) >= n, "alphabet too large for length limit");
 
-    // An item is (weight, multiset of leaf symbols it contains).
-    type Item = (u64, Vec<u16>);
-    let mut leaves: Vec<Item> =
-        symbols.iter().map(|&s| (hist[s as usize], vec![s])).collect();
+    let mut leaves: Vec<Item> = symbols.iter().map(|&s| (hist[s as usize], vec![s])).collect();
     leaves.sort_unstable_by_key(|(w, _)| *w);
 
     // Level max_len starts with just the leaves; each shallower level
@@ -165,8 +158,7 @@ fn package_merge_lengths(hist: &[u64; 256], max_len: u8) -> Vec<u8> {
         let mut merged = Vec::with_capacity(leaves.len() + paired.len());
         let (mut i, mut j) = (0, 0);
         while i < leaves.len() || j < paired.len() {
-            let take_leaf = j >= paired.len()
-                || (i < leaves.len() && leaves[i].0 <= paired[j].0);
+            let take_leaf = j >= paired.len() || (i < leaves.len() && leaves[i].0 <= paired[j].0);
             if take_leaf {
                 merged.push(leaves[i].clone());
                 i += 1;
@@ -201,11 +193,8 @@ mod tests {
     }
 
     fn kraft_exact(lengths: &[u8]) -> bool {
-        let sum: u64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
-            .sum();
+        let sum: u64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (MAX_CODE_LEN - l)).sum();
         sum == 1 << MAX_CODE_LEN
     }
 
@@ -309,7 +298,7 @@ mod tests {
     #[test]
     fn sampling_with_smoothing_codes_every_byte() {
         let blocks: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 100]).collect();
-        let refs: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        let refs: Vec<&[u8]> = blocks.iter().map(std::vec::Vec::as_slice).collect();
         let t = HuffmanTable::from_sampled_blocks(refs, 3);
         assert_eq!(t.coded_symbols(), 256, "smoothing must cover the whole alphabet");
     }

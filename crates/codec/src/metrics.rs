@@ -69,7 +69,8 @@ mod tests {
             &GenSpec::Stencil2D { nx: 40, ny: 40, points: 5, values: ValueModel::StencilCoeffs },
             1,
         );
-        let c = crate::pipeline::CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let c =
+            crate::pipeline::CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
         let s = CompressionSummary::of(&c);
         // index + value differ from total only by the serialized tables.
         assert!(s.bytes_per_nnz >= s.index_bytes_per_nnz + s.value_bytes_per_nnz);

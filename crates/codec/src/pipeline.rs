@@ -309,11 +309,8 @@ impl Pipeline {
     /// length is re-verified.
     pub fn decode_stream(&self, stream: &BlockStream) -> CodecResult<Vec<u8>> {
         stream.verify()?;
-        let parts: Vec<Vec<u8>> = stream
-            .blocks
-            .par_iter()
-            .map(|b| self.decode_block(b))
-            .collect::<CodecResult<_>>()?;
+        let parts: Vec<Vec<u8>> =
+            stream.blocks.par_iter().map(|b| self.decode_block(b)).collect::<CodecResult<_>>()?;
         let out: Vec<u8> = parts.concat();
         if out.len() != stream.total_uncompressed {
             return Err(CodecError::LengthMismatch {
@@ -332,13 +329,7 @@ fn decode_all_symbols(bytes: &[u8], bit_len: usize, table: &HuffmanTable) -> Cod
     // Cheap upper bound: shortest code is >= 1 bit, so at most bit_len
     // symbols. Decode greedily until fewer bits remain than the shortest
     // code, then require < 8 leftover bits.
-    let min_len = table
-        .lengths
-        .iter()
-        .filter(|&&l| l > 0)
-        .min()
-        .copied()
-        .unwrap_or(0);
+    let min_len = table.lengths.iter().filter(|&&l| l > 0).min().copied().unwrap_or(0);
     if min_len == 0 {
         return if bit_len == 0 {
             Ok(Vec::new())
@@ -410,7 +401,10 @@ impl MatrixCodecConfig {
 
     /// The CPU Snappy baseline (32 KB blocks, both streams).
     pub fn cpu_snappy() -> Self {
-        MatrixCodecConfig { index: PipelineConfig::snappy_cpu(), value: PipelineConfig::snappy_cpu() }
+        MatrixCodecConfig {
+            index: PipelineConfig::snappy_cpu(),
+            value: PipelineConfig::snappy_cpu(),
+        }
     }
 }
 
@@ -467,10 +461,8 @@ impl CompressedMatrix {
         config: MatrixCodecConfig,
         telemetry: Option<&Arc<StageTelemetry>>,
     ) -> CodecResult<Self> {
-        let index_bytes: Vec<u8> =
-            a.col_idx().iter().flat_map(|c| c.to_le_bytes()).collect();
-        let value_bytes: Vec<u8> =
-            a.values().iter().flat_map(|v| v.to_le_bytes()).collect();
+        let index_bytes: Vec<u8> = a.col_idx().iter().flat_map(|c| c.to_le_bytes()).collect();
+        let value_bytes: Vec<u8> = a.values().iter().flat_map(|v| v.to_le_bytes()).collect();
         let mut index_pipe = Pipeline::train(config.index, &index_bytes)?;
         let mut value_pipe = Pipeline::train(config.value, &value_bytes)?;
         index_pipe.set_telemetry(telemetry.cloned());
@@ -539,17 +531,11 @@ impl CompressedMatrix {
     ///
     /// # Errors
     /// Same as [`Self::decompress`].
-    pub fn decompress_with_telemetry(
-        &self,
-        telemetry: &Arc<StageTelemetry>,
-    ) -> CodecResult<Csr> {
+    pub fn decompress_with_telemetry(&self, telemetry: &Arc<StageTelemetry>) -> CodecResult<Csr> {
         self.decompress_observed(Some(telemetry))
     }
 
-    fn decompress_observed(
-        &self,
-        telemetry: Option<&Arc<StageTelemetry>>,
-    ) -> CodecResult<Csr> {
+    fn decompress_observed(&self, telemetry: Option<&Arc<StageTelemetry>>) -> CodecResult<Csr> {
         let (index_pipe, value_pipe) = match telemetry {
             Some(t) => self.pipelines_with_telemetry(t)?,
             None => self.pipelines()?,
@@ -604,13 +590,21 @@ mod tests {
 
     fn banded_matrix() -> Csr {
         generate(
-            &GenSpec::FemBand { n: 600, band: 12, fill: 0.6, values: ValueModel::MixedRepeated { distinct: 8 } },
+            &GenSpec::FemBand {
+                n: 600,
+                band: 12,
+                fill: 0.6,
+                values: ValueModel::MixedRepeated { distinct: 8 },
+            },
             11,
         )
     }
 
     fn random_matrix() -> Csr {
-        generate(&GenSpec::ErdosRenyi { n: 500, avg_deg: 10.0, values: ValueModel::UniformRandom }, 5)
+        generate(
+            &GenSpec::ErdosRenyi { n: 500, avg_deg: 10.0, values: ValueModel::UniformRandom },
+            5,
+        )
     }
 
     #[test]
@@ -757,9 +751,8 @@ mod tests {
         use std::sync::Arc;
         let a = banded_matrix();
         let tel = Arc::new(StageTelemetry::new());
-        let c =
-            CompressedMatrix::compress_with_telemetry(&a, MatrixCodecConfig::udp_dsh(), &tel)
-                .unwrap();
+        let c = CompressedMatrix::compress_with_telemetry(&a, MatrixCodecConfig::udp_dsh(), &tel)
+            .unwrap();
         let enc = tel.snapshot().encode;
         // Index stream is DSH, value stream SH: every stage ran somewhere.
         assert!(enc.delta.calls > 0 && enc.snappy.calls > 0 && enc.huffman.calls > 0);

@@ -31,9 +31,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         let h = hash4(data, i);
         let cand = table[h];
         table[h] = i;
-        if cand != usize::MAX
-            && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH]
-        {
+        if cand != usize::MAX && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH] {
             // Extend the match as far as it goes.
             let mut len = MIN_MATCH;
             while i + len < data.len() && data[cand + len] == data[i + len] {
@@ -58,10 +56,10 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Emits one literal element (possibly with extended length bytes).
 fn emit_literal(out: &mut Vec<u8>, lit: &[u8]) {
-    let mut rest = lit;
     // The format caps a literal's length field at 2^32; chunking at 2^24
     // keeps the length bytes at most 3 and sidesteps u32 edge cases.
     const CHUNK: usize = 1 << 24;
+    let mut rest = lit;
     while !rest.is_empty() {
         let take = rest.len().min(CHUNK);
         let (head, tail) = rest.split_at(take);
@@ -123,7 +121,10 @@ mod tests {
     #[test]
     fn literal_length_encodings() {
         for n in [1usize, 59, 60, 61, 255, 256, 257, 65_536, 70_000] {
-            let data = vec![0x5Au8; 0].into_iter().chain((0..n).map(|i| (i % 251) as u8)).collect::<Vec<_>>();
+            let data = vec![0x5Au8; 0]
+                .into_iter()
+                .chain((0..n).map(|i| (i % 251) as u8))
+                .collect::<Vec<_>>();
             // Mostly-unique bytes => compressor leans on literals.
             let c = compress(&data);
             assert_eq!(decompress(&c).unwrap(), data, "n={n}");
@@ -136,10 +137,7 @@ mod tests {
         let mut data = b"abcdWXYZ".to_vec();
         data.extend_from_slice(b"abcd");
         let c = compress(&data);
-        assert!(
-            c.iter().any(|&b| b & 0b11 == TAG_COPY1),
-            "expected a copy1 element in {c:?}"
-        );
+        assert!(c.iter().any(|&b| b & 0b11 == TAG_COPY1), "expected a copy1 element in {c:?}");
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

@@ -94,7 +94,12 @@ pub fn decompress_with_limit(input: &[u8], max_len: usize) -> CodecResult<Vec<u8
 }
 
 /// Reads `nbytes` little-endian from `input` at `*pos`, advancing it.
-fn read_le(input: &[u8], pos: &mut usize, nbytes: usize, context: &'static str) -> CodecResult<u64> {
+fn read_le(
+    input: &[u8],
+    pos: &mut usize,
+    nbytes: usize,
+    context: &'static str,
+) -> CodecResult<u64> {
     if *pos + nbytes > input.len() {
         return Err(CodecError::Truncated { context });
     }

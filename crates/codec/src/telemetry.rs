@@ -25,8 +25,7 @@ impl StageCounters {
     /// Records one stage invocation.
     pub fn record(&self, started: Instant, bytes_in: usize, bytes_out: usize) {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        self.ns
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
         self.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
     }

@@ -141,18 +141,12 @@ fn software_pipeline_round_trips_random_csr_streams() {
         let config = small_block_config(&mut rng);
         let pipe = Pipeline::train(config, &data)
             .unwrap_or_else(|e| panic!("case {case}: train failed: {e}"));
-        let enc = pipe
-            .encode_stream(&data)
-            .unwrap_or_else(|e| panic!("case {case}: encode failed: {e}"));
-        let dec = pipe
-            .decode_stream(&enc)
-            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        let enc =
+            pipe.encode_stream(&data).unwrap_or_else(|e| panic!("case {case}: encode failed: {e}"));
+        let dec =
+            pipe.decode_stream(&enc).unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
         assert_eq!(dec, data, "case {case}: software round trip diverged");
-        assert_eq!(
-            enc.total_uncompressed,
-            data.len(),
-            "case {case}: stream header length drifted"
-        );
+        assert_eq!(enc.total_uncompressed, data.len(), "case {case}: stream header length drifted");
     }
 }
 
@@ -171,9 +165,8 @@ fn lane_decoder_matches_the_software_pipeline() {
         let config = small_block_config(&mut rng);
         let pipe = Pipeline::train(config, &data)
             .unwrap_or_else(|e| panic!("case {case}: train failed: {e}"));
-        let enc = pipe
-            .encode_stream(&data)
-            .unwrap_or_else(|e| panic!("case {case}: encode failed: {e}"));
+        let enc =
+            pipe.encode_stream(&data).unwrap_or_else(|e| panic!("case {case}: encode failed: {e}"));
         let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice()))
             .unwrap_or_else(|e| panic!("case {case}: decoder build failed: {e}"));
         let mut out = Vec::new();
@@ -199,9 +192,8 @@ fn compressed_matrix_round_trips_random_csr() {
         };
         let cm = CompressedMatrix::compress(&a, cfg)
             .unwrap_or_else(|e| panic!("case {case}: compress failed: {e}"));
-        let back = cm
-            .decompress()
-            .unwrap_or_else(|e| panic!("case {case}: decompress failed: {e}"));
+        let back =
+            cm.decompress().unwrap_or_else(|e| panic!("case {case}: decompress failed: {e}"));
         assert_eq!(back, a, "case {case}: matrix round trip diverged");
         assert_eq!(cm.nnz, a.nnz(), "case {case}: nnz drifted");
     }

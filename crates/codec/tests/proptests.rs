@@ -17,8 +17,7 @@ fn payload() -> impl Strategy<Value = Vec<u8>> {
         // Small-alphabet text-ish data.
         proptest::collection::vec(0u8..8, 0..2048),
         // Periodic data (exercises overlapping copies).
-        (1usize..16, 1usize..2048)
-            .prop_map(|(p, n)| (0..n).map(|i| (i % p) as u8).collect()),
+        (1usize..16, 1usize..2048).prop_map(|(p, n)| (0..n).map(|i| (i % p) as u8).collect()),
     ]
 }
 

@@ -214,7 +214,10 @@ fn spec_for(family: usize, target: usize, variant: u64) -> GenSpec {
                 nblocks,
                 block,
                 coupling,
-                values: pick(&[ValueModel::UniformRandom, ValueModel::QuantizedGaussian { levels: 4096 }]),
+                values: pick(&[
+                    ValueModel::UniformRandom,
+                    ValueModel::QuantizedGaussian { levels: 4096 },
+                ]),
             }
         }
         6 => {
@@ -227,18 +230,24 @@ fn spec_for(family: usize, target: usize, variant: u64) -> GenSpec {
                 n,
                 avg_deg: deg,
                 hubs,
-                values: pick(&[ValueModel::QuantizedGaussian { levels: 4096 }, ValueModel::UniformRandom]),
+                values: pick(&[
+                    ValueModel::QuantizedGaussian { levels: 4096 },
+                    ValueModel::UniformRandom,
+                ]),
             }
         }
         7 => {
             // RMAT: nnz ~ 0.85 * ef * 2^s after dedup.
             let ef = 8 + (variant % 3) as usize * 4;
-            let scale_bits =
-                ((t / (0.85 * ef as f64)).log2().round() as u8).clamp(8, 24);
+            let scale_bits = ((t / (0.85 * ef as f64)).log2().round() as u8).clamp(8, 24);
             GenSpec::Rmat {
                 scale: scale_bits,
                 edge_factor: ef,
-                values: pick(&[ValueModel::UniformRandom, ValueModel::Ones, ValueModel::QuantizedGaussian { levels: 2048 }]),
+                values: pick(&[
+                    ValueModel::UniformRandom,
+                    ValueModel::Ones,
+                    ValueModel::QuantizedGaussian { levels: 2048 },
+                ]),
             }
         }
         8 => {
@@ -248,7 +257,10 @@ fn spec_for(family: usize, target: usize, variant: u64) -> GenSpec {
             GenSpec::ErdosRenyi {
                 n,
                 avg_deg: deg,
-                values: pick(&[ValueModel::UniformRandom, ValueModel::QuantizedGaussian { levels: 4096 }]),
+                values: pick(&[
+                    ValueModel::UniformRandom,
+                    ValueModel::QuantizedGaussian { levels: 4096 },
+                ]),
             }
         }
         9 => {
@@ -259,14 +271,17 @@ fn spec_for(family: usize, target: usize, variant: u64) -> GenSpec {
                 n,
                 k,
                 rewire: 0.02 + (variant % 5) as f64 * 0.04,
-                values: pick(&[ValueModel::UniformRandom, ValueModel::QuantizedGaussian { levels: 1024 }, ValueModel::Ones]),
+                values: pick(&[
+                    ValueModel::UniformRandom,
+                    ValueModel::QuantizedGaussian { levels: 1024 },
+                    ValueModel::Ones,
+                ]),
             }
         }
         _ => {
             // Laplacian of RMAT: nnz ~ 2 * 0.85 * ef * 2^s.
             let ef = 4 + (variant % 3) as usize * 2;
-            let scale_bits =
-                ((t / (1.7 * ef as f64)).log2().round() as u8).clamp(8, 24);
+            let scale_bits = ((t / (1.7 * ef as f64)).log2().round() as u8).clamp(8, 24);
             GenSpec::Laplacian { scale: scale_bits, edge_factor: ef }
         }
     }
@@ -276,8 +291,7 @@ fn spec_for(family: usize, target: usize, variant: u64) -> GenSpec {
 /// 11-way rotation (its sizes are quantized to powers of 3 and would skew
 /// the nnz distribution); expose a helper for ablations.
 pub fn kronecker_entry(power: u8, seed: u64) -> CorpusEntry {
-    let spec =
-        GenSpec::Kronecker { base: KroneckerBase::Star, power, values: ValueModel::Ones };
+    let spec = GenSpec::Kronecker { base: KroneckerBase::Star, power, values: ValueModel::Ones };
     CorpusEntry {
         name: format!("kron_p{power}"),
         family: spec.family(),
@@ -335,9 +349,9 @@ mod tests {
     fn nnz_targets_are_log_uniform_within_range() {
         let (lo, hi) = CorpusScale::Small.nnz_range();
         let entries = corpus(CorpusScale::Small, 9);
-        assert!(entries.iter().all(|e| {
-            (e.target_nnz as f64) >= lo * 0.99 && (e.target_nnz as f64) <= hi * 1.01
-        }));
+        assert!(entries
+            .iter()
+            .all(|e| { (e.target_nnz as f64) >= lo * 0.99 && (e.target_nnz as f64) <= hi * 1.01 }));
         // Spread check: both halves of the log range are populated.
         let mid = (lo.ln() + (hi.ln() - lo.ln()) / 2.0).exp();
         let below = entries.iter().filter(|e| (e.target_nnz as f64) < mid).count();
@@ -347,8 +361,17 @@ mod tests {
     #[test]
     fn spec_for_family_covers_all_names() {
         for f in [
-            "stencil2d", "stencil2d9", "stencil3d", "multidiag", "femband", "blockjac",
-            "circuit", "rmat", "erdos", "smallworld", "laplacian",
+            "stencil2d",
+            "stencil2d9",
+            "stencil3d",
+            "multidiag",
+            "femband",
+            "blockjac",
+            "circuit",
+            "rmat",
+            "erdos",
+            "smallworld",
+            "laplacian",
         ] {
             let spec = spec_for_family(f, 50_000, 3).unwrap();
             let m = recode_sparse::gen::generate(&spec, 1);

@@ -291,7 +291,7 @@ impl RecodedSpmv {
         &self,
         sys: &SystemConfig,
         hook: Option<&FaultHook>,
-        mut tel: Option<&mut Telemetry>,
+        tel: Option<&mut Telemetry>,
     ) -> ExecResult<(Csr, ExecStats)> {
         check_stream_structure(&self.compressed.index_stream)?;
         check_stream_structure(&self.compressed.value_stream)?;
@@ -414,13 +414,13 @@ impl RecodedSpmv {
         let t_reassemble = tel.is_some().then(Instant::now);
         let index_bytes: Vec<u8> = outputs[..n_index].concat();
         let value_bytes: Vec<u8> = outputs[n_index..].concat();
-        if index_bytes.len() % 4 != 0 {
+        if !index_bytes.len().is_multiple_of(4) {
             return Err(ExecError::Reassembly(format!(
                 "index stream decoded to {} bytes, not 4-byte aligned",
                 index_bytes.len()
             )));
         }
-        if value_bytes.len() % 8 != 0 {
+        if !value_bytes.len().is_multiple_of(8) {
             return Err(ExecError::Reassembly(format!(
                 "value stream decoded to {} bytes, not 8-byte aligned",
                 value_bytes.len()
@@ -462,10 +462,9 @@ impl RecodedSpmv {
             overlap: OverlapStats::default(),
         };
 
-        if let Some(tel) = tel.as_deref_mut() {
+        if let Some(tel) = tel {
             let freq = sys.udp.freq_hz;
-            let batch_modeled =
-                (stats.accel.makespan_cycles - stats.retry_cycles) as f64 / freq;
+            let batch_modeled = (stats.accel.makespan_cycles - stats.retry_cycles) as f64 / freq;
             tel.span("exec.decode_batch", batch_ns, batch_modeled, stats.accel.output_bytes);
             if stats.blocks_retried > 0 {
                 tel.span("exec.retry", retry_ns, stats.retry_cycles as f64 / freq, 0);
@@ -491,16 +490,13 @@ impl RecodedSpmv {
 
             tel.traffic.read(TrafficSource::CompressedStream, compressed_bytes as u64);
             tel.traffic.read(TrafficSource::FallbackRefetch, stats.fallback_bytes as u64);
-            tel.traffic
-                .read(TrafficSource::RowPtr, ((self.compressed.nrows + 1) * 8) as u64);
+            tel.traffic.read(TrafficSource::RowPtr, ((self.compressed.nrows + 1) * 8) as u64);
 
             let mut evs = events.into_inner().expect("event sink poisoned");
             evs.sort_by_key(|e| e.job);
             for e in evs {
-                let (cycles, outcome) = recovered_jobs
-                    .get(&e.job)
-                    .copied()
-                    .unwrap_or((e.cycles, BlockOutcome::Ok));
+                let (cycles, outcome) =
+                    recovered_jobs.get(&e.job).copied().unwrap_or((e.cycles, BlockOutcome::Ok));
                 let (stream, block) = if e.job < n_index {
                     (StreamKind::Index, e.job)
                 } else {
@@ -604,17 +600,10 @@ impl RecodedSpmv {
             lanes: sys.udp.lanes,
             freq_hz: sys.udp.freq_hz,
         };
-        let codec_stages =
-            self.stage_telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default();
+        let codec_stages = self.stage_telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default();
         let wall_ns_total = t_total.elapsed().as_nanos() as u64;
-        let doc = tel.into_document(
-            matrix,
-            system,
-            stats.clone(),
-            codec_stages,
-            &sys.mem,
-            wall_ns_total,
-        );
+        let doc =
+            tel.into_document(matrix, system, stats.clone(), codec_stages, &sys.mem, wall_ns_total);
         Ok((y, stats, doc))
     }
 
@@ -659,7 +648,7 @@ impl RecodedSpmv {
         };
         let mut row = 0usize; // current output row
         let mut k_global = 0usize; // nnz cursor
-        // Value bytes decoded but not yet consumed (at most ~2 blocks).
+                                   // Value bytes decoded but not yet consumed (at most ~2 blocks).
         let mut val_buf: Vec<u8> = Vec::new();
         let mut val_blocks = self.compressed.value_stream.blocks.iter();
 
@@ -678,9 +667,8 @@ impl RecodedSpmv {
                 stats.blocks += 1;
                 val_buf.extend_from_slice(&v.output);
             }
-            stats.peak_resident_bytes = stats
-                .peak_resident_bytes
-                .max(idx_out.output.len() + val_buf.len());
+            stats.peak_resident_bytes =
+                stats.peak_resident_bytes.max(idx_out.output.len() + val_buf.len());
 
             // Multiply this tile, walking rows as the nnz cursor advances
             // (k_global < nnz = row_ptr[nrows], so a row with
@@ -693,9 +681,8 @@ impl RecodedSpmv {
                 let c = u32::from_le_bytes(
                     idx_out.output[t * 4..t * 4 + 4].try_into().expect("4-byte index"),
                 ) as usize;
-                let v = f64::from_le_bytes(
-                    val_buf[t * 8..t * 8 + 8].try_into().expect("8-byte value"),
-                );
+                let v =
+                    f64::from_le_bytes(val_buf[t * 8..t * 8 + 8].try_into().expect("8-byte value"));
                 y[row] += v * x[c];
                 k_global += 1;
             }
@@ -912,8 +899,7 @@ mod tests {
         let r = RecodedSpmv::new_traced(&a, MatrixCodecConfig::udp_dsh()).unwrap();
         let sys = SystemConfig::ddr4();
         let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
-        let (y, stats, doc) =
-            r.spmv_traced(&sys, SpmvKernel::Serial, &x, None, "stencil").unwrap();
+        let (y, stats, doc) = r.spmv_traced(&sys, SpmvKernel::Serial, &x, None, "stencil").unwrap();
         assert_eq!(y, recode_sparse::spmv::spmv(&a, &x), "tracing must not change results");
         let errs = doc.validate();
         assert!(errs.is_empty(), "trace invariants violated: {errs:?}");
@@ -921,9 +907,13 @@ mod tests {
         assert_eq!(doc.matrix.nnz, a.nnz());
         assert_eq!(doc.block_events.len(), stats.accel.jobs);
         assert_eq!(doc.counter("exec.jobs"), stats.accel.jobs as u64);
-        for name in ["exec.decode_batch", "exec.reassemble", "exec.mem_stream", "exec.dma",
-            "exec.cpu_multiply"]
-        {
+        for name in [
+            "exec.decode_batch",
+            "exec.reassemble",
+            "exec.mem_stream",
+            "exec.dma",
+            "exec.cpu_multiply",
+        ] {
             assert!(doc.spans.iter().any(|s| s.name == name), "missing span {name}");
         }
         // Encode-stage codec telemetry was captured at compression time.
@@ -952,8 +942,7 @@ mod tests {
         let sys = SystemConfig::ddr4();
         let hook = FaultHook::new().trap(0);
         let mut tel = Telemetry::new();
-        let (b, stats) =
-            r.decompress_via_udp_traced(&sys, Some(&hook), Some(&mut tel)).unwrap();
+        let (b, stats) = r.decompress_via_udp_traced(&sys, Some(&hook), Some(&mut tel)).unwrap();
         assert_eq!(b, a);
         let evs = tel.block_events();
         assert_eq!(evs.len(), stats.accel.jobs);
@@ -1016,7 +1005,11 @@ mod tests {
         assert_eq!(batch.bytes_per_nnz(a.nnz()), streaming.bytes_per_nnz);
         assert_eq!(
             batch.accel.lane_utilization,
-            lane_utilization(batch.accel.busy_cycles, batch.accel.makespan_cycles, batch.accel.lanes),
+            lane_utilization(
+                batch.accel.busy_cycles,
+                batch.accel.makespan_cycles,
+                batch.accel.lanes
+            ),
             "batch AccelReport must use the shared lane_utilization helper"
         );
 

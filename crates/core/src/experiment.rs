@@ -126,9 +126,7 @@ pub fn compression_study(entries: &[CorpusEntry]) -> Vec<CompressionRow> {
 /// Geometric means over a compression study.
 pub fn compression_geomeans(rows: &[CompressionRow]) -> Option<CompressionGeomeans> {
     Some(CompressionGeomeans {
-        cpu_snappy: geometric_mean(
-            &rows.iter().map(|r| r.cpu_snappy_bpnnz).collect::<Vec<_>>(),
-        )?,
+        cpu_snappy: geometric_mean(&rows.iter().map(|r| r.cpu_snappy_bpnnz).collect::<Vec<_>>())?,
         ds: geometric_mean(&rows.iter().map(|r| r.ds_bpnnz).collect::<Vec<_>>())?,
         dsh: geometric_mean(&rows.iter().map(|r| r.dsh_bpnnz).collect::<Vec<_>>())?,
     })
@@ -169,9 +167,8 @@ pub fn decomp_study(
         .map(|(name, family, a)| {
             let cm = CompressedMatrix::compress(a, MatrixCodecConfig::udp_dsh())
                 .expect("codec preconditions");
-            let m: DecompMeasurement =
-                measure_udp_decomp(&cm, &sys.udp, max_blocks_per_stream)
-                    .expect("self-encoded blocks decode");
+            let m: DecompMeasurement = measure_udp_decomp(&cm, &sys.udp, max_blocks_per_stream)
+                .expect("self-encoded blocks decode");
             DecompRow {
                 name: name.clone(),
                 family: family.clone(),
@@ -284,10 +281,7 @@ pub fn power_study(
 /// Helper: materialize corpus entries as named matrices (streamed by the
 /// caller for large scales).
 pub fn materialize(entries: &[CorpusEntry]) -> Vec<(String, String, Csr)> {
-    entries
-        .par_iter()
-        .map(|e| (e.name.clone(), e.family.to_string(), e.generate()))
-        .collect()
+    entries.par_iter().map(|e| (e.name.clone(), e.family.to_string(), e.generate())).collect()
 }
 
 #[cfg(test)]

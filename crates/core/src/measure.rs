@@ -42,10 +42,8 @@ pub fn measure_udp_decomp(
     accel: &Accelerator,
     max_blocks_per_stream: usize,
 ) -> ExecResult<DecompMeasurement> {
-    let index_decoder =
-        DshDecoder::new(cm.config.index, cm.index_table_lengths.as_deref())?;
-    let value_decoder =
-        DshDecoder::new(cm.config.value, cm.value_table_lengths.as_deref())?;
+    let index_decoder = DshDecoder::new(cm.config.index, cm.index_table_lengths.as_deref())?;
+    let value_decoder = DshDecoder::new(cm.config.value, cm.value_table_lengths.as_deref())?;
 
     // Sample blocks evenly across each stream.
     let mut jobs: Vec<(&DshDecoder, &CompressedBlock)> = Vec::new();
@@ -72,8 +70,7 @@ pub fn measure_udp_decomp(
         });
     }
 
-    let outcome =
-        accel.run_jobs(&jobs, |lane, (decoder, block)| decoder.decode_block(lane, block));
+    let outcome = accel.run_jobs(&jobs, |lane, (decoder, block)| decoder.decode_block(lane, block));
     // Measurement wants a clean run; self-encoded blocks failing is a bug.
     if let Some(err) = outcome.results.iter().find_map(|r| r.as_ref().err()) {
         return Err(ExecError::Udp(err.clone()));
@@ -127,7 +124,8 @@ pub fn measure_host_codec(cm: &CompressedMatrix, reps: usize) -> ExecResult<Host
     // DSH: decode this matrix's own streams.
     let (index_pipe, value_pipe) = cm.pipelines()?;
     let mut best_dsh = f64::INFINITY;
-    let total_out = (cm.index_stream.total_uncompressed + cm.value_stream.total_uncompressed) as f64;
+    let total_out =
+        (cm.index_stream.total_uncompressed + cm.value_stream.total_uncompressed) as f64;
     for _ in 0..reps {
         let t0 = std::time::Instant::now();
         for (pipe, stream) in [(&index_pipe, &cm.index_stream), (&value_pipe, &cm.value_stream)] {
@@ -144,9 +142,7 @@ pub fn measure_host_codec(cm: &CompressedMatrix, reps: usize) -> ExecResult<Host
     let mut best_snappy = f64::INFINITY;
     for _ in 0..reps {
         let t0 = std::time::Instant::now();
-        for (pipe, stream) in
-            [(&sp, &snappy_cm.index_stream), (&vp, &snappy_cm.value_stream)]
-        {
+        for (pipe, stream) in [(&sp, &snappy_cm.index_stream), (&vp, &snappy_cm.value_stream)] {
             for b in &stream.blocks {
                 std::hint::black_box(Pipeline::decode_block(pipe, b)?);
             }
@@ -185,16 +181,8 @@ mod tests {
         assert!(m.blocks_simulated > 0);
         // The paper: geomean 21.7 us per 8 KB block on one lane, 64-lane
         // aggregate >20 GB/s on friendly matrices. Same order here.
-        assert!(
-            m.us_per_block > 2.0 && m.us_per_block < 80.0,
-            "us/block {:.1}",
-            m.us_per_block
-        );
-        assert!(
-            m.accel_out_bps > 5e9,
-            "accelerator throughput {:.2} GB/s",
-            m.accel_out_bps / 1e9
-        );
+        assert!(m.us_per_block > 2.0 && m.us_per_block < 80.0, "us/block {:.1}", m.us_per_block);
+        assert!(m.accel_out_bps > 5e9, "accelerator throughput {:.2} GB/s", m.accel_out_bps / 1e9);
     }
 
     #[test]
@@ -242,8 +230,7 @@ mod tests {
 
     #[test]
     fn empty_matrix_measures_zero() {
-        let a = recode_sparse::Csr::try_from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![])
-            .unwrap();
+        let a = recode_sparse::Csr::try_from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![]).unwrap();
         let cm = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
         let m = measure_udp_decomp(&cm, &Accelerator::default(), 8).unwrap();
         assert_eq!(m.blocks_simulated, 0);

@@ -42,7 +42,9 @@
 
 use crate::arch::SystemConfig;
 use crate::error::{ExecError, ExecResult};
-use crate::exec::{check_stream_structure, ExecStats, RawFallbackStore, RecodedSpmv, MAX_BLOCK_RETRIES};
+use crate::exec::{
+    check_stream_structure, ExecStats, RawFallbackStore, RecodedSpmv, MAX_BLOCK_RETRIES,
+};
 use crate::telemetry::{
     BlockEvent, BlockOutcome, MatrixMeta, StreamKind, SystemMeta, Telemetry, TraceDocument,
 };
@@ -96,7 +98,7 @@ impl std::fmt::Debug for ExecCache {
             .field("capacity", &self.capacity)
             .field("len", &self.map.len())
             .field("stats", &self.stats)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -134,17 +136,14 @@ impl ExecCache {
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&mut self, key: CacheKey) -> Option<Arc<Vec<u8>>> {
         self.tick += 1;
-        match self.map.get_mut(&key) {
-            Some(e) => {
-                e.stamp = self.tick;
-                self.stats.hits += 1;
-                self.stats.hit_bytes += e.bytes.len() as u64;
-                Some(Arc::clone(&e.bytes))
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+        if let Some(e) = self.map.get_mut(&key) {
+            e.stamp = self.tick;
+            self.stats.hits += 1;
+            self.stats.hit_bytes += e.bytes.len() as u64;
+            Some(Arc::clone(&e.bytes))
+        } else {
+            self.stats.misses += 1;
+            None
         }
     }
 
@@ -198,7 +197,7 @@ impl OverlapConfig {
                 }
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get).min(8)
     }
 }
 
@@ -404,8 +403,7 @@ impl<'m> OverlapExecutor<'m> {
             lanes: sys.udp.lanes,
             freq_hz: sys.udp.freq_hz,
         };
-        let codec_stages =
-            self.recoded.stage_telemetry().map(|t| t.snapshot()).unwrap_or_default();
+        let codec_stages = self.recoded.stage_telemetry().map(|t| t.snapshot()).unwrap_or_default();
         let wall_ns_total = t_total.elapsed().as_nanos() as u64;
         let doc =
             tel.into_document(matrix, system, stats.clone(), codec_stages, &sys.mem, wall_ns_total);
@@ -568,25 +566,24 @@ impl<'m> OverlapExecutor<'m> {
                         Err(e) => last_err = e,
                     }
                 }
-                match recovered {
-                    Some(bytes) => bytes,
-                    None => {
-                        let raw = raw_bytes
-                            .and_then(|b| RawFallbackStore::block_range(b, pos, block_bytes));
-                        match raw {
-                            Some(raw) => {
-                                fell_back = true;
-                                fallback_bytes = raw.len();
-                                outcome = BlockOutcome::FellBack;
-                                raw.to_vec()
-                            }
-                            None => {
-                                return Err(ExecError::Unrecoverable {
-                                    block: last_err.block().or(Some(pos)),
-                                    lane: None,
-                                    source: last_err,
-                                });
-                            }
+                if let Some(bytes) = recovered {
+                    bytes
+                } else {
+                    let raw =
+                        raw_bytes.and_then(|b| RawFallbackStore::block_range(b, pos, block_bytes));
+                    match raw {
+                        Some(raw) => {
+                            fell_back = true;
+                            fallback_bytes = raw.len();
+                            outcome = BlockOutcome::FellBack;
+                            raw.to_vec()
+                        }
+                        None => {
+                            return Err(ExecError::Unrecoverable {
+                                block: last_err.block().or(Some(pos)),
+                                lane: None,
+                                source: last_err,
+                            });
                         }
                     }
                 }
@@ -594,10 +591,7 @@ impl<'m> OverlapExecutor<'m> {
         };
         let bytes = Arc::new(decoded);
         if self.config.cache_blocks > 0 {
-            self.cache
-                .lock()
-                .expect("cache poisoned")
-                .insert((stream, pos), Arc::clone(&bytes));
+            self.cache.lock().expect("cache poisoned").insert((stream, pos), Arc::clone(&bytes));
         }
         Ok(DecodedBlock {
             bytes,
@@ -731,9 +725,8 @@ impl<'m> OverlapExecutor<'m> {
                 let rx = Arc::clone(&tile_rx);
                 let tx = res_tx.clone();
                 s.spawn(move || loop {
-                    let work = match rx.lock().expect("tile queue poisoned").recv() {
-                        Ok(w) => w,
-                        Err(_) => break,
+                    let Ok(work) = rx.lock().expect("tile queue poisoned").recv() else {
+                        break;
                     };
                     let (row_start, partial) = multiply_tile(row_ptr, x, &work);
                     if tx.send(TileResult { tile: work.tile, row_start, partial }).is_err() {
@@ -747,7 +740,7 @@ impl<'m> OverlapExecutor<'m> {
             // arrivals, so straddling rows accumulate deterministically.
             let mut pending: BTreeMap<usize, TileResult> = BTreeMap::new();
             let mut next_tile = 0usize;
-            for r in res_rx.iter() {
+            for r in &res_rx {
                 pending.insert(r.tile, r);
                 while let Some(r) = pending.remove(&next_tile) {
                     for (i, v) in r.partial.iter().enumerate() {
@@ -957,15 +950,10 @@ mod tests {
         let want = recode_sparse::spmv::spmv(&a, &x);
         for overlap in [true, false] {
             for cache_blocks in [0usize, 64] {
-                let ex = OverlapExecutor::new(
-                    &r,
-                    OverlapConfig { overlap, cache_blocks, workers: 3 },
-                );
+                let ex =
+                    OverlapExecutor::new(&r, OverlapConfig { overlap, cache_blocks, workers: 3 });
                 let (y, stats) = ex.spmv(&sys, &x).unwrap();
-                assert!(
-                    max_rel_err(&y, &want) < 1e-10,
-                    "overlap={overlap} cache={cache_blocks}"
-                );
+                assert!(max_rel_err(&y, &want) < 1e-10, "overlap={overlap} cache={cache_blocks}");
                 assert_eq!(stats.overlap.enabled, overlap);
                 assert!(stats.overlap.stages > 0);
                 assert!(!stats.degraded);
@@ -1013,8 +1001,7 @@ mod tests {
         assert_eq!(warm, 0, "a fully warm cache decodes nothing");
         // The acceptance bar: iteration 1 spends >= 5x the decode cycles of
         // any later iteration (trivially true at 0, asserted robustly).
-        let max_warm =
-            per_iter[1..].iter().map(|s| s.overlap.decode_cycles).max().unwrap();
+        let max_warm = per_iter[1..].iter().map(|s| s.overlap.decode_cycles).max().unwrap();
         assert!(cold >= 5 * max_warm.max(1) || max_warm == 0);
         assert!(per_iter[1].overlap.cache_hits > 0);
         assert_eq!(per_iter[1].overlap.cache_misses, 0);
@@ -1027,10 +1014,8 @@ mod tests {
         let sys = SystemConfig::ddr4();
         let x = vec![1.0; a.ncols()];
         // Fewer slots than blocks: every run re-decodes, evicting as it goes.
-        let ex = OverlapExecutor::new(
-            &r,
-            OverlapConfig { overlap: true, cache_blocks: 2, workers: 1 },
-        );
+        let ex =
+            OverlapExecutor::new(&r, OverlapConfig { overlap: true, cache_blocks: 2, workers: 1 });
         let (_, s1) = ex.spmv(&sys, &x).unwrap();
         let (_, s2) = ex.spmv(&sys, &x).unwrap();
         assert!(s1.overlap.cache_evictions > 0, "capacity 2 must evict");
@@ -1137,13 +1122,8 @@ mod tests {
         );
         let (result, per_apply) = ex.conjugate_gradient(&sys, &b, 1e-10, 1000).unwrap();
         assert!(result.converged, "residual {}", result.residual);
-        let reference = recode_sparse::solve::conjugate_gradient(
-            &a,
-            &b,
-            SpmvKernel::Serial,
-            1e-10,
-            1000,
-        );
+        let reference =
+            recode_sparse::solve::conjugate_gradient(&a, &b, SpmvKernel::Serial, 1e-10, 1000);
         assert!(max_rel_err(&result.x, &reference.x) < 1e-6);
         assert!(per_apply.len() >= 2);
         // Applies after the first decode nothing.
@@ -1204,14 +1184,10 @@ mod tests {
         let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
         let sys = SystemConfig::ddr4();
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
-        let one = OverlapExecutor::new(
-            &r,
-            OverlapConfig { overlap: true, cache_blocks: 0, workers: 1 },
-        );
-        let many = OverlapExecutor::new(
-            &r,
-            OverlapConfig { overlap: true, cache_blocks: 0, workers: 6 },
-        );
+        let one =
+            OverlapExecutor::new(&r, OverlapConfig { overlap: true, cache_blocks: 0, workers: 1 });
+        let many =
+            OverlapExecutor::new(&r, OverlapConfig { overlap: true, cache_blocks: 0, workers: 6 });
         let (y1, _) = one.spmv(&sys, &x).unwrap();
         let (y2, _) = many.spmv(&sys, &x).unwrap();
         assert_eq!(y1, y2, "tile-ordered merge must be worker-count invariant");

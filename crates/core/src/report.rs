@@ -1,9 +1,7 @@
 //! Plain-text rendering of experiment results, one function per figure,
 //! printing the same series the paper plots.
 
-use crate::experiment::{
-    CompressionRow, DecompRow, Fig3Row, PowerRow, SpmvRow,
-};
+use crate::experiment::{CompressionRow, DecompRow, Fig3Row, PowerRow, SpmvRow};
 use crate::perfmodel::ScenarioResult;
 use recode_sparse::util::geometric_mean;
 use std::fmt::Write as _;
@@ -12,7 +10,11 @@ use std::fmt::Write as _;
 pub fn fig3(rows: &[Fig3Row]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Fig. 3 — Single-die CPU SpMV, memory-bandwidth limited");
-    let _ = writeln!(s, "{:<24} {:>12} {:>16} {:>16}", "matrix", "nnz", "modeled Gflop/s", "host Gflop/s");
+    let _ = writeln!(
+        s,
+        "{:<24} {:>12} {:>16} {:>16}",
+        "matrix", "nnz", "modeled Gflop/s", "host Gflop/s"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -28,7 +30,8 @@ pub fn fig10(rows: &[CompressionRow]) -> String {
     let g = crate::experiment::compression_geomeans(rows);
     let mut s = String::new();
     let _ = writeln!(s, "Fig. 10 — Compressed size, geometric mean bytes per non-zero");
-    let _ = writeln!(s, "(paper: CPU Snappy 5.20, UDP Delta-Snappy 5.92, UDP DSH 5.00; raw CSR 12)");
+    let _ =
+        writeln!(s, "(paper: CPU Snappy 5.20, UDP Delta-Snappy 5.92, UDP DSH 5.00; raw CSR 12)");
     if let Some(g) = g {
         let _ = writeln!(s, "{:<28} {:>10}", "configuration", "B/nnz");
         let _ = writeln!(s, "{:<28} {:>10.2}", "Raw CSR", 12.0);
@@ -44,7 +47,11 @@ pub fn fig10(rows: &[CompressionRow]) -> String {
 pub fn fig11(rows: &[CompressionRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Fig. 11 — Bytes per non-zero vs #non-zeros (scatter)");
-    let _ = writeln!(s, "{:<24} {:<12} {:>12} {:>10} {:>10} {:>10}", "matrix", "family", "nnz", "snappy", "ds", "dsh");
+    let _ = writeln!(
+        s,
+        "{:<24} {:<12} {:>12} {:>10} {:>10} {:>10}",
+        "matrix", "family", "nnz", "snappy", "ds", "dsh"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -59,7 +66,8 @@ pub fn fig11(rows: &[CompressionRow]) -> String {
 pub fn fig12(rows: &[DecompRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Fig. 12 — Decompression throughput: 32-thread CPU vs 64-lane UDP");
-    let _ = writeln!(s, "(paper: UDP 2-5x on the seven, geomean ~7x, >20 GB/s; 21.7 us/block geomean)");
+    let _ =
+        writeln!(s, "(paper: UDP 2-5x on the seven, geomean ~7x, >20 GB/s; 21.7 us/block geomean)");
     let _ = writeln!(
         s,
         "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
@@ -94,7 +102,8 @@ pub fn fig13(rows: &[DecompRow]) -> String {
     let _ = writeln!(s, "Fig. 13 — 64-lane UDP decompression throughput vs #non-zeros");
     let _ = writeln!(s, "{:<24} {:<12} {:>12} {:>12}", "matrix", "family", "nnz", "UDP GB/s");
     for r in rows {
-        let _ = writeln!(s, "{:<24} {:<12} {:>12} {:>12.2}", r.name, r.family, r.nnz, r.udp_bps / 1e9);
+        let _ =
+            writeln!(s, "{:<24} {:<12} {:>12} {:>12.2}", r.name, r.family, r.nnz, r.udp_bps / 1e9);
     }
     s
 }
@@ -107,7 +116,14 @@ pub fn fig14_15(title: &str, rows: &[SpmvRow]) -> String {
     let _ = writeln!(
         s,
         "{:<24} {:>10} {:>8} {:>14} {:>14} {:>16} {:>9} {:>6}",
-        "matrix", "nnz", "B/nnz", "Uncompressed", "Decomp(CPU)", "Decomp(UDP+CPU)", "speedup", "UDPs"
+        "matrix",
+        "nnz",
+        "B/nnz",
+        "Uncompressed",
+        "Decomp(CPU)",
+        "Decomp(UDP+CPU)",
+        "speedup",
+        "UDPs"
     );
     for r in rows {
         let _ = writeln!(

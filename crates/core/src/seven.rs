@@ -106,10 +106,7 @@ pub fn generate_representative(rep: &Representative, scale: f64, seed: u64) -> C
         "femband" => {
             // nnz/row = 1 + 2*band*fill; fix fill = 0.5.
             let band = (((per_row - 1.0) / 2.0 / 0.5).round() as usize).max(2);
-            generate(
-                &GenSpec::FemBand { n, band, fill: 0.5, values: rep.values },
-                seed,
-            )
+            generate(&GenSpec::FemBand { n, band, fill: 0.5, values: rep.values }, seed)
         }
         "blockjac" => {
             let block = (per_row.round() as usize).clamp(4, 48);
@@ -144,10 +141,7 @@ pub fn generate_representative(rep: &Representative, scale: f64, seed: u64) -> C
                 offsets.push(off);
                 offsets.push(-off);
             }
-            generate(
-                &GenSpec::MultiDiagonal { n, offsets, values: rep.values },
-                seed,
-            )
+            generate(&GenSpec::MultiDiagonal { n, offsets, values: rep.values }, seed)
         }
         other => panic!("unknown representative family {other}"),
     }

@@ -388,12 +388,8 @@ impl TraceDocument {
                 lane_busy, accel.busy_cycles, self.exec.retry_cycles
             ));
         }
-        let traffic_total: u64 = self
-            .mem_traffic
-            .by_source
-            .iter()
-            .map(|s| s.read_bytes + s.write_bytes)
-            .sum();
+        let traffic_total: u64 =
+            self.mem_traffic.by_source.iter().map(|s| s.read_bytes + s.write_bytes).sum();
         if traffic_total != self.mem_traffic.total_bytes {
             errs.push(format!(
                 "traffic by-source sum {} != total {}",
@@ -477,13 +473,8 @@ pub fn render_report(doc: &TraceDocument) -> String {
         m.bytes_per_nnz
     );
     let s = &doc.system;
-    let _ = writeln!(
-        out,
-        "system: {} | {} UDP lanes @ {:.2} GHz",
-        s.memory,
-        s.lanes,
-        s.freq_hz / 1e9
-    );
+    let _ =
+        writeln!(out, "system: {} | {} UDP lanes @ {:.2} GHz", s.memory, s.lanes, s.freq_hz / 1e9);
     let _ = writeln!(out, "\n-- phases (wall {:.3} ms total) --", doc.wall_ns_total as f64 / 1e6);
     let _ = writeln!(out, "{:<20} {:>12} {:>14} {:>12}", "span", "wall us", "modeled us", "bytes");
     for sp in &doc.spans {
@@ -528,14 +519,7 @@ pub fn render_report(doc: &TraceDocument) -> String {
     );
     let h = &doc.block_cycles;
     let _ = writeln!(out, "\n-- per-block decode cycles (log2 buckets) --");
-    let _ = writeln!(
-        out,
-        "count {}, mean {:.0}, min {}, max {}",
-        h.count,
-        h.mean(),
-        h.min,
-        h.max
-    );
+    let _ = writeln!(out, "count {}, mean {:.0}, min {}, max {}", h.count, h.mean(), h.min, h.max);
     for (&b, &c) in &h.buckets {
         let (lo, hi) = CycleHistogram::bucket_range(b);
         let _ = writeln!(out, "  [{lo:>10}, {hi:>10}] {c:>6}");
@@ -560,9 +544,7 @@ pub fn render_report(doc: &TraceDocument) -> String {
     let cs = &doc.codec_stages;
     let _ = writeln!(out, "\n-- software codec stages --");
     for (dir, d) in [("encode", &cs.encode), ("decode", &cs.decode)] {
-        for (stage, st) in
-            [("delta", &d.delta), ("snappy", &d.snappy), ("huffman", &d.huffman)]
-        {
+        for (stage, st) in [("delta", &d.delta), ("snappy", &d.snappy), ("huffman", &d.huffman)] {
             if st.calls == 0 {
                 continue;
             }
@@ -581,11 +563,7 @@ pub fn render_report(doc: &TraceDocument) -> String {
     let _ = writeln!(
         out,
         "retried {} | fell back {} | fallback bytes {} | retry cycles {} | degraded: {}",
-        e.blocks_retried,
-        e.blocks_fell_back,
-        e.fallback_bytes,
-        e.retry_cycles,
-        e.degraded
+        e.blocks_retried, e.blocks_fell_back, e.fallback_bytes, e.retry_cycles, e.degraded
     );
     let ov = &e.overlap;
     if ov.stages > 0 || ov.enabled {

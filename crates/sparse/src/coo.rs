@@ -129,9 +129,7 @@ impl Coo {
             return;
         }
         let mut order: Vec<u32> = (0..self.vals.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            (self.rows[i as usize], self.cols[i as usize])
-        });
+        order.sort_unstable_by_key(|&i| (self.rows[i as usize], self.cols[i as usize]));
         let mut rows = Vec::with_capacity(self.vals.len());
         let mut cols = Vec::with_capacity(self.vals.len());
         let mut vals = Vec::with_capacity(self.vals.len());
@@ -221,9 +219,15 @@ mod tests {
         // Paper Fig. 2 example matrix:
         // [1 0 2 0; 0 0 0 0; 3 0 4 5; 0 6 0 7]
         let mut m = Coo::new(4, 4).unwrap();
-        for &(r, c, v) in
-            &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 2, 4.0), (2, 3, 5.0), (3, 1, 6.0), (3, 3, 7.0)]
-        {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (2, 0, 3.0),
+            (2, 2, 4.0),
+            (2, 3, 5.0),
+            (3, 1, 6.0),
+            (3, 3, 7.0),
+        ] {
             m.push(r, c, v).unwrap();
         }
         m

@@ -60,9 +60,7 @@ impl Csr {
         }
         for r in 0..nrows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(SparseError::InvalidStructure(format!(
-                    "row_ptr decreases at row {r}"
-                )));
+                return Err(SparseError::InvalidStructure(format!("row_ptr decreases at row {r}")));
             }
             let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for (k, &c) in row.iter().enumerate() {
@@ -189,8 +187,8 @@ impl Csr {
 
     /// Converts to COO triplets.
     pub fn to_coo(&self) -> Coo {
-        let mut coo =
-            Coo::with_capacity(self.nrows, self.ncols, self.nnz()).expect("shape already validated");
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz())
+            .expect("shape already validated");
         for (r, c, v) in self.iter() {
             coo.push(r, c, v).expect("entries already in bounds");
         }
@@ -252,10 +250,7 @@ impl Csr {
         if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
             return false;
         }
-        self.values
-            .iter()
-            .zip(&t.values)
-            .all(|(&a, &b)| crate::util::approx_eq(a, b, rel))
+        self.values.iter().zip(&t.values).all(|(&a, &b)| crate::util::approx_eq(a, b, rel))
     }
 
     /// Splits the non-zeros into consecutive chunks of at most
@@ -360,14 +355,9 @@ mod tests {
 
     #[test]
     fn symmetry_detection() {
-        let sym = Csr::try_from_parts(
-            2,
-            2,
-            vec![0, 2, 4],
-            vec![0, 1, 0, 1],
-            vec![2.0, 3.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let sym =
+            Csr::try_from_parts(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![2.0, 3.0, 3.0, 4.0])
+                .unwrap();
         assert!(sym.is_symmetric(1e-12));
         assert!(!paper_matrix().is_symmetric(1e-12));
         let rect = Csr::try_from_parts(1, 2, vec![0, 1], vec![1], vec![1.0]).unwrap();

@@ -176,7 +176,12 @@ mod tests {
 
     fn blocked_matrix() -> Csr {
         generate(
-            &GenSpec::BlockJacobian { nblocks: 40, block: 8, coupling: 1.0, values: ValueModel::MixedRepeated { distinct: 30 } },
+            &GenSpec::BlockJacobian {
+                nblocks: 40,
+                block: 8,
+                coupling: 1.0,
+                values: ValueModel::MixedRepeated { distinct: 30 },
+            },
             6,
         )
     }
@@ -227,10 +232,8 @@ mod tests {
     #[test]
     fn ragged_edges() {
         // Dimensions not divisible by 4.
-        let a = generate(
-            &GenSpec::FemBand { n: 101, band: 3, fill: 0.7, values: ValueModel::Ones },
-            1,
-        );
+        let a =
+            generate(&GenSpec::FemBand { n: 101, band: 3, fill: 0.7, values: ValueModel::Ones }, 1);
         let b = BitmaskBlockCsr::from_csr(&a).unwrap();
         assert_eq!(b.to_csr(), a);
     }

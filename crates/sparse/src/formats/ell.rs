@@ -55,8 +55,7 @@ impl Ell {
             for j in 0..self.k {
                 let c = self.col_idx[j * self.nrows + r];
                 if c != PAD {
-                    coo.push(r, c as usize, self.values[j * self.nrows + r])
-                        .expect("in bounds");
+                    coo.push(r, c as usize, self.values[j * self.nrows + r]).expect("in bounds");
                 }
             }
         }
@@ -140,7 +139,12 @@ mod tests {
     #[test]
     fn spmv_matches_csr() {
         let a = generate(
-            &GenSpec::FemBand { n: 300, band: 7, fill: 0.5, values: ValueModel::MixedRepeated { distinct: 9 } },
+            &GenSpec::FemBand {
+                n: 300,
+                band: 7,
+                fill: 0.5,
+                values: ValueModel::MixedRepeated { distinct: 9 },
+            },
             3,
         );
         let e = Ell::from_csr(&a).unwrap();

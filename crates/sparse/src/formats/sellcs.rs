@@ -226,10 +226,8 @@ mod tests {
     #[test]
     fn ragged_last_chunk() {
         // nrows not divisible by C.
-        let a = generate(
-            &GenSpec::FemBand { n: 101, band: 5, fill: 0.6, values: ValueModel::Ones },
-            2,
-        );
+        let a =
+            generate(&GenSpec::FemBand { n: 101, band: 5, fill: 0.6, values: ValueModel::Ones }, 2);
         let s = SellCs::from_csr(&a, 16, 32).unwrap();
         assert_eq!(s.to_csr(), a);
     }

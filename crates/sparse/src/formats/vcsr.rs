@@ -160,7 +160,12 @@ mod tests {
 
     fn banded() -> Csr {
         generate(
-            &GenSpec::FemBand { n: 400, band: 10, fill: 0.5, values: ValueModel::MixedRepeated { distinct: 12 } },
+            &GenSpec::FemBand {
+                n: 400,
+                band: 10,
+                fill: 0.5,
+                values: ValueModel::MixedRepeated { distinct: 12 },
+            },
             5,
         )
     }
@@ -199,7 +204,8 @@ mod tests {
 
     #[test]
     fn scattered_indices_cost_more() {
-        let a = generate(&GenSpec::ErdosRenyi { n: 3000, avg_deg: 3.0, values: ValueModel::Ones }, 7);
+        let a =
+            generate(&GenSpec::ErdosRenyi { n: 3000, avg_deg: 3.0, values: ValueModel::Ones }, 7);
         let v = VarintCsr::from_csr(&a).unwrap();
         assert!(
             v.index_bytes_per_nnz() > 1.3,

@@ -69,17 +69,9 @@ pub fn kronecker(base: KroneckerBase, power: u8) -> Csr {
         // Chain: 0-1-2 path with self loops.
         KroneckerBase::Chain => &[(0, 0), (1, 1), (2, 2), (0, 1), (1, 0), (1, 2), (2, 1)],
         // Dense: complete 3-vertex pattern with self loops.
-        KroneckerBase::Dense => &[
-            (0, 0),
-            (0, 1),
-            (0, 2),
-            (1, 0),
-            (1, 1),
-            (1, 2),
-            (2, 0),
-            (2, 1),
-            (2, 2),
-        ],
+        KroneckerBase::Dense => {
+            &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)]
+        }
     };
     let mut edges: Vec<(usize, usize)> = vec![(0, 0)];
     let mut dim = 1usize;
@@ -203,7 +195,9 @@ mod tests {
         let interior_band: Vec<usize> = (5..45)
             .flat_map(|r| {
                 let (cols, _) = a.row(r);
-                cols.iter().map(move |&c| (c as i64 - r as i64).unsigned_abs() as usize).collect::<Vec<_>>()
+                cols.iter()
+                    .map(move |&c| (c as i64 - r as i64).unsigned_abs() as usize)
+                    .collect::<Vec<_>>()
             })
             .collect();
         assert!(interior_band.iter().all(|&b| b <= 2));

@@ -67,10 +67,7 @@ impl ValueModel {
     pub fn assign(self, a: &mut Csr, seed: u64) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed_0001);
         // Snapshot structure before borrowing values mutably.
-        let bands: Vec<i64> = a
-            .iter()
-            .map(|(r, c, _)| c as i64 - r as i64)
-            .collect();
+        let bands: Vec<i64> = a.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
         let table: Vec<f64> = match self {
             ValueModel::MixedRepeated { distinct } => {
                 let n = distinct.max(1) as usize;
@@ -353,9 +350,24 @@ mod tests {
                 offsets: vec![-8, -1, 0, 1, 8],
                 values: ValueModel::MixedRepeated { distinct: 4 },
             },
-            GenSpec::FemBand { n: 80, band: 10, fill: 0.4, values: ValueModel::MixedRepeated { distinct: 12 } },
-            GenSpec::BlockJacobian { nblocks: 8, block: 9, coupling: 1.5, values: ValueModel::UniformRandom },
-            GenSpec::Circuit { n: 120, avg_deg: 3.0, hubs: 3, values: ValueModel::QuantizedGaussian { levels: 64 } },
+            GenSpec::FemBand {
+                n: 80,
+                band: 10,
+                fill: 0.4,
+                values: ValueModel::MixedRepeated { distinct: 12 },
+            },
+            GenSpec::BlockJacobian {
+                nblocks: 8,
+                block: 9,
+                coupling: 1.5,
+                values: ValueModel::UniformRandom,
+            },
+            GenSpec::Circuit {
+                n: 120,
+                avg_deg: 3.0,
+                hubs: 3,
+                values: ValueModel::QuantizedGaussian { levels: 64 },
+            },
             GenSpec::Rmat { scale: 7, edge_factor: 8, values: ValueModel::Ones },
             GenSpec::ErdosRenyi { n: 100, avg_deg: 6.0, values: ValueModel::UniformRandom },
             GenSpec::Kronecker { base: KroneckerBase::Star, power: 4, values: ValueModel::Ones },
@@ -422,7 +434,7 @@ mod tests {
 
     #[test]
     fn family_tags_cover_all_eleven_families() {
-        let mut tags: Vec<&str> = specs().iter().map(|s| s.family()).collect();
+        let mut tags: Vec<&str> = specs().iter().map(super::GenSpec::family).collect();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), 11, "expected one tag per family, got {tags:?}");

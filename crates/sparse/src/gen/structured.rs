@@ -86,10 +86,7 @@ pub fn stencil_3d(nx: usize, ny: usize, nz: usize, points: u8) -> Csr {
 /// If `offsets` is empty or an offset magnitude reaches `n`.
 pub fn multi_diagonal(n: usize, offsets: &[i64]) -> Csr {
     assert!(!offsets.is_empty(), "need at least one diagonal");
-    assert!(
-        offsets.iter().all(|o| o.unsigned_abs() < n as u64),
-        "offset magnitude must be < n"
-    );
+    assert!(offsets.iter().all(|o| o.unsigned_abs() < n as u64), "offset magnitude must be < n");
     let mut coo = Coo::with_capacity(n, n, n * offsets.len()).expect("validated shape");
     for r in 0..n {
         for &off in offsets {

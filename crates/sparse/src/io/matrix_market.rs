@@ -42,10 +42,8 @@ const MAX_PREALLOC_ENTRIES: usize = 1 << 22;
 /// entries are out of bounds.
 pub fn read_matrix_market<R: std::io::Read>(reader: R) -> Result<Csr> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err(0, "empty input"))?
-        .map_err(SparseError::Io)?;
+    let header =
+        lines.next().ok_or_else(|| parse_err(0, "empty input"))?.map_err(SparseError::Io)?;
     let mut toks = header.split_whitespace();
     let banner = toks.next().unwrap_or("");
     if !banner.eq_ignore_ascii_case("%%MatrixMarket") {
@@ -105,9 +103,7 @@ pub fn read_matrix_market<R: std::io::Read>(reader: R) -> Result<Csr> {
 
     // Clamp to what the shape can hold and to the pre-allocation cap; the
     // `seen != declared_nnz` check below still catches the lie.
-    let cap = declared_nnz
-        .min(nrows.saturating_mul(ncols))
-        .min(MAX_PREALLOC_ENTRIES);
+    let cap = declared_nnz.min(nrows.saturating_mul(ncols)).min(MAX_PREALLOC_ENTRIES);
     let mut coo = Coo::with_capacity(
         nrows,
         ncols,
@@ -312,10 +308,8 @@ mod tests {
         // u64::MAX entries declared, one supplied. The reader must clamp its
         // pre-allocation (not `reserve` per the header) and report the
         // mismatch as a parse error.
-        let text = format!(
-            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
-            u64::MAX
-        );
+        let text =
+            format!("%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n", u64::MAX);
         let e = read_matrix_market(text.as_bytes()).unwrap_err();
         assert!(e.to_string().contains("declared"), "{e}");
     }

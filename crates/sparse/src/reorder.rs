@@ -78,9 +78,7 @@ impl Permutation {
             let old_r = self.perm[new_r] as usize;
             let (cols, vals) = a.row(old_r);
             scratch.clear();
-            scratch.extend(
-                cols.iter().map(|&c| inv[c as usize]).zip(vals.iter().copied()),
-            );
+            scratch.extend(cols.iter().map(|&c| inv[c as usize]).zip(vals.iter().copied()));
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
                 col_idx.push(c);
@@ -125,9 +123,7 @@ pub fn reverse_cuthill_mckee(a: &Csr) -> Permutation {
     // Process every connected component, seeding each BFS from its
     // minimum-degree unvisited vertex (the standard pseudo-peripheral
     // shortcut; exact peripheral search is unnecessary for recoding studies).
-    while let Some(seed) =
-        (0..n).filter(|&v| !visited[v]).min_by_key(|&v| (degree[v], v))
-    {
+    while let Some(seed) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| (degree[v], v)) {
         visited[seed] = true;
         queue.push_back(seed as u32);
         while let Some(v) = queue.pop_front() {

@@ -102,13 +102,7 @@ pub fn conjugate_gradient_op<E>(
 /// # Panics
 /// If `a` is not square, `b` has the wrong length, or a diagonal entry is
 /// zero.
-pub fn jacobi(
-    a: &Csr,
-    b: &[f64],
-    kernel: SpmvKernel,
-    tol: f64,
-    max_iters: usize,
-) -> SolveResult {
+pub fn jacobi(a: &Csr, b: &[f64], kernel: SpmvKernel, tol: f64, max_iters: usize) -> SolveResult {
     assert_eq!(a.nrows(), a.ncols(), "Jacobi needs a square matrix");
     assert_eq!(b.len(), a.nrows(), "rhs length must equal nrows");
     let n = a.nrows();
@@ -206,10 +200,7 @@ pub fn power_iteration_op<E>(
         op(&x, &mut ax)?;
         let norm: f64 = ax.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm == 0.0 {
-            return Ok((
-                SolveResult { x, iterations: iter, residual: 0.0, converged: true },
-                0.0,
-            ));
+            return Ok((SolveResult { x, iterations: iter, residual: 0.0, converged: true }, 0.0));
         }
         let mut delta = 0.0f64;
         for i in 0..n {
@@ -225,10 +216,7 @@ pub fn power_iteration_op<E>(
             ));
         }
     }
-    Ok((
-        SolveResult { x, iterations: max_iters, residual: f64::NAN, converged: false },
-        eigenvalue,
-    ))
+    Ok((SolveResult { x, iterations: max_iters, residual: f64::NAN, converged: false }, eigenvalue))
 }
 
 #[cfg(test)]
@@ -297,10 +285,8 @@ mod tests {
     fn all_kernels_reach_the_same_solution() {
         let a = laplacian_1d(64);
         let b = vec![1.0; 64];
-        let xs: Vec<Vec<f64>> = SpmvKernel::ALL
-            .iter()
-            .map(|&k| conjugate_gradient(&a, &b, k, 1e-12, 500).x)
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            SpmvKernel::ALL.iter().map(|&k| conjugate_gradient(&a, &b, k, 1e-12, 500).x).collect();
         for x in &xs[1..] {
             for (u, v) in xs[0].iter().zip(x) {
                 assert!((u - v).abs() < 1e-8);

@@ -64,7 +64,7 @@ pub fn spmv(a: &Csr, x: &[f64]) -> Vec<f64> {
 
 /// Default-kernel (serial) convenience into a caller-provided buffer.
 pub fn spmv_into(a: &Csr, x: &[f64], y: &mut [f64]) {
-    spmv_with_into(SpmvKernel::Serial, a, x, y)
+    spmv_with_into(SpmvKernel::Serial, a, x, y);
 }
 
 /// Floating-point operations an SpMV performs: the paper counts 2 flops

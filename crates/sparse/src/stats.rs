@@ -4,7 +4,7 @@
 
 use crate::Csr;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// Summary statistics for one sparse matrix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,12 +80,12 @@ impl MatrixStats {
 
         // Value sampling: stride so the sample spans the whole matrix.
         let stride = (nnz / Self::VALUE_SAMPLE).max(1);
-        let mut distinct: HashMap<u64, ()> = HashMap::new();
+        let mut distinct: HashSet<u64> = HashSet::new();
         let mut byte_hist = [0u64; 256];
         let mut sampled_bytes = 0u64;
         for k in (0..nnz).step_by(stride) {
             let bits = a.values()[k].to_bits();
-            distinct.insert(bits, ());
+            distinct.insert(bits);
             for b in bits.to_le_bytes() {
                 byte_hist[b as usize] += 1;
                 sampled_bytes += 1;
@@ -165,10 +165,7 @@ mod tests {
 
     #[test]
     fn entropy_bounds() {
-        let mut uniform = [0u64; 256];
-        for c in uniform.iter_mut() {
-            *c = 1;
-        }
+        let uniform = [1u64; 256];
         assert!((shannon_entropy(&uniform, 256) - 8.0).abs() < 1e-9);
         let mut single = [0u64; 256];
         single[42] = 100;

@@ -11,11 +11,7 @@ use recode_sparse::util::approx_eq;
 /// (duplicates allowed, values exact in f64 so kernel comparisons are exact).
 fn coo_strategy() -> impl Strategy<Value = Coo> {
     (1usize..24, 1usize..24).prop_flat_map(|(nrows, ncols)| {
-        proptest::collection::vec(
-            (0..nrows, 0..ncols, -8i32..8),
-            0..120,
-        )
-        .prop_map(move |entries| {
+        proptest::collection::vec((0..nrows, 0..ncols, -8i32..8), 0..120).prop_map(move |entries| {
             let mut coo = Coo::new(nrows, ncols).unwrap();
             for (r, c, v) in entries {
                 coo.push(r, c, v as f64).unwrap();

@@ -9,7 +9,9 @@
 //! the batch deterministically.
 
 use crate::energy;
+use crate::error::UdpError;
 use crate::lane::{Lane, LaneError, OpClassCycles};
+use crate::machine::Image;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -123,11 +125,7 @@ pub struct BatchOutcome<E> {
 impl<E> BatchOutcome<E> {
     /// Indices of the jobs that failed.
     pub fn failed_jobs(&self) -> Vec<usize> {
-        self.results
-            .iter()
-            .enumerate()
-            .filter_map(|(k, r)| r.is_err().then_some(k))
-            .collect()
+        self.results.iter().enumerate().filter_map(|(k, r)| r.is_err().then_some(k)).collect()
     }
 }
 
@@ -293,6 +291,21 @@ impl Default for AccelReport {
 }
 
 impl Accelerator {
+    /// Admission gate: checks each image's static
+    /// [`VerifyReport`](crate::verify::VerifyReport) before the batch fans
+    /// out to 64 lanes. Hard error on any `Error` finding; `Warn`/`Info`
+    /// findings pass (the per-run opt-out lives on
+    /// [`RunConfig::allow_unverified`](crate::lane::RunConfig)).
+    ///
+    /// # Errors
+    /// [`UdpError::Verify`] for the first rejected image.
+    pub fn admit<'a>(&self, images: impl IntoIterator<Item = &'a Image>) -> Result<(), UdpError> {
+        for image in images {
+            image.verify_report.gate()?;
+        }
+        Ok(())
+    }
+
     /// Runs `jobs` across the lanes (round-robin assignment, each lane
     /// processes its jobs in order) and collects every job's outcome in job
     /// order. A failed job does not abort the batch — its `Err` is recorded
@@ -367,57 +380,56 @@ impl Accelerator {
         E: From<LaneError> + Send,
         F: Fn(&mut Lane, &J) -> Result<JobOutcome, E> + Sync,
     {
+        type LaneRun<E> = (LaneProfile, StageCycles, Vec<(usize, Result<JobOutcome, E>)>);
         assert!(self.lanes > 0, "need at least one lane");
         // Each simulated lane runs on a host thread; global job g goes to
         // lane g % lanes, preserving the paper's block-round-robin
         // assignment across wave boundaries.
-        type LaneRun<E> = (LaneProfile, StageCycles, Vec<(usize, Result<JobOutcome, E>)>);
         let per_lane: Vec<LaneRun<E>> = (0..self.lanes)
-                .into_par_iter()
-                .map(|lane_idx| {
-                    let mut lane = Lane::new();
-                    let mut done = Vec::new();
-                    let mut profile = LaneProfile { lane: lane_idx, ..Default::default() };
-                    let mut stages = StageCycles::default();
-                    // First local index whose global position lands on this
-                    // lane: job_base + start ≡ lane_idx (mod lanes).
-                    let start = (lane_idx + self.lanes - job_base % self.lanes) % self.lanes;
-                    for (k, job) in jobs.iter().enumerate().skip(start).step_by(self.lanes)
-                    {
-                        let g = job_base + k;
-                        let stall = hook.stall_cycles.get(&g).copied().unwrap_or(0);
-                        profile.stall_cycles += stall;
-                        let result = if hook.trap_jobs.contains(&g) {
-                            Err(E::from(LaneError::InjectedFault))
-                        } else {
-                            run(&mut lane, job)
-                        };
-                        profile.jobs += 1;
-                        let mut cycles = 0u64;
-                        match &result {
-                            Ok(o) => {
-                                cycles = o.cycles;
-                                profile.busy_cycles += o.cycles;
-                                profile.output_bytes += o.output.len() as u64;
-                                profile.opclass.merge(&o.opclass);
-                                stages.merge(&o.stage_cycles);
-                            }
-                            Err(_) => profile.jobs_failed += 1,
+            .into_par_iter()
+            .map(|lane_idx| {
+                let mut lane = Lane::new();
+                let mut done = Vec::new();
+                let mut profile = LaneProfile { lane: lane_idx, ..Default::default() };
+                let mut stages = StageCycles::default();
+                // First local index whose global position lands on this
+                // lane: job_base + start ≡ lane_idx (mod lanes).
+                let start = (lane_idx + self.lanes - job_base % self.lanes) % self.lanes;
+                for (k, job) in jobs.iter().enumerate().skip(start).step_by(self.lanes) {
+                    let g = job_base + k;
+                    let stall = hook.stall_cycles.get(&g).copied().unwrap_or(0);
+                    profile.stall_cycles += stall;
+                    let result = if hook.trap_jobs.contains(&g) {
+                        Err(E::from(LaneError::InjectedFault))
+                    } else {
+                        run(&mut lane, job)
+                    };
+                    profile.jobs += 1;
+                    let mut cycles = 0u64;
+                    match &result {
+                        Ok(o) => {
+                            cycles = o.cycles;
+                            profile.busy_cycles += o.cycles;
+                            profile.output_bytes += o.output.len() as u64;
+                            profile.opclass.merge(&o.opclass);
+                            stages.merge(&o.stage_cycles);
                         }
-                        if let Some(sink) = sink {
-                            sink(&JobEvent {
-                                job: g,
-                                lane: lane_idx,
-                                cycles,
-                                stall_cycles: stall,
-                                ok: result.is_ok(),
-                            });
-                        }
-                        done.push((k, result));
+                        Err(_) => profile.jobs_failed += 1,
                     }
-                    (profile, stages, done)
-                })
-                .collect();
+                    if let Some(sink) = sink {
+                        sink(&JobEvent {
+                            job: g,
+                            lane: lane_idx,
+                            cycles,
+                            stall_cycles: stall,
+                            ok: result.is_ok(),
+                        });
+                    }
+                    done.push((k, result));
+                }
+                (profile, stages, done)
+            })
+            .collect();
 
         let mut results: Vec<Option<Result<JobOutcome, E>>> =
             (0..jobs.len()).map(|_| None).collect();
@@ -478,6 +490,8 @@ mod tests {
         bytes: usize,
     }
 
+    // The Result is forced by the `run_jobs` callback signature.
+    #[allow(clippy::unnecessary_wraps)]
     fn run_fake(_lane: &mut Lane, j: &Fake) -> Result<JobOutcome, LaneError> {
         Ok(JobOutcome { cycles: j.cycles, output: vec![0u8; j.bytes], ..Default::default() })
     }
@@ -604,8 +618,7 @@ mod tests {
         let hook = FaultHook::new().trap(4).stall(5, 9);
         let events: Mutex<Vec<JobEvent>> = Mutex::new(Vec::new());
         let sink = |e: &JobEvent| events.lock().unwrap().push(*e);
-        let out =
-            acc.run_jobs_observed::<_, LaneError, _>(&jobs, run_fake, &hook, Some(&sink));
+        let out = acc.run_jobs_observed::<_, LaneError, _>(&jobs, run_fake, &hook, Some(&sink));
         let mut events = events.into_inner().unwrap();
         events.sort_by_key(|e| e.job);
         assert_eq!(events.len(), 7);
@@ -636,9 +649,8 @@ mod tests {
         let mut results = Vec::new();
         let mut base = 0usize;
         for wave in jobs.chunks(4) {
-            let out = acc.run_jobs_from::<_, LaneError, _>(
-                base, wave, run_fake, &hook, Some(&sink),
-            );
+            let out =
+                acc.run_jobs_from::<_, LaneError, _>(base, wave, run_fake, &hook, Some(&sink));
             agg.absorb_wave(&out.report);
             results.extend(out.results);
             base += wave.len();
@@ -687,6 +699,11 @@ mod tests {
     // the lane-level analogue of JobOutcome.
     #[allow(dead_code)]
     fn _type_bridge(r: RunResult) -> JobOutcome {
-        JobOutcome { cycles: r.cycles, opclass: r.opclass, stage_cycles: StageCycles::default(), output: r.output }
+        JobOutcome {
+            cycles: r.cycles,
+            opclass: r.opclass,
+            stage_cycles: StageCycles::default(),
+            output: r.output,
+        }
     }
 }

@@ -71,6 +71,67 @@ fn err(line: usize, msg: impl Into<String>) -> AsmError {
     AsmError { line, msg: msg.into() }
 }
 
+/// Source-line information for one emitted block.
+///
+/// Line 0 means "synthesized by the assembler" (auto-split continuation
+/// chunks, implicit fall-through jumps, anonymous branch fall-through
+/// blocks).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockLines {
+    /// 1-based line of the label that opens this block (0 = anonymous).
+    pub label_line: usize,
+    /// 1-based source line of each action slot (0 = synthesized).
+    pub action_lines: Vec<usize>,
+    /// 1-based line of the terminator statement (0 = synthesized jump).
+    pub transition_line: usize,
+}
+
+impl BlockLines {
+    /// Smallest/largest non-zero source line covered by this block, if any.
+    pub fn span(&self) -> Option<(usize, usize)> {
+        let lines = std::iter::once(self.label_line)
+            .chain(self.action_lines.iter().copied())
+            .chain(std::iter::once(self.transition_line))
+            .filter(|&l| l != 0);
+        let (mut lo, mut hi) = (usize::MAX, 0);
+        for l in lines {
+            lo = lo.min(l);
+            hi = hi.max(l);
+        }
+        (hi != 0).then_some((lo, hi))
+    }
+}
+
+/// Block-id → source-line map produced alongside a [`Program`] by
+/// [`assemble_text_with_map`]. Lets downstream diagnostics (the static
+/// verifier in particular) point findings back at `.udp` source lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Indexed by `BlockId`.
+    pub blocks: Vec<BlockLines>,
+}
+
+impl SourceMap {
+    /// Source span `(first, last)` of `block`, if it maps to source at all.
+    pub fn span(&self, block: BlockId) -> Option<(usize, usize)> {
+        self.blocks.get(block as usize).and_then(BlockLines::span)
+    }
+
+    /// Best line for a finding at `block` / action `slot`: the slot's own
+    /// line when it has one, else the start of the block's span.
+    pub fn line_for(&self, block: BlockId, slot: Option<usize>) -> Option<usize> {
+        let bl = self.blocks.get(block as usize)?;
+        if let Some(s) = slot {
+            if let Some(&l) = bl.action_lines.get(s) {
+                if l != 0 {
+                    return Some(l);
+                }
+            }
+        }
+        bl.span().map(|(lo, _)| lo)
+    }
+}
+
 /// A group definition awaiting label resolution: `(name, entries, line)`.
 type PendingGroup = (String, Vec<(u32, String)>, usize);
 
@@ -92,6 +153,15 @@ enum Stmt {
 /// # Errors
 /// [`AsmError`] naming the offending line.
 pub fn assemble_text(name: &str, src: &str) -> Result<Program, AsmError> {
+    assemble_text_with_map(name, src).map(|(p, _)| p)
+}
+
+/// Like [`assemble_text`], but also returns the [`SourceMap`] tying each
+/// emitted block (and action slot) back to 1-based source lines.
+///
+/// # Errors
+/// [`AsmError`] naming the offending line.
+pub fn assemble_text_with_map(name: &str, src: &str) -> Result<(Program, SourceMap), AsmError> {
     let mut stmts: Vec<(usize, Stmt)> = Vec::new();
     let mut groups: Vec<PendingGroup> = Vec::new();
     let mut entry: Option<(String, usize)> = None;
@@ -116,9 +186,8 @@ pub fn assemble_text(name: &str, src: &str) -> Result<Program, AsmError> {
         }
         if let Some(rest) = line.strip_prefix(".group") {
             let rest = rest.trim();
-            let (gname, tail) = rest
-                .split_once('{')
-                .ok_or_else(|| err(lineno, ".group NAME { ... } expected"))?;
+            let (gname, tail) =
+                rest.split_once('{').ok_or_else(|| err(lineno, ".group NAME { ... } expected"))?;
             let gname = gname.trim().to_string();
             if gname.is_empty() {
                 return Err(err(lineno, ".group needs a name"));
@@ -130,9 +199,8 @@ pub fn assemble_text(name: &str, src: &str) -> Result<Program, AsmError> {
                 parse_group_entries(tail, lineno, &mut entries, &mut closed)?;
             }
             while !closed {
-                let (gidx, graw) = lines
-                    .next()
-                    .ok_or_else(|| err(body_line, "unterminated .group"))?;
+                let (gidx, graw) =
+                    lines.next().ok_or_else(|| err(body_line, "unterminated .group"))?;
                 body_line = gidx + 1;
                 let gline = strip_comment(graw).trim().to_string();
                 if gline.is_empty() {
@@ -154,7 +222,7 @@ pub fn assemble_text(name: &str, src: &str) -> Result<Program, AsmError> {
         stmts.push((lineno, parse_instruction(&line, lineno)?));
     }
 
-    lower(name, stmts, groups, entry)
+    lower(name, &stmts, &groups, entry)
 }
 
 fn parse_group_entries(
@@ -181,8 +249,7 @@ fn parse_group_entries(
         let (off, label) = part
             .split_once(':')
             .ok_or_else(|| err(lineno, format!("group entry `{part}` needs OFFSET:LABEL")))?;
-        let off: u32 =
-            off.parse().map_err(|_| err(lineno, format!("bad group offset `{off}`")))?;
+        let off: u32 = off.parse().map_err(|_| err(lineno, format!("bad group offset `{off}`")))?;
         if label.is_empty() {
             pending_offset = Some(off);
         } else {
@@ -215,9 +282,7 @@ fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
 }
 
 fn parse_int<T: std::str::FromStr>(tok: &str, line: usize) -> Result<T, AsmError> {
-    tok.trim()
-        .parse::<T>()
-        .map_err(|_| err(line, format!("bad integer `{}`", tok.trim())))
+    tok.trim().parse::<T>().map_err(|_| err(line, format!("bad integer `{}`", tok.trim())))
 }
 
 fn parse_instruction(line: &str, lineno: usize) -> Result<Stmt, AsmError> {
@@ -225,11 +290,8 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Stmt, AsmError> {
         Some((m, r)) => (m, r.trim()),
         None => (line, ""),
     };
-    let args: Vec<&str> = if rest.is_empty() {
-        vec![]
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let args: Vec<&str> =
+        if rest.is_empty() { vec![] } else { rest.split(',').map(str::trim).collect() };
     let need = |n: usize| -> Result<(), AsmError> {
         if args.len() != n {
             Err(err(lineno, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
@@ -249,11 +311,17 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Stmt, AsmError> {
         }
         "limm" => {
             need(2)?;
-            Stmt::Action(Action::LoadImm { rd: parse_reg(args[0], lineno)?, imm: parse_int(args[1], lineno)? })
+            Stmt::Action(Action::LoadImm {
+                rd: parse_reg(args[0], lineno)?,
+                imm: parse_int(args[1], lineno)?,
+            })
         }
         "mov" => {
             need(2)?;
-            Stmt::Action(Action::Mov { rd: parse_reg(args[0], lineno)?, rs: parse_reg(args[1], lineno)? })
+            Stmt::Action(Action::Mov {
+                rd: parse_reg(args[0], lineno)?,
+                rs: parse_reg(args[1], lineno)?,
+            })
         }
         "add" | "sub" | "and" | "or" | "xor" => {
             need(3)?;
@@ -324,15 +392,24 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Stmt, AsmError> {
         }
         "insym" => {
             need(2)?;
-            Stmt::Action(Action::InSym { rd: parse_reg(args[0], lineno)?, bits: parse_int(args[1], lineno)? })
+            Stmt::Action(Action::InSym {
+                rd: parse_reg(args[0], lineno)?,
+                bits: parse_int(args[1], lineno)?,
+            })
         }
         "insymle" => {
             need(2)?;
-            Stmt::Action(Action::InSymLe { rd: parse_reg(args[0], lineno)?, bytes: parse_int(args[1], lineno)? })
+            Stmt::Action(Action::InSymLe {
+                rd: parse_reg(args[0], lineno)?,
+                bytes: parse_int(args[1], lineno)?,
+            })
         }
         "peek" => {
             need(2)?;
-            Stmt::Action(Action::PeekSym { rd: parse_reg(args[0], lineno)?, bits: parse_int(args[1], lineno)? })
+            Stmt::Action(Action::PeekSym {
+                rd: parse_reg(args[0], lineno)?,
+                bits: parse_int(args[1], lineno)?,
+            })
         }
         "skip" => {
             need(1)?;
@@ -391,30 +468,78 @@ fn width_of(m: &str) -> Width {
     }
 }
 
+/// Closes the open block: splits the action run into ≤4-action chunks
+/// chained by jumps, placing the first chunk into the reserved label
+/// block when one is pending. Records per-chunk source lines.
+fn finish(
+    pb: &mut ProgramBuilder,
+    current: &mut Option<(BlockId, usize)>,
+    actions: &mut Vec<(Action, usize)>,
+    transition: Transition,
+    transition_line: usize,
+    lines_out: &mut Vec<(BlockId, BlockLines)>,
+) {
+    let mut chunks: Vec<Vec<(Action, usize)>> = Vec::new();
+    let mut run = std::mem::take(actions);
+    while run.len() > 4 {
+        let rest = run.split_off(4);
+        chunks.push(run);
+        run = rest;
+    }
+    chunks.push(run);
+    // Build tail-first so each chunk knows its successor's id.
+    let mut succ: Option<BlockId> = None;
+    for (idx, chunk) in chunks.into_iter().enumerate().rev() {
+        let (t, t_line) = match succ {
+            // Synthesized continuation jump: no source line of its own.
+            Some(next) => (Transition::Jump(next), 0),
+            None => (transition, transition_line),
+        };
+        let (acts, act_lines): (Vec<Action>, Vec<usize>) = chunk.into_iter().unzip();
+        let block = Block { actions: acts, transition: t };
+        let (id, label_line) = if idx == 0 {
+            match current.take() {
+                Some((reserved, ll)) => {
+                    pb.define(reserved, block);
+                    (reserved, ll)
+                }
+                None => (pb.block(block), 0),
+            }
+        } else {
+            (pb.block(block), 0)
+        };
+        lines_out.push((
+            id,
+            BlockLines { label_line, action_lines: act_lines, transition_line: t_line },
+        ));
+        succ = Some(id);
+    }
+}
+
 /// Lowers the statement list to a [`Program`]: groups statements into
 /// blocks, splits over-long action runs, and resolves labels.
 fn lower(
     name: &str,
-    stmts: Vec<(usize, Stmt)>,
-    group_defs: Vec<PendingGroup>,
+    stmts: &[(usize, Stmt)],
+    group_defs: &[PendingGroup],
     entry: Option<(String, usize)>,
-) -> Result<Program, AsmError> {
+) -> Result<(Program, SourceMap), AsmError> {
     let mut pb = ProgramBuilder::new(name);
     let mut label_block: HashMap<String, BlockId> = HashMap::new();
     let mut group_ids: HashMap<String, u32> = HashMap::new();
 
     // Pre-reserve a block per label and an id per group so references
     // resolve in one pass.
-    for (_, s) in &stmts {
+    for (line, s) in stmts {
         if let Stmt::Label(l) = s {
             if label_block.contains_key(l) {
-                return Err(err(0, format!("duplicate label `{l}`")));
+                return Err(err(*line, format!("duplicate label `{l}`")));
             }
             label_block.insert(l.clone(), pb.reserve());
         }
     }
     // Group ids follow after; entries resolved at the end.
-    for (gname, _, gline) in &group_defs {
+    for (gname, _, gline) in group_defs {
         if group_ids.contains_key(gname) {
             return Err(err(*gline, format!("duplicate group `{gname}`")));
         }
@@ -423,61 +548,18 @@ fn lower(
     }
 
     let resolve_label = |label_block: &HashMap<String, BlockId>, l: &str, line: usize| {
-        label_block
-            .get(l)
-            .copied()
-            .ok_or_else(|| err(line, format!("unknown label `{l}`")))
+        label_block.get(l).copied().ok_or_else(|| err(line, format!("unknown label `{l}`")))
     };
     let resolve_group = |group_ids: &HashMap<String, u32>, g: &str, line: usize| {
-        group_ids
-            .get(g)
-            .copied()
-            .ok_or_else(|| err(line, format!("unknown group `{g}`")))
+        group_ids.get(g).copied().ok_or_else(|| err(line, format!("unknown group `{g}`")))
     };
 
     // Walk statements, accumulating actions into the current block.
-    // `current` is the reserved id the accumulated actions will fill.
-    let mut current: Option<BlockId> = None;
-    let mut actions: Vec<Action> = Vec::new();
-    /// Closes the open block: splits the action run into ≤4-action chunks
-    /// chained by jumps, placing the first chunk into the reserved label
-    /// block when one is pending.
-    fn finish(
-        pb: &mut ProgramBuilder,
-        current: &mut Option<BlockId>,
-        actions: &mut Vec<Action>,
-        transition: Transition,
-    ) {
-        let mut chunks: Vec<Vec<Action>> = Vec::new();
-        let mut run = std::mem::take(actions);
-        while run.len() > 4 {
-            let rest = run.split_off(4);
-            chunks.push(run);
-            run = rest;
-        }
-        chunks.push(run);
-        // Build tail-first so each chunk knows its successor's id.
-        let mut succ: Option<BlockId> = None;
-        for (idx, chunk) in chunks.into_iter().enumerate().rev() {
-            let t = match succ {
-                Some(next) => Transition::Jump(next),
-                None => transition,
-            };
-            let block = Block { actions: chunk, transition: t };
-            let id = if idx == 0 {
-                match current.take() {
-                    Some(reserved) => {
-                        pb.define(reserved, block);
-                        reserved
-                    }
-                    None => pb.block(block),
-                }
-            } else {
-                pb.block(block)
-            };
-            succ = Some(id);
-        }
-    }
+    // `current` is the reserved id the accumulated actions will fill,
+    // paired with the line of the label that opened it (0 = anonymous).
+    let mut current: Option<(BlockId, usize)> = None;
+    let mut actions: Vec<(Action, usize)> = Vec::new();
+    let mut lines_out: Vec<(BlockId, BlockLines)> = Vec::new();
 
     let mut i = 0usize;
     while i < stmts.len() {
@@ -487,9 +569,16 @@ fn lower(
                 if current.is_some() || !actions.is_empty() {
                     // Implicit fall into the label: close with a jump.
                     let target = resolve_label(&label_block, l, *line)?;
-                    finish(&mut pb, &mut current, &mut actions, Transition::Jump(target));
+                    finish(
+                        &mut pb,
+                        &mut current,
+                        &mut actions,
+                        Transition::Jump(target),
+                        0,
+                        &mut lines_out,
+                    );
                 }
-                current = Some(label_block[l]);
+                current = Some((label_block[l], *line));
             }
             Stmt::Action(a) => {
                 if current.is_none() && actions.is_empty() {
@@ -497,26 +586,61 @@ fn lower(
                     // .entry names a label later — actually require labels.
                     return Err(err(*line, "instruction before any label"));
                 }
-                actions.push(*a);
+                actions.push((*a, *line));
             }
             Stmt::Halt => {
-                finish(&mut pb, &mut current, &mut actions, Transition::Halt);
+                finish(
+                    &mut pb,
+                    &mut current,
+                    &mut actions,
+                    Transition::Halt,
+                    *line,
+                    &mut lines_out,
+                );
             }
             Stmt::Jump(l) => {
                 let t = resolve_label(&label_block, l, *line)?;
-                finish(&mut pb, &mut current, &mut actions, Transition::Jump(t));
+                finish(
+                    &mut pb,
+                    &mut current,
+                    &mut actions,
+                    Transition::Jump(t),
+                    *line,
+                    &mut lines_out,
+                );
             }
             Stmt::DispatchSym { bits, group } => {
                 let g = resolve_group(&group_ids, group, *line)?;
-                finish(&mut pb, &mut current, &mut actions, Transition::DispatchSym { bits: *bits, group: g });
+                finish(
+                    &mut pb,
+                    &mut current,
+                    &mut actions,
+                    Transition::DispatchSym { bits: *bits, group: g },
+                    *line,
+                    &mut lines_out,
+                );
             }
             Stmt::DispatchPeek { bits, group } => {
                 let g = resolve_group(&group_ids, group, *line)?;
-                finish(&mut pb, &mut current, &mut actions, Transition::DispatchPeek { bits: *bits, group: g });
+                finish(
+                    &mut pb,
+                    &mut current,
+                    &mut actions,
+                    Transition::DispatchPeek { bits: *bits, group: g },
+                    *line,
+                    &mut lines_out,
+                );
             }
             Stmt::DispatchReg { rs, group } => {
                 let g = resolve_group(&group_ids, group, *line)?;
-                finish(&mut pb, &mut current, &mut actions, Transition::DispatchReg { rs: *rs, group: g });
+                finish(
+                    &mut pb,
+                    &mut current,
+                    &mut actions,
+                    Transition::DispatchReg { rs: *rs, group: g },
+                    *line,
+                    &mut lines_out,
+                );
             }
             Stmt::Branch { cond, rs, rt, taken } => {
                 let t = resolve_label(&label_block, taken, *line)?;
@@ -527,19 +651,34 @@ fn lower(
                     &mut pb,
                     &mut current,
                     &mut actions,
-                    Transition::Branch { cond: *cond, rs: *rs, rt: *rt, taken: t, fallthrough: fall },
+                    Transition::Branch {
+                        cond: *cond,
+                        rs: *rs,
+                        rt: *rt,
+                        taken: t,
+                        fallthrough: fall,
+                    },
+                    *line,
+                    &mut lines_out,
                 );
-                current = Some(fall);
+                // The fall-through block is anonymous but starts right after
+                // the branch line.
+                current = Some((fall, 0));
             }
         }
         i += 1;
     }
-    if current.is_some() || !actions.is_empty() {
-        return Err(err(0, "program falls off the end (missing halt/jump?)"));
+    if let Some((_, ll)) = current {
+        let at = if ll != 0 { ll } else { stmts.last().map_or(0, |(l, _)| *l) };
+        return Err(err(at, "program falls off the end (missing halt/jump?)"));
+    }
+    if !actions.is_empty() {
+        let at = actions.last().map_or(0, |(_, l)| *l);
+        return Err(err(at, "program falls off the end (missing halt/jump?)"));
     }
 
     // Fill groups.
-    for (gname, entries, gline) in &group_defs {
+    for (gname, entries, gline) in group_defs {
         let gid = group_ids[gname];
         let mut resolved = Vec::with_capacity(entries.len());
         for (off, l) in entries {
@@ -551,7 +690,12 @@ fn lower(
     let (entry_label, entry_line) = entry.ok_or_else(|| err(0, "missing .entry"))?;
     let e = resolve_label(&label_block, &entry_label, entry_line)?;
     pb.entry(e);
-    pb.build().map_err(|m| err(0, m.to_string()))
+    let program = pb.build().map_err(|m| err(0, m.to_string()))?;
+    let mut blocks = vec![BlockLines::default(); program.blocks.len()];
+    for (id, bl) in lines_out {
+        blocks[id as usize] = bl;
+    }
+    Ok((program, SourceMap { blocks }))
 }
 
 #[cfg(test)]

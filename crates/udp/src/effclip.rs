@@ -61,8 +61,8 @@ pub fn place(program: &Program) -> Result<Placement, UdpError> {
     let mut in_chain = vec![false; n];
     let mut chains: Vec<Vec<BlockId>> = Vec::new();
     for (start, fall_target) in is_fall_target.iter().enumerate() {
-        let starts_chain = matches!(program.blocks[start].transition, Transition::Branch { .. })
-            && !fall_target;
+        let starts_chain =
+            matches!(program.blocks[start].transition, Transition::Branch { .. }) && !fall_target;
         if !starts_chain {
             continue;
         }
@@ -270,20 +270,41 @@ mod tests {
         let b = pb.reserve();
         let a = pb.reserve();
         pb.define(c, halt());
-        pb.define(b, Block {
-            actions: vec![],
-            transition: Transition::Branch { cond: Cond::Ne, rs: 1, rt: 0, taken: done, fallthrough: c },
-        });
-        pb.define(a, Block {
-            actions: vec![],
-            transition: Transition::Branch { cond: Cond::Eq, rs: 1, rt: 0, taken: done, fallthrough: b },
-        });
+        pb.define(
+            b,
+            Block {
+                actions: vec![],
+                transition: Transition::Branch {
+                    cond: Cond::Ne,
+                    rs: 1,
+                    rt: 0,
+                    taken: done,
+                    fallthrough: c,
+                },
+            },
+        );
+        pb.define(
+            a,
+            Block {
+                actions: vec![],
+                transition: Transition::Branch {
+                    cond: Cond::Eq,
+                    rs: 1,
+                    rt: 0,
+                    taken: done,
+                    fallthrough: b,
+                },
+            },
+        );
         pb.entry(a);
         let p = pb.build().unwrap();
         let placement = place(&p).unwrap();
         verify(&p, &placement).unwrap();
-        let (aa, ab, ac) =
-            (placement.block_addr[a as usize], placement.block_addr[b as usize], placement.block_addr[c as usize]);
+        let (aa, ab, ac) = (
+            placement.block_addr[a as usize],
+            placement.block_addr[b as usize],
+            placement.block_addr[c as usize],
+        );
         assert_eq!(ab, aa + 1);
         assert_eq!(ac, ab + 1);
     }
@@ -325,9 +346,7 @@ mod tests {
         let mut pb = ProgramBuilder::new("big");
         let mut group_ids = Vec::new();
         for g in 0..8u32 {
-            let members: Vec<_> = (0..32u32)
-                .map(|i| (i * (g % 3 + 1), pb.block(halt())))
-                .collect();
+            let members: Vec<_> = (0..32u32).map(|i| (i * (g % 3 + 1), pb.block(halt()))).collect();
             group_ids.push(pb.group(members));
         }
         let done = pb.block(halt());

@@ -42,6 +42,16 @@ pub enum UdpError {
         /// The underlying codec error.
         source: CodecError,
     },
+    /// The static verifier rejected the program (one or more `Error`
+    /// findings in its [`VerifyReport`](crate::verify::VerifyReport)).
+    Verify {
+        /// Program name.
+        program: String,
+        /// Number of `Error`-severity findings.
+        errors: usize,
+        /// Rendered report (findings with block/slot/line context).
+        details: String,
+    },
 }
 
 impl UdpError {
@@ -98,18 +108,23 @@ impl fmt::Display for UdpError {
             UdpError::Placement(msg) => write!(f, "placement error: {msg}"),
             UdpError::Encoding(msg) => write!(f, "encoding error: {msg}"),
             UdpError::Table(msg) => write!(f, "huffman table error: {msg}"),
-            UdpError::Trap { block, lane, source } => {
-                match (block, lane) {
-                    (Some(b), Some(l)) => write!(f, "lane {l} trapped on block {b}: {source}"),
-                    (Some(b), None) => write!(f, "lane trapped on block {b}: {source}"),
-                    (None, Some(l)) => write!(f, "lane {l} trapped: {source}"),
-                    (None, None) => write!(f, "lane trapped: {source}"),
-                }
-            }
+            UdpError::Trap { block, lane, source } => match (block, lane) {
+                (Some(b), Some(l)) => write!(f, "lane {l} trapped on block {b}: {source}"),
+                (Some(b), None) => write!(f, "lane trapped on block {b}: {source}"),
+                (None, Some(l)) => write!(f, "lane {l} trapped: {source}"),
+                (None, None) => write!(f, "lane trapped: {source}"),
+            },
             UdpError::Codec { block, source } => match block {
                 Some(b) => write!(f, "block {b}: {source}"),
                 None => write!(f, "codec error: {source}"),
             },
+            UdpError::Verify { program, errors, details } => {
+                write!(
+                    f,
+                    "program `{program}` rejected by the static verifier \
+                     ({errors} error finding(s)):\n{details}"
+                )
+            }
         }
     }
 }

@@ -234,9 +234,9 @@ impl Action {
         self.validate_str().map_err(UdpError::Program)
     }
 
-    fn validate_str(&self) -> Result<(), String> {
+    fn validate_str(self) -> Result<(), String> {
         let reg_ok = |r: Reg| (r as usize) < NUM_REGS;
-        let regs: Vec<Reg> = match *self {
+        let regs: Vec<Reg> = match self {
             Action::LoadImm { rd, .. } => vec![rd],
             Action::Mov { rd, rs } => vec![rd, rs],
             Action::Add { rd, rs, rt }
@@ -261,7 +261,7 @@ impl Action {
                 return Err(format!("register r{r} out of range"));
             }
         }
-        match *self {
+        match self {
             Action::LoadImm { imm, .. } if !(-(1 << 14)..(1 << 14)).contains(&(imm as i32)) => {
                 Err(format!("LoadImm immediate {imm} exceeds 15 bits"))
             }
@@ -276,9 +276,7 @@ impl Action {
             Action::ShlI { amount, .. } | Action::ShrI { amount, .. } if amount > 63 => {
                 Err("shift amount exceeds 63".into())
             }
-            Action::InSym { bits, .. } | Action::PeekSym { bits, .. }
-                if bits == 0 || bits > 32 =>
-            {
+            Action::InSym { bits, .. } | Action::PeekSym { bits, .. } if bits == 0 || bits > 32 => {
                 Err(format!("stream bit count {bits} outside 1..=32"))
             }
             Action::SkipSym { bits } if bits == 0 || bits > 32 => {
@@ -500,10 +498,7 @@ mod tests {
 
     #[test]
     fn block_rejects_too_many_actions() {
-        let b = Block {
-            actions: vec![Action::InRem { rd: 1 }; 5],
-            transition: Transition::Halt,
-        };
+        let b = Block { actions: vec![Action::InRem { rd: 1 }; 5], transition: Transition::Halt };
         assert!(b.validate().is_err());
     }
 }

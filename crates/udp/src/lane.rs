@@ -129,6 +129,13 @@ pub enum LaneError {
     /// A transient fault injected by the test harness (see
     /// `accel::FaultHook`) — models an SEU/DMA glitch that a retry clears.
     InjectedFault,
+    /// The image's static [`VerifyReport`](crate::verify::VerifyReport)
+    /// carries `Error` findings and the caller did not opt out via
+    /// [`RunConfig::allow_unverified`].
+    Unverified {
+        /// Number of `Error`-severity findings in the report.
+        errors: usize,
+    },
 }
 
 impl std::fmt::Display for LaneError {
@@ -151,6 +158,13 @@ impl std::fmt::Display for LaneError {
                 write!(f, "input declares {declared_bits} bits but buffer holds {buffer_bits}")
             }
             LaneError::InjectedFault => write!(f, "injected transient fault"),
+            LaneError::Unverified { errors } => {
+                write!(
+                    f,
+                    "image rejected by the static verifier ({errors} error finding(s)); \
+                     set RunConfig::allow_unverified to run anyway"
+                )
+            }
         }
     }
 }
@@ -164,13 +178,23 @@ pub struct RunConfig {
     pub out_base: u32,
     /// Trap after this many cycles.
     pub cycle_limit: u64,
+    /// Run images even when their static [`VerifyReport`] carries `Error`
+    /// findings. Off by default; the escape hatch exists for research use
+    /// (deliberately hostile programs, verifier stress tests).
+    ///
+    /// [`VerifyReport`]: crate::verify::VerifyReport
+    pub allow_unverified: bool,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
         // Output in the upper half of the scratchpad leaves the lower half
         // for program temporaries.
-        RunConfig { out_base: (SCRATCHPAD_BYTES / 2) as u32, cycle_limit: 200_000_000 }
+        RunConfig {
+            out_base: (SCRATCHPAD_BYTES / 2) as u32,
+            cycle_limit: 200_000_000,
+            allow_unverified: false,
+        }
     }
 }
 
@@ -212,11 +236,7 @@ impl<'a> StreamUnit<'a> {
         let mut out = 0u64;
         for k in 0..nbits as usize {
             let p = self.pos + k;
-            let bit = if p < self.bit_len {
-                (self.bytes[p / 8] >> (7 - (p % 8))) & 1
-            } else {
-                0
-            };
+            let bit = if p < self.bit_len { (self.bytes[p / 8] >> (7 - (p % 8))) & 1 } else { 0 };
             out = (out << 1) | bit as u64;
         }
         out
@@ -289,6 +309,10 @@ impl Lane {
                 buffer_bits: input.len() * 8,
             });
         }
+        let verify_errors = image.verify_report.error_count();
+        if verify_errors > 0 && !cfg.allow_unverified {
+            return Err(LaneError::Unverified { errors: verify_errors });
+        }
         self.scratch.fill(0);
         self.regs = [0; NUM_REGS];
         self.regs[14] = cfg.out_base as u64;
@@ -302,9 +326,8 @@ impl Lane {
         let mut prev_pc = pc;
 
         loop {
-            let block = image
-                .decode(pc)
-                .ok_or(LaneError::UnmappedAddress { addr: pc, from: prev_pc })?;
+            let block =
+                image.decode(pc).ok_or(LaneError::UnmappedAddress { addr: pc, from: prev_pc })?;
             dispatches += 1;
             cycles += 1 + block.actions.len() as u64;
             actions_run += block.actions.len() as u64;
@@ -314,18 +337,14 @@ impl Lane {
             }
             for a in &block.actions {
                 opclass.bump(a);
-                self.exec_action(a, &mut stream)?;
+                self.exec_action(*a, &mut stream)?;
             }
             prev_pc = pc;
             pc = match block.transition {
                 DecodedTransition::Halt => break,
                 DecodedTransition::Jump(a) => a,
-                DecodedTransition::DispatchSym { bits, base } => {
-                    base + stream.read(bits)? as u32
-                }
-                DecodedTransition::DispatchPeek { bits, base } => {
-                    base + stream.peek(bits) as u32
-                }
+                DecodedTransition::DispatchSym { bits, base } => base + stream.read(bits)? as u32,
+                DecodedTransition::DispatchPeek { bits, base } => base + stream.peek(bits) as u32,
                 DecodedTransition::DispatchReg { rs, base } => {
                     base.wrapping_add(self.reg(rs) as u32)
                 }
@@ -376,8 +395,8 @@ impl Lane {
         Ok(addr as usize)
     }
 
-    fn exec_action(&mut self, a: &Action, stream: &mut StreamUnit<'_>) -> Result<(), LaneError> {
-        match *a {
+    fn exec_action(&mut self, a: Action, stream: &mut StreamUnit<'_>) -> Result<(), LaneError> {
+        match a {
             Action::LoadImm { rd, imm } => self.set_reg(rd, imm as i64 as u64),
             Action::Mov { rd, rs } => self.set_reg(rd, self.reg(rs)),
             Action::Add { rd, rs, rt } => {
@@ -483,10 +502,19 @@ mod tests {
         });
         // head: r3 = rem; if r3 == 0 -> done else fall to body2 (jump body)
         let cont = pb.block(Block { actions: vec![], transition: Transition::Jump(body) });
-        pb.define(head, Block {
-            actions: vec![Action::InRem { rd: 3 }],
-            transition: Transition::Branch { cond: Cond::Eq, rs: 3, rt: 0, taken: done, fallthrough: cont },
-        });
+        pb.define(
+            head,
+            Block {
+                actions: vec![Action::InRem { rd: 3 }],
+                transition: Transition::Branch {
+                    cond: Cond::Eq,
+                    rs: 3,
+                    rt: 0,
+                    taken: done,
+                    fallthrough: cont,
+                },
+            },
+        );
         // init: r2 = r14
         let init = pb.block(Block {
             actions: vec![Action::Mov { rd: 2, rs: 14 }],
@@ -573,8 +601,11 @@ mod tests {
         });
         pb.entry(start);
         let image = assemble(&pb.build().unwrap()).unwrap();
+        // The static verifier proves this store always lands at -8.
+        assert!(image.verify_report.error_count() > 0);
         let mut lane = Lane::new();
-        let err = lane.run(&image, &[], 0, RunConfig::default()).unwrap_err();
+        let cfg = RunConfig { allow_unverified: true, ..Default::default() };
+        let err = lane.run(&image, &[], 0, cfg).unwrap_err();
         assert!(matches!(err, LaneError::ScratchpadOob { .. }));
     }
 
@@ -603,8 +634,16 @@ mod tests {
         pb.define(a, Block { actions: vec![], transition: Transition::Jump(a) });
         pb.entry(a);
         let image = assemble(&pb.build().unwrap()).unwrap();
+        // The verifier flags the exit-less loop as Diverges; without the
+        // opt-out the lane refuses to run it at all.
+        assert!(image.verify_report.error_count() > 0);
         let mut lane = Lane::new();
-        let cfg = RunConfig { cycle_limit: 1000, ..Default::default() };
+        let strict = RunConfig { cycle_limit: 1000, ..Default::default() };
+        assert!(matches!(
+            lane.run(&image, &[], 0, strict).unwrap_err(),
+            LaneError::Unverified { .. }
+        ));
+        let cfg = RunConfig { cycle_limit: 1000, allow_unverified: true, ..Default::default() };
         let err = lane.run(&image, &[], 0, cfg).unwrap_err();
         assert!(matches!(err, LaneError::CycleLimit { limit: 1000 }));
     }
@@ -621,8 +660,11 @@ mod tests {
         });
         pb.entry(start);
         let image = assemble(&pb.build().unwrap()).unwrap();
+        // r15 = 1 << 40 provably exceeds the output window.
+        assert!(image.verify_report.error_count() > 0);
         let mut lane = Lane::new();
-        let err = lane.run(&image, &[], 0, RunConfig::default()).unwrap_err();
+        let cfg = RunConfig { allow_unverified: true, ..Default::default() };
+        let err = lane.run(&image, &[], 0, cfg).unwrap_err();
         assert!(matches!(err, LaneError::BadOutputRange { .. }));
     }
 

@@ -24,7 +24,11 @@
 //!   decoders (two-level peek dispatch), each validated bit-for-bit against
 //!   `recode-codec`'s software encoders;
 //! * [`error`] — the typed [`error::UdpError`] hierarchy every public API
-//!   reports through, carrying block-index and lane-id context.
+//!   reports through, carrying block-index and lane-id context;
+//! * [`verify`] — the static verifier (CFG reachability, must-initialize
+//!   dataflow, interval analysis of scratchpad addresses, termination /
+//!   cycle-budget checks, dispatch-table validation) that gates every
+//!   program before it reaches a lane.
 
 pub mod accel;
 pub mod asm;
@@ -36,12 +40,17 @@ pub mod lane;
 pub mod machine;
 pub mod program;
 pub mod progs;
+pub mod verify;
 
 pub use accel::{
-    lane_utilization, Accelerator, AccelReport, BatchOutcome, FaultHook, JobEvent, JobEventSink,
+    lane_utilization, AccelReport, Accelerator, BatchOutcome, FaultHook, JobEvent, JobEventSink,
     JobOutcome, LaneProfile, StageCycles,
 };
 pub use error::{UdpError, UdpResult};
 pub use lane::{Lane, LaneError, OpClassCycles, RunConfig, RunResult};
 pub use machine::Image;
 pub use program::{Program, ProgramBuilder};
+pub use verify::{
+    verify_image, verify_program, Analysis, Finding, LoopSummary, Severity, VerifyConfig,
+    VerifyReport,
+};

@@ -8,6 +8,7 @@ use crate::effclip::{self, Placement};
 use crate::error::UdpError;
 use crate::isa::{Action, Block, Cond, Transition, Width};
 use crate::program::Program;
+use crate::verify::{self, VerifyConfig, VerifyReport};
 
 /// Code word marking an unoccupied address.
 pub const HOLE: u128 = u128::MAX;
@@ -49,7 +50,6 @@ mod op {
     pub const STORE_D_INC: u32 = 30;
     pub const LOAD_H_INC: u32 = 31;
 }
-
 
 /// Transition type tags (3 bits).
 mod tt {
@@ -123,6 +123,10 @@ pub struct Image {
     pub entry: u32,
     /// Packing density achieved by EffCLiP (for reports).
     pub utilization: f64,
+    /// Static-analysis verdict attached by the encoder; the lane refuses to
+    /// run images whose report carries `Error` findings unless the caller
+    /// opts out via [`RunConfig::allow_unverified`](crate::lane::RunConfig).
+    pub verify_report: VerifyReport,
 }
 
 impl Image {
@@ -154,12 +158,16 @@ pub fn encode(program: &Program, placement: &Placement) -> Result<Image, UdpErro
         let addr = placement.block_addr[bid] as usize;
         words[addr] = encode_word(block, placement)?;
     }
-    Ok(Image {
+    let mut image = Image {
         name: program.name.clone(),
         words,
         entry: placement.block_addr[program.entry as usize],
         utilization: placement.utilization,
-    })
+        verify_report: VerifyReport::empty(program.name.clone()),
+    };
+    image.verify_report =
+        verify::verify_image(program, placement, &image, &VerifyConfig::default());
+    Ok(image)
 }
 
 /// Convenience: place with EffCLiP then encode.
@@ -175,7 +183,7 @@ fn encode_word(block: &Block, placement: &Placement) -> Result<u128, UdpError> {
     block.validate()?;
     let mut w: u128 = 0;
     for (slot, action) in block.actions.iter().enumerate() {
-        let bits = encode_action(action)? as u128;
+        let bits = encode_action(*action)? as u128;
         w |= bits << (24 * slot);
     }
     let t = encode_transition(&block.transition, placement)? as u128;
@@ -183,10 +191,10 @@ fn encode_word(block: &Block, placement: &Placement) -> Result<u128, UdpError> {
     Ok(w)
 }
 
-fn encode_action(a: &Action) -> Result<u32, UdpError> {
+fn encode_action(a: Action) -> Result<u32, UdpError> {
     a.validate()?;
     let r = |x: u8| x as u32;
-    let enc = match *a {
+    let enc = match a {
         Action::LoadImm { rd, imm } => {
             (op::LOAD_IMM << 19) | (r(rd) << 15) | ((imm as u32) & 0x7FFF)
         }
@@ -200,9 +208,7 @@ fn encode_action(a: &Action) -> Result<u32, UdpError> {
         Action::And { rd, rs, rt } => {
             (op::AND << 19) | (r(rd) << 15) | (r(rs) << 11) | (r(rt) << 7)
         }
-        Action::Or { rd, rs, rt } => {
-            (op::OR << 19) | (r(rd) << 15) | (r(rs) << 11) | (r(rt) << 7)
-        }
+        Action::Or { rd, rs, rt } => (op::OR << 19) | (r(rd) << 15) | (r(rs) << 11) | (r(rt) << 7),
         Action::Xor { rd, rs, rt } => {
             (op::XOR << 19) | (r(rd) << 15) | (r(rs) << 11) | (r(rt) << 7)
         }
@@ -248,9 +254,7 @@ fn encode_action(a: &Action) -> Result<u32, UdpError> {
                 // The 5-bit opcode space has no row left for a 2-byte
                 // post-increment store; no decoder program needs one.
                 Width::B2 => {
-                    return Err(UdpError::Encoding(
-                        "StoreInc does not support 2-byte width".into(),
-                    ))
+                    return Err(UdpError::Encoding("StoreInc does not support 2-byte width".into()))
                 }
                 Width::B4 => op::STORE_W_INC,
                 Width::B8 => op::STORE_D_INC,
@@ -261,9 +265,7 @@ fn encode_action(a: &Action) -> Result<u32, UdpError> {
         Action::InSymLe { rd, bytes } => {
             (op::IN_SYM_LE << 19) | (r(rd) << 15) | ((bytes as u32) << 9)
         }
-        Action::PeekSym { rd, bits } => {
-            (op::PEEK_SYM << 19) | (r(rd) << 15) | ((bits as u32) << 9)
-        }
+        Action::PeekSym { rd, bits } => (op::PEEK_SYM << 19) | (r(rd) << 15) | ((bits as u32) << 9),
         Action::SkipSym { bits } => (op::SKIP_SYM << 19) | ((bits as u32) << 13),
         Action::SkipReg { rs } => (op::SKIP_REG << 19) | (r(rs) << 15),
         Action::InRem { rd } => (op::IN_REM << 19) | (r(rd) << 15),
@@ -307,7 +309,9 @@ fn encode_transition(t: &Transition, placement: &Placement) -> Result<u32, UdpEr
         Transition::Branch { cond, rs, rt, taken, .. } => {
             let a = addr_of(taken);
             if a >= (1 << 18) {
-                return Err(UdpError::Encoding(format!("branch target address {a} exceeds 18 bits")));
+                return Err(UdpError::Encoding(format!(
+                    "branch target address {a} exceeds 18 bits"
+                )));
             }
             (tt::BRANCH << 29)
                 | ((cond as u32) << 26)
@@ -402,18 +406,15 @@ fn decode_transition(t: u32) -> Option<DecodedTransition> {
     Some(match ty {
         x if x == tt::HALT => DecodedTransition::Halt,
         x if x == tt::JUMP => DecodedTransition::Jump(t & 0xFF_FFFF),
-        x if x == tt::DISPATCH_SYM => DecodedTransition::DispatchSym {
-            bits: ((t >> 24) & 0x1F) as u8,
-            base: t & 0xFF_FFFF,
-        },
-        x if x == tt::DISPATCH_PEEK => DecodedTransition::DispatchPeek {
-            bits: ((t >> 24) & 0x1F) as u8,
-            base: t & 0xFF_FFFF,
-        },
-        x if x == tt::DISPATCH_REG => DecodedTransition::DispatchReg {
-            rs: ((t >> 24) & 0xF) as u8,
-            base: t & 0xFF_FFFF,
-        },
+        x if x == tt::DISPATCH_SYM => {
+            DecodedTransition::DispatchSym { bits: ((t >> 24) & 0x1F) as u8, base: t & 0xFF_FFFF }
+        }
+        x if x == tt::DISPATCH_PEEK => {
+            DecodedTransition::DispatchPeek { bits: ((t >> 24) & 0x1F) as u8, base: t & 0xFF_FFFF }
+        }
+        x if x == tt::DISPATCH_REG => {
+            DecodedTransition::DispatchReg { rs: ((t >> 24) & 0xF) as u8, base: t & 0xFF_FFFF }
+        }
         x if x == tt::BRANCH => DecodedTransition::Branch {
             cond: decode_cond((t >> 26) & 0x7)?,
             rs: ((t >> 22) & 0xF) as u8,
@@ -424,10 +425,9 @@ fn decode_transition(t: u32) -> Option<DecodedTransition> {
     })
 }
 
-
 /// Renders one action in the assembler's mnemonic syntax.
-fn action_mnemonic(a: &Action) -> String {
-    match *a {
+fn action_mnemonic(a: Action) -> String {
+    match a {
         Action::LoadImm { rd, imm } => format!("limm r{rd}, {imm}"),
         Action::Mov { rd, rs } => format!("mov r{rd}, r{rs}"),
         Action::Add { rd, rs, rt } => format!("add r{rd}, r{rs}, r{rt}"),
@@ -486,7 +486,8 @@ impl Image {
     pub fn disassemble(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "; {} — {} words, entry @{}", self.name, self.words.len(), self.entry);
+        let _ =
+            writeln!(out, "; {} — {} words, entry @{}", self.name, self.words.len(), self.entry);
         for (addr, &w) in self.words.iter().enumerate() {
             if w == HOLE {
                 let _ = writeln!(out, "{addr:6}: --------");
@@ -499,7 +500,7 @@ impl Image {
             let marker = if addr as u32 == self.entry { " <entry>" } else { "" };
             let _ = writeln!(out, "{addr:6}:{marker}");
             for a in &block.actions {
-                let _ = writeln!(out, "        {}", action_mnemonic(a));
+                let _ = writeln!(out, "        {}", action_mnemonic(*a));
             }
             let t = match block.transition {
                 DecodedTransition::Halt => "halt".to_string(),
@@ -554,7 +555,7 @@ mod tests {
             Action::InRem { rd: 12 },
         ];
         for a in actions {
-            let enc = encode_action(&a).unwrap();
+            let enc = encode_action(a).unwrap();
             let dec = decode_action(enc).unwrap();
             assert_eq!(dec, a, "encoding {enc:#08x}");
         }
@@ -565,7 +566,7 @@ mod tests {
         // Store aliases rs into the rd slot; verify each width separately.
         for width in [Width::B1, Width::B2, Width::B4, Width::B8] {
             let a = Action::Store { rs: 9, base: 9, offset: 11, width };
-            let dec = decode_action(encode_action(&a).unwrap()).unwrap();
+            let dec = decode_action(encode_action(a).unwrap()).unwrap();
             match dec {
                 Action::Store { rs, offset, width: w, .. } => {
                     assert_eq!((rs, offset, w), (9, 11, width));

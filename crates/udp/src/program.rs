@@ -64,15 +64,17 @@ impl Program {
                     return Err(format!("block {i}: jump target {t} out of range"));
                 }
                 Transition::Branch { taken, fallthrough, .. }
-                    if (taken >= n || fallthrough >= n) => {
-                        return Err(format!("block {i}: branch target out of range"));
-                    }
+                    if (taken >= n || fallthrough >= n) =>
+                {
+                    return Err(format!("block {i}: branch target out of range"));
+                }
                 Transition::DispatchSym { group, .. }
                 | Transition::DispatchPeek { group, .. }
                 | Transition::DispatchReg { group, .. }
-                    if group as usize >= self.groups.len() => {
-                        return Err(format!("block {i}: group {group} out of range"));
-                    }
+                    if group as usize >= self.groups.len() =>
+                {
+                    return Err(format!("block {i}: group {group} out of range"));
+                }
                 _ => {}
             }
         }
@@ -163,10 +165,8 @@ impl ProgramBuilder {
     /// # Panics
     /// If the id is unknown or already defined.
     pub fn define(&mut self, id: BlockId, block: Block) {
-        let slot = self
-            .blocks
-            .get_mut(id as usize)
-            .unwrap_or_else(|| panic!("unknown block id {id}"));
+        let slot =
+            self.blocks.get_mut(id as usize).unwrap_or_else(|| panic!("unknown block id {id}"));
         assert!(slot.is_none(), "block {id} defined twice");
         *slot = Some(block);
     }
@@ -189,10 +189,8 @@ impl ProgramBuilder {
     /// # Panics
     /// If the id is unknown.
     pub fn set_group(&mut self, id: GroupId, entries: Vec<(u32, BlockId)>) {
-        let slot = self
-            .groups
-            .get_mut(id as usize)
-            .unwrap_or_else(|| panic!("unknown group id {id}"));
+        let slot =
+            self.groups.get_mut(id as usize).unwrap_or_else(|| panic!("unknown group id {id}"));
         *slot = entries;
     }
 
@@ -208,17 +206,15 @@ impl ProgramBuilder {
     pub fn build(self) -> Result<Program, UdpError> {
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (i, b) in self.blocks.into_iter().enumerate() {
-            blocks.push(
-                b.ok_or_else(|| UdpError::Program(format!("block {i} reserved but never defined")))?,
-            );
+            blocks.push(b.ok_or_else(|| {
+                UdpError::Program(format!("block {i} reserved but never defined"))
+            })?);
         }
         let program = Program {
             name: self.name,
             blocks,
             groups: self.groups,
-            entry: self
-                .entry
-                .ok_or_else(|| UdpError::Program("no entry block set".into()))?,
+            entry: self.entry.ok_or_else(|| UdpError::Program("no entry block set".into()))?,
         };
         program.validate()?;
         Ok(program)
@@ -298,7 +294,13 @@ mod tests {
         let fall = pb.block(halt_block());
         let brancher = pb.block(Block {
             actions: vec![],
-            transition: Transition::Branch { cond: Cond::Eq, rs: 0, rt: 0, taken: done, fallthrough: fall },
+            transition: Transition::Branch {
+                cond: Cond::Eq,
+                rs: 0,
+                rt: 0,
+                taken: done,
+                fallthrough: fall,
+            },
         });
         let g = pb.group(vec![(0, brancher)]);
         let start = pb.block(Block {
@@ -338,14 +340,32 @@ mod tests {
         let done = pb.block(halt_block());
         let a = pb.reserve();
         let b = pb.reserve();
-        pb.define(a, Block {
-            actions: vec![],
-            transition: Transition::Branch { cond: Cond::Eq, rs: 0, rt: 0, taken: done, fallthrough: b },
-        });
-        pb.define(b, Block {
-            actions: vec![],
-            transition: Transition::Branch { cond: Cond::Ne, rs: 0, rt: 0, taken: done, fallthrough: a },
-        });
+        pb.define(
+            a,
+            Block {
+                actions: vec![],
+                transition: Transition::Branch {
+                    cond: Cond::Eq,
+                    rs: 0,
+                    rt: 0,
+                    taken: done,
+                    fallthrough: b,
+                },
+            },
+        );
+        pb.define(
+            b,
+            Block {
+                actions: vec![],
+                transition: Transition::Branch {
+                    cond: Cond::Ne,
+                    rs: 0,
+                    rt: 0,
+                    taken: done,
+                    fallthrough: a,
+                },
+            },
+        );
         pb.entry(a);
         assert!(pb.build().unwrap_err().to_string().contains("cycle"));
     }

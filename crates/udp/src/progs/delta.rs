@@ -45,8 +45,8 @@ done:
 /// # Errors
 /// Assembly/placement failures (a bug, not a data condition).
 pub fn build() -> Result<Image, UdpError> {
-    let program = assemble_text("udp-delta-decode", SOURCE)
-        .map_err(|e| UdpError::Program(e.to_string()))?;
+    let program =
+        assemble_text("udp-delta-decode", SOURCE).map_err(|e| UdpError::Program(e.to_string()))?;
     assemble(&program)
 }
 
@@ -68,10 +68,8 @@ mod tests {
         let enc = delta::encode_u32(&idx).unwrap();
         let out = run(&enc);
         assert_eq!(out, delta::decode_bytes(&enc).unwrap());
-        let words: Vec<u32> = out
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let words: Vec<u32> =
+            out.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(words, idx);
     }
 
@@ -79,10 +77,8 @@ mod tests {
     fn decodes_descending_and_large_jumps() {
         let idx = vec![1_000_000u32, 5, 2_000_000, 0, 123, 122, 121];
         let enc = delta::encode_u32(&idx).unwrap();
-        let words: Vec<u32> = run(&enc)
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let words: Vec<u32> =
+            run(&enc).chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(words, idx);
     }
 

@@ -124,16 +124,19 @@ pub fn compile_with_width(lengths: &[u8], primary_bits: u8) -> Result<Image, Udp
         actions: vec![],
         transition: Transition::DispatchPeek { bits: primary_bits, group: primary },
     });
-    pb.define(loop_head, Block {
-        actions: vec![Action::InRem { rd: 3 }],
-        transition: Transition::Branch {
-            cond: Cond::Eq,
-            rs: 3,
-            rt: 0,
-            taken: done,
-            fallthrough: dispatch_blk,
+    pb.define(
+        loop_head,
+        Block {
+            actions: vec![Action::InRem { rd: 3 }],
+            transition: Transition::Branch {
+                cond: Cond::Eq,
+                rs: 3,
+                rt: 0,
+                taken: done,
+                fallthrough: dispatch_blk,
+            },
         },
-    });
+    );
     let init = pb.block(Block {
         actions: vec![Action::Mov { rd: 2, rs: 14 }],
         transition: Transition::Jump(loop_head),

@@ -47,10 +47,7 @@ impl DshDecoder {
     ///
     /// # Errors
     /// Program-construction failures (invalid table lengths).
-    pub fn new(
-        config: PipelineConfig,
-        huffman_lengths: Option<&[u8]>,
-    ) -> Result<Self, UdpError> {
+    pub fn new(config: PipelineConfig, huffman_lengths: Option<&[u8]>) -> Result<Self, UdpError> {
         let huffman = if config.huffman {
             let lengths = huffman_lengths.ok_or_else(|| {
                 UdpError::Table("config enables huffman but no table provided".into())
@@ -61,7 +58,14 @@ impl DshDecoder {
         };
         let snappy = if config.snappy { Some(snappy::build()?) } else { None };
         let delta = if config.delta { Some(delta::build()?) } else { None };
-        Ok(DshDecoder { config, huffman, snappy, delta })
+        let decoder = DshDecoder { config, huffman, snappy, delta };
+        // Admission gate: a stage image the static verifier rejects never
+        // reaches a lane (compiled Huffman programs are table-dependent, so
+        // this is a real check, not a formality).
+        for img in [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten() {
+            img.verify_report.gate()?;
+        }
+        Ok(decoder)
     }
 
     /// Decodes one compressed block on `lane`, running the enabled stages
@@ -105,9 +109,8 @@ impl DshDecoder {
         }
         // Stage 2: Snappy.
         if let Some(img) = &self.snappy {
-            let r = lane
-                .run(img, &data, bits, cfg)
-                .map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r =
+                lane.run(img, &data, bits, cfg).map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             stage_cycles.snappy = r.cycles;
             opclass.merge(&r.opclass);
@@ -116,9 +119,8 @@ impl DshDecoder {
         }
         // Stage 3: inverse delta.
         if let Some(img) = &self.delta {
-            let r = lane
-                .run(img, &data, bits, cfg)
-                .map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r =
+                lane.run(img, &data, bits, cfg).map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             stage_cycles.delta = r.cycles;
             opclass.merge(&r.opclass);
@@ -147,8 +149,7 @@ mod tests {
     fn round_trip_via_udp(config: PipelineConfig, data: &[u8]) {
         let pipe = Pipeline::train(config, data).unwrap();
         let stream = pipe.encode_stream(data).unwrap();
-        let decoder =
-            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
         let mut lane = Lane::new();
         let mut out = Vec::new();
         let mut total_cycles = 0u64;
@@ -207,8 +208,7 @@ mod tests {
         let config = PipelineConfig::dsh_udp();
         let pipe = Pipeline::train(config, &data).unwrap();
         let mut stream = pipe.encode_stream(&data).unwrap();
-        let decoder =
-            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
         let block = &mut stream.blocks[0];
         for i in 0..block.payload.len().min(32) {
             block.payload[i] ^= 0xA5;
@@ -229,8 +229,7 @@ mod tests {
         let config = PipelineConfig::dsh_udp();
         let pipe = Pipeline::train(config, &data).unwrap();
         let mut stream = pipe.encode_stream(&data).unwrap();
-        let decoder =
-            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
         let block = &mut stream.blocks[0];
         for i in 0..block.payload.len().min(32) {
             block.payload[i] ^= 0xA5;
@@ -246,8 +245,7 @@ mod tests {
         let config = PipelineConfig::dsh_udp();
         let pipe = Pipeline::train(config, &data).unwrap();
         let stream = pipe.encode_stream(&data).unwrap();
-        let decoder =
-            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
         let mut lane = Lane::new();
         let o = decoder.decode_block(&mut lane, &stream.blocks[0]).unwrap();
         assert_eq!(o.stage_cycles.total(), o.cycles);
@@ -259,12 +257,32 @@ mod tests {
     }
 
     #[test]
+    fn shipped_programs_verify_clean() {
+        // ISSUE 4 acceptance: every shipped prog must carry no Error *or*
+        // Warn findings — the verifier holds our own programs to the same
+        // bar it holds user programs.
+        let data = banded_index_stream(2000);
+        let config = PipelineConfig::dsh_udp();
+        let pipe = Pipeline::train(config, &data).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        for (name, img) in
+            [("huffman", &decoder.huffman), ("snappy", &decoder.snappy), ("delta", &decoder.delta)]
+        {
+            let img = img.as_ref().unwrap();
+            assert!(
+                img.verify_report.is_clean(),
+                "shipped `{name}` program has findings:\n{}",
+                img.verify_report
+            );
+        }
+    }
+
+    #[test]
     fn code_bytes_reports_nonzero_footprint() {
         let data = banded_index_stream(1000);
         let config = PipelineConfig::dsh_udp();
         let pipe = Pipeline::train(config, &data).unwrap();
-        let decoder =
-            DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+        let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
         assert!(decoder.code_bytes() > 1000);
     }
 }

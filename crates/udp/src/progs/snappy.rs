@@ -50,16 +50,19 @@ pub fn build() -> Result<Image, UdpError> {
         ],
         transition: Transition::Jump(lit_loop),
     });
-    pb.define(lit_loop, Block {
-        actions: vec![],
-        transition: Transition::Branch {
-            cond: Cond::Ltu,
-            rs: 4,
-            rt: 13,
-            taken: lit_tail_head,
-            fallthrough: lit_wide,
+    pb.define(
+        lit_loop,
+        Block {
+            actions: vec![],
+            transition: Transition::Branch {
+                cond: Cond::Ltu,
+                rs: 4,
+                rt: 13,
+                taken: lit_tail_head,
+                fallthrough: lit_wide,
+            },
         },
-    });
+    );
     let lit_tail_body = pb.block(Block {
         actions: vec![
             Action::InSymLe { rd: 6, bytes: 1 },
@@ -68,16 +71,19 @@ pub fn build() -> Result<Image, UdpError> {
         ],
         transition: Transition::Jump(lit_tail_head),
     });
-    pb.define(lit_tail_head, Block {
-        actions: vec![],
-        transition: Transition::Branch {
-            cond: Cond::Eq,
-            rs: 4,
-            rt: 0,
-            taken: main,
-            fallthrough: lit_tail_body,
+    pb.define(
+        lit_tail_head,
+        Block {
+            actions: vec![],
+            transition: Transition::Branch {
+                cond: Cond::Eq,
+                rs: 4,
+                rt: 0,
+                taken: main,
+                fallthrough: lit_tail_body,
+            },
         },
-    });
+    );
 
     // ---- back copy: r4 bytes from distance r5 ----
     // Three tiers: 8-byte chunks (len >= 8, offset >= 8), 4-byte chunks
@@ -107,16 +113,19 @@ pub fn build() -> Result<Image, UdpError> {
             fallthrough: bc_wide,
         },
     });
-    pb.define(bc_loop, Block {
-        actions: vec![],
-        transition: Transition::Branch {
-            cond: Cond::Ltu,
-            rs: 4,
-            rt: 13,
-            taken: bc_four_loop,
-            fallthrough: bc_check_off,
+    pb.define(
+        bc_loop,
+        Block {
+            actions: vec![],
+            transition: Transition::Branch {
+                cond: Cond::Ltu,
+                rs: 4,
+                rt: 13,
+                taken: bc_four_loop,
+                fallthrough: bc_check_off,
+            },
         },
-    });
+    );
     // 4-byte tier.
     let bc_wide4 = pb.block(Block {
         actions: vec![
@@ -136,16 +145,19 @@ pub fn build() -> Result<Image, UdpError> {
             fallthrough: bc_wide4,
         },
     });
-    pb.define(bc_four_loop, Block {
-        actions: vec![],
-        transition: Transition::Branch {
-            cond: Cond::Ltu,
-            rs: 4,
-            rt: 12,
-            taken: bc_tail_head,
-            fallthrough: bc_four_checkoff,
+    pb.define(
+        bc_four_loop,
+        Block {
+            actions: vec![],
+            transition: Transition::Branch {
+                cond: Cond::Ltu,
+                rs: 4,
+                rt: 12,
+                taken: bc_tail_head,
+                fallthrough: bc_four_checkoff,
+            },
         },
-    });
+    );
     let bc_tail_body = pb.block(Block {
         actions: vec![
             Action::LoadInc { rd: 6, base: 7, width: Width::B1 },
@@ -154,16 +166,19 @@ pub fn build() -> Result<Image, UdpError> {
         ],
         transition: Transition::Jump(bc_tail_head),
     });
-    pb.define(bc_tail_head, Block {
-        actions: vec![],
-        transition: Transition::Branch {
-            cond: Cond::Eq,
-            rs: 4,
-            rt: 0,
-            taken: main,
-            fallthrough: bc_tail_body,
+    pb.define(
+        bc_tail_head,
+        Block {
+            actions: vec![],
+            transition: Transition::Branch {
+                cond: Cond::Eq,
+                rs: 4,
+                rt: 0,
+                taken: main,
+                fallthrough: bc_tail_body,
+            },
         },
-    });
+    );
 
     // ---- 256 tag handlers ----
     let mut handlers = Vec::with_capacity(256);
@@ -232,21 +247,49 @@ pub fn build() -> Result<Image, UdpError> {
         actions: vec![Action::InSymLe { rd: 1, bytes: 1 }],
         transition: Transition::DispatchReg { rs: 1, group: tags },
     });
-    pb.define(main, Block {
-        actions: vec![Action::InRem { rd: 3 }],
-        transition: Transition::Branch { cond: Cond::Eq, rs: 3, rt: 0, taken: done, fallthrough: gettag },
-    });
+    pb.define(
+        main,
+        Block {
+            actions: vec![Action::InRem { rd: 3 }],
+            transition: Transition::Branch {
+                cond: Cond::Eq,
+                rs: 3,
+                rt: 0,
+                taken: done,
+                fallthrough: gettag,
+            },
+        },
+    );
 
     // ---- varint preamble skip ----
+    // Guarded per byte: a truncated preamble (every byte with the
+    // continuation bit set) must fall through to main's empty-stream exit,
+    // not run the stream unit dry.
     let varint = pb.reserve();
     let to_main = pb.block(Block { actions: vec![], transition: Transition::Jump(main) });
-    pb.define(varint, Block {
-        actions: vec![
-            Action::InSymLe { rd: 6, bytes: 1 },
-            Action::And { rd: 7, rs: 6, rt: 9 },
-        ],
-        transition: Transition::Branch { cond: Cond::Ne, rs: 7, rt: 0, taken: varint, fallthrough: to_main },
+    let varint_body = pb.block(Block {
+        actions: vec![Action::InSymLe { rd: 6, bytes: 1 }, Action::And { rd: 7, rs: 6, rt: 9 }],
+        transition: Transition::Branch {
+            cond: Cond::Ne,
+            rs: 7,
+            rt: 0,
+            taken: varint,
+            fallthrough: to_main,
+        },
     });
+    pb.define(
+        varint,
+        Block {
+            actions: vec![Action::InRem { rd: 3 }],
+            transition: Transition::Branch {
+                cond: Cond::Eq,
+                rs: 3,
+                rt: 0,
+                taken: to_main,
+                fallthrough: varint_body,
+            },
+        },
+    );
 
     // ---- init ----
     let init = pb.block(Block {
@@ -273,9 +316,7 @@ mod tests {
     fn udp_decode(compressed: &[u8]) -> Vec<u8> {
         let image = build().unwrap();
         let mut lane = Lane::new();
-        lane.run(&image, compressed, compressed.len() * 8, RunConfig::default())
-            .unwrap()
-            .output
+        lane.run(&image, compressed, compressed.len() * 8, RunConfig::default()).unwrap().output
     }
 
     fn check(data: &[u8]) {

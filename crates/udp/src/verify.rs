@@ -1,0 +1,1534 @@
+//! Static verification of UDP lane programs.
+//!
+//! The UDP's pitch is *software* programmability: recoding pipelines are
+//! user-supplied lane programs, not fixed-function hardware. That cuts both
+//! ways — a bad program used to surface only at runtime, as a trap on one of
+//! 64 lanes or a silently wrong decode. This module is the bytecode-verifier
+//! analogue for lane programs: a set of static analyses over the symbolic
+//! [`Program`] CFG, cross-checked against the encoded [`Image`], that runs
+//! before anything is fanned out to the accelerator.
+//!
+//! Five analyses:
+//!
+//! 1. **Reachability** — CFG construction from jump / branch / dispatch /
+//!    group edges; unreachable blocks and programs with no reachable `halt`
+//!    are reported.
+//! 2. **Register initialization** — forward *must-initialize* dataflow over
+//!    the 16 registers (intersection at joins). Reads of never-written
+//!    registers are flagged per path; a backward liveness pass additionally
+//!    flags ALU results that no path ever reads (dead writes).
+//! 3. **Scratchpad bounds** — interval abstract interpretation over register
+//!    values (join = hull, widening after repeated visits) proves or refutes
+//!    that every load/store lands inside the 64 KB scratchpad, and checks
+//!    the `r15` output contract at halt. Stream-consuming loops that never
+//!    re-check `inrem` are flagged as potential input over-runs.
+//! 4. **Termination / cycle budget** — Tarjan SCCs find loops; a loop with
+//!    no exit edge (or whose only exits test loop-invariant registers) is a
+//!    `Diverges` finding, and each loop's worst-case per-iteration cycle
+//!    cost is reported so callers can budget against
+//!    [`RunConfig::cycle_limit`](crate::lane::RunConfig). Acyclic programs
+//!    get a longest-path cycle bound checked against the budget.
+//! 5. **Dispatch tables** — multi-way dispatch completeness and target
+//!    validity, at the image level: uncovered symbols that would trap,
+//!    uncovered symbols that *alias into foreign code words* (EffCLiP packs
+//!    singletons into holes, so a missing entry may silently execute
+//!    unrelated code), group offsets unreachable at the dispatch width, and
+//!    encode/decode round-trip mismatches.
+//!
+//! Findings carry block id, action slot, and — when assembled from text via
+//! [`crate::asm::assemble_text_with_map`] — source line numbers. The
+//! encoder attaches a [`VerifyReport`] to every [`Image`];
+//! [`Lane::run`](crate::lane::Lane::run) refuses images with `Error`
+//! findings unless the caller opts out
+//! ([`RunConfig::allow_unverified`](crate::lane::RunConfig)).
+
+use crate::asm::SourceMap;
+use crate::effclip::Placement;
+use crate::error::UdpError;
+use crate::isa::{Action, Block, BlockId, Transition, Width, NUM_REGS, SCRATCHPAD_BYTES};
+use crate::machine::{DecodedTransition, Image};
+use crate::program::Program;
+use std::fmt;
+
+/// Finding severity, ordered `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Diagnostic only (e.g. an access that cannot be *proved* in bounds).
+    Info,
+    /// Almost certainly a bug, but the runtime contains it (trap, not UB).
+    Warn,
+    /// The program is rejected by the accelerator gate.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Analysis {
+    /// CFG reachability (unreachable blocks, no reachable halt).
+    Reachability,
+    /// Must-initialize register dataflow.
+    RegisterInit,
+    /// Backward liveness (ALU results never read).
+    DeadWrite,
+    /// Interval analysis of scratchpad addresses.
+    ScratchpadBounds,
+    /// Stream-unit over-run checks.
+    StreamBounds,
+    /// Loop/termination and cycle-budget checks.
+    Termination,
+    /// Dispatch-table completeness/validity (image level).
+    DispatchTable,
+    /// `r15`/`r14` output-range contract at halt.
+    OutputContract,
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Analysis::Reachability => "reachability",
+            Analysis::RegisterInit => "register-init",
+            Analysis::DeadWrite => "dead-write",
+            Analysis::ScratchpadBounds => "scratchpad-bounds",
+            Analysis::StreamBounds => "stream-bounds",
+            Analysis::Termination => "termination",
+            Analysis::DispatchTable => "dispatch-table",
+            Analysis::OutputContract => "output-contract",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One verifier finding, anchored to a block (and action slot, if any).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Producing analysis.
+    pub analysis: Analysis,
+    /// Block the finding anchors to.
+    pub block: BlockId,
+    /// Action slot within the block (`None` = the transition / whole block).
+    pub slot: Option<usize>,
+    /// 1-based source line, when a [`SourceMap`] has been attached.
+    pub line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] block {}", self.severity, self.analysis, self.block)?;
+        if let Some(s) = self.slot {
+            write!(f, " slot {s}")?;
+        }
+        if let Some(l) = self.line {
+            write!(f, " (line {l})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Worst-case cost summary for one CFG loop (maximal SCC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSummary {
+    /// Blocks in the loop, ascending.
+    pub blocks: Vec<BlockId>,
+    /// Upper bound on the cycle cost of one full traversal of the loop
+    /// (sum of member block costs).
+    pub max_iter_cycles: u64,
+    /// Number of edges leaving the loop.
+    pub exits: usize,
+}
+
+/// Verifier configuration: the runtime contract the analyses check against.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyConfig {
+    /// Scratchpad address `r14` holds at entry (the output base).
+    pub out_base: u32,
+    /// Cycle budget the program must respect.
+    pub cycle_limit: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        // Mirrors `RunConfig::default()`.
+        VerifyConfig { out_base: (SCRATCHPAD_BYTES / 2) as u32, cycle_limit: 200_000_000 }
+    }
+}
+
+/// Severity-ranked result of verifying one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Program name.
+    pub program: String,
+    /// Findings, sorted most severe first (then by block id).
+    pub findings: Vec<Finding>,
+    /// Total blocks in the program.
+    pub blocks: usize,
+    /// Blocks reachable from the entry.
+    pub reachable: usize,
+    /// Longest-path cycle bound when the CFG is acyclic (`None` = cyclic).
+    pub max_acyclic_cycles: Option<u64>,
+    /// Per-loop worst-case iteration costs.
+    pub loops: Vec<LoopSummary>,
+}
+
+impl VerifyReport {
+    /// An empty (all-clean) report for `program`.
+    pub fn empty(program: impl Into<String>) -> Self {
+        VerifyReport {
+            program: program.into(),
+            findings: Vec::new(),
+            blocks: 0,
+            reachable: 0,
+            max_acyclic_cycles: None,
+            loops: Vec::new(),
+        }
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == s).count()
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `Warn` findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Number of `Info` findings.
+    pub fn info_count(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// `true` when the report carries no `Error` or `Warn` findings
+    /// (`Info` findings — unprovable-but-plausible facts — are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0 && self.warn_count() == 0
+    }
+
+    /// The most severe finding class present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// The accelerator admission gate: `Err` iff any `Error` finding.
+    ///
+    /// # Errors
+    /// [`UdpError::Verify`] carrying the rendered report.
+    pub fn gate(&self) -> Result<(), UdpError> {
+        if self.error_count() == 0 {
+            return Ok(());
+        }
+        Err(UdpError::Verify {
+            program: self.program.clone(),
+            errors: self.error_count(),
+            details: self.to_string(),
+        })
+    }
+
+    /// Attaches source line numbers from the assembler's [`SourceMap`].
+    pub fn attach_lines(&mut self, map: &SourceMap) {
+        for f in &mut self.findings {
+            f.line = map.line_for(f.block, f.slot);
+        }
+    }
+
+    fn push(
+        &mut self,
+        severity: Severity,
+        analysis: Analysis,
+        block: BlockId,
+        slot: Option<usize>,
+        message: String,
+    ) {
+        self.findings.push(Finding { severity, analysis, block, slot, line: None, message });
+    }
+
+    fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            b.severity.cmp(&a.severity).then(a.block.cmp(&b.block)).then(a.slot.cmp(&b.slot))
+        });
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verify `{}`: {} error(s), {} warning(s), {} info — {}/{} blocks reachable",
+            self.program,
+            self.error_count(),
+            self.warn_count(),
+            self.info_count(),
+            self.reachable,
+            self.blocks,
+        )?;
+        match self.max_acyclic_cycles {
+            Some(c) => writeln!(f, "  worst-case cycles (acyclic): {c}")?,
+            None => {
+                for l in &self.loops {
+                    writeln!(
+                        f,
+                        "  loop over {} block(s) [{}..]: ≤{} cycles/iteration, {} exit(s)",
+                        l.blocks.len(),
+                        l.blocks.first().copied().unwrap_or(0),
+                        l.max_iter_cycles,
+                        l.exits,
+                    )?;
+                }
+            }
+        }
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Action/transition register effects
+// ---------------------------------------------------------------------------
+
+/// Registers an action reads (before any write it performs).
+fn action_reads(a: Action) -> Vec<u8> {
+    match a {
+        Action::LoadImm { .. }
+        | Action::InSym { .. }
+        | Action::InSymLe { .. }
+        | Action::PeekSym { .. }
+        | Action::SkipSym { .. }
+        | Action::InRem { .. } => vec![],
+        Action::Mov { rs, .. }
+        | Action::AddI { rs, .. }
+        | Action::ShlI { rs, .. }
+        | Action::ShrI { rs, .. }
+        | Action::SkipReg { rs } => vec![rs],
+        Action::Add { rs, rt, .. }
+        | Action::Sub { rs, rt, .. }
+        | Action::And { rs, rt, .. }
+        | Action::Or { rs, rt, .. }
+        | Action::Xor { rs, rt, .. } => vec![rs, rt],
+        Action::Load { base, .. } | Action::LoadInc { base, .. } => vec![base],
+        Action::Store { rs, base, .. } | Action::StoreInc { rs, base, .. } => vec![rs, base],
+    }
+}
+
+/// Registers an action writes.
+fn action_writes(a: Action) -> Vec<u8> {
+    match a {
+        Action::LoadImm { rd, .. }
+        | Action::Mov { rd, .. }
+        | Action::Add { rd, .. }
+        | Action::Sub { rd, .. }
+        | Action::And { rd, .. }
+        | Action::Or { rd, .. }
+        | Action::Xor { rd, .. }
+        | Action::AddI { rd, .. }
+        | Action::ShlI { rd, .. }
+        | Action::ShrI { rd, .. }
+        | Action::Load { rd, .. }
+        | Action::InSym { rd, .. }
+        | Action::InSymLe { rd, .. }
+        | Action::PeekSym { rd, .. }
+        | Action::InRem { rd } => vec![rd],
+        Action::LoadInc { rd, base, .. } => vec![rd, base],
+        Action::StoreInc { base, .. } => vec![base],
+        Action::Store { .. } | Action::SkipSym { .. } | Action::SkipReg { .. } => vec![],
+    }
+}
+
+/// Registers a transition reads.
+fn transition_reads(t: &Transition) -> Vec<u8> {
+    match *t {
+        Transition::Branch { rs, rt, .. } => vec![rs, rt],
+        Transition::DispatchReg { rs, .. } => vec![rs],
+        _ => vec![],
+    }
+}
+
+/// Stream bits an action is guaranteed to consume (0 = none).
+fn action_consumes_stream(a: Action) -> bool {
+    matches!(
+        a,
+        Action::InSym { .. }
+            | Action::InSymLe { .. }
+            | Action::SkipSym { .. }
+            | Action::SkipReg { .. }
+    )
+}
+
+/// `true` for pure ALU ops whose only effect is the register write — the
+/// candidates for dead-write findings.
+fn is_pure_alu(a: Action) -> bool {
+    matches!(
+        a,
+        Action::LoadImm { .. }
+            | Action::Mov { .. }
+            | Action::Add { .. }
+            | Action::Sub { .. }
+            | Action::And { .. }
+            | Action::Or { .. }
+            | Action::Xor { .. }
+            | Action::AddI { .. }
+            | Action::ShlI { .. }
+            | Action::ShrI { .. }
+    )
+}
+
+// ---------------------------------------------------------------------------
+// CFG
+// ---------------------------------------------------------------------------
+
+struct Cfg {
+    succ: Vec<Vec<BlockId>>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    fn build(p: &Program) -> Cfg {
+        let n = p.blocks.len();
+        let mut succ: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, b) in p.blocks.iter().enumerate() {
+            match b.transition {
+                Transition::Halt => {}
+                Transition::Jump(t) => succ[i].push(t),
+                Transition::Branch { taken, fallthrough, .. } => {
+                    succ[i].push(taken);
+                    succ[i].push(fallthrough);
+                }
+                Transition::DispatchSym { group, .. }
+                | Transition::DispatchPeek { group, .. }
+                | Transition::DispatchReg { group, .. } => {
+                    if let Some(entries) = p.groups.get(group as usize) {
+                        for &(_, bid) in entries {
+                            succ[i].push(bid);
+                        }
+                    }
+                }
+            }
+            succ[i].sort_unstable();
+            succ[i].dedup();
+        }
+        let mut reachable = vec![false; n];
+        let mut work = vec![p.entry];
+        while let Some(b) = work.pop() {
+            let bi = b as usize;
+            if reachable[bi] {
+                continue;
+            }
+            reachable[bi] = true;
+            work.extend_from_slice(&succ[bi]);
+        }
+        Cfg { succ, reachable }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Intervals
+// ---------------------------------------------------------------------------
+
+const IV_MIN: i128 = i64::MIN as i128;
+const IV_MAX: i128 = i64::MAX as i128;
+
+/// Signed 64-bit value interval (registers are interpreted the way the lane
+/// interprets them for addressing: as `i64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Iv {
+    lo: i128,
+    hi: i128,
+}
+
+impl Iv {
+    const TOP: Iv = Iv { lo: IV_MIN, hi: IV_MAX };
+
+    fn exact(v: i128) -> Iv {
+        Iv { lo: v, hi: v }
+    }
+
+    fn range(lo: i128, hi: i128) -> Iv {
+        Iv { lo, hi }
+    }
+
+    fn clamp(self) -> Iv {
+        if self.lo < IV_MIN || self.hi > IV_MAX {
+            Iv::TOP
+        } else {
+            self
+        }
+    }
+
+    fn add(self, o: Iv) -> Iv {
+        Iv { lo: self.lo + o.lo, hi: self.hi + o.hi }.clamp()
+    }
+
+    fn sub(self, o: Iv) -> Iv {
+        Iv { lo: self.lo - o.hi, hi: self.hi - o.lo }.clamp()
+    }
+
+    fn shl(self, k: u8) -> Iv {
+        if k >= 64 {
+            return Iv::TOP;
+        }
+        if self.lo < 0 {
+            return Iv::TOP;
+        }
+        Iv { lo: self.lo << k, hi: self.hi << k }.clamp()
+    }
+
+    fn shr(self, k: u8) -> Iv {
+        if k == 0 {
+            return self;
+        }
+        if self.lo >= 0 {
+            return Iv { lo: self.lo >> k, hi: self.hi >> k };
+        }
+        // Logical shift of a possibly-negative u64: result fits in 64-k bits.
+        let hi = if k >= 64 { 0 } else { (u64::MAX >> k) as i128 };
+        Iv { lo: 0, hi }.clamp()
+    }
+
+    fn and(self, o: Iv) -> Iv {
+        // x & y is bounded above by either non-negative operand.
+        match (self.lo >= 0, o.lo >= 0) {
+            (true, true) => Iv { lo: 0, hi: self.hi.min(o.hi) },
+            (true, false) => Iv { lo: 0, hi: self.hi },
+            (false, true) => Iv { lo: 0, hi: o.hi },
+            (false, false) => Iv::TOP,
+        }
+    }
+
+    fn or(self, o: Iv) -> Iv {
+        if self.lo >= 0 && o.lo >= 0 {
+            // a|b >= max(a,b), a|b <= a+b.
+            Iv { lo: self.lo.max(o.lo), hi: self.hi + o.hi }.clamp()
+        } else {
+            Iv::TOP
+        }
+    }
+
+    fn xor(self, o: Iv) -> Iv {
+        if self.lo >= 0 && o.lo >= 0 {
+            Iv { lo: 0, hi: self.hi + o.hi }.clamp()
+        } else {
+            Iv::TOP
+        }
+    }
+
+    fn join(self, o: Iv) -> Iv {
+        Iv { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+    }
+
+    /// Widening: bounds that moved since `prev` jump straight to ±∞.
+    fn widen(self, prev: Iv) -> Iv {
+        Iv {
+            lo: if self.lo < prev.lo { IV_MIN } else { self.lo },
+            hi: if self.hi > prev.hi { IV_MAX } else { self.hi },
+        }
+    }
+}
+
+impl fmt::Display for Iv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let end = |v: i128, bound: i128| -> String {
+            if v == bound {
+                "∞".into()
+            } else {
+                v.to_string()
+            }
+        };
+        write!(f, "[{}, {}]", end(self.lo, IV_MIN), end(self.hi, IV_MAX))
+    }
+}
+
+type RegState = [Iv; NUM_REGS];
+
+fn stream_value_bound(bits: u32) -> Iv {
+    if bits >= 63 {
+        Iv::range(0, IV_MAX)
+    } else {
+        Iv::range(0, (1i128 << bits) - 1)
+    }
+}
+
+/// Applies one action to an interval register state.
+fn interval_step(regs: &mut RegState, a: Action) {
+    let set = |regs: &mut RegState, rd: u8, v: Iv| {
+        if rd != 0 {
+            regs[rd as usize] = v;
+        }
+    };
+    let get = |regs: &RegState, r: u8| -> Iv {
+        if r == 0 {
+            Iv::exact(0)
+        } else {
+            regs[r as usize]
+        }
+    };
+    match a {
+        Action::LoadImm { rd, imm } => set(regs, rd, Iv::exact(imm as i128)),
+        Action::Mov { rd, rs } => set(regs, rd, get(regs, rs)),
+        Action::Add { rd, rs, rt } => set(regs, rd, get(regs, rs).add(get(regs, rt))),
+        Action::Sub { rd, rs, rt } => set(regs, rd, get(regs, rs).sub(get(regs, rt))),
+        Action::And { rd, rs, rt } => set(regs, rd, get(regs, rs).and(get(regs, rt))),
+        Action::Or { rd, rs, rt } => set(regs, rd, get(regs, rs).or(get(regs, rt))),
+        Action::Xor { rd, rs, rt } => set(regs, rd, get(regs, rs).xor(get(regs, rt))),
+        Action::AddI { rd, rs, imm } => {
+            set(regs, rd, get(regs, rs).add(Iv::exact(imm as i128)));
+        }
+        Action::ShlI { rd, rs, amount } => set(regs, rd, get(regs, rs).shl(amount)),
+        Action::ShrI { rd, rs, amount } => set(regs, rd, get(regs, rs).shr(amount)),
+        Action::Load { rd, width, .. } => {
+            let v = match width {
+                Width::B8 => Iv::TOP,
+                w => stream_value_bound(8 * w.bytes() as u32),
+            };
+            set(regs, rd, v);
+        }
+        Action::LoadInc { rd, base, width } => {
+            let v = match width {
+                Width::B8 => Iv::TOP,
+                w => stream_value_bound(8 * w.bytes() as u32),
+            };
+            set(regs, rd, v);
+            let inc = get(regs, base).add(Iv::exact(width.bytes() as i128));
+            set(regs, base, inc);
+        }
+        Action::StoreInc { base, width, .. } => {
+            let inc = get(regs, base).add(Iv::exact(width.bytes() as i128));
+            set(regs, base, inc);
+        }
+        Action::Store { .. } | Action::SkipSym { .. } | Action::SkipReg { .. } => {}
+        Action::InSym { rd, bits } => set(regs, rd, stream_value_bound(bits as u32)),
+        Action::PeekSym { rd, bits } => set(regs, rd, stream_value_bound(bits as u32)),
+        Action::InSymLe { rd, bytes } => {
+            set(regs, rd, stream_value_bound(8 * bytes as u32));
+        }
+        Action::InRem { rd } => set(regs, rd, Iv::range(0, IV_MAX)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tarjan SCC
+// ---------------------------------------------------------------------------
+
+/// Maximal SCCs of the reachable CFG; only SCCs that actually contain a
+/// cycle (size > 1, or a self-loop) are returned.
+fn cyclic_sccs(cfg: &Cfg) -> Vec<Vec<BlockId>> {
+    // Iterative Tarjan (explicit state machine) to survive deep CFGs.
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    let n = cfg.succ.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<BlockId>> = Vec::new();
+
+    for start in 0..n {
+        if !cfg.reachable[start] || index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(start)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next;
+                    low[v] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let mut descended = false;
+                    while i < cfg.succ[v].len() {
+                        let w = cfg.succ[v][i] as usize;
+                        i += 1;
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Resume(v, i));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w as BlockId);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let is_cycle =
+                            comp.len() > 1 || cfg.succ[comp[0] as usize].contains(&comp[0]);
+                        if is_cycle {
+                            comp.sort_unstable();
+                            out.push(comp);
+                        }
+                    }
+                    // Propagate lowlink to the parent Resume frame, if any.
+                    if let Some(Frame::Resume(parent, _)) = frames.last() {
+                        let p = *parent;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The verifier
+// ---------------------------------------------------------------------------
+
+/// How many times a block is revisited before interval widening kicks in.
+const WIDEN_AFTER: u32 = 2;
+
+/// Runs all symbolic analyses on `program`.
+///
+/// Use [`verify_image`] when the encoded image is available — it adds the
+/// image-level dispatch-table and round-trip checks.
+pub fn verify_program(program: &Program, cfg: &VerifyConfig) -> VerifyReport {
+    Verifier::new(program, cfg).run(None)
+}
+
+/// Runs all analyses, including the image-level cross-checks (dispatch
+/// completeness/aliasing against real code words, encode round-trip).
+pub fn verify_image(
+    program: &Program,
+    placement: &Placement,
+    image: &Image,
+    cfg: &VerifyConfig,
+) -> VerifyReport {
+    Verifier::new(program, cfg).run(Some((placement, image)))
+}
+
+struct Verifier<'a> {
+    p: &'a Program,
+    cfg: &'a VerifyConfig,
+    g: Cfg,
+    report: VerifyReport,
+    /// Interval state at each block entry (fixpoint result).
+    entry_state: Vec<RegState>,
+}
+
+impl<'a> Verifier<'a> {
+    fn new(p: &'a Program, cfg: &'a VerifyConfig) -> Self {
+        let g = Cfg::build(p);
+        let mut report = VerifyReport::empty(p.name.clone());
+        report.blocks = p.blocks.len();
+        report.reachable = g.reachable.iter().filter(|&&r| r).count();
+        let entry_state = vec![[Iv::TOP; NUM_REGS]; p.blocks.len()];
+        Verifier { p, cfg, g, report, entry_state }
+    }
+
+    fn run(mut self, img: Option<(&Placement, &Image)>) -> VerifyReport {
+        self.check_reachability();
+        self.check_register_init();
+        self.check_dead_writes();
+        self.interval_fixpoint();
+        self.check_memory_and_output();
+        self.check_loops();
+        self.check_dispatch_tables(img);
+        if let Some((placement, image)) = img {
+            self.cross_check_image(placement, image);
+        }
+        self.report.finalize();
+        self.report
+    }
+
+    // -- analysis 1: reachability ------------------------------------------
+
+    fn check_reachability(&mut self) {
+        let mut halts_reachable = false;
+        for (i, b) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::Reachability,
+                    i as BlockId,
+                    None,
+                    "block is unreachable from the entry (dead code)".into(),
+                );
+            } else if matches!(b.transition, Transition::Halt) {
+                halts_reachable = true;
+            }
+        }
+        if !halts_reachable {
+            self.report.push(
+                Severity::Error,
+                Analysis::Reachability,
+                self.p.entry,
+                None,
+                "no halt is reachable from the entry: the program can only end in a trap".into(),
+            );
+        }
+    }
+
+    // -- analysis 2a: must-initialize dataflow -----------------------------
+
+    fn init_entry_mask() -> u16 {
+        // r0 is hard-wired zero; r14 carries the output base by contract.
+        (1 << 0) | (1 << 14)
+    }
+
+    fn check_register_init(&mut self) {
+        let n = self.p.blocks.len();
+        let all: u16 = u16::MAX;
+        // in[b] = mask of registers definitely written on *every* path.
+        let mut inm = vec![all; n];
+        let entry = self.p.entry as usize;
+        inm[entry] = Self::init_entry_mask();
+        let mut work: Vec<usize> = vec![entry];
+        while let Some(b) = work.pop() {
+            let mut m = inm[b];
+            for a in &self.p.blocks[b].actions {
+                for w in action_writes(*a) {
+                    m |= 1 << w;
+                }
+            }
+            for &s in &self.g.succ[b] {
+                let s = s as usize;
+                let base = if s == entry { Self::init_entry_mask() } else { all };
+                let next = inm[s] & m & base;
+                if next != inm[s] {
+                    inm[s] = next;
+                    work.push(s);
+                }
+            }
+        }
+        for (i, b) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] {
+                continue;
+            }
+            let mut m = inm[i];
+            for (slot, a) in b.actions.iter().enumerate() {
+                for r in action_reads(*a) {
+                    if m & (1 << r) == 0 {
+                        self.report.push(
+                            Severity::Warn,
+                            Analysis::RegisterInit,
+                            i as BlockId,
+                            Some(slot),
+                            format!(
+                                "r{r} is read here but no path from the entry writes it \
+                                 (it reads as 0)"
+                            ),
+                        );
+                    }
+                }
+                for w in action_writes(*a) {
+                    if w == 0 {
+                        self.report.push(
+                            Severity::Info,
+                            Analysis::RegisterInit,
+                            i as BlockId,
+                            Some(slot),
+                            "write to r0 is discarded (r0 is hard-wired zero)".into(),
+                        );
+                    }
+                    m |= 1 << w;
+                }
+            }
+            for r in transition_reads(&b.transition) {
+                if m & (1 << r) == 0 {
+                    self.report.push(
+                        Severity::Warn,
+                        Analysis::RegisterInit,
+                        i as BlockId,
+                        None,
+                        format!(
+                            "transition reads r{r} but no path from the entry writes it \
+                             (it reads as 0)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // -- analysis 2b: backward liveness (dead writes) ----------------------
+
+    fn check_dead_writes(&mut self) {
+        let n = self.p.blocks.len();
+        // live-in per block.
+        let mut live_in = vec![0u16; n];
+        let block_live_in = |blocks: &[Block], live_in: &[u16], succs: &[BlockId], b: usize| {
+            let blk = &blocks[b];
+            let mut live: u16 = match blk.transition {
+                // The hardware reads r15 (and r14 implicitly) at halt.
+                Transition::Halt => (1 << 15) | (1 << 14),
+                _ => 0,
+            };
+            for &s in succs {
+                live |= live_in[s as usize];
+            }
+            for r in transition_reads(&blk.transition) {
+                live |= 1 << r;
+            }
+            for a in blk.actions.iter().rev() {
+                for w in action_writes(*a) {
+                    live &= !(1 << w);
+                }
+                for r in action_reads(*a) {
+                    live |= 1 << r;
+                }
+            }
+            live
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                if !self.g.reachable[b] {
+                    continue;
+                }
+                let li = block_live_in(&self.p.blocks, &live_in, &self.g.succ[b], b);
+                if li != live_in[b] {
+                    live_in[b] = li;
+                    changed = true;
+                }
+            }
+        }
+        // Report pure ALU writes whose result is dead.
+        for (i, blk) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] {
+                continue;
+            }
+            let mut live: u16 = match blk.transition {
+                Transition::Halt => (1 << 15) | (1 << 14),
+                _ => 0,
+            };
+            for &s in &self.g.succ[i] {
+                live |= live_in[s as usize];
+            }
+            for r in transition_reads(&blk.transition) {
+                live |= 1 << r;
+            }
+            // Walk actions backwards, checking each write against liveness
+            // *after* the action.
+            let mut dead: Vec<(usize, u8)> = Vec::new();
+            for (slot, a) in blk.actions.iter().enumerate().rev() {
+                if is_pure_alu(*a) {
+                    let rd = action_writes(*a)[0];
+                    if rd != 0 && live & (1 << rd) == 0 {
+                        dead.push((slot, rd));
+                    }
+                }
+                for w in action_writes(*a) {
+                    live &= !(1 << w);
+                }
+                for r in action_reads(*a) {
+                    live |= 1 << r;
+                }
+            }
+            for (slot, rd) in dead.into_iter().rev() {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::DeadWrite,
+                    i as BlockId,
+                    Some(slot),
+                    format!("r{rd} is written here but never read on any path (dead write)"),
+                );
+            }
+        }
+    }
+
+    // -- analysis 3: interval fixpoint + memory / output checks ------------
+
+    fn entry_regs(&self) -> RegState {
+        // The lane zeroes all registers, then loads r14 with the out base.
+        let mut regs = [Iv::exact(0); NUM_REGS];
+        regs[14] = Iv::exact(self.cfg.out_base as i128);
+        regs
+    }
+
+    fn interval_fixpoint(&mut self) {
+        let entry = self.p.entry as usize;
+        self.entry_state[entry] = self.entry_regs();
+        let mut visits = vec![0u32; self.p.blocks.len()];
+        let mut work: Vec<usize> = vec![entry];
+        let mut seen = vec![false; self.p.blocks.len()];
+        seen[entry] = true;
+        while let Some(b) = work.pop() {
+            let mut regs = self.entry_state[b];
+            for a in &self.p.blocks[b].actions {
+                interval_step(&mut regs, *a);
+            }
+            for &s in &self.g.succ[b] {
+                let s = s as usize;
+                let incoming = if s == entry {
+                    // The entry's state is pinned by the runtime contract.
+                    self.entry_regs()
+                } else {
+                    regs
+                };
+                let (next, first) = if seen[s] {
+                    let prev = self.entry_state[s];
+                    let mut j = [Iv::TOP; NUM_REGS];
+                    let mut changed = false;
+                    for r in 0..NUM_REGS {
+                        let joined = prev[r].join(incoming[r]);
+                        j[r] =
+                            if visits[s] >= WIDEN_AFTER { joined.widen(prev[r]) } else { joined };
+                        changed |= j[r] != prev[r];
+                    }
+                    (j, changed)
+                } else {
+                    (incoming, true)
+                };
+                if first {
+                    seen[s] = true;
+                    visits[s] += 1;
+                    self.entry_state[s] = next;
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    fn check_memory_and_output(&mut self) {
+        let pad = SCRATCHPAD_BYTES as i128;
+        for (i, blk) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] {
+                continue;
+            }
+            let mut regs = self.entry_state[i];
+            for (slot, a) in blk.actions.iter().enumerate() {
+                let access: Option<(u8, i128, usize, &str)> = match *a {
+                    Action::Load { base, offset, width, .. } => {
+                        Some((base, offset as i128, width.bytes(), "load"))
+                    }
+                    Action::Store { base, offset, width, .. } => {
+                        Some((base, offset as i128, width.bytes(), "store"))
+                    }
+                    Action::LoadInc { base, width, .. } => Some((base, 0, width.bytes(), "load")),
+                    Action::StoreInc { base, width, .. } => Some((base, 0, width.bytes(), "store")),
+                    _ => None,
+                };
+                if let Some((base, offset, width, kind)) = access {
+                    let base_iv = if base == 0 { Iv::exact(0) } else { regs[base as usize] };
+                    let addr = base_iv.add(Iv::exact(offset));
+                    let w = width as i128;
+                    if addr.hi < 0 || addr.lo > pad - w {
+                        self.report.push(
+                            Severity::Error,
+                            Analysis::ScratchpadBounds,
+                            i as BlockId,
+                            Some(slot),
+                            format!(
+                                "{kind} of {width} byte(s) at address {addr} is always \
+                                 outside the {SCRATCHPAD_BYTES}-byte scratchpad"
+                            ),
+                        );
+                    } else if addr.lo < 0 || addr.hi > pad - w {
+                        self.report.push(
+                            Severity::Info,
+                            Analysis::ScratchpadBounds,
+                            i as BlockId,
+                            Some(slot),
+                            format!(
+                                "cannot prove {kind} of {width} byte(s) at address {addr} \
+                                 stays inside the scratchpad (checked at runtime)"
+                            ),
+                        );
+                    }
+                }
+                interval_step(&mut regs, *a);
+            }
+            if matches!(blk.transition, Transition::Halt) {
+                let r15 = regs[15];
+                let window = pad - self.cfg.out_base as i128;
+                if r15.lo > window || r15.hi < 0 {
+                    self.report.push(
+                        Severity::Error,
+                        Analysis::OutputContract,
+                        i as BlockId,
+                        None,
+                        format!(
+                            "at halt r15 (declared output bytes) is {r15}, which cannot \
+                             fit the output window [{}, {SCRATCHPAD_BYTES}) — \
+                             the run would trap with BadOutputRange",
+                            self.cfg.out_base
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // -- analysis 4: loops, termination, cycle budget ----------------------
+
+    fn check_loops(&mut self) {
+        let sccs = cyclic_sccs(&self.g);
+        for scc in &sccs {
+            let members: Vec<bool> = {
+                let mut m = vec![false; self.p.blocks.len()];
+                for &b in scc {
+                    m[b as usize] = true;
+                }
+                m
+            };
+            let anchor = scc[0];
+            // Registers written anywhere inside the loop.
+            let mut written: u16 = 0;
+            let mut consumes_stream = false;
+            let mut checks_inrem = false;
+            for &b in scc {
+                let blk = &self.p.blocks[b as usize];
+                for a in &blk.actions {
+                    for w in action_writes(*a) {
+                        written |= 1 << w;
+                    }
+                    if action_consumes_stream(*a) {
+                        consumes_stream = true;
+                    }
+                    if matches!(a, Action::InRem { .. }) {
+                        checks_inrem = true;
+                    }
+                }
+                if matches!(blk.transition, Transition::DispatchSym { .. }) {
+                    consumes_stream = true;
+                }
+            }
+            // Exit edges and whether any exit can vary between iterations.
+            let mut exits = 0usize;
+            let mut variant_exit = false;
+            for &b in scc {
+                let blk = &self.p.blocks[b as usize];
+                for &s in &self.g.succ[b as usize] {
+                    if members[s as usize] {
+                        continue;
+                    }
+                    exits += 1;
+                    match blk.transition {
+                        Transition::Branch { rs, rt, .. } => {
+                            let invariant = (rs == 0 || written & (1 << rs) == 0)
+                                && (rt == 0 || written & (1 << rt) == 0);
+                            if !invariant {
+                                variant_exit = true;
+                            }
+                        }
+                        // Dispatch exits depend on the stream or a register;
+                        // stream-driven dispatch varies between iterations.
+                        _ => variant_exit = true,
+                    }
+                }
+            }
+            let max_iter_cycles: u64 =
+                scc.iter().map(|&b| self.p.blocks[b as usize].cycles()).sum();
+            self.report.loops.push(LoopSummary { blocks: scc.clone(), max_iter_cycles, exits });
+            if exits == 0 {
+                self.report.push(
+                    Severity::Error,
+                    Analysis::Termination,
+                    anchor,
+                    None,
+                    format!(
+                        "Diverges: loop over blocks {scc:?} has no exit edge — once \
+                         entered it can only end by exhausting the {}-cycle budget",
+                        self.cfg.cycle_limit
+                    ),
+                );
+            } else if !variant_exit {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::Termination,
+                    anchor,
+                    None,
+                    format!(
+                        "Diverges: every exit of loop {scc:?} tests registers the loop \
+                         never writes — the exit condition cannot change between \
+                         iterations"
+                    ),
+                );
+            }
+            if consumes_stream && !checks_inrem {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::StreamBounds,
+                    anchor,
+                    None,
+                    format!(
+                        "loop {scc:?} consumes input-stream bits but never re-checks \
+                         `inrem` — a truncated input under-runs the stream unit"
+                    ),
+                );
+            }
+        }
+        if sccs.is_empty() {
+            // Acyclic: longest path is a hard bound.
+            let bound = self.acyclic_cycle_bound();
+            self.report.max_acyclic_cycles = Some(bound);
+            if bound > self.cfg.cycle_limit {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::Termination,
+                    self.p.entry,
+                    None,
+                    format!(
+                        "worst-case path costs {bound} cycles, exceeding the \
+                         {}-cycle budget",
+                        self.cfg.cycle_limit
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Longest-path cycle cost over the (acyclic, reachable) CFG.
+    fn acyclic_cycle_bound(&self) -> u64 {
+        let n = self.p.blocks.len();
+        // Topological order via DFS post-order (graph is acyclic here).
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in-progress, 2 done
+        let mut stack: Vec<(usize, usize)> = vec![(self.p.entry as usize, 0)];
+        state[self.p.entry as usize] = 1;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < self.g.succ[v].len() {
+                let w = self.g.succ[v][*i] as usize;
+                *i += 1;
+                if state[w] == 0 {
+                    state[w] = 1;
+                    stack.push((w, 0));
+                }
+            } else {
+                state[v] = 2;
+                order.push(v);
+                stack.pop();
+            }
+        }
+        order.reverse(); // topological order from entry
+        let mut dist = vec![0u64; n];
+        dist[self.p.entry as usize] = self.p.blocks[self.p.entry as usize].cycles();
+        let mut best = dist[self.p.entry as usize];
+        for &v in &order {
+            let d = dist[v];
+            if d == 0 && v != self.p.entry as usize {
+                continue;
+            }
+            for &s in &self.g.succ[v] {
+                let s = s as usize;
+                let nd = d + self.p.blocks[s].cycles();
+                if nd > dist[s] {
+                    dist[s] = nd;
+                    best = best.max(nd);
+                }
+            }
+        }
+        best
+    }
+
+    // -- analysis 5: dispatch tables ---------------------------------------
+
+    fn check_dispatch_tables(&mut self, img: Option<(&Placement, &Image)>) {
+        for (i, blk) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] {
+                continue;
+            }
+            let (group, domain, label): (u32, Option<(i128, i128)>, &str) = match blk.transition {
+                Transition::DispatchSym { bits, group } => {
+                    (group, Some((0, (1i128 << bits) - 1)), "dispatch.sym")
+                }
+                Transition::DispatchPeek { bits, group } => {
+                    (group, Some((0, (1i128 << bits) - 1)), "dispatch.peek")
+                }
+                Transition::DispatchReg { rs, group } => {
+                    // Use the interval fixpoint for the index register at
+                    // the dispatch point.
+                    let mut regs = self.entry_state[i];
+                    for a in &blk.actions {
+                        interval_step(&mut regs, *a);
+                    }
+                    let iv = if rs == 0 { Iv::exact(0) } else { regs[rs as usize] };
+                    let dom = if iv.lo >= 0 && iv.hi - iv.lo < 65536 && iv.hi < 1 << 20 {
+                        Some((iv.lo, iv.hi))
+                    } else {
+                        None
+                    };
+                    (group, dom, "dispatch.reg")
+                }
+                _ => continue,
+            };
+            // Out-of-range group ids are rejected by Program::validate.
+            let Some(entries) = self.p.groups.get(group as usize) else { continue };
+            if entries.is_empty() {
+                self.report.push(
+                    Severity::Error,
+                    Analysis::DispatchTable,
+                    i as BlockId,
+                    None,
+                    format!(
+                        "{label} targets group {group}, which has no entries — \
+                             every dispatch traps"
+                    ),
+                );
+                continue;
+            }
+            let Some((lo, hi)) = domain else {
+                self.report.push(
+                    Severity::Info,
+                    Analysis::DispatchTable,
+                    i as BlockId,
+                    None,
+                    format!(
+                        "{label} index range cannot be bounded statically; \
+                         table completeness not checked"
+                    ),
+                );
+                continue;
+            };
+            let covered: std::collections::HashSet<u32> = entries.iter().map(|&(o, _)| o).collect();
+            // Offsets no in-range symbol can ever select.
+            for &(o, _) in entries {
+                if (o as i128) < lo || (o as i128) > hi {
+                    self.report.push(
+                        Severity::Warn,
+                        Analysis::DispatchTable,
+                        i as BlockId,
+                        None,
+                        format!(
+                            "group {group} slot at offset {o} is outside this {label}'s \
+                             index range [{lo}, {hi}] and can never be selected from \
+                             here"
+                        ),
+                    );
+                }
+            }
+            // Symbols with no entry: they trap (hole) or alias (image check).
+            let mut missing: Vec<i128> = Vec::new();
+            for sym in lo..=hi {
+                if !covered.contains(&(sym as u32)) {
+                    missing.push(sym);
+                }
+            }
+            if !missing.is_empty() {
+                let total = hi - lo + 1;
+                let shown: Vec<String> =
+                    missing.iter().take(8).map(std::string::ToString::to_string).collect();
+                let ell = if missing.len() > 8 { ", …" } else { "" };
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::DispatchTable,
+                    i as BlockId,
+                    None,
+                    format!(
+                        "{label} covers {} of {total} possible symbols; missing \
+                         symbols [{}{ell}] trap (or alias) at runtime",
+                        total - missing.len() as i128,
+                        shown.join(", "),
+                    ),
+                );
+                // Image-level: a missing symbol that lands on a *non-hole*
+                // word silently executes foreign code instead of trapping.
+                if let Some((placement, image)) = img {
+                    let base = placement.group_base[group as usize];
+                    let mut aliased: Vec<i128> = Vec::new();
+                    for &sym in &missing {
+                        let addr = (base as i128 + sym) as u32;
+                        if image.decode(addr).is_some() {
+                            aliased.push(sym);
+                        }
+                    }
+                    if !aliased.is_empty() {
+                        let shown: Vec<String> =
+                            aliased.iter().take(8).map(std::string::ToString::to_string).collect();
+                        let ell = if aliased.len() > 8 { ", …" } else { "" };
+                        self.report.push(
+                            Severity::Warn,
+                            Analysis::DispatchTable,
+                            i as BlockId,
+                            None,
+                            format!(
+                                "uncovered symbols [{}{ell}] alias into foreign code \
+                                 words at base {base} — they execute unrelated blocks \
+                                 instead of trapping",
+                                shown.join(", "),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // -- image cross-check --------------------------------------------------
+
+    fn cross_check_image(&mut self, placement: &Placement, image: &Image) {
+        if image.decode(image.entry).is_none() {
+            self.report.push(
+                Severity::Error,
+                Analysis::DispatchTable,
+                self.p.entry,
+                None,
+                format!("image entry address {} decodes to a hole", image.entry),
+            );
+        }
+        for (i, blk) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] {
+                continue;
+            }
+            let addr = placement.block_addr[i];
+            match image.decode(addr) {
+                None => {
+                    self.report.push(
+                        Severity::Error,
+                        Analysis::DispatchTable,
+                        i as BlockId,
+                        None,
+                        format!("reachable block encodes to a hole at address {addr}"),
+                    );
+                }
+                Some(dec) => {
+                    if dec.actions != blk.actions {
+                        self.report.push(
+                            Severity::Error,
+                            Analysis::DispatchTable,
+                            i as BlockId,
+                            None,
+                            format!(
+                                "encode/decode round-trip mismatch at address {addr}: \
+                                 {} action(s) decoded, {} expected",
+                                dec.actions.len(),
+                                blk.actions.len()
+                            ),
+                        );
+                    }
+                    let tag_ok = matches!(
+                        (&blk.transition, &dec.transition),
+                        (Transition::Halt, DecodedTransition::Halt)
+                            | (Transition::Jump(_), DecodedTransition::Jump(_))
+                            | (
+                                Transition::DispatchSym { .. },
+                                DecodedTransition::DispatchSym { .. }
+                            )
+                            | (
+                                Transition::DispatchPeek { .. },
+                                DecodedTransition::DispatchPeek { .. }
+                            )
+                            | (
+                                Transition::DispatchReg { .. },
+                                DecodedTransition::DispatchReg { .. }
+                            )
+                            | (Transition::Branch { .. }, DecodedTransition::Branch { .. })
+                    );
+                    if !tag_ok {
+                        self.report.push(
+                            Severity::Error,
+                            Analysis::DispatchTable,
+                            i as BlockId,
+                            None,
+                            format!(
+                                "encode/decode round-trip mismatch at address {addr}: \
+                                 transition kind differs"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_text_with_map;
+    use crate::machine::assemble;
+
+    fn report_for(src: &str) -> VerifyReport {
+        let (program, map) = assemble_text_with_map("t", src).unwrap();
+        let image = assemble(&program).unwrap();
+        let mut r = image.verify_report.clone();
+        r.attach_lines(&map);
+        r
+    }
+
+    #[test]
+    fn trivial_program_is_clean() {
+        let r = report_for(".entry m\nm:\n    limm r15, 0\n    halt\n");
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.max_acyclic_cycles, Some(2));
+    }
+
+    #[test]
+    fn interval_ops_are_sound() {
+        let a = Iv::range(0, 10);
+        let b = Iv::range(-3, 4);
+        assert_eq!(a.add(b), Iv::range(-3, 14));
+        assert_eq!(a.sub(b), Iv::range(-4, 13));
+        assert_eq!(a.and(Iv::TOP), Iv::range(0, 10));
+        assert_eq!(a.shl(2), Iv::range(0, 40));
+        assert_eq!(b.shr(1).lo, 0);
+        assert_eq!(Iv::TOP.add(Iv::exact(1)), Iv::TOP);
+        assert_eq!(a.join(b), Iv::range(-3, 10));
+        assert_eq!(Iv::range(-5, 20).widen(a), Iv::range(IV_MIN, IV_MAX));
+    }
+
+    #[test]
+    fn severity_orders_error_above_warn_above_info() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+
+    #[test]
+    fn findings_get_source_lines() {
+        // Line 4 reads r5 which nothing writes.
+        let src =
+            ".entry m\nm:\n    mov r2, r14\n    storeb r5, r2, 0\n    limm r15, 1\n    halt\n";
+        let r = report_for(src);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.analysis == Analysis::RegisterInit)
+            .expect("expected a register-init finding");
+        assert_eq!(f.severity, Severity::Warn);
+        assert_eq!(f.line, Some(4), "{f}");
+    }
+
+    #[test]
+    fn report_renders_with_counts() {
+        let r = report_for(".entry m\nm:\n    limm r15, 0\n    halt\n");
+        let text = r.to_string();
+        assert!(text.contains("0 error(s)"), "{text}");
+        assert!(text.contains("blocks reachable"), "{text}");
+    }
+
+    #[test]
+    fn gate_rejects_error_findings() {
+        let (program, _) = assemble_text_with_map("g", ".entry m\nm:\n    jump m\n").unwrap();
+        let r = verify_program(&program, &VerifyConfig::default());
+        assert!(r.error_count() > 0);
+        let err = r.gate().unwrap_err();
+        match err {
+            UdpError::Verify { errors, .. } => assert_eq!(errors, r.error_count()),
+            other => panic!("expected Verify error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Negative-test corpus for the static verifier (ISSUE 4).
+//!
+//! Each `.udp` file under `tests/corpus/` is deliberately broken in exactly
+//! one interesting way; these tests assert that the corresponding analysis
+//! fires with the right severity and anchors the finding to the right block
+//! and source line. Together they cover every analysis the verifier runs:
+//! reachability, register init (warn + the r0 info), dead writes,
+//! scratchpad bounds, output contract, termination (no-exit and
+//! invariant-exit loops), stream bounds, and dispatch tables (empty group,
+//! incomplete table, unselectable slot).
+
+use recode_udp::asm::assemble_text_with_map;
+use recode_udp::lane::{Lane, LaneError, RunConfig};
+use recode_udp::machine::assemble;
+use recode_udp::verify::{Analysis, Finding, Severity, VerifyReport};
+
+/// Assembles a corpus program and returns its line-annotated report.
+fn report(name: &str, src: &str) -> VerifyReport {
+    let (program, map) =
+        assemble_text_with_map(name, src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let image = assemble(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut r = image.verify_report.clone();
+    r.attach_lines(&map);
+    r
+}
+
+/// The first finding from `analysis` at `severity`, with context on failure.
+fn expect(r: &VerifyReport, analysis: Analysis, severity: Severity) -> &Finding {
+    r.findings
+        .iter()
+        .find(|f| f.analysis == analysis && f.severity == severity)
+        .unwrap_or_else(|| panic!("expected {severity} {analysis:?} finding in:\n{r}"))
+}
+
+#[test]
+fn unreachable_block_is_flagged_with_its_line() {
+    let r = report("unreachable", include_str!("corpus/unreachable_block.udp"));
+    let f = expect(&r, Analysis::Reachability, Severity::Warn);
+    assert_eq!(f.line, Some(5), "{f}"); // `dead:` label line
+    assert_eq!(r.reachable, r.blocks - 1);
+}
+
+#[test]
+fn uninitialized_read_names_register_and_line() {
+    let r = report("uninit", include_str!("corpus/uninit_read.udp"));
+    let f = expect(&r, Analysis::RegisterInit, Severity::Warn);
+    assert!(f.message.contains("r5"), "{f}");
+    assert_eq!(f.line, Some(4), "{f}"); // the storeb line
+    assert_eq!(f.slot, Some(1));
+}
+
+#[test]
+fn dead_write_is_flagged_at_its_slot() {
+    let r = report("deadwrite", include_str!("corpus/dead_write.udp"));
+    let f = expect(&r, Analysis::DeadWrite, Severity::Warn);
+    assert!(f.message.contains("r3"), "{f}");
+    assert_eq!(f.line, Some(3), "{f}");
+    assert_eq!(f.slot, Some(0));
+}
+
+#[test]
+fn provable_oob_store_is_an_error() {
+    let r = report("oob", include_str!("corpus/oob_store.udp"));
+    let f = expect(&r, Analysis::ScratchpadBounds, Severity::Error);
+    assert_eq!(f.line, Some(4), "{f}"); // the stored line
+    assert!(f.message.contains("always outside"), "{f}");
+    assert!(r.gate().is_err());
+}
+
+#[test]
+fn exitless_loop_diverges_and_is_rejected_by_the_lane() {
+    let src = include_str!("corpus/infinite_loop.udp");
+    let r = report("diverges", src);
+    let f = expect(&r, Analysis::Termination, Severity::Error);
+    assert!(f.message.contains("Diverges"), "{f}");
+    // The gate is enforced end-to-end: the lane refuses the image.
+    let (program, _) = assemble_text_with_map("diverges", src).unwrap();
+    let image = assemble(&program).unwrap();
+    let err = Lane::new().run(&image, &[], 0, RunConfig::default()).unwrap_err();
+    assert!(matches!(err, LaneError::Unverified { .. }), "{err:?}");
+}
+
+#[test]
+fn loop_invariant_exit_condition_is_flagged() {
+    let r = report("invariant", include_str!("corpus/invariant_exit.udp"));
+    let f = expect(&r, Analysis::Termination, Severity::Warn);
+    assert!(f.message.contains("never writes"), "{f}");
+}
+
+#[test]
+fn stream_consuming_loop_without_inrem_is_flagged() {
+    let r = report("streamloop", include_str!("corpus/stream_loop_no_inrem.udp"));
+    let f = expect(&r, Analysis::StreamBounds, Severity::Warn);
+    assert!(f.message.contains("inrem"), "{f}");
+    // The loop head is the `copy:` block.
+    assert_eq!(f.line, Some(5), "{f}");
+}
+
+#[test]
+fn empty_dispatch_group_is_an_error() {
+    let r = report("emptygroup", include_str!("corpus/empty_group.udp"));
+    let f = expect(&r, Analysis::DispatchTable, Severity::Error);
+    assert!(f.message.contains("no entries"), "{f}");
+    assert_eq!(f.line, Some(3), "{f}"); // `main:` label line
+}
+
+#[test]
+fn incomplete_dispatch_table_reports_missing_symbols() {
+    let r = report("incomplete", include_str!("corpus/incomplete_dispatch.udp"));
+    let f = expect(&r, Analysis::DispatchTable, Severity::Warn);
+    assert!(f.message.contains("covers 2 of 4"), "{f}");
+    assert!(f.message.contains('2') && f.message.contains('3'), "{f}");
+}
+
+#[test]
+fn unselectable_group_slot_is_flagged() {
+    let r = report("unselectable", include_str!("corpus/unselectable_slot.udp"));
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.analysis == Analysis::DispatchTable && f.message.contains("never be selected"))
+        .unwrap_or_else(|| panic!("expected unselectable-slot finding in:\n{r}"));
+    assert_eq!(f.severity, Severity::Warn);
+    assert!(f.message.contains("offset 9"), "{f}");
+}
+
+#[test]
+fn impossible_output_contract_is_an_error() {
+    let r = report("badout", include_str!("corpus/bad_output.udp"));
+    let f = expect(&r, Analysis::OutputContract, Severity::Error);
+    assert!(f.message.contains("r15"), "{f}");
+    assert!(r.gate().is_err());
+}
+
+#[test]
+fn write_to_r0_is_an_info_finding_only() {
+    let r = report("writer0", include_str!("corpus/write_r0.udp"));
+    let f = expect(&r, Analysis::RegisterInit, Severity::Info);
+    assert!(f.message.contains("r0"), "{f}");
+    assert_eq!(f.line, Some(3), "{f}");
+    // Info findings alone do not block execution.
+    assert_eq!(r.error_count(), 0);
+    assert!(r.gate().is_ok());
+}
+
+#[test]
+fn clean_program_produces_no_findings_at_all() {
+    let src = ".entry main\nmain:\n    mov r2, r14\n    insymle r1, 1\n    storeb r1, r2, 0\n    limm r15, 1\n    halt\n";
+    let r = report("clean", src);
+    assert!(r.findings.is_empty(), "{r}");
+    assert!(r.is_clean());
+}

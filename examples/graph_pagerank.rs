@@ -81,10 +81,7 @@ fn main() {
         }
         let teleport = (1.0 - damping) / n as f64;
         // Dangling mass is redistributed uniformly.
-        let dangling: f64 = (0..n)
-            .filter(|&v| out_degree[v] == 0.0)
-            .map(|v| rank[v])
-            .sum::<f64>()
+        let dangling: f64 = (0..n).filter(|&v| out_degree[v] == 0.0).map(|v| rank[v]).sum::<f64>()
             * damping
             / n as f64;
         let mut delta = 0.0;

@@ -13,11 +13,7 @@ fn main() {
     let udp_bps = 20e9; // a typical measured 64-lane throughput
     println!("Trade space: bytes/nnz -> speedup at fixed power | net W saved at fixed speed\n");
     for sys in [SystemConfig::ddr4(), SystemConfig::hbm2()] {
-        println!(
-            "{} (max memory power {:.0} W)",
-            sys.mem.name,
-            sys.mem.max_power_w()
-        );
+        println!("{} (max memory power {:.0} W)", sys.mem.name, sys.mem.max_power_w());
         println!(
             "{:>8} {:>10} {:>12} {:>12} {:>8} {:>10}",
             "B/nnz", "Gflop/s", "speedup", "net save W", "UDPs", "save %"

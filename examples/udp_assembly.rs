@@ -92,9 +92,7 @@ fn main() {
 
     // 3. Run it on a lane.
     let mut lane = Lane::new();
-    let r = lane
-        .run(&image, &encoded, encoded.len() * 8, RunConfig::default())
-        .expect("decode");
+    let r = lane.run(&image, &encoded, encoded.len() * 8, RunConfig::default()).expect("decode");
     assert_eq!(r.output, data, "UDP program must invert the encoder");
     let us = r.cycles as f64 / 1.6e9 * 1e6;
     println!(

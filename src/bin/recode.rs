@@ -21,6 +21,10 @@
 //!                                                internal invariants
 //! recode gen       <family> <target_nnz> -o <matrix.mtx>
 //!                                                emit a synthetic matrix
+//! recode verify-program <file.udp | delta | snappy | huffman>
+//!                                                run the static verifier on a
+//!                                                lane program and print its
+//!                                                findings (exit 1 on Error)
 //! ```
 //!
 //! Flags: `-o PATH` output, `--config dsh|ds|snappy` codec choice,
@@ -41,15 +45,24 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--overlap] [--cache-blocks N] [--iters N]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--overlap] [--cache-blocks N] [--iters N]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
 }
 
 const FAMILIES: [&str; 11] = [
-    "stencil2d", "stencil2d9", "stencil3d", "multidiag", "femband", "blockjac", "circuit",
-    "rmat", "erdos", "smallworld", "laplacian",
+    "stencil2d",
+    "stencil2d9",
+    "stencil3d",
+    "multidiag",
+    "femband",
+    "blockjac",
+    "circuit",
+    "rmat",
+    "erdos",
+    "smallworld",
+    "laplacian",
 ];
 
 struct Flags {
@@ -97,10 +110,8 @@ fn parse(args: &[String]) -> Result<Flags, String> {
             "--overlap" => f.overlap = true,
             "--cache-blocks" => {
                 i += 1;
-                f.cache_blocks = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("bad --cache-blocks value")?;
+                f.cache_blocks =
+                    args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --cache-blocks value")?;
             }
             "--iters" => {
                 i += 1;
@@ -112,10 +123,7 @@ fn parse(args: &[String]) -> Result<Flags, String> {
             }
             "--seed" => {
                 i += 1;
-                f.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("bad --seed value")?;
+                f.seed = args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --seed value")?;
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
@@ -146,6 +154,7 @@ fn main() -> ExitCode {
         "trace-check" => cmd_trace_check(&flags),
         "gen" => cmd_gen(&flags),
         "disasm" => cmd_disasm(&flags),
+        "verify-program" => cmd_verify_program(&flags),
         _ => return usage(),
     };
     match result {
@@ -174,8 +183,8 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
     println!("distinct values  {} (sampled)", s.distinct_values_sampled);
     println!("value entropy    {:.2} bits/byte", s.value_byte_entropy);
     println!("symmetric        {} (structurally: {})", s.symmetric, s.structurally_symmetric);
-    let cm = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh())
-        .map_err(|e| e.to_string())?;
+    let cm =
+        CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).map_err(|e| e.to_string())?;
     let sum = CompressionSummary::of(&cm);
     println!(
         "DSH compression  {:.2} B/nnz (index {:.2} + value {:.2}; raw 12.00)",
@@ -310,8 +319,7 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let (y, stats, doc) =
-            ex.spmv_traced(&sys, &x, None, &name).map_err(|e| e.to_string())?;
+        let (y, stats, doc) = ex.spmv_traced(&sys, &x, None, &name).map_err(|e| e.to_string())?;
         let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
         println!(
@@ -325,9 +333,10 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
     } else {
         ex.spmv(&sys, &x).map_err(|e| e.to_string())?
     };
-    let worst = y.iter().zip(&y_ref).fold(0.0f64, |w, (got, want)| {
-        w.max((got - want).abs() / want.abs().max(1.0))
-    });
+    let worst = y
+        .iter()
+        .zip(&y_ref)
+        .fold(0.0f64, |w, (got, want)| w.max((got - want).abs() / want.abs().max(1.0)));
     if worst > 1e-10 {
         return Err(format!(
             "pipelined SpMV diverged from the uncompressed kernel (worst rel err {worst:.3e})"
@@ -360,8 +369,7 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
         if a.nrows() != a.ncols() {
             return Err("--iters needs a square matrix".into());
         }
-        let (_, per_iter) =
-            ex.spmv_iter(&sys, &x, flags.iters - 1).map_err(|e| e.to_string())?;
+        let (_, per_iter) = ex.spmv_iter(&sys, &x, flags.iters - 1).map_err(|e| e.to_string())?;
         println!("\niterated multiply (decode cycles per iteration):");
         let decode: Vec<u64> = std::iter::once(ov.decode_cycles)
             .chain(per_iter.iter().map(|s| s.overlap.decode_cycles))
@@ -415,7 +423,7 @@ fn cmd_trace_check(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_disasm(flags: &Flags) -> Result<(), String> {
-    let which = flags.positional.first().map(String::as_str).unwrap_or("");
+    let which = flags.positional.first().map_or("", String::as_str);
     let image = match which {
         "snappy" => recode_spmv::udp::progs::snappy::build().map_err(|e| e.to_string())?,
         "delta" => recode_spmv::udp::progs::delta::build().map_err(|e| e.to_string())?,
@@ -425,13 +433,47 @@ fn cmd_disasm(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `recode verify-program`: run the static verifier on a `.udp` assembly
+/// file (findings annotated with source lines) or one of the shipped
+/// programs by name. Prints the severity-ranked report; exits nonzero when
+/// the program carries `Error` findings — the same findings that make
+/// `Lane::run` refuse the image.
+fn cmd_verify_program(flags: &Flags) -> Result<(), String> {
+    use recode_spmv::udp::{asm, machine, progs};
+    let target = flags
+        .positional
+        .first()
+        .ok_or("verify-program needs a .udp file or a builtin (delta|snappy|huffman)")?;
+    let report = match target.as_str() {
+        "delta" => progs::delta::build().map_err(|e| e.to_string())?.verify_report,
+        "snappy" => progs::snappy::build().map_err(|e| e.to_string())?.verify_report,
+        // A representative compiled decoder: uniform 8-bit code lengths
+        // (Kraft-complete over 256 symbols).
+        "huffman" => progs::huffman::compile(&[8u8; 256]).map_err(|e| e.to_string())?.verify_report,
+        path => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| "program".into(), |s| s.to_string_lossy().into_owned());
+            let (program, map) =
+                asm::assemble_text_with_map(&name, &src).map_err(|e| format!("{path}: {e}"))?;
+            let image = machine::assemble(&program).map_err(|e| e.to_string())?;
+            let mut report = image.verify_report;
+            report.attach_lines(&map);
+            report
+        }
+    };
+    print!("{report}");
+    if report.error_count() > 0 {
+        return Err(format!("`{target}` rejected: {} error finding(s)", report.error_count()));
+    }
+    Ok(())
+}
+
 fn cmd_gen(flags: &Flags) -> Result<(), String> {
     let family = flags.positional.first().ok_or("gen needs a family")?;
-    let target: usize = flags
-        .positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or("gen needs a target nnz")?;
+    let target: usize =
+        flags.positional.get(1).and_then(|s| s.parse().ok()).ok_or("gen needs a target nnz")?;
     let out = flags.output.as_ref().ok_or("gen needs -o <matrix.mtx>")?;
     // Reuse the corpus parameterization: scan corpus entries for the family
     // and rescale, or build directly for the common families.

@@ -105,10 +105,8 @@ fn spmv_trace_report_and_check_workflow() {
     assert!(text.contains("exec.decode_batch"), "{text}");
 
     // `recode trace-check` accepts it...
-    let out = bin()
-        .args(["trace-check", trace.to_str().unwrap()])
-        .output()
-        .expect("run trace-check");
+    let out =
+        bin().args(["trace-check", trace.to_str().unwrap()]).output().expect("run trace-check");
     assert!(out.status.success(), "trace-check: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("trace OK"));
 
@@ -132,7 +130,8 @@ fn cli_rejects_bad_usage() {
     assert!(!out.status.success());
     let out = bin().args(["info", "/nonexistent/file.mtx"]).output().expect("run info");
     assert!(!out.status.success());
-    let out = bin().args(["gen", "nosuchfamily", "1000", "-o", "/tmp/x.mtx"]).output().expect("gen");
+    let out =
+        bin().args(["gen", "nosuchfamily", "1000", "-o", "/tmp/x.mtx"]).output().expect("gen");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown family"), "{err}");

@@ -39,7 +39,12 @@ fn every_family_round_trips_through_the_heterogeneous_system() {
 #[test]
 fn matrix_market_file_flows_through_compression_and_udp_decode() {
     let a = generate(
-        &GenSpec::FemBand { n: 300, band: 9, fill: 0.5, values: ValueModel::MixedRepeated { distinct: 20 } },
+        &GenSpec::FemBand {
+            n: 300,
+            band: 9,
+            fill: 0.5,
+            values: ValueModel::MixedRepeated { distinct: 20 },
+        },
         3,
     );
     let mut mm = Vec::new();
@@ -55,13 +60,20 @@ fn matrix_market_file_flows_through_compression_and_udp_decode() {
 #[test]
 fn all_kernels_and_configs_agree() {
     let a = generate(
-        &GenSpec::Circuit { n: 900, avg_deg: 4.0, hubs: 3, values: ValueModel::QuantizedGaussian { levels: 64 } },
+        &GenSpec::Circuit {
+            n: 900,
+            avg_deg: 4.0,
+            hubs: 3,
+            values: ValueModel::QuantizedGaussian { levels: 64 },
+        },
         5,
     );
     let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).cos()).collect();
     let want = spmv(&a, &x);
     let sys = SystemConfig::ddr4();
-    for cfg in [MatrixCodecConfig::udp_dsh(), MatrixCodecConfig::udp_ds(), MatrixCodecConfig::cpu_snappy()] {
+    for cfg in
+        [MatrixCodecConfig::udp_dsh(), MatrixCodecConfig::udp_ds(), MatrixCodecConfig::cpu_snappy()]
+    {
         let recoded = RecodedSpmv::new(&a, cfg).unwrap();
         let (got, _) = recoded.spmv(&sys, SpmvKernel::Serial, &x).unwrap();
         assert_eq!(got, want);
@@ -79,7 +91,13 @@ fn all_kernels_and_configs_agree() {
 #[test]
 fn compressed_matrix_survives_serialization() {
     let a = generate(
-        &GenSpec::Stencil3D { nx: 12, ny: 12, nz: 12, points: 7, values: ValueModel::StencilCoeffs },
+        &GenSpec::Stencil3D {
+            nx: 12,
+            ny: 12,
+            nz: 12,
+            points: 7,
+            values: ValueModel::StencilCoeffs,
+        },
         8,
     );
     let cm = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
@@ -94,10 +112,8 @@ fn compressed_matrix_survives_serialization() {
 #[test]
 fn rcm_reordered_matrices_round_trip() {
     use recode_spmv::sparse::reorder::reverse_cuthill_mckee;
-    let a = generate(
-        &GenSpec::SmallWorld { n: 500, k: 3, rewire: 0.05, values: ValueModel::Ones },
-        13,
-    );
+    let a =
+        generate(&GenSpec::SmallWorld { n: 500, k: 3, rewire: 0.05, values: ValueModel::Ones }, 13);
     let perm = reverse_cuthill_mckee(&a);
     let b = perm.apply_symmetric(&a);
     let recoded = RecodedSpmv::new(&b, MatrixCodecConfig::udp_dsh()).unwrap();
@@ -110,7 +126,11 @@ fn rcm_reordered_matrices_round_trip() {
 #[test]
 fn memory_system_choice_is_functionally_transparent() {
     let a = generate(
-        &GenSpec::MultiDiagonal { n: 600, offsets: vec![-3, 0, 3], values: ValueModel::MixedRepeated { distinct: 5 } },
+        &GenSpec::MultiDiagonal {
+            n: 600,
+            offsets: vec![-3, 0, 3],
+            values: ValueModel::MixedRepeated { distinct: 5 },
+        },
         21,
     );
     let recoded = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();

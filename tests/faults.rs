@@ -12,11 +12,11 @@
 //! Panics and silently wrong results both fail the suite. The trial count
 //! is ≥ 256 across all fault classes, per the robustness acceptance bar.
 
+use recode_spmv::codec::faults::{FaultInjector, FaultKind};
+use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
 use recode_spmv::core::error::ExecError;
 use recode_spmv::core::exec::RecodedSpmv;
 use recode_spmv::core::SystemConfig;
-use recode_spmv::codec::faults::{FaultInjector, FaultKind};
-use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
 use recode_spmv::prelude::*;
 use recode_spmv::udp::FaultHook;
 
@@ -109,7 +109,7 @@ fn run_stream_trial(
                     "seed {seed} kind {kind}: untyped context in {e}"
                 ),
                 ExecError::Unrecoverable { block, .. } => {
-                    assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}")
+                    assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}");
                 }
                 ExecError::Reassembly(_) | ExecError::Codec(_) => {}
             }
@@ -280,10 +280,8 @@ fn run_overlap_stream_trial(
     } else {
         RecodedSpmv::from_compressed(cm).expect("decoder construction is fault-independent")
     };
-    let ex = OverlapExecutor::new(
-        &r,
-        OverlapConfig { overlap: true, cache_blocks: 64, workers: 0 },
-    );
+    let ex =
+        OverlapExecutor::new(&r, OverlapConfig { overlap: true, cache_blocks: 64, workers: 0 });
 
     let sys = SystemConfig::ddr4();
     match ex.spmv(&sys, x) {
@@ -310,7 +308,7 @@ fn run_overlap_stream_trial(
                     "seed {seed} kind {kind}: untyped context in {e}"
                 ),
                 ExecError::Unrecoverable { block, .. } => {
-                    assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}")
+                    assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}");
                 }
                 ExecError::Reassembly(_) | ExecError::Codec(_) => {}
             }
@@ -335,7 +333,9 @@ fn seeded_stream_faults_through_the_overlap_executor() {
             for (ki, kind) in FaultKind::ALL.into_iter().enumerate() {
                 for s in 0..12u64 {
                     let seed = 1 + s + 100 * ki as u64 + 10_000 * u64::from(hit_values);
-                    run_overlap_stream_trial(&probe, seed, kind, hit_values, with_store, &mut tally);
+                    run_overlap_stream_trial(
+                        &probe, seed, kind, hit_values, with_store, &mut tally,
+                    );
                     trials += 1;
                 }
             }
@@ -361,10 +361,8 @@ fn overlap_recovery_keeps_blocks_in_position_and_traces_stay_valid() {
     let sys = SystemConfig::ddr4();
     let x: Vec<f64> = (0..a.ncols()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
     let y_ref = spmv(&a, &x);
-    let ex = OverlapExecutor::new(
-        &r,
-        OverlapConfig { overlap: true, cache_blocks: 256, workers: 0 },
-    );
+    let ex =
+        OverlapExecutor::new(&r, OverlapConfig { overlap: true, cache_blocks: 256, workers: 0 });
     let (y, stats, doc) = ex.spmv_traced(&sys, &x, Some(&hook), "fault_pipeline").unwrap();
     assert_spmv_close(0, FaultKind::BitFlip, &y, &y_ref);
     assert!(stats.degraded);

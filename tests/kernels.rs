@@ -44,7 +44,11 @@ fn gallery() -> Vec<(String, Csr)> {
         },
         GenSpec::Circuit { n: 350, avg_deg: 3.0, hubs: 4, values: ValueModel::Ones },
         GenSpec::Rmat { scale: 8, edge_factor: 6, values: ValueModel::Ones },
-        GenSpec::ErdosRenyi { n: 300, avg_deg: 5.0, values: ValueModel::MixedRepeated { distinct: 3 } },
+        GenSpec::ErdosRenyi {
+            n: 300,
+            avg_deg: 5.0,
+            values: ValueModel::MixedRepeated { distinct: 3 },
+        },
         GenSpec::Kronecker { base: KroneckerBase::Star, power: 5, values: ValueModel::Ones },
         GenSpec::SmallWorld { n: 256, k: 3, rewire: 0.1, values: ValueModel::Ones },
         GenSpec::Laplacian { scale: 8, edge_factor: 4 },
@@ -137,8 +141,7 @@ fn fixtures_have_the_shapes_the_suite_relies_on() {
     assert_eq!(mixed.row_ptr()[6] - mixed.row_ptr()[5], 0);
     assert_eq!(mixed.row_ptr()[4] - mixed.row_ptr()[3], 9);
 
-    let sym =
-        recode_spmv::sparse::io::read_matrix_market_path(format!("{base}/sym6.mtx")).unwrap();
+    let sym = recode_spmv::sparse::io::read_matrix_market_path(format!("{base}/sym6.mtx")).unwrap();
     assert_eq!((sym.nrows(), sym.ncols()), (6, 6));
     assert!(sym.nnz() > 10, "symmetric expansion should add mirrored entries");
     assert!(sym.is_symmetric(1e-12));

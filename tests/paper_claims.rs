@@ -55,10 +55,7 @@ fn udp_decompression_beats_cpu_by_a_multiple() {
     let rows = decomp_study(&sys, &mats, 8);
     let g = geometric_mean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>()).unwrap();
     assert!(g > 2.0, "UDP/CPU decomp speedup geomean {g:.2} (paper ~7x)");
-    assert!(
-        rows.iter().all(|r| r.udp_bps > 5e9),
-        "UDP should deliver >5 GB/s on every matrix"
-    );
+    assert!(rows.iter().all(|r| r.udp_bps > 5e9), "UDP should deliver >5 GB/s on every matrix");
 }
 
 /// Claim (§V-A): single-lane block latency is tens of microseconds
@@ -91,8 +88,7 @@ fn hetero_spmv_speedup_matches_paper_shape() {
     }
     // The speedup is bandwidth-independent: HBM2 shows the same ratios.
     let rows_hbm = spmv_study(&SystemConfig::hbm2(), &mats, 8);
-    let g_hbm =
-        geometric_mean(&rows_hbm.iter().map(|r| r.speedup).collect::<Vec<_>>()).unwrap();
+    let g_hbm = geometric_mean(&rows_hbm.iter().map(|r| r.speedup).collect::<Vec<_>>()).unwrap();
     assert!((g - g_hbm).abs() / g < 0.25, "DDR {g:.2} vs HBM {g_hbm:.2}");
 }
 

@@ -69,8 +69,13 @@ fn span_wall_times_fit_inside_the_total() {
     let names: Vec<&str> = doc.spans.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(
         names,
-        ["exec.decode_batch", "exec.reassemble", "exec.mem_stream", "exec.dma",
-         "exec.cpu_multiply"],
+        [
+            "exec.decode_batch",
+            "exec.reassemble",
+            "exec.mem_stream",
+            "exec.dma",
+            "exec.cpu_multiply"
+        ],
         "clean run emits exactly the happy-path phases"
     );
     let batch = &doc.spans[0];

@@ -22,10 +22,7 @@ use recode_spmv::core::telemetry::TraceDocument;
 use recode_spmv::prelude::*;
 use std::fmt::Write as _;
 
-const FIXTURE: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/tests/fixtures/golden_trace_v1.json"
-);
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_trace_v1.json");
 
 /// The one canonical run the fixture pins.
 fn canonical_doc() -> TraceDocument {
@@ -42,8 +39,7 @@ fn canonical_doc() -> TraceDocument {
         OverlapConfig { overlap: true, cache_blocks: 8, workers: 1 },
     );
     let x = vec![1.0; a.ncols()];
-    let (_, _, mut doc) =
-        ex.spmv_traced(&sys, &x, None, "golden_stencil16").expect("traced run");
+    let (_, _, mut doc) = ex.spmv_traced(&sys, &x, None, "golden_stencil16").expect("traced run");
     // Normalize host wall-clock time, the only nondeterministic fields.
     doc.wall_ns_total = 0;
     for span in &mut doc.spans {
@@ -206,11 +202,7 @@ fn to_golden_json(doc: &TraceDocument) -> String {
     let _ = writeln!(o, "      \"workers\": {},", ov.workers);
     let _ = writeln!(o, "      \"decode_cycles\": {},", ov.decode_cycles);
     let _ = writeln!(o, "      \"multiply_cycles\": {},", ov.multiply_cycles);
-    let _ = writeln!(
-        o,
-        "      \"overlapped_makespan_cycles\": {},",
-        ov.overlapped_makespan_cycles
-    );
+    let _ = writeln!(o, "      \"overlapped_makespan_cycles\": {},", ov.overlapped_makespan_cycles);
     let _ = writeln!(o, "      \"serial_makespan_cycles\": {},", ov.serial_makespan_cycles);
     let _ = writeln!(o, "      \"cache_hits\": {},", ov.cache_hits);
     let _ = writeln!(o, "      \"cache_misses\": {},", ov.cache_misses);
@@ -297,10 +289,8 @@ fn golden_fixture_pins_the_headline_fields() {
 /// schema serde reads.
 #[test]
 fn golden_fixture_parses_through_serde_where_available() {
-    let golden = match std::fs::read_to_string(FIXTURE) {
-        Ok(g) => g,
-        Err(_) => return, // bless not yet run; the byte test reports it
-    };
+    // When bless has not been run yet, the byte test reports it.
+    let Ok(golden) = std::fs::read_to_string(FIXTURE) else { return };
     let parsed = std::panic::catch_unwind(|| {
         serde_json::from_str::<TraceDocument>(&golden).map_err(|e| e.to_string())
     });
