@@ -1,0 +1,84 @@
+//! Hot-path microbenches (criterion flavor of `bench_hotpath`):
+//! * `lane_decode_block` — one 8 KB DSH block through the lane interpreter
+//!   on a reused lane (the per-dispatch path this PR makes allocation-free);
+//! * `huffman_cpu_block` — one 8 KB block through the CPU Huffman stage
+//!   (exercises the cached `FlatDecoder` instead of a per-call rebuild);
+//! * `snappy_cpu_block` — one 32 KB block through the CPU Snappy stage
+//!   (widened copy loops).
+//!
+//! The JSON-emitting `bench_hotpath` *binary* is the before/after record;
+//! this bench is for local `cargo bench` iteration on the same loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_udp::progs::DshDecoder;
+use recode_udp::Lane;
+
+fn banded_index_stream(n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let base = (i / 3) as u32;
+        let col = base + (i % 3) as u32;
+        out.extend_from_slice(&col.to_le_bytes());
+    }
+    out
+}
+
+fn bench_lane_decode(c: &mut Criterion) {
+    let data = banded_index_stream(32_000);
+    let cfg = PipelineConfig::dsh_udp();
+    let pipe = Pipeline::train(cfg, &data).unwrap();
+    let stream = pipe.encode_stream(&data).unwrap();
+    let decoder = DshDecoder::new(cfg, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+    let block = &stream.blocks[0];
+
+    let mut group = c.benchmark_group("hotpath");
+    group.throughput(Throughput::Bytes(cfg.block_bytes as u64));
+    group.bench_function("lane_decode_block", |b| {
+        let mut lane = Lane::new();
+        b.iter(|| {
+            let o = decoder.decode_block(&mut lane, block).unwrap();
+            std::hint::black_box(o.output.len());
+        });
+    });
+    group.finish();
+}
+
+fn bench_cpu_stages(c: &mut Criterion) {
+    let data = banded_index_stream(32_000);
+    let huff_cfg = PipelineConfig {
+        delta: false,
+        snappy: false,
+        huffman: true,
+        block_bytes: 8192,
+        huffman_sample_every: 3,
+    };
+    let huff_pipe = Pipeline::train(huff_cfg, &data).unwrap();
+    let huff_stream = huff_pipe.encode_stream(&data).unwrap();
+    let huff_block = &huff_stream.blocks[0];
+
+    let snap_cfg = PipelineConfig::snappy_cpu();
+    let snap_pipe = Pipeline::train(snap_cfg, &data).unwrap();
+    let snap_stream = snap_pipe.encode_stream(&data).unwrap();
+    let snap_block = &snap_stream.blocks[0];
+
+    let mut group = c.benchmark_group("hotpath");
+    group.throughput(Throughput::Bytes(huff_cfg.block_bytes as u64));
+    group.bench_function("huffman_cpu_block", |b| {
+        b.iter(|| {
+            let out = huff_pipe.decode_block(huff_block).unwrap();
+            std::hint::black_box(out.len());
+        });
+    });
+    group.throughput(Throughput::Bytes(snap_cfg.block_bytes as u64));
+    group.bench_function("snappy_cpu_block", |b| {
+        b.iter(|| {
+            let out = snap_pipe.decode_block(snap_block).unwrap();
+            std::hint::black_box(out.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_decode, bench_cpu_stages);
+criterion_main!(benches);

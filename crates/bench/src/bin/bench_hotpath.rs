@@ -1,0 +1,221 @@
+//! `BENCH_hotpath.json` — host-side wall-clock throughput of the three
+//! innermost loops the simulator spends its time in: the UDP lane
+//! interpreter (blocks/s over real DSH-compressed blocks), the CPU Huffman
+//! decode stage, and the CPU Snappy decode stage (both MB/s of uncompressed
+//! output). These are *host* numbers: modeled lane cycles are pinned by the
+//! golden trace fixture and must not move when these get faster.
+//!
+//! Usage: `bench_hotpath [--json PATH] [--smoke]`
+//! (`--smoke` shrinks the corpus and repetitions for CI).
+
+use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_udp::lane::Lane;
+use recode_udp::progs::DshDecoder;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Throughput {
+    /// Compressed blocks decoded per repetition.
+    blocks: usize,
+    /// Timed repetitions over the whole block set.
+    reps: usize,
+    /// Total wall time for `reps * blocks` decodes.
+    wall_ns: u64,
+    /// Blocks decoded per second.
+    blocks_per_s: f64,
+    /// Uncompressed megabytes produced per second.
+    mb_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    schema: &'static str,
+    smoke: bool,
+    /// Full DSH lane decode on one reused lane (the interpreter hot loop).
+    lane_decode: Throughput,
+    /// Same blocks through the word-at-a-time reference interpreter
+    /// (`Lane::run_reference`), the pre-predecode baseline path.
+    lane_decode_reference: Option<Throughput>,
+    /// CPU pipeline Huffman decode stage (8 KB blocks).
+    huffman_cpu: Throughput,
+    /// CPU pipeline Snappy decode stage (32 KB blocks).
+    snappy_cpu: Throughput,
+}
+
+/// Tridiagonal-ish column indices as LE u32 words — the same shape the
+/// pipeline tests use, representative of FEM index streams.
+fn banded_index_stream(n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let base = (i / 3) as u32;
+        let col = base + (i % 3) as u32;
+        out.extend_from_slice(&col.to_le_bytes());
+    }
+    out
+}
+
+/// Skewed byte stream (what post-delta/snappy data looks like to Huffman).
+fn skewed_stream(n: usize) -> Vec<u8> {
+    (0..n).map(|i| if i % 17 == 0 { 99 } else { (i % 5) as u8 }).collect()
+}
+
+/// Times `reps` passes of `pass()` (which must decode every block once and
+/// return the uncompressed bytes produced).
+fn measure(blocks: usize, reps: usize, mut pass: impl FnMut() -> usize) -> Throughput {
+    // One warm-up pass so allocator/cache state is steady.
+    let mut bytes = pass();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        bytes = pass();
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let secs = wall_ns as f64 / 1e9;
+    Throughput {
+        blocks,
+        reps,
+        wall_ns,
+        blocks_per_s: (blocks * reps) as f64 / secs,
+        mb_per_s: (bytes * reps) as f64 / 1e6 / secs,
+    }
+}
+
+fn lane_pass(decoder: &DshDecoder, blocks: &[recode_codec::block::CompressedBlock]) -> usize {
+    let mut lane = Lane::new();
+    let mut bytes = 0usize;
+    for b in blocks {
+        let o = decoder.decode_block(&mut lane, b).expect("bench blocks decode");
+        bytes += o.output.len();
+        std::hint::black_box(&o.output);
+    }
+    bytes
+}
+
+/// The same DSH stage chain as [`lane_pass`], but through
+/// `Lane::run_reference` — the word-at-a-time interpreter `run` used before
+/// images were predecoded. Checksum verification is kept so both passes do
+/// identical non-interpreter work.
+fn reference_pass(decoder: &DshDecoder, blocks: &[recode_codec::block::CompressedBlock]) -> usize {
+    let cfg = recode_udp::lane::RunConfig::default();
+    let mut lane = Lane::new();
+    let mut bytes = 0usize;
+    for b in blocks {
+        b.verify_checksum().expect("bench blocks are well-formed");
+        let mut cur: Vec<u8> = Vec::new();
+        let mut bits = b.bit_len;
+        let mut first = true;
+        for img in [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten() {
+            let input: &[u8] = if first { &b.payload } else { &cur };
+            let r = lane.run_reference(img, input, bits, cfg).expect("bench blocks decode");
+            cur = r.output;
+            bits = cur.len() * 8;
+            first = false;
+        }
+        bytes += cur.len();
+        std::hint::black_box(&cur);
+    }
+    bytes
+}
+
+fn cpu_pass(pipe: &Pipeline, blocks: &[recode_codec::block::CompressedBlock]) -> usize {
+    let mut bytes = 0usize;
+    for b in blocks {
+        let out = pipe.decode_block(b).expect("bench blocks decode");
+        bytes += out.len();
+        std::hint::black_box(&out);
+    }
+    bytes
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = PathBuf::from("BENCH_hotpath.json");
+    let mut smoke = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                i += 1;
+                json = PathBuf::from(argv.get(i).expect("--json PATH"));
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --json PATH --smoke");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Corpus sizes: enough blocks that per-block setup cost dominates noise,
+    // small enough that a smoke run stays in CI budget.
+    let (nnz, reps) = if smoke { (64_000, 3) } else { (512_000, 10) };
+    let index_data = banded_index_stream(nnz);
+
+    // 1) Lane interpreter over full-DSH blocks.
+    let dsh_cfg = PipelineConfig::dsh_udp();
+    let dsh_pipe = Pipeline::train(dsh_cfg, &index_data).expect("train dsh");
+    let dsh_stream = dsh_pipe.encode_stream(&index_data).expect("encode dsh");
+    let decoder = DshDecoder::new(dsh_cfg, dsh_pipe.table().map(|t| t.lengths.as_slice()))
+        .expect("build decoder");
+    let lane_decode =
+        measure(dsh_stream.blocks.len(), reps, || lane_pass(&decoder, &dsh_stream.blocks));
+    let lane_decode_reference =
+        measure(dsh_stream.blocks.len(), reps, || reference_pass(&decoder, &dsh_stream.blocks));
+
+    // 2) CPU Huffman decode (huffman-only pipeline, 8 KB blocks).
+    let huff_cfg = PipelineConfig {
+        delta: false,
+        snappy: false,
+        huffman: true,
+        block_bytes: 8192,
+        huffman_sample_every: 3,
+    };
+    let huff_data = skewed_stream(nnz * 4);
+    let huff_pipe = Pipeline::train(huff_cfg, &huff_data).expect("train huffman");
+    let huff_stream = huff_pipe.encode_stream(&huff_data).expect("encode huffman");
+    let huffman_cpu =
+        measure(huff_stream.blocks.len(), reps, || cpu_pass(&huff_pipe, &huff_stream.blocks));
+
+    // 3) CPU Snappy decode (the paper's CPU baseline config, 32 KB blocks).
+    let snap_cfg = PipelineConfig::snappy_cpu();
+    let snap_pipe = Pipeline::train(snap_cfg, &index_data).expect("train snappy");
+    let snap_stream = snap_pipe.encode_stream(&index_data).expect("encode snappy");
+    let snappy_cpu =
+        measure(snap_stream.blocks.len(), reps, || cpu_pass(&snap_pipe, &snap_stream.blocks));
+
+    let snap = Snapshot {
+        schema: "recode-bench-hotpath/v1",
+        smoke,
+        lane_decode,
+        lane_decode_reference: Some(lane_decode_reference),
+        huffman_cpu,
+        snappy_cpu,
+    };
+    // Human-readable summary first: it survives even when JSON serialization
+    // is unavailable (the offline stub build panics in serde_json).
+    eprintln!(
+        "lane_decode      {:>12.0} blocks/s  {:>8.1} MB/s",
+        snap.lane_decode.blocks_per_s, snap.lane_decode.mb_per_s
+    );
+    if let Some(r) = &snap.lane_decode_reference {
+        eprintln!("lane_reference   {:>12.0} blocks/s  {:>8.1} MB/s", r.blocks_per_s, r.mb_per_s);
+    }
+    eprintln!(
+        "huffman_cpu      {:>12.0} blocks/s  {:>8.1} MB/s",
+        snap.huffman_cpu.blocks_per_s, snap.huffman_cpu.mb_per_s
+    );
+    eprintln!(
+        "snappy_cpu       {:>12.0} blocks/s  {:>8.1} MB/s",
+        snap.snappy_cpu.blocks_per_s, snap.snappy_cpu.mb_per_s
+    );
+    let text = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+    std::fs::write(&json, &text).expect("write BENCH_hotpath.json");
+    println!("{text}");
+    eprintln!("wrote {}", json.display());
+}

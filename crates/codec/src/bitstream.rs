@@ -56,13 +56,20 @@ impl BitWriter {
 }
 
 /// Reads bits MSB-first from a byte slice.
+///
+/// Requests are served from a 64-bit refill buffer holding the bits at
+/// `[pos, pos + buf_bits)` MSB-aligned; bits below `buf_bits` are zero, so
+/// past-the-end peeks get their zero padding for free. Bytes are loaded
+/// whole instead of the reader touching the slice bit-by-bit.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    /// Next bit position.
+    /// Next (unconsumed) bit position.
     pos: usize,
     /// Total valid bits (may be less than `bytes.len() * 8`).
     bit_len: usize,
+    buf: u64,
+    buf_bits: u32,
 }
 
 impl<'a> BitReader<'a> {
@@ -77,7 +84,7 @@ impl<'a> BitReader<'a> {
                 bytes.len() * 8
             )));
         }
-        Ok(BitReader { bytes, pos: 0, bit_len })
+        Ok(BitReader { bytes, pos: 0, bit_len, buf: 0, buf_bits: 0 })
     }
 
     /// Bits remaining.
@@ -85,35 +92,82 @@ impl<'a> BitReader<'a> {
         self.bit_len - self.pos
     }
 
+    /// Total valid bits in the stream.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Tops up the buffer. Invariant: the next load position
+    /// (`pos + buf_bits`) is byte-aligned or `>= bit_len`, so whole bytes
+    /// can be appended; the final partial byte is masked to `bit_len`.
+    #[inline]
+    fn refill(&mut self) {
+        let mut next = self.pos + self.buf_bits as usize;
+        while self.buf_bits <= 56 && next < self.bit_len {
+            debug_assert_eq!(next % 8, 0);
+            let avail = self.bit_len - next;
+            let mut b = self.bytes[next / 8];
+            if avail < 8 {
+                b &= 0xFF << (8 - avail);
+            }
+            self.buf |= (b as u64) << (56 - self.buf_bits);
+            self.buf_bits += if avail < 8 { avail as u32 } else { 8 };
+            next += 8;
+        }
+    }
+
+    /// Re-establishes the refill invariant after `pos` jumped past the
+    /// buffer to a possibly mid-byte position.
+    fn rebase(&mut self) {
+        self.buf = 0;
+        self.buf_bits = 0;
+        let frac = self.pos % 8;
+        if frac != 0 && self.pos < self.bit_len {
+            let avail = (8 - frac).min(self.bit_len - self.pos);
+            let b = (self.bytes[self.pos / 8] << frac) & (0xFFu16 << (8 - avail)) as u8;
+            self.buf = (b as u64) << 56;
+            self.buf_bits = avail as u32;
+        }
+    }
+
+    /// Consumes `n` bits; caller has checked `n <= remaining()`.
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        if (n as u64) < u64::from(self.buf_bits) {
+            self.buf <<= n;
+            self.buf_bits -= n as u32;
+        } else {
+            self.rebase();
+        }
+    }
+
     /// Reads `nbits` (<= 32) MSB-first.
     ///
     /// # Errors
     /// [`CodecError::Truncated`] if fewer than `nbits` remain.
     pub fn read_bits(&mut self, nbits: u8) -> CodecResult<u32> {
+        debug_assert!(nbits <= 32, "at most 32 bits per read");
         if nbits as usize > self.remaining() {
             return Err(CodecError::Truncated { context: "bitstream" });
         }
-        let mut out = 0u32;
-        for _ in 0..nbits {
-            let byte = self.bytes[self.pos / 8];
-            let bit = (byte >> (7 - (self.pos % 8))) & 1;
-            out = (out << 1) | bit as u32;
-            self.pos += 1;
-        }
+        let out = self.peek_bits_padded(nbits);
+        self.advance(nbits as usize);
         Ok(out)
     }
 
-    /// Peeks up to `nbits` without consuming; missing tail bits read as 0
-    /// (the standard trick that lets table-driven decoders peek a full index
-    /// near end-of-stream).
-    pub fn peek_bits_padded(&self, nbits: u8) -> u32 {
-        let mut out = 0u32;
-        for k in 0..nbits {
-            let p = self.pos + k as usize;
-            let bit = if p < self.bit_len { (self.bytes[p / 8] >> (7 - (p % 8))) & 1 } else { 0 };
-            out = (out << 1) | bit as u32;
+    /// Peeks up to `nbits` (<= 32) without consuming; missing tail bits
+    /// read as 0 (the standard trick that lets table-driven decoders peek a
+    /// full index near end-of-stream).
+    pub fn peek_bits_padded(&mut self, nbits: u8) -> u32 {
+        debug_assert!(nbits <= 32, "at most 32 bits per peek");
+        if nbits == 0 {
+            return 0;
         }
-        out
+        if u32::from(nbits) > self.buf_bits {
+            self.refill();
+        }
+        (self.buf >> (64 - u32::from(nbits))) as u32
     }
 
     /// Consumes `nbits`.
@@ -124,7 +178,7 @@ impl<'a> BitReader<'a> {
         if nbits as usize > self.remaining() {
             return Err(CodecError::Truncated { context: "bitstream skip" });
         }
-        self.pos += nbits as usize;
+        self.advance(nbits as usize);
         Ok(())
     }
 }
@@ -164,7 +218,7 @@ mod tests {
         let mut w = BitWriter::new();
         w.write_bits(0b11, 2);
         let (bytes, bits) = w.finish();
-        let r = BitReader::new(&bytes, bits).unwrap();
+        let mut r = BitReader::new(&bytes, bits).unwrap();
         assert_eq!(r.peek_bits_padded(8), 0b1100_0000);
     }
 

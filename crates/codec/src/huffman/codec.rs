@@ -25,19 +25,40 @@ pub fn encode(data: &[u8], table: &HuffmanTable) -> CodecResult<(Vec<u8>, usize)
     Ok(w.finish())
 }
 
-/// A flat decode table: one entry per 15-bit window.
-struct FlatDecoder {
+/// A flat decode table: one entry per 15-bit window. Building it touches
+/// all 2^15 entries, so callers that decode many blocks against one table
+/// (the pipeline, benches) should build once and reuse — both decode entry
+/// points here are methods on the prebuilt table.
+#[derive(Clone)]
+pub struct FlatDecoder {
     /// `(symbol, code_length)` per window; length 0 marks an invalid window.
     entries: Vec<(u8, u8)>,
+    /// Shortest code length in the table (0 when the table has no codes).
+    min_len: u8,
+}
+
+impl std::fmt::Debug for FlatDecoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // 32 Ki entries are noise in debug output; show the shape only.
+        f.debug_struct("FlatDecoder")
+            .field("windows", &self.entries.len())
+            .field("min_len", &self.min_len)
+            .finish()
+    }
 }
 
 impl FlatDecoder {
-    fn build(table: &HuffmanTable) -> Self {
+    /// Builds the flat table (one pass over all 2^15 windows).
+    pub fn build(table: &HuffmanTable) -> Self {
         let mut entries = vec![(0u8, 0u8); 1 << MAX_CODE_LEN];
+        let mut min_len = 0u8;
         for s in 0..256usize {
             let l = table.lengths[s];
             if l == 0 {
                 continue;
+            }
+            if min_len == 0 || l < min_len {
+                min_len = l;
             }
             let lo = (table.codes[s] as usize) << (MAX_CODE_LEN - l);
             let hi = lo + (1usize << (MAX_CODE_LEN - l));
@@ -45,12 +66,93 @@ impl FlatDecoder {
                 *e = (s as u8, l);
             }
         }
-        FlatDecoder { entries }
+        FlatDecoder { entries, min_len }
+    }
+
+    /// Shortest code length in the table (0 when the table has no codes).
+    pub fn min_code_len(&self) -> u8 {
+        self.min_len
+    }
+
+    /// Decodes one symbol at the reader's position — the single window-
+    /// decode step every Huffman decode path in this crate goes through.
+    #[inline]
+    fn read_symbol(&self, r: &mut BitReader<'_>) -> CodecResult<u8> {
+        let window = r.peek_bits_padded(MAX_CODE_LEN);
+        let (sym, len) = self.entries[window as usize];
+        if len == 0 {
+            return Err(CodecError::Corrupt(format!(
+                "invalid huffman window {window:#06x} at bit {}",
+                r.bit_len() - r.remaining()
+            )));
+        }
+        if (len as usize) > r.remaining() {
+            return Err(CodecError::Truncated { context: "huffman code" });
+        }
+        r.skip_bits(len).expect("length checked against remaining");
+        Ok(sym)
+    }
+
+    /// Decodes exactly `expected_len` symbols from a bitstream of `bit_len`
+    /// valid bits.
+    ///
+    /// # Errors
+    /// [`CodecError`] on invalid windows, premature end, or trailing bits
+    /// that don't form a whole code.
+    pub fn decode_exact(
+        &self,
+        bytes: &[u8],
+        bit_len: usize,
+        expected_len: usize,
+    ) -> CodecResult<Vec<u8>> {
+        let mut r = BitReader::new(bytes, bit_len)?;
+        let mut out = Vec::with_capacity(expected_len);
+        while out.len() < expected_len {
+            out.push(self.read_symbol(&mut r)?);
+        }
+        if r.remaining() >= 8 {
+            return Err(CodecError::Corrupt(format!(
+                "{} unread bits after decoding {expected_len} symbols",
+                r.remaining()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Decodes until the bitstream is exhausted (fewer bits remain than the
+    /// shortest code, which must all be padding: zero leftover bits are
+    /// tolerated at the end only because codes are byte-packed). Used when
+    /// the symbol count is not stored explicitly.
+    ///
+    /// # Errors
+    /// [`CodecError`] on invalid windows, premature end, leftover bits, or
+    /// a code-less table facing a non-empty stream.
+    pub fn decode_all(&self, bytes: &[u8], bit_len: usize) -> CodecResult<Vec<u8>> {
+        if self.min_len == 0 {
+            return if bit_len == 0 {
+                Ok(Vec::new())
+            } else {
+                Err(CodecError::Corrupt("bits present but table has no codes".into()))
+            };
+        }
+        let mut r = BitReader::new(bytes, bit_len)?;
+        let mut out = Vec::with_capacity(bit_len / self.min_len as usize + 1);
+        while r.remaining() >= self.min_len as usize {
+            out.push(self.read_symbol(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Corrupt(format!(
+                "{} leftover bits shorter than any code",
+                r.remaining()
+            )));
+        }
+        Ok(out)
     }
 }
 
 /// Decodes exactly `expected_len` symbols from a bitstream of `bit_len`
-/// valid bits.
+/// valid bits. Builds a throwaway [`FlatDecoder`]; repeat callers should
+/// build one and use [`FlatDecoder::decode_exact`].
 ///
 /// # Errors
 /// [`CodecError`] on invalid windows, premature end, or trailing bits that
@@ -61,31 +163,7 @@ pub fn decode(
     table: &HuffmanTable,
     expected_len: usize,
 ) -> CodecResult<Vec<u8>> {
-    let decoder = FlatDecoder::build(table);
-    let mut r = BitReader::new(bytes, bit_len)?;
-    let mut out = Vec::with_capacity(expected_len);
-    while out.len() < expected_len {
-        let window = r.peek_bits_padded(MAX_CODE_LEN);
-        let (sym, len) = decoder.entries[window as usize];
-        if len == 0 {
-            return Err(CodecError::Corrupt(format!(
-                "invalid huffman window {window:#06x} at bit {}",
-                bit_len - r.remaining()
-            )));
-        }
-        if (len as usize) > r.remaining() {
-            return Err(CodecError::Truncated { context: "huffman code" });
-        }
-        r.skip_bits(len).expect("length checked against remaining");
-        out.push(sym);
-    }
-    if r.remaining() >= 8 {
-        return Err(CodecError::Corrupt(format!(
-            "{} unread bits after decoding {expected_len} symbols",
-            r.remaining()
-        )));
-    }
-    Ok(out)
+    FlatDecoder::build(table).decode_exact(bytes, bit_len, expected_len)
 }
 
 #[cfg(test)]

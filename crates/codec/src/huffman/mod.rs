@@ -15,7 +15,7 @@
 
 mod codec;
 
-pub use codec::{decode, encode};
+pub use codec::{decode, encode, FlatDecoder};
 
 use crate::error::{CodecError, CodecResult};
 

@@ -13,7 +13,7 @@
 
 use crate::block::{split_blocks, BlockStream, CompressedBlock};
 use crate::error::{CodecError, CodecResult};
-use crate::huffman::{self, HuffmanTable};
+use crate::huffman::{self, FlatDecoder, HuffmanTable};
 use crate::telemetry::StageTelemetry;
 use crate::{delta, snappy};
 use rayon::prelude::*;
@@ -83,6 +83,9 @@ impl PipelineConfig {
 pub struct Pipeline {
     config: PipelineConfig,
     table: Option<HuffmanTable>,
+    /// Flat decode LUT built once per table at pipeline construction —
+    /// `decode_block` must not pay the 2^15-entry rebuild per block.
+    decoder: Option<FlatDecoder>,
     /// Optional shared per-stage telemetry. `None` (the default) keeps the
     /// encode/decode hot paths free of any timing calls.
     telemetry: Option<Arc<StageTelemetry>>,
@@ -118,7 +121,8 @@ impl Pipeline {
         } else {
             None
         };
-        Ok(Pipeline { config, table, telemetry: None })
+        let decoder = table.as_ref().map(FlatDecoder::build);
+        Ok(Pipeline { config, table, decoder, telemetry: None })
     }
 
     /// Builds a pipeline with an externally supplied table (e.g. decoder
@@ -131,7 +135,8 @@ impl Pipeline {
         if config.huffman && table.is_none() {
             return Err(CodecError::MissingTable);
         }
-        Ok(Pipeline { config, table, telemetry: None })
+        let decoder = table.as_ref().map(FlatDecoder::build);
+        Ok(Pipeline { config, table, decoder, telemetry: None })
     }
 
     /// The configuration this pipeline runs.
@@ -235,9 +240,9 @@ impl Pipeline {
         // is exhausted — we instead store the intermediate implicitly by
         // decoding symbol-by-symbol until all bits are consumed).
         let pre = if self.config.huffman {
-            let table = self.table.as_ref().ok_or(CodecError::MissingTable)?;
+            let decoder = self.decoder.as_ref().ok_or(CodecError::MissingTable)?;
             let t0 = tel.map(|_| Instant::now());
-            let out = decode_all_symbols(&block.payload, block.bit_len, table)?;
+            let out = decoder.decode_all(&block.payload, block.bit_len)?;
             if let (Some(tel), Some(t0)) = (tel, t0) {
                 tel.decode.huffman.record(t0, block.payload.len(), out.len());
             }
@@ -320,59 +325,6 @@ impl Pipeline {
         }
         Ok(out)
     }
-}
-
-/// Huffman-decodes until the bitstream is exhausted (fewer than 8 trailing
-/// padding bits remain). Used when the intermediate (pre-Huffman) length is
-/// not stored explicitly.
-fn decode_all_symbols(bytes: &[u8], bit_len: usize, table: &HuffmanTable) -> CodecResult<Vec<u8>> {
-    // Cheap upper bound: shortest code is >= 1 bit, so at most bit_len
-    // symbols. Decode greedily until fewer bits remain than the shortest
-    // code, then require < 8 leftover bits.
-    let min_len = table.lengths.iter().filter(|&&l| l > 0).min().copied().unwrap_or(0);
-    if min_len == 0 {
-        return if bit_len == 0 {
-            Ok(Vec::new())
-        } else {
-            Err(CodecError::Corrupt("bits present but table has no codes".into()))
-        };
-    }
-    let mut reader = crate::bitstream::BitReader::new(bytes, bit_len)?;
-    let decoder_table = build_flat(table);
-    let mut out = Vec::with_capacity(bit_len / min_len as usize + 1);
-    while reader.remaining() >= min_len as usize {
-        let window = reader.peek_bits_padded(huffman::MAX_CODE_LEN);
-        let (sym, len) = decoder_table[window as usize];
-        if len == 0 || (len as usize) > reader.remaining() {
-            return Err(CodecError::Corrupt("invalid or truncated huffman code".into()));
-        }
-        reader.skip_bits(len)?;
-        out.push(sym);
-    }
-    if reader.remaining() != 0 {
-        return Err(CodecError::Corrupt(format!(
-            "{} leftover bits shorter than any code",
-            reader.remaining()
-        )));
-    }
-    Ok(out)
-}
-
-/// Flat 15-bit decode table (same construction as `huffman::codec`).
-fn build_flat(table: &HuffmanTable) -> Vec<(u8, u8)> {
-    let mut entries = vec![(0u8, 0u8); 1 << huffman::MAX_CODE_LEN];
-    for s in 0..256usize {
-        let l = table.lengths[s];
-        if l == 0 {
-            continue;
-        }
-        let lo = (table.codes[s] as usize) << (huffman::MAX_CODE_LEN - l);
-        let hi = lo + (1usize << (huffman::MAX_CODE_LEN - l));
-        for e in &mut entries[lo..hi] {
-            *e = (s as u8, l);
-        }
-    }
-    entries
 }
 
 /// Matrix-level codec configuration: one pipeline per stream.

@@ -111,9 +111,13 @@ fn read_le(
     Ok(v)
 }
 
-/// Appends `len` bytes copied from `offset` back in `out`. Handles
-/// overlapping copies (offset < len) byte-by-byte, which is exactly the
-/// run-extension semantics the format requires.
+/// Appends `len` bytes copied from `offset` back in `out`, with the
+/// format's run-extension semantics for overlapping copies (offset < len):
+/// bytes appended earlier in the copy are themselves sources for later
+/// ones. Instead of pushing byte-by-byte, each pass appends the longest
+/// already-materialized prefix in one `extend_from_within` memcpy — the
+/// source doubles every pass, so even a maximally overlapping copy costs
+/// O(log len) memcpys.
 fn copy_back(out: &mut Vec<u8>, offset: usize, len: usize, expected: usize) -> CodecResult<()> {
     if offset == 0 {
         return Err(CodecError::Corrupt("copy offset zero".into()));
@@ -128,9 +132,11 @@ fn copy_back(out: &mut Vec<u8>, offset: usize, len: usize, expected: usize) -> C
         return Err(CodecError::Corrupt("copy overruns declared size".into()));
     }
     let start = out.len() - offset;
-    for k in 0..len {
-        let b = out[start + k];
-        out.push(b);
+    let mut done = 0usize;
+    while done < len {
+        let n = (out.len() - (start + done)).min(len - done);
+        out.extend_from_within(start + done..start + done + n);
+        done += n;
     }
     Ok(())
 }

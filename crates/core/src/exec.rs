@@ -342,9 +342,11 @@ impl RecodedSpmv {
             let mut recovered: Option<Vec<u8>> = None;
             let mut last_err = first_err;
             let t_retry = tel.is_some().then(Instant::now);
+            // One pooled lane serves every retry attempt: `run` fully
+            // resets lane state, so attempt N is as "fresh" as a new lane.
+            let mut lane = recode_udp::pool::global().checkout();
             for _ in 0..MAX_BLOCK_RETRIES {
                 blocks_retried += 1;
-                let mut lane = Lane::new();
                 match run(&mut lane, &jobs[k]) {
                     Ok(o) => {
                         report.output_bytes += o.output.len() as u64;
@@ -637,7 +639,7 @@ impl RecodedSpmv {
         assert_eq!(x.len(), self.compressed.ncols, "x length must equal ncols");
         check_stream_structure(&self.compressed.index_stream)?;
         check_stream_structure(&self.compressed.value_stream)?;
-        let mut lane = Lane::new();
+        let mut lane = recode_udp::pool::global().checkout();
         let mut y = vec![0.0f64; self.compressed.nrows];
         let row_ptr = &self.compressed.row_ptr;
 

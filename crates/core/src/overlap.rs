@@ -51,7 +51,7 @@ use crate::telemetry::{
 use recode_mem::traffic::TrafficSource;
 use recode_sparse::solve::{self, SolveResult};
 use recode_udp::accel::{AccelReport, FaultHook, JobOutcome};
-use recode_udp::{Lane, LaneError, UdpError};
+use recode_udp::{LaneError, UdpError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc;
@@ -488,6 +488,16 @@ impl<'m> OverlapExecutor<'m> {
         Ok((result, eigenvalue, per_apply))
     }
 
+    /// Decodes one block through the same cache-then-retry-ladder path a
+    /// pipelined run uses, returning the decoded length. Hidden: it exists
+    /// so the allocation-regression suite can measure warm-cache hits
+    /// without spinning up the worker threads `run` needs.
+    #[doc(hidden)]
+    pub fn decode_one_for_test(&self, stream: StreamKind, pos: usize) -> ExecResult<usize> {
+        let hook = FaultHook::default();
+        self.decode_one(stream, pos, usize::MAX, &hook).map(|d| d.bytes.len())
+    }
+
     /// Decodes one block, consulting the cache first and falling through
     /// the retry/fallback ladder of the batch path on failure. `job` uses
     /// batch numbering (index blocks `0..n_index`, value blocks after).
@@ -532,10 +542,11 @@ impl<'m> OverlapExecutor<'m> {
 
         let stall_cycles = hook.stall_cycles.get(&job).copied().unwrap_or(0);
         let wire_bytes = blk.payload.len();
+        let mut lane = recode_udp::pool::global().checkout();
         let first: Result<JobOutcome, UdpError> = if hook.trap_jobs.contains(&job) {
             Err(UdpError::from(LaneError::InjectedFault))
         } else {
-            decoder.decode_block(&mut Lane::new(), blk)
+            decoder.decode_block(&mut lane, blk)
         };
 
         let mut cycles = 0u64;
@@ -556,7 +567,7 @@ impl<'m> OverlapExecutor<'m> {
                 let mut last_err = first_err;
                 for _ in 0..MAX_BLOCK_RETRIES {
                     retries += 1;
-                    match decoder.decode_block(&mut Lane::new(), blk) {
+                    match decoder.decode_block(&mut lane, blk) {
                         Ok(o) => {
                             retry_cycles = o.cycles;
                             outcome = BlockOutcome::Retried;

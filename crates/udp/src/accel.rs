@@ -388,7 +388,7 @@ impl Accelerator {
         let per_lane: Vec<LaneRun<E>> = (0..self.lanes)
             .into_par_iter()
             .map(|lane_idx| {
-                let mut lane = Lane::new();
+                let mut lane = crate::pool::global().checkout();
                 let mut done = Vec::new();
                 let mut profile = LaneProfile { lane: lane_idx, ..Default::default() };
                 let mut stages = StageCycles::default();

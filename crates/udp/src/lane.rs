@@ -213,26 +213,87 @@ pub struct RunResult {
     pub output: Vec<u8>,
 }
 
+/// The modeled-machine half of a [`RunResult`]: everything except the output
+/// bytes, which [`Lane::run_into`] writes into a caller-owned buffer instead
+/// of allocating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total cycles consumed (dispatches + actions).
+    pub cycles: u64,
+    /// Number of block dispatches executed.
+    pub dispatches: u64,
+    /// Number of actions executed.
+    pub actions: u64,
+    /// Cycle attribution by opcode class (`opclass.total() == cycles`).
+    pub opclass: OpClassCycles,
+}
+
 /// Bit-granular input stream with MSB-first reads — the Stream Prefetch
 /// unit's software model. Mirrors `recode_codec::bitstream::BitReader`
 /// semantics exactly (peek pads zeros past the end).
+///
+/// Reads are served from a 64-bit refill buffer holding the bits at
+/// `[pos, pos + buf_bits)` MSB-aligned (bits below `buf_bits` are zero, so
+/// past-the-end peeks get their zero padding for free). The buffer is
+/// topped up a byte at a time only when a request outruns it, instead of
+/// the stream touching `bytes` bit-by-bit.
 struct StreamUnit<'a> {
     bytes: &'a [u8],
     bit_len: usize,
+    /// Logical position of the next unconsumed bit.
     pos: usize,
+    buf: u64,
+    buf_bits: u32,
 }
 
 impl<'a> StreamUnit<'a> {
     fn new(bytes: &'a [u8], bit_len: usize) -> Self {
         debug_assert!(bit_len <= bytes.len() * 8);
-        StreamUnit { bytes, bit_len, pos: 0 }
+        StreamUnit { bytes, bit_len, pos: 0, buf: 0, buf_bits: 0 }
     }
 
     fn remaining(&self) -> usize {
         self.bit_len - self.pos
     }
 
-    fn peek(&self, nbits: u8) -> u64 {
+    /// Tops up the buffer byte-by-byte. Invariant: the next load position
+    /// (`pos + buf_bits`) is byte-aligned or `>= bit_len`, so whole bytes
+    /// can be appended; the final partial byte is masked to `bit_len`.
+    #[inline]
+    fn refill(&mut self) {
+        let mut next = self.pos + self.buf_bits as usize;
+        while self.buf_bits <= 56 && next < self.bit_len {
+            debug_assert_eq!(next % 8, 0);
+            let avail = self.bit_len - next;
+            let mut b = self.bytes[next / 8];
+            if avail < 8 {
+                b &= 0xFF << (8 - avail);
+            }
+            self.buf |= (b as u64) << (56 - self.buf_bits);
+            self.buf_bits += if avail < 8 { avail as u32 } else { 8 };
+            next += 8;
+        }
+    }
+
+    /// Re-establishes the refill invariant after `pos` moved past the
+    /// buffer to a possibly mid-byte position: load the valid remainder of
+    /// the current byte so the next load is byte-aligned again.
+    fn rebase(&mut self) {
+        self.buf = 0;
+        self.buf_bits = 0;
+        let frac = self.pos % 8;
+        if frac != 0 && self.pos < self.bit_len {
+            let avail = (8 - frac).min(self.bit_len - self.pos);
+            let b = (self.bytes[self.pos / 8] << frac) & (0xFFu16 << (8 - avail)) as u8;
+            self.buf = (b as u64) << 56;
+            self.buf_bits = avail as u32;
+        }
+    }
+
+    /// Fallback for oversized requests the 64-bit buffer cannot stage
+    /// (only reachable from fuzzed/garbage encodings; validated programs
+    /// cap stream reads at 32 bits).
+    fn peek_slow(&self, nbits: u8) -> u64 {
         let mut out = 0u64;
         for k in 0..nbits as usize {
             let p = self.pos + k;
@@ -240,6 +301,31 @@ impl<'a> StreamUnit<'a> {
             out = (out << 1) | bit as u64;
         }
         out
+    }
+
+    fn peek(&mut self, nbits: u8) -> u64 {
+        if nbits == 0 {
+            return 0;
+        }
+        if nbits > 57 {
+            return self.peek_slow(nbits);
+        }
+        if u32::from(nbits) > self.buf_bits {
+            self.refill();
+        }
+        self.buf >> (64 - u32::from(nbits))
+    }
+
+    /// Consumes `n` bits; caller has checked `n <= remaining()`.
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        if (n as u64) < u64::from(self.buf_bits) {
+            self.buf <<= n;
+            self.buf_bits -= n as u32;
+        } else {
+            self.rebase();
+        }
     }
 
     fn read(&mut self, nbits: u8) -> Result<u64, LaneError> {
@@ -250,7 +336,7 @@ impl<'a> StreamUnit<'a> {
             });
         }
         let v = self.peek(nbits);
-        self.pos += nbits as usize;
+        self.advance(nbits as usize);
         Ok(v)
     }
 
@@ -258,16 +344,20 @@ impl<'a> StreamUnit<'a> {
         if nbits > self.remaining() {
             return Err(LaneError::StreamUnderflow { wanted: nbits, available: self.remaining() });
         }
-        self.pos += nbits;
+        self.advance(nbits);
         Ok(())
     }
 
     /// Little-endian byte-symbol read: `bytes` 8-bit groups, first group in
     /// the least significant byte of the result.
     fn read_le(&mut self, bytes: u8) -> Result<u64, LaneError> {
+        if bytes as usize * 8 > self.remaining() {
+            return Err(LaneError::StreamUnderflow { wanted: 8, available: self.remaining() % 8 });
+        }
         let mut v = 0u64;
         for k in 0..bytes {
-            let b = self.read(8)?;
+            let b = self.peek(8);
+            self.advance(8);
             v |= b << (8 * k);
         }
         Ok(v)
@@ -275,9 +365,23 @@ impl<'a> StreamUnit<'a> {
 }
 
 /// A reusable lane (scratchpad allocation is recycled across runs).
+///
+/// Every `run*` entry point fully re-initializes the architectural state
+/// (registers, scratchpad contents, stream position), so a recycled lane —
+/// e.g. one checked out of [`LanePool`](crate::pool::LanePool) — is
+/// indistinguishable from `Lane::new()`.
 pub struct Lane {
     scratch: Vec<u8>,
     regs: [u64; NUM_REGS],
+    /// High-water mark of scratchpad bytes dirtied by stores since the last
+    /// clear: the prologue zeroes only `scratch[..dirty_hi]` instead of all
+    /// 64 KB. Invariant: outside `[0, dirty_hi)` the scratchpad is zero.
+    dirty_hi: usize,
+    /// Spare output buffers recycled by `DshDecoder::decode_block`'s stage
+    /// chain (held here so every consumer of a pooled lane reuses the same
+    /// allocations).
+    pub(crate) io_a: Vec<u8>,
+    pub(crate) io_b: Vec<u8>,
 }
 
 impl Default for Lane {
@@ -286,10 +390,110 @@ impl Default for Lane {
     }
 }
 
+/// Per-run accounting shared by the fast and reference interpreter loops.
+#[derive(Default)]
+struct Accounting {
+    cycles: u64,
+    dispatches: u64,
+    actions: u64,
+    opclass: OpClassCycles,
+}
+
 impl Lane {
     /// Fresh lane with a zeroed scratchpad.
     pub fn new() -> Self {
-        Lane { scratch: vec![0u8; SCRATCHPAD_BYTES], regs: [0; NUM_REGS] }
+        Lane {
+            scratch: vec![0u8; SCRATCHPAD_BYTES],
+            regs: [0; NUM_REGS],
+            dirty_hi: 0,
+            io_a: Vec::new(),
+            io_b: Vec::new(),
+        }
+    }
+
+    /// Input/verify gates and architectural-state reset shared by every run
+    /// entry point.
+    fn prologue(
+        &mut self,
+        image: &Image,
+        input: &[u8],
+        input_bits: usize,
+        cfg: RunConfig,
+    ) -> Result<(), LaneError> {
+        if input_bits > input.len() * 8 {
+            return Err(LaneError::BadInputLength {
+                declared_bits: input_bits,
+                buffer_bits: input.len() * 8,
+            });
+        }
+        let verify_errors = image.verify_report.error_count();
+        if verify_errors > 0 && !cfg.allow_unverified {
+            return Err(LaneError::Unverified { errors: verify_errors });
+        }
+        // Only the prefix a previous run dirtied needs zeroing; everything
+        // past `dirty_hi` is still zero from `new()` or an earlier clear.
+        self.scratch[..self.dirty_hi].fill(0);
+        self.dirty_hi = 0;
+        self.regs = [0; NUM_REGS];
+        self.regs[14] = cfg.out_base as u64;
+        Ok(())
+    }
+
+    /// Dispatch accounting + action execution for one code block. Order is
+    /// load-bearing: the block's full cost lands on the meter *before* the
+    /// budget check, and each action is attributed before it executes.
+    #[inline]
+    fn step_block(
+        &mut self,
+        actions: &[Action],
+        acct: &mut Accounting,
+        cfg: RunConfig,
+        stream: &mut StreamUnit<'_>,
+    ) -> Result<(), LaneError> {
+        acct.dispatches += 1;
+        acct.cycles += 1 + actions.len() as u64;
+        acct.actions += actions.len() as u64;
+        acct.opclass.dispatch += 1;
+        if acct.cycles > cfg.cycle_limit {
+            return Err(LaneError::CycleLimit { limit: cfg.cycle_limit });
+        }
+        for a in actions {
+            acct.opclass.bump(a);
+            self.exec_action(*a, stream)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves a block terminator to the next pc (`None` = halt).
+    #[inline]
+    fn resolve_transition(
+        &self,
+        t: DecodedTransition,
+        prev_pc: u32,
+        stream: &mut StreamUnit<'_>,
+    ) -> Result<Option<u32>, LaneError> {
+        Ok(match t {
+            DecodedTransition::Halt => None,
+            DecodedTransition::Jump(a) => Some(a),
+            DecodedTransition::DispatchSym { bits, base } => Some(base + stream.read(bits)? as u32),
+            DecodedTransition::DispatchPeek { bits, base } => Some(base + stream.peek(bits) as u32),
+            DecodedTransition::DispatchReg { rs, base } => {
+                Some(base.wrapping_add(self.reg(rs) as u32))
+            }
+            DecodedTransition::Branch { cond, rs, rt, taken } => {
+                Some(if cond.eval(self.reg(rs), self.reg(rt)) { taken } else { prev_pc + 1 })
+            }
+        })
+    }
+
+    /// Validates the output window `r14`/`r15` declared at halt and returns
+    /// its scratchpad range.
+    fn output_range(&self, cfg: RunConfig) -> Result<std::ops::Range<usize>, LaneError> {
+        let declared = self.regs[15];
+        let start = cfg.out_base as usize;
+        let end = start.checked_add(declared as usize).filter(|&e| e <= SCRATCHPAD_BYTES);
+        let end = end.ok_or(LaneError::BadOutputRange { declared })?;
+        Ok(start..end)
     }
 
     /// Executes `image` over `input` (valid bits: `input_bits`).
@@ -303,71 +507,98 @@ impl Lane {
         input_bits: usize,
         cfg: RunConfig,
     ) -> Result<RunResult, LaneError> {
-        if input_bits > input.len() * 8 {
-            return Err(LaneError::BadInputLength {
-                declared_bits: input_bits,
-                buffer_bits: input.len() * 8,
-            });
-        }
-        let verify_errors = image.verify_report.error_count();
-        if verify_errors > 0 && !cfg.allow_unverified {
-            return Err(LaneError::Unverified { errors: verify_errors });
-        }
-        self.scratch.fill(0);
-        self.regs = [0; NUM_REGS];
-        self.regs[14] = cfg.out_base as u64;
+        let mut output = Vec::new();
+        let stats = self.run_into(image, input, input_bits, cfg, &mut output)?;
+        Ok(RunResult {
+            cycles: stats.cycles,
+            dispatches: stats.dispatches,
+            actions: stats.actions,
+            opclass: stats.opclass,
+            output,
+        })
+    }
+
+    /// Like [`Lane::run`], but writes the output bytes into `out` (cleared
+    /// first) instead of allocating a fresh `Vec` — with a warm `out`
+    /// buffer the whole call is allocation-free. The interpreter loop
+    /// indexes the image's predecoded block table; it never re-decodes a
+    /// code word.
+    ///
+    /// # Errors
+    /// Any [`LaneError`] trap (on error, `out` contents are unspecified).
+    pub fn run_into(
+        &mut self,
+        image: &Image,
+        input: &[u8],
+        input_bits: usize,
+        cfg: RunConfig,
+        out: &mut Vec<u8>,
+    ) -> Result<RunStats, LaneError> {
+        self.prologue(image, input, input_bits, cfg)?;
         let mut stream = StreamUnit::new(input, input_bits);
-
+        let mut acct = Accounting::default();
         let mut pc = image.entry;
-        let mut cycles = 0u64;
-        let mut dispatches = 0u64;
-        let mut actions_run = 0u64;
-        let mut opclass = OpClassCycles::default();
         let mut prev_pc = pc;
+        loop {
+            let Some(block) = image.predecoded(pc) else {
+                return Err(LaneError::UnmappedAddress { addr: pc, from: prev_pc });
+            };
+            let (actions, transition) = (block.actions(), block.transition);
+            self.step_block(actions, &mut acct, cfg, &mut stream)?;
+            prev_pc = pc;
+            match self.resolve_transition(transition, prev_pc, &mut stream)? {
+                Some(next) => pc = next,
+                None => break,
+            }
+        }
+        let range = self.output_range(cfg)?;
+        out.clear();
+        out.extend_from_slice(&self.scratch[range]);
+        Ok(RunStats {
+            cycles: acct.cycles,
+            dispatches: acct.dispatches,
+            actions: acct.actions,
+            opclass: acct.opclass,
+        })
+    }
 
+    /// The word-at-a-time interpreter: decodes every code word at dispatch
+    /// time via [`Image::decode`] exactly as `run` did before images were
+    /// predecoded. Kept as the semantic reference — the differential suite
+    /// asserts `run` and `run_reference` agree on outputs, cycles, opclass
+    /// attribution, and traps for every program and corrupt input.
+    ///
+    /// # Errors
+    /// Any [`LaneError`] trap.
+    pub fn run_reference(
+        &mut self,
+        image: &Image,
+        input: &[u8],
+        input_bits: usize,
+        cfg: RunConfig,
+    ) -> Result<RunResult, LaneError> {
+        self.prologue(image, input, input_bits, cfg)?;
+        let mut stream = StreamUnit::new(input, input_bits);
+        let mut acct = Accounting::default();
+        let mut pc = image.entry;
+        let mut prev_pc = pc;
         loop {
             let block =
                 image.decode(pc).ok_or(LaneError::UnmappedAddress { addr: pc, from: prev_pc })?;
-            dispatches += 1;
-            cycles += 1 + block.actions.len() as u64;
-            actions_run += block.actions.len() as u64;
-            opclass.dispatch += 1;
-            if cycles > cfg.cycle_limit {
-                return Err(LaneError::CycleLimit { limit: cfg.cycle_limit });
-            }
-            for a in &block.actions {
-                opclass.bump(a);
-                self.exec_action(*a, &mut stream)?;
-            }
+            self.step_block(&block.actions, &mut acct, cfg, &mut stream)?;
             prev_pc = pc;
-            pc = match block.transition {
-                DecodedTransition::Halt => break,
-                DecodedTransition::Jump(a) => a,
-                DecodedTransition::DispatchSym { bits, base } => base + stream.read(bits)? as u32,
-                DecodedTransition::DispatchPeek { bits, base } => base + stream.peek(bits) as u32,
-                DecodedTransition::DispatchReg { rs, base } => {
-                    base.wrapping_add(self.reg(rs) as u32)
-                }
-                DecodedTransition::Branch { cond, rs, rt, taken } => {
-                    if cond.eval(self.reg(rs), self.reg(rt)) {
-                        taken
-                    } else {
-                        prev_pc + 1
-                    }
-                }
-            };
+            match self.resolve_transition(block.transition, prev_pc, &mut stream)? {
+                Some(next) => pc = next,
+                None => break,
+            }
         }
-
-        let declared = self.regs[15];
-        let start = cfg.out_base as usize;
-        let end = start.checked_add(declared as usize).filter(|&e| e <= SCRATCHPAD_BYTES);
-        let end = end.ok_or(LaneError::BadOutputRange { declared })?;
+        let range = self.output_range(cfg)?;
         Ok(RunResult {
-            cycles,
-            dispatches,
-            actions: actions_run,
-            opclass,
-            output: self.scratch[start..end].to_vec(),
+            cycles: acct.cycles,
+            dispatches: acct.dispatches,
+            actions: acct.actions,
+            opclass: acct.opclass,
+            output: self.scratch[range].to_vec(),
         })
     }
 
@@ -435,6 +666,7 @@ impl Lane {
                 for k in 0..w {
                     self.scratch[addr + k] = (v >> (8 * k)) as u8;
                 }
+                self.dirty_hi = self.dirty_hi.max(addr + w);
             }
             Action::LoadInc { rd, base, width } => {
                 let w = width.bytes();
@@ -455,6 +687,7 @@ impl Lane {
                 for k in 0..w {
                     self.scratch[addr + k] = (v >> (8 * k)) as u8;
                 }
+                self.dirty_hi = self.dirty_hi.max(addr + w);
                 self.set_reg(base, self.reg(base).wrapping_add(w as u64));
             }
             Action::InSym { rd, bits } => {

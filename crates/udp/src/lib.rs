@@ -17,6 +17,8 @@
 //!   and the executable [`machine::Image`];
 //! * [`lane`] — the lane interpreter with the paper's cycle model
 //!   (1 cycle/dispatch, 1 cycle/action);
+//! * [`pool`] — process-wide lane recycling so hot paths stop allocating
+//!   64 KB scratchpads;
 //! * [`accel`] — the 64-lane accelerator: MIMD block scheduling, makespan,
 //!   throughput and energy (1.6 GHz, 160 mW at 14 nm);
 //! * [`progs`] — real UDP programs for the paper's pipeline: inverse delta,
@@ -38,6 +40,7 @@ pub mod error;
 pub mod isa;
 pub mod lane;
 pub mod machine;
+pub mod pool;
 pub mod program;
 pub mod progs;
 pub mod verify;
@@ -47,8 +50,9 @@ pub use accel::{
     JobOutcome, LaneProfile, StageCycles,
 };
 pub use error::{UdpError, UdpResult};
-pub use lane::{Lane, LaneError, OpClassCycles, RunConfig, RunResult};
+pub use lane::{Lane, LaneError, OpClassCycles, RunConfig, RunResult, RunStats};
 pub use machine::Image;
+pub use pool::{LanePool, PooledLane};
 pub use program::{Program, ProgramBuilder};
 pub use verify::{
     verify_image, verify_program, Analysis, Finding, LoopSummary, Severity, VerifyConfig,

@@ -112,6 +112,42 @@ pub enum DecodedTransition {
     },
 }
 
+/// A code word decoded once at assemble time into a fixed-size record the
+/// lane interpreter can index without allocating: the (at most four) action
+/// slots are inlined as an array, unused slots padded with a placeholder
+/// that [`PredecodedBlock::actions`] never exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredecodedBlock {
+    actions: [Action; 4],
+    n_actions: u8,
+    /// Resolved terminator (identical to the word-at-a-time decode).
+    pub transition: DecodedTransition,
+}
+
+/// Placeholder filling unused action slots; never executed (`n_actions`
+/// bounds every iteration) and a no-op even if it were (`r0` is hardwired).
+const PAD_ACTION: Action = Action::Mov { rd: 0, rs: 0 };
+
+impl PredecodedBlock {
+    /// Predecodes one code word; `None` for holes and malformed words —
+    /// exactly the cases where [`decode_word`] fails, so a dispatch into
+    /// `None` traps identically on both interpreter paths.
+    pub fn from_word(w: u128) -> Option<PredecodedBlock> {
+        if w == HOLE {
+            return None;
+        }
+        let mut actions = [PAD_ACTION; 4];
+        let (n_actions, transition) = decode_word_into(w, &mut actions)?;
+        Some(PredecodedBlock { actions, n_actions, transition })
+    }
+
+    /// The occupied action slots, in execution order.
+    #[inline]
+    pub fn actions(&self) -> &[Action] {
+        &self.actions[..self.n_actions as usize]
+    }
+}
+
 /// An executable image: one code word per address, plus the entry address.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Image {
@@ -127,6 +163,10 @@ pub struct Image {
     /// run images whose report carries `Error` findings unless the caller
     /// opts out via [`RunConfig::allow_unverified`](crate::lane::RunConfig).
     pub verify_report: VerifyReport,
+    /// One predecoded record per word (`None` ⇔ [`Image::decode`] fails),
+    /// built once at encode time; the lane's hot loop indexes this instead
+    /// of re-decoding words per dispatch.
+    predecoded: Vec<Option<PredecodedBlock>>,
 }
 
 impl Image {
@@ -136,13 +176,22 @@ impl Image {
     }
 
     /// Decodes the word at `addr`. Returns `None` for holes or
-    /// out-of-range addresses (runtime trap).
+    /// out-of-range addresses (runtime trap). This is the word-at-a-time
+    /// reference path; the lane's hot loop uses [`Image::predecoded`].
     pub fn decode(&self, addr: u32) -> Option<DecodedBlock> {
         let w = *self.words.get(addr as usize)?;
         if w == HOLE {
             return None;
         }
         decode_word(w)
+    }
+
+    /// The predecoded record at `addr`; `None` agrees bit-for-bit with
+    /// [`Image::decode`] returning `None` (hole, invalid word, or
+    /// out-of-range).
+    #[inline]
+    pub fn predecoded(&self, addr: u32) -> Option<&PredecodedBlock> {
+        self.predecoded.get(addr as usize)?.as_ref()
     }
 }
 
@@ -158,12 +207,14 @@ pub fn encode(program: &Program, placement: &Placement) -> Result<Image, UdpErro
         let addr = placement.block_addr[bid] as usize;
         words[addr] = encode_word(block, placement)?;
     }
+    let predecoded = words.iter().map(|&w| PredecodedBlock::from_word(w)).collect();
     let mut image = Image {
         name: program.name.clone(),
         words,
         entry: placement.block_addr[program.entry as usize],
         utilization: placement.utilization,
         verify_report: VerifyReport::empty(program.name.clone()),
+        predecoded,
     };
     image.verify_report =
         verify::verify_image(program, placement, &image, &VerifyConfig::default());
@@ -325,16 +376,26 @@ fn encode_transition(t: &Transition, placement: &Placement) -> Result<u32, UdpEr
 
 /// Decodes one code word; `None` if any field is malformed.
 pub fn decode_word(w: u128) -> Option<DecodedBlock> {
-    let mut actions = Vec::new();
+    let mut buf = [PAD_ACTION; 4];
+    let (n, transition) = decode_word_into(w, &mut buf)?;
+    Some(DecodedBlock { actions: buf[..n as usize].to_vec(), transition })
+}
+
+/// Non-allocating word decode: fills `out` with the occupied action slots
+/// (compacted, in slot order) and returns their count plus the transition;
+/// `None` if any field is malformed.
+fn decode_word_into(w: u128, out: &mut [Action; 4]) -> Option<(u8, DecodedTransition)> {
+    let mut n = 0u8;
     for slot in 0..4 {
         let bits = ((w >> (24 * slot)) & 0xFF_FFFF) as u32;
         if bits == 0 {
             continue;
         }
-        actions.push(decode_action(bits)?);
+        out[n as usize] = decode_action(bits)?;
+        n += 1;
     }
     let transition = decode_transition(((w >> 96) & 0xFFFF_FFFF) as u32)?;
-    Some(DecodedBlock { actions, transition })
+    Some((n, transition))
 }
 
 fn sign_extend(v: u32, bits: u32) -> i16 {

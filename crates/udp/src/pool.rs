@@ -1,0 +1,118 @@
+//! Lane recycling: a process-wide free list of [`Lane`]s so "fresh lane"
+//! call sites (fault retries, per-tile decodes in the overlap executor,
+//! per-batch worker lanes) stop paying a 64 KB zeroed allocation each time.
+//!
+//! Correctness rests on the lane's own contract: every `run*` entry point
+//! fully re-initializes architectural state, so a pooled lane is
+//! indistinguishable from `Lane::new()` — the differential and fault suites
+//! exercise exactly this substitution.
+
+use crate::lane::Lane;
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// Free lanes kept per pool; beyond this, returned lanes are dropped
+/// (each holds a 64 KB scratchpad — the cap bounds idle memory at ~16 MB).
+const MAX_POOLED: usize = 256;
+
+/// A free list of reusable lanes. Checkout pops a recycled lane (or builds
+/// one on first use); dropping the guard returns it.
+pub struct LanePool {
+    free: Mutex<Vec<Lane>>,
+}
+
+impl LanePool {
+    /// An empty pool.
+    pub const fn new() -> Self {
+        LanePool { free: Mutex::new(Vec::new()) }
+    }
+
+    /// Takes a lane out of the pool, creating one if none are free. The
+    /// lane rides back into the pool when the returned guard drops.
+    pub fn checkout(&self) -> PooledLane<'_> {
+        let lane = self.lock().pop().unwrap_or_default();
+        PooledLane { pool: self, lane: Some(lane) }
+    }
+
+    /// Number of lanes currently parked in the free list.
+    pub fn idle(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Lane>> {
+        // A panicked holder can only have poisoned the list mid-push/pop of
+        // whole lanes; the Vec is still structurally sound.
+        self.free.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Default for LanePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide pool used by the accelerator batch loop, the exec
+/// retry ladder, and the overlap executor.
+pub fn global() -> &'static LanePool {
+    static POOL: LanePool = LanePool::new();
+    &POOL
+}
+
+/// Checkout guard: derefs to [`Lane`], returns the lane to its pool on drop.
+pub struct PooledLane<'a> {
+    pool: &'a LanePool,
+    lane: Option<Lane>,
+}
+
+impl Deref for PooledLane<'_> {
+    type Target = Lane;
+    fn deref(&self) -> &Lane {
+        self.lane.as_ref().expect("lane present until drop")
+    }
+}
+
+impl DerefMut for PooledLane<'_> {
+    fn deref_mut(&mut self) -> &mut Lane {
+        self.lane.as_mut().expect("lane present until drop")
+    }
+}
+
+impl Drop for PooledLane<'_> {
+    fn drop(&mut self) {
+        if let Some(lane) = self.lane.take() {
+            let mut free = self.pool.lock();
+            if free.len() < MAX_POOLED {
+                free.push(lane);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_recycles_the_same_lane_allocation() {
+        let pool = LanePool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+        }
+        assert_eq!(pool.idle(), 2);
+        {
+            let _c = pool.checkout();
+            assert_eq!(pool.idle(), 1, "checkout must reuse a parked lane");
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let before = global().idle();
+        drop(global().checkout());
+        assert!(global().idle() >= 1.min(before + 1));
+    }
+}

@@ -87,47 +87,57 @@ impl DshDecoder {
     ) -> Result<JobOutcome, UdpError> {
         let seq = block.seq as usize;
         block.verify_checksum().map_err(|e| UdpError::from(e).with_block(seq))?;
+        // The stage chain ping-pongs through the lane's two spare buffers so
+        // a warm lane runs the whole chain with a single allocation (the
+        // owned output `Vec`). On a trap the buffers' capacity is dropped
+        // with them — acceptable, traps are the cold path.
+        let mut cur = std::mem::take(&mut lane.io_a);
+        let mut nxt = std::mem::take(&mut lane.io_b);
         let cfg = RunConfig::default();
         let mut cycles = 0u64;
         let mut opclass = OpClassCycles::default();
         let mut stage_cycles = StageCycles::default();
         // Stage 1: Huffman (bit stream in, bytes out).
-        let mut data: Vec<u8>;
         let mut bits: usize;
         if let Some(img) = &self.huffman {
             let r = lane
-                .run(img, &block.payload, block.bit_len, cfg)
+                .run_into(img, &block.payload, block.bit_len, cfg, &mut cur)
                 .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             stage_cycles.huffman = r.cycles;
             opclass.merge(&r.opclass);
-            data = r.output;
-            bits = data.len() * 8;
+            bits = cur.len() * 8;
         } else {
-            data = block.payload.clone();
+            cur.clear();
+            cur.extend_from_slice(&block.payload);
             bits = block.bit_len;
         }
         // Stage 2: Snappy.
         if let Some(img) = &self.snappy {
-            let r =
-                lane.run(img, &data, bits, cfg).map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r = lane
+                .run_into(img, &cur, bits, cfg, &mut nxt)
+                .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             stage_cycles.snappy = r.cycles;
             opclass.merge(&r.opclass);
-            data = r.output;
-            bits = data.len() * 8;
+            std::mem::swap(&mut cur, &mut nxt);
+            bits = cur.len() * 8;
         }
         // Stage 3: inverse delta.
         if let Some(img) = &self.delta {
-            let r =
-                lane.run(img, &data, bits, cfg).map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r = lane
+                .run_into(img, &cur, bits, cfg, &mut nxt)
+                .map_err(|e| UdpError::from(e).with_block(seq))?;
             cycles += r.cycles;
             stage_cycles.delta = r.cycles;
             opclass.merge(&r.opclass);
-            data = r.output;
+            std::mem::swap(&mut cur, &mut nxt);
         }
         let _ = bits;
-        Ok(JobOutcome { cycles, opclass, stage_cycles, output: data })
+        let output = cur.clone();
+        lane.io_a = cur;
+        lane.io_b = nxt;
+        Ok(JobOutcome { cycles, opclass, stage_cycles, output })
     }
 
     /// Total code-memory bytes across the stage images (for reports).

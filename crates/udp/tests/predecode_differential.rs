@@ -1,0 +1,189 @@
+//! Differential suite for the predecoded interpreter (ISSUE 5).
+//!
+//! `Lane::run` executes the image's predecoded block table;
+//! `Lane::run_reference` re-decodes every code word at dispatch time, which
+//! is exactly what `run` did before predecoding. These tests drive both
+//! paths over every builtin decoder program (on real encoded streams and on
+//! corrupted ones) and over the full 12-program negative corpus, asserting
+//! bit-identical outputs, cycle counts, opclass attribution — and identical
+//! traps. Any divergence means predecoding changed machine semantics.
+
+use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_udp::asm::assemble_text_with_map;
+use recode_udp::lane::{Lane, LaneError, RunConfig, RunResult};
+use recode_udp::machine::{assemble, Image};
+use recode_udp::progs::DshDecoder;
+
+/// Runs `image` over `input` on both interpreter paths and asserts they
+/// agree exactly — on success (output, cycles, dispatches, actions,
+/// opclass) and on failure (the same `LaneError`). Returns the agreed
+/// result so callers can chain stages.
+fn differential(
+    image: &Image,
+    input: &[u8],
+    input_bits: usize,
+    cfg: RunConfig,
+    context: &str,
+) -> Result<RunResult, LaneError> {
+    let fast = Lane::new().run(image, input, input_bits, cfg);
+    let slow = Lane::new().run_reference(image, input, input_bits, cfg);
+    match (&fast, &slow) {
+        (Ok(f), Ok(s)) => {
+            assert_eq!(f.output, s.output, "{context}: outputs diverge");
+            assert_eq!(f.cycles, s.cycles, "{context}: cycles diverge");
+            assert_eq!(f.dispatches, s.dispatches, "{context}: dispatches diverge");
+            assert_eq!(f.actions, s.actions, "{context}: actions diverge");
+            assert_eq!(f.opclass, s.opclass, "{context}: opclass attribution diverges");
+        }
+        (Err(f), Err(s)) => assert_eq!(f, s, "{context}: traps diverge"),
+        _ => panic!("{context}: one path trapped, the other did not: fast={fast:?} slow={slow:?}"),
+    }
+    fast
+}
+
+/// Exhaustive static check: at every code address the predecoded record
+/// must agree with a fresh word-at-a-time decode — same occupied actions,
+/// same transition, and `None` exactly where `decode` fails.
+fn assert_predecode_agrees_everywhere(image: &Image) {
+    for addr in 0..image.words.len() as u32 {
+        let slow = image.decode(addr);
+        let fast = image.predecoded(addr);
+        match (&slow, fast) {
+            (Some(d), Some(p)) => {
+                assert_eq!(d.actions.as_slice(), p.actions(), "{}@{addr}: actions", image.name);
+                assert_eq!(d.transition, p.transition, "{}@{addr}: transition", image.name);
+            }
+            (None, None) => {}
+            _ => panic!("{}@{addr}: decode()={slow:?} but predecoded()={fast:?}", image.name),
+        }
+    }
+}
+
+fn banded_index_stream(n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let base = (i / 3) as u32;
+        let col = base + (i % 3) as u32;
+        out.extend_from_slice(&col.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes `data` under `config`, then pushes every block through every
+/// enabled stage image on both interpreter paths, chaining the agreed
+/// output into the next stage exactly as `DshDecoder::decode_block` does.
+fn differential_over_stream(config: PipelineConfig, data: &[u8]) {
+    let pipe = Pipeline::train(config, data).unwrap();
+    let stream = pipe.encode_stream(data).unwrap();
+    let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+    let cfg = RunConfig::default();
+    for img in [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten() {
+        assert_predecode_agrees_everywhere(img);
+    }
+    let mut decoded = Vec::new();
+    for (i, block) in stream.blocks.iter().enumerate() {
+        let mut cur = block.payload.clone();
+        let mut bits = block.bit_len;
+        for (stage, img) in
+            [("huffman", &decoder.huffman), ("snappy", &decoder.snappy), ("delta", &decoder.delta)]
+        {
+            let Some(img) = img else { continue };
+            let r = differential(img, &cur, bits, cfg, &format!("block {i} stage {stage}"))
+                .unwrap_or_else(|e| panic!("block {i} stage {stage} trapped: {e:?}"));
+            cur = r.output;
+            bits = cur.len() * 8;
+        }
+        decoded.extend_from_slice(&cur);
+    }
+    assert_eq!(decoded, data, "chained differential decode must equal encoder input");
+}
+
+#[test]
+fn builtin_dsh_pipeline_paths_agree() {
+    differential_over_stream(PipelineConfig::dsh_udp(), &banded_index_stream(6000));
+}
+
+#[test]
+fn builtin_snappy_huffman_paths_agree() {
+    let vals = [1.5f64, -0.25, 1.5, 3.0];
+    let data: Vec<u8> = (0..3000).flat_map(|i| vals[i % 4].to_le_bytes()).collect();
+    differential_over_stream(PipelineConfig::sh_udp(), &data);
+}
+
+#[test]
+fn builtin_delta_snappy_paths_agree() {
+    differential_over_stream(PipelineConfig::ds_udp(), &banded_index_stream(4000));
+}
+
+#[test]
+fn corrupted_payloads_trap_identically() {
+    // Resealed corruption slips past the CRC and reaches the lane; both
+    // interpreter paths must agree on exactly how each mutation fails (or
+    // doesn't — some flips decode to garbage without trapping).
+    let data = banded_index_stream(4000);
+    let config = PipelineConfig::dsh_udp();
+    let pipe = Pipeline::train(config, &data).unwrap();
+    let stream = pipe.encode_stream(&data).unwrap();
+    let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+    let img = decoder.huffman.as_ref().unwrap();
+    let cfg = RunConfig::default();
+    let block = &stream.blocks[0];
+    for i in 0..block.payload.len().min(24) {
+        let mut payload = block.payload.clone();
+        payload[i] ^= 0xA5;
+        let _ = differential(img, &payload, block.bit_len, cfg, &format!("flip byte {i}"));
+    }
+    // Truncations exercise end-of-stream handling in both paths.
+    for cut in [1usize, 3, 8, 17] {
+        if cut >= block.bit_len {
+            continue;
+        }
+        let bits = block.bit_len - cut;
+        let payload = &block.payload[..bits.div_ceil(8)];
+        let _ = differential(img, payload, bits, cfg, &format!("truncate {cut} bits"));
+    }
+}
+
+/// The full ISSUE-4 negative corpus: deliberately broken programs, run with
+/// the verifier gate bypassed. Whatever each one does — trap, halt with
+/// output, burn the cycle budget — both interpreter paths must do the same.
+#[test]
+fn negative_corpus_paths_agree() {
+    let corpus: [(&str, &str); 12] = [
+        ("bad_output", include_str!("corpus/bad_output.udp")),
+        ("dead_write", include_str!("corpus/dead_write.udp")),
+        ("empty_group", include_str!("corpus/empty_group.udp")),
+        ("incomplete_dispatch", include_str!("corpus/incomplete_dispatch.udp")),
+        ("infinite_loop", include_str!("corpus/infinite_loop.udp")),
+        ("invariant_exit", include_str!("corpus/invariant_exit.udp")),
+        ("oob_store", include_str!("corpus/oob_store.udp")),
+        ("stream_loop_no_inrem", include_str!("corpus/stream_loop_no_inrem.udp")),
+        ("uninit_read", include_str!("corpus/uninit_read.udp")),
+        ("unreachable_block", include_str!("corpus/unreachable_block.udp")),
+        ("unselectable_slot", include_str!("corpus/unselectable_slot.udp")),
+        ("write_r0", include_str!("corpus/write_r0.udp")),
+    ];
+    // A small cycle budget keeps the diverging programs cheap while still
+    // requiring both paths to hit the limit at the same instant.
+    let cfg = RunConfig { cycle_limit: 50_000, allow_unverified: true, ..Default::default() };
+    let inputs: [&[u8]; 4] = [
+        &[],
+        &[0u8; 16],
+        &[0xFF; 16],
+        &[0x00, 0x01, 0x02, 0x03, 0x5A, 0xA5, 0x80, 0x7F, 0xFE, 0x01, 0x10, 0x20],
+    ];
+    for (name, src) in corpus {
+        let (program, _) =
+            assemble_text_with_map(name, src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let image = assemble(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_predecode_agrees_everywhere(&image);
+        for (k, input) in inputs.iter().enumerate() {
+            let _ = differential(&image, input, input.len() * 8, cfg, &format!("{name} input {k}"));
+            // A non-byte-aligned bit length exercises stream tail masking.
+            if !input.is_empty() {
+                let bits = input.len() * 8 - 3;
+                let _ = differential(&image, input, bits, cfg, &format!("{name} input {k} ragged"));
+            }
+        }
+    }
+}

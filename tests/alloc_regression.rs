@@ -1,0 +1,164 @@
+//! Allocation-regression suite (ISSUE 5): the hot paths must not touch the
+//! heap in steady state.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! warms each path (first calls are allowed to size buffers), then asserts
+//! a **zero** allocation delta across many further iterations:
+//!
+//! 1. `Lane::run_into` with a reused output buffer — one decode per
+//!    dispatched block, zero heap traffic;
+//! 2. `OverlapExecutor` warm-cache tile decodes — a cache hit is an `Arc`
+//!    clone, not a decode, and must stay allocation-free.
+//!
+//! Everything lives in one `#[test]` so no concurrent harness thread can
+//! allocate between the two counter reads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use recode_spmv::codec::pipeline::{MatrixCodecConfig, Pipeline, PipelineConfig};
+use recode_spmv::core::exec::RecodedSpmv;
+use recode_spmv::core::overlap::{OverlapConfig, OverlapExecutor};
+use recode_spmv::core::telemetry::StreamKind;
+use recode_spmv::prelude::*;
+use recode_spmv::udp::progs::DshDecoder;
+use recode_spmv::udp::{Lane, RunConfig};
+
+/// System allocator with an allocation-event counter. `dealloc` is not
+/// counted: freeing is fine, acquiring is what the hot paths must avoid.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::SeqCst)
+}
+
+fn banded_index_stream(n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let base = (i / 3) as u32;
+        let col = base + (i % 3) as u32;
+        out.extend_from_slice(&col.to_le_bytes());
+    }
+    out
+}
+
+/// Steady-state `Lane::run_into` over predecoded images: after one warm-up
+/// pass per block the interpreter must run every stage of every block
+/// without a single allocator call.
+fn lane_run_into_is_allocation_free() {
+    let data = banded_index_stream(8000);
+    let config = PipelineConfig::dsh_udp();
+    let pipe = Pipeline::train(config, &data).unwrap();
+    let stream = pipe.encode_stream(&data).unwrap();
+    let decoder = DshDecoder::new(config, pipe.table().map(|t| t.lengths.as_slice())).unwrap();
+    let images: Vec<_> =
+        [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten().collect();
+    assert!(images.len() == 3, "dsh_udp must enable all three stages");
+    let cfg = RunConfig::default();
+    let mut lane = Lane::new();
+    let mut out = Vec::new();
+
+    // Warm-up pass: sizes the output buffer to the largest block's decode.
+    for block in &stream.blocks {
+        lane.run_into(images[0], &block.payload, block.bit_len, cfg, &mut out)
+            .expect("huffman stage decodes its own encoder output");
+    }
+
+    let before = alloc_events();
+    let mut total_cycles = 0u64;
+    for _ in 0..3 {
+        for block in &stream.blocks {
+            let stats = lane
+                .run_into(images[0], &block.payload, block.bit_len, cfg, &mut out)
+                .expect("huffman stage decodes its own encoder output");
+            total_cycles += stats.cycles;
+        }
+    }
+    let delta = alloc_events() - before;
+    assert!(total_cycles > 0);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state Lane::run_into allocated {delta} times across {} block decodes",
+        stream.blocks.len() * 3
+    );
+}
+
+/// Warm-cache tile decodes on the overlap executor: once a block is
+/// resident, serving it is an `Arc` clone and must not allocate.
+fn warm_cache_tiles_are_allocation_free() {
+    let a = generate(
+        &GenSpec::FemBand {
+            n: 600,
+            band: 8,
+            fill: 0.7,
+            values: ValueModel::MixedRepeated { distinct: 8 },
+        },
+        7,
+    );
+    let codec_cfg = MatrixCodecConfig {
+        index: PipelineConfig { block_bytes: 2048, ..PipelineConfig::dsh_udp() },
+        value: PipelineConfig { block_bytes: 2048, ..PipelineConfig::sh_udp() },
+    };
+    let recoded = RecodedSpmv::new(&a, codec_cfg).unwrap();
+    let cm = recoded.compressed();
+    let n_index = cm.index_stream.blocks.len();
+    let n_value = cm.value_stream.blocks.len();
+    assert!(n_index >= 2 && n_value >= 2, "need several blocks per stream");
+    let exec = OverlapExecutor::new(
+        &recoded,
+        OverlapConfig { cache_blocks: n_index + n_value, ..Default::default() },
+    );
+
+    // Cold pass populates the cache (allocates: decodes + inserts).
+    for pos in 0..n_index {
+        exec.decode_one_for_test(StreamKind::Index, pos).unwrap();
+    }
+    for pos in 0..n_value {
+        exec.decode_one_for_test(StreamKind::Value, pos).unwrap();
+    }
+    let hits_before = exec.cache_stats().hits;
+
+    let before = alloc_events();
+    for _ in 0..5 {
+        for pos in 0..n_index {
+            exec.decode_one_for_test(StreamKind::Index, pos).unwrap();
+        }
+        for pos in 0..n_value {
+            exec.decode_one_for_test(StreamKind::Value, pos).unwrap();
+        }
+    }
+    let delta = alloc_events() - before;
+    let served = exec.cache_stats().hits - hits_before;
+    assert_eq!(served, 5 * (n_index + n_value) as u64, "every warm pass must be served from cache");
+    assert_eq!(delta, 0, "warm-cache tile decode allocated {delta} times over {served} hits");
+}
+
+#[test]
+fn hot_paths_do_not_allocate_in_steady_state() {
+    lane_run_into_is_allocation_free();
+    warm_cache_tiles_are_allocation_free();
+}
