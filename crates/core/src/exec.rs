@@ -19,6 +19,9 @@
 use crate::arch::SystemConfig;
 use crate::error::{ExecError, ExecResult};
 use crate::overlap::OverlapStats;
+use crate::resilience::{
+    BreakerState, BudgetTracker, CircuitBreaker, JobBudget, JobReport, JobState,
+};
 use crate::telemetry::{
     BlockEvent, BlockOutcome, MatrixMeta, StreamKind, SystemMeta, Telemetry, TraceDocument,
 };
@@ -69,14 +72,47 @@ pub struct ExecStats {
     /// `accel.makespan_cycles` / `accel.busy_cycles`.
     #[serde(default)]
     pub retry_cycles: u64,
+    /// Scheduler backoff cycles charged by the [`JobBudget`] per retry
+    /// attempt. Folded into `accel.makespan_cycles` only — backoff is
+    /// waiting, not work, so busy cycles are untouched. Zero unless a
+    /// budget with backoff was supplied.
+    #[serde(default, skip_serializing_if = "serde_is_zero_u64")]
+    pub backoff_cycles: u64,
     /// True when any block needed a retry or a fallback — the result is
     /// still bit-exact, but the run did not complete on the happy path.
     pub degraded: bool,
+    /// True when the run never touched the accelerator: the circuit breaker
+    /// bypassed it to the software decoder ([`RecodedSpmv::run_job`]).
+    #[serde(default, skip_serializing_if = "serde_is_false")]
+    pub software_decode: bool,
+    /// Blocks that decoded cleanly on the first attempt. In-memory
+    /// accounting only (not serialized):
+    /// `blocks_ok + blocks_recovered + blocks_fell_back == accel.jobs`.
+    #[serde(skip)]
+    pub blocks_ok: usize,
+    /// Blocks that failed initially but recovered via retry (each counted
+    /// once, unlike [`ExecStats::blocks_retried`] which counts attempts).
+    #[serde(skip)]
+    pub blocks_recovered: usize,
     /// Pipelined-schedule and decoded-block-cache statistics. All-zero
     /// (`enabled == false`) on the plain batch path, populated by the
     /// [`crate::overlap::OverlapExecutor`].
     #[serde(default)]
     pub overlap: OverlapStats,
+}
+
+/// `skip_serializing_if` helper: keeps clean-run trace JSON byte-identical
+/// to pre-resilience documents. (`dead_code` allowed: only the serde derive
+/// references it, through the attribute string.)
+#[allow(dead_code, clippy::trivially_copy_pass_by_ref)]
+fn serde_is_zero_u64(v: &u64) -> bool {
+    *v == 0
+}
+
+/// `skip_serializing_if` helper for the software-bypass flag.
+#[allow(dead_code, clippy::trivially_copy_pass_by_ref)]
+fn serde_is_false(v: &bool) -> bool {
+    !*v
 }
 
 impl ExecStats {
@@ -293,6 +329,28 @@ impl RecodedSpmv {
         hook: Option<&FaultHook>,
         tel: Option<&mut Telemetry>,
     ) -> ExecResult<(Csr, ExecStats)> {
+        self.decompress_via_udp_budgeted(sys, hook, tel, None)
+    }
+
+    /// [`RecodedSpmv::decompress_via_udp_traced`] governed by a
+    /// [`JobBudget`]. Budget limits are checked at every retry boundary —
+    /// the job's natural preemption points — so an exhausted budget
+    /// surfaces as [`ExecError::DeadlineExceeded`] naming what ran out,
+    /// never as a hang. Per-retry backoff accumulates into
+    /// [`ExecStats::backoff_cycles`] and stretches the modeled makespan
+    /// without touching busy cycles. `budget: None` (or an unbounded
+    /// budget) behaves exactly like the unbudgeted path.
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::decompress_via_udp`], plus
+    /// [`ExecError::DeadlineExceeded`] when the budget runs out.
+    pub fn decompress_via_udp_budgeted(
+        &self,
+        sys: &SystemConfig,
+        hook: Option<&FaultHook>,
+        tel: Option<&mut Telemetry>,
+        budget: Option<&JobBudget>,
+    ) -> ExecResult<(Csr, ExecStats)> {
         check_stream_structure(&self.compressed.index_stream)?;
         check_stream_structure(&self.compressed.value_stream)?;
 
@@ -317,6 +375,9 @@ impl RecodedSpmv {
         let batch_ns = t_batch.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         let mut report = outcome.report;
+        let mut tracker = budget.map(|b| BudgetTracker::new(*b));
+        let mut blocks_ok = 0usize;
+        let mut blocks_recovered = 0usize;
         let mut blocks_retried = 0usize;
         let mut blocks_fell_back = 0usize;
         let mut fallback_bytes = 0usize;
@@ -331,6 +392,7 @@ impl RecodedSpmv {
         for (k, result) in outcome.results.into_iter().enumerate() {
             let first_err = match result {
                 Ok(o) => {
+                    blocks_ok += 1;
                     outputs.push(o.output);
                     continue;
                 }
@@ -346,6 +408,18 @@ impl RecodedSpmv {
             // resets lane state, so attempt N is as "fresh" as a new lane.
             let mut lane = recode_udp::pool::global().checkout();
             for _ in 0..MAX_BLOCK_RETRIES {
+                // Retry boundaries are the job's preemption points: the
+                // budget is consulted before every attempt, and an
+                // exhausted one ends the job in a typed terminal state.
+                if let Some(t) = tracker.as_mut() {
+                    if let Err(what) = t.admit_retry() {
+                        return Err(ExecError::DeadlineExceeded {
+                            budget: what.to_string(),
+                            completed_blocks: blocks_ok + blocks_recovered + blocks_fell_back,
+                            total_blocks: jobs.len(),
+                        });
+                    }
+                }
                 blocks_retried += 1;
                 match run(&mut lane, &jobs[k]) {
                     Ok(o) => {
@@ -353,6 +427,9 @@ impl RecodedSpmv {
                         report.opclass.merge(&o.opclass);
                         report.stage_cycles.merge(&o.stage_cycles);
                         retry_cycles += o.cycles;
+                        if let Some(t) = tracker.as_mut() {
+                            t.charge_retry_cycles(o.cycles);
+                        }
                         recovered_jobs.insert(k, (o.cycles, BlockOutcome::Retried));
                         recovered = Some(o.output);
                         break;
@@ -364,6 +441,7 @@ impl RecodedSpmv {
                 retry_ns += t.elapsed().as_nanos() as u64;
             }
             if let Some(bytes) = recovered {
+                blocks_recovered += 1;
                 outputs.push(bytes);
                 continue;
             }
@@ -407,9 +485,16 @@ impl RecodedSpmv {
         // Fold retry decode cycles into the batch totals: retries run
         // serially after the batch on one lane, so they extend the critical
         // path as well as the busy sum, and utilization must be recomputed.
+        // Budget backoff is pure waiting: it stretches the makespan but is
+        // never busy work, keeping budgeted and unbudgeted clean runs
+        // cycle-identical when backoff is zero.
+        let backoff_cycles = tracker.as_ref().map_or(0, BudgetTracker::backoff_cycles);
         if retry_cycles > 0 {
             report.makespan_cycles += retry_cycles;
             report.busy_cycles += retry_cycles;
+        }
+        report.makespan_cycles += backoff_cycles;
+        if retry_cycles > 0 || backoff_cycles > 0 {
             report.refresh_utilization();
         }
 
@@ -460,7 +545,11 @@ impl RecodedSpmv {
             blocks_fell_back,
             fallback_bytes,
             retry_cycles,
+            backoff_cycles,
             degraded: blocks_retried > 0 || blocks_fell_back > 0,
+            software_decode: false,
+            blocks_ok,
+            blocks_recovered,
             overlap: OverlapStats::default(),
         };
 
@@ -546,6 +635,127 @@ impl RecodedSpmv {
         let mut y = vec![0.0; a.nrows()];
         spmv_with_into(kernel, &a, x, &mut y);
         Ok((y, stats))
+    }
+
+    /// [`RecodedSpmv::spmv_faulty`] governed by a [`JobBudget`].
+    ///
+    /// # Errors
+    /// As [`RecodedSpmv::decompress_via_udp_budgeted`].
+    pub fn spmv_budgeted(
+        &self,
+        sys: &SystemConfig,
+        kernel: SpmvKernel,
+        x: &[f64],
+        hook: Option<&FaultHook>,
+        budget: &JobBudget,
+    ) -> ExecResult<(Vec<f64>, ExecStats)> {
+        let (a, stats) = self.decompress_via_udp_budgeted(sys, hook, None, Some(budget))?;
+        let mut y = vec![0.0; a.nrows()];
+        spmv_with_into(kernel, &a, x, &mut y);
+        Ok((y, stats))
+    }
+
+    /// Synthesized stats for a breaker-bypassed software decode: no
+    /// accelerator cycles, the compressed stream still crosses memory, and
+    /// the run is flagged `software_decode` + `degraded`.
+    fn software_stats(&self, sys: &SystemConfig) -> ExecStats {
+        let compressed_bytes = self.compressed.wire_bytes();
+        ExecStats {
+            accel: AccelReport::default(),
+            mem_stream_seconds: sys.mem.stream_seconds(compressed_bytes as u64),
+            dma_seconds: 0.0,
+            compressed_bytes,
+            blocks_retried: 0,
+            blocks_fell_back: 0,
+            fallback_bytes: 0,
+            retry_cycles: 0,
+            backoff_cycles: 0,
+            degraded: true,
+            software_decode: true,
+            blocks_ok: 0,
+            blocks_recovered: 0,
+            overlap: OverlapStats::default(),
+        }
+    }
+
+    /// One fully governed job: circuit-breaker admission, a budgeted
+    /// accelerator run, degradation to the software decoder when the
+    /// breaker is open, and a typed terminal [`JobState`] no matter what
+    /// happened — [`JobReport`] is total over all outcomes.
+    ///
+    /// The degradation ladder, top to bottom: accelerator happy path →
+    /// per-block retry → per-block raw-CSR re-fetch → (breaker open)
+    /// whole-job software decode. Every rung is bit-exact; only the last
+    /// gives up on the accelerator entirely.
+    pub fn run_job(
+        &self,
+        sys: &SystemConfig,
+        hook: Option<&FaultHook>,
+        budget: &JobBudget,
+        mut breaker: Option<&mut CircuitBreaker>,
+    ) -> JobReport {
+        let admitted = breaker.as_deref_mut().is_none_or(CircuitBreaker::admit);
+        if !admitted {
+            // Open breaker: the accelerator is bypassed entirely and the
+            // job is served by the software decoder — degraded, bit-exact.
+            let breaker_state =
+                breaker.as_deref().map_or(BreakerState::Closed, CircuitBreaker::state);
+            return match self.decompress_via_software() {
+                Ok(a) => JobReport {
+                    state: JobState::Degraded,
+                    matrix: Some(a),
+                    stats: Some(self.software_stats(sys)),
+                    error: None,
+                    software_path: true,
+                    breaker: breaker_state,
+                },
+                Err(e) => JobReport {
+                    state: JobState::Rejected,
+                    matrix: None,
+                    stats: None,
+                    error: Some(ExecError::Codec(e)),
+                    software_path: true,
+                    breaker: breaker_state,
+                },
+            };
+        }
+        match self.decompress_via_udp_budgeted(sys, hook, None, Some(budget)) {
+            Ok((a, stats)) => {
+                if let Some(b) = breaker.as_deref_mut() {
+                    b.record(stats.accel.jobs, stats.accel.jobs_failed);
+                }
+                let state = if stats.degraded { JobState::Degraded } else { JobState::Completed };
+                JobReport {
+                    state,
+                    matrix: Some(a),
+                    stats: Some(stats),
+                    error: None,
+                    software_path: false,
+                    breaker: breaker.as_deref().map_or(BreakerState::Closed, CircuitBreaker::state),
+                }
+            }
+            Err(e) => {
+                if let Some(b) = breaker.as_deref_mut() {
+                    // A run that died counts fully against the window.
+                    let jobs = (self.compressed.index_stream.blocks.len()
+                        + self.compressed.value_stream.blocks.len())
+                    .max(1);
+                    b.record(jobs, jobs);
+                }
+                let state = match &e {
+                    ExecError::DeadlineExceeded { .. } => JobState::DeadlineExceeded,
+                    _ => JobState::Rejected,
+                };
+                JobReport {
+                    state,
+                    matrix: None,
+                    stats: None,
+                    error: Some(e),
+                    software_path: false,
+                    breaker: breaker.as_deref().map_or(BreakerState::Closed, CircuitBreaker::state),
+                }
+            }
+        }
     }
 
     /// Fully traced SpMV: [`RecodedSpmv::spmv_faulty`] plus a sealed
@@ -1028,5 +1238,194 @@ mod tests {
         // Degenerate inputs stay locked down too.
         assert_eq!(bytes_per_nnz(123, 0), 0.0);
         assert_eq!(lane_utilization(0, 0, 64), 1.0);
+    }
+
+    #[test]
+    fn zero_deadline_with_faults_is_deadline_exceeded() {
+        use crate::resilience::JobBudget;
+        use std::time::Duration;
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().trap(0);
+        let budget = JobBudget::with_deadline(Duration::ZERO);
+        let err =
+            r.decompress_via_udp_budgeted(&sys, Some(&hook), None, Some(&budget)).unwrap_err();
+        match &err {
+            ExecError::DeadlineExceeded { budget, completed_blocks, total_blocks } => {
+                assert_eq!(budget, "wall deadline");
+                assert!(completed_blocks < total_blocks, "{err}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert!(err.to_string().contains("wall deadline"), "{err}");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_names_the_budget() {
+        use crate::resilience::JobBudget;
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        // Two transient traps against a budget that admits only one retry.
+        let hook = FaultHook::new().trap(0).trap(1);
+        let budget = JobBudget { max_total_retries: Some(1), ..JobBudget::default() };
+        let err =
+            r.decompress_via_udp_budgeted(&sys, Some(&hook), None, Some(&budget)).unwrap_err();
+        match &err {
+            ExecError::DeadlineExceeded { budget, .. } => assert_eq!(budget, "retry budget"),
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        // The same faults under an unbounded budget recover fine.
+        let (b, _) = r
+            .decompress_via_udp_budgeted(&sys, Some(&hook), None, Some(&JobBudget::unbounded()))
+            .unwrap();
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn unbounded_budget_is_cycle_identical_to_the_unbudgeted_path() {
+        use crate::resilience::JobBudget;
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().trap(0).trap(1);
+        let (b1, plain) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        let budget = JobBudget::unbounded();
+        let (b2, budgeted) =
+            r.decompress_via_udp_budgeted(&sys, Some(&hook), None, Some(&budget)).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(budgeted.accel.makespan_cycles, plain.accel.makespan_cycles);
+        assert_eq!(budgeted.accel.busy_cycles, plain.accel.busy_cycles);
+        assert_eq!(budgeted.retry_cycles, plain.retry_cycles);
+        assert_eq!(budgeted.blocks_retried, plain.blocks_retried);
+        assert_eq!(budgeted.backoff_cycles, 0, "unbounded default has zero backoff");
+    }
+
+    #[test]
+    fn backoff_stretches_makespan_but_never_busy_cycles() {
+        use crate::resilience::JobBudget;
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().trap(0).trap(1);
+        let (_, plain) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        let budget = JobBudget { backoff_cycles_per_retry: 1_000, ..JobBudget::default() };
+        let (_, backed) =
+            r.decompress_via_udp_budgeted(&sys, Some(&hook), None, Some(&budget)).unwrap();
+        // Two admitted retries -> 2000 backoff cycles, critical path only.
+        assert_eq!(backed.backoff_cycles, 2_000);
+        assert_eq!(
+            backed.accel.makespan_cycles,
+            plain.accel.makespan_cycles + 2_000,
+            "backoff stretches the makespan"
+        );
+        assert_eq!(backed.accel.busy_cycles, plain.accel.busy_cycles, "lanes never spin backoff");
+    }
+
+    #[test]
+    fn block_accounting_identity_holds_on_every_terminal_path() {
+        use crate::resilience::JobBudget;
+        let a = test_matrix();
+        let sys = SystemConfig::ddr4();
+        let check = |stats: &ExecStats, what: &str| {
+            assert_eq!(
+                stats.blocks_ok + stats.blocks_recovered + stats.blocks_fell_back,
+                stats.accel.jobs,
+                "accounting broken on {what}"
+            );
+        };
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let (_, clean) = r.decompress_via_udp(&sys).unwrap();
+        check(&clean, "clean run");
+        assert_eq!(clean.blocks_ok, clean.accel.jobs);
+        let hook = FaultHook::new().trap(0).trap(1);
+        let (_, retried) = r.decompress_via_udp_faulty(&sys, Some(&hook)).unwrap();
+        check(&retried, "retried run");
+        assert_eq!(retried.blocks_recovered, 2);
+        let mut r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        r.compressed_mut().index_stream.blocks[0].payload[0] ^= 0x40;
+        let budget = JobBudget::unbounded();
+        let (_, fell_back) =
+            r.decompress_via_udp_budgeted(&sys, None, None, Some(&budget)).unwrap();
+        check(&fell_back, "fallback run");
+        assert_eq!(fell_back.blocks_fell_back, 1);
+    }
+
+    #[test]
+    fn run_job_walks_the_breaker_ladder_bit_exact() {
+        use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, JobBudget, JobState};
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let budget = JobBudget::unbounded();
+
+        // No breaker, clean run: Completed on the accelerator.
+        let report = r.run_job(&sys, None, &budget, None);
+        assert_eq!(report.state, JobState::Completed);
+        assert!(!report.software_path);
+        assert_eq!(report.matrix.as_ref(), Some(&a));
+
+        // An already-open breaker bypasses to the software decoder.
+        let config = BreakerConfig {
+            window_runs: 4,
+            error_rate_threshold: 0.5,
+            min_window_jobs: 10,
+            cooldown_runs: 2,
+        };
+        let mut b = CircuitBreaker::new(config);
+        b.record(10, 10);
+        assert_eq!(b.state(), BreakerState::Open);
+        let report = r.run_job(&sys, None, &budget, Some(&mut b));
+        assert_eq!(report.state, JobState::Degraded);
+        assert!(report.software_path, "open breaker must bypass the accelerator");
+        assert_eq!(report.matrix.as_ref(), Some(&a), "software bypass stays bit-exact");
+        let stats = report.stats.expect("bypass synthesizes stats");
+        assert!(stats.software_decode && stats.degraded);
+        assert_eq!(stats.accel.jobs, 0, "no accelerator work on the bypass");
+
+        // The next run is the half-open probe; it succeeds and re-closes.
+        let report = r.run_job(&sys, None, &budget, Some(&mut b));
+        assert_eq!(report.state, JobState::Completed);
+        assert!(!report.software_path, "probe runs on the accelerator");
+        assert_eq!(report.breaker, BreakerState::Closed, "clean probe closes the breaker");
+    }
+
+    #[test]
+    fn run_job_records_a_dead_run_and_trips_the_breaker() {
+        use crate::resilience::{BreakerConfig, BreakerState, CircuitBreaker, JobBudget, JobState};
+        let a = test_matrix();
+        let cm = CompressedMatrix::compress(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let mut r = RecodedSpmv::from_compressed(cm).unwrap();
+        // Corrupt with no fallback store: the run dies with a typed error.
+        r.compressed_mut().index_stream.blocks[0].payload[0] ^= 0x40;
+        let sys = SystemConfig::ddr4();
+        let config = BreakerConfig {
+            window_runs: 4,
+            error_rate_threshold: 0.5,
+            min_window_jobs: 10,
+            cooldown_runs: 2,
+        };
+        let mut b = CircuitBreaker::new(config);
+        let report = r.run_job(&sys, None, &JobBudget::unbounded(), Some(&mut b));
+        assert_eq!(report.state, JobState::Rejected);
+        assert!(report.error.is_some());
+        assert!(report.matrix.is_none());
+        assert_eq!(b.state(), BreakerState::Open, "a dead run counts fully against the window");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn run_job_surfaces_budget_exhaustion_as_deadline_exceeded() {
+        use crate::resilience::{JobBudget, JobState};
+        use std::time::Duration;
+        let a = test_matrix();
+        let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+        let sys = SystemConfig::ddr4();
+        let hook = FaultHook::new().trap(0);
+        let budget = JobBudget::with_deadline(Duration::ZERO);
+        let report = r.run_job(&sys, Some(&hook), &budget, None);
+        assert_eq!(report.state, JobState::DeadlineExceeded);
+        assert!(matches!(report.error, Some(ExecError::DeadlineExceeded { .. })));
     }
 }

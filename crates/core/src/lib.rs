@@ -29,6 +29,7 @@
 //!   `recode spmv --trace`, sealed into a schema-stable [`TraceDocument`].
 
 pub mod arch;
+pub mod chaos;
 pub mod corpus;
 pub mod error;
 pub mod exec;
@@ -38,15 +39,22 @@ pub mod overlap;
 pub mod perfmodel;
 pub mod power;
 pub mod report;
+pub mod resilience;
 pub mod seven;
 pub mod telemetry;
 
 pub use arch::SystemConfig;
+pub use chaos::{run_campaign, CampaignSummary, ChaosConfig, TrialOutcome};
 pub use error::{ExecError, ExecResult};
 pub use exec::{ExecStats, RawFallbackStore, RecodedSpmv};
-pub use overlap::{CacheStats, ExecCache, OverlapConfig, OverlapExecutor, OverlapStats};
+pub use overlap::{
+    parse_recode_threads, CacheStats, ExecCache, OverlapConfig, OverlapExecutor, OverlapStats,
+};
 pub use perfmodel::SpmvPerfModel;
 pub use power::PowerSavings;
+pub use resilience::{
+    BreakerConfig, BreakerState, BudgetTracker, CircuitBreaker, JobBudget, JobReport, JobState,
+};
 pub use telemetry::{
     render_report, BlockEvent, BlockOutcome, CycleHistogram, MatrixMeta, Span, StreamKind,
     SystemMeta, Telemetry, TraceDocument, TRACE_SCHEMA,

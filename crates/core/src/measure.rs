@@ -196,7 +196,9 @@ mod tests {
     #[test]
     fn host_rates_show_dsh_much_slower_than_snappy() {
         let cm = compressed_banded();
-        let r = measure_host_codec(&cm, 2).unwrap();
+        // Best-of-8: the minimum must survive scheduling noise from sibling
+        // test threads (the chaos campaign saturates the machine for ~25 s).
+        let r = measure_host_codec(&cm, 8).unwrap();
         assert!(r.snappy_bps > r.dsh_bps, "snappy {:.2e} vs dsh {:.2e}", r.snappy_bps, r.dsh_bps);
         assert!(
             r.snappy_bps > 2.0 * r.dsh_bps,

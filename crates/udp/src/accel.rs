@@ -130,15 +130,23 @@ impl<E> BatchOutcome<E> {
 }
 
 /// Deterministic fault injection for a batch: jobs listed in `trap_jobs`
-/// trap (as [`LaneError::InjectedFault`]) instead of running, and jobs in
+/// trap (as [`LaneError::InjectedFault`]) instead of running, jobs in
 /// `stall_cycles` are charged extra lane cycles, modeling a DMA engine that
-/// delivered their block late.
+/// delivered their block late, and jobs in `panic_jobs` *panic* inside the
+/// lane worker — exercising the dispatch layer's `catch_unwind` boundary.
 #[derive(Debug, Clone, Default)]
 pub struct FaultHook {
     /// Jobs that trap instead of executing.
     pub trap_jobs: BTreeSet<usize>,
     /// Extra cycles charged to a job's lane before it runs.
     pub stall_cycles: BTreeMap<usize, u64>,
+    /// Jobs whose lane worker panics instead of executing; contained by
+    /// [`Accelerator::run_jobs_from`] and surfaced as
+    /// [`LaneError::Panicked`].
+    pub panic_jobs: BTreeSet<usize>,
+    /// Tiles whose *multiply* worker panics in the overlap executor
+    /// (stage-boundary injection point; ignored by the batch path).
+    pub panic_tiles: BTreeSet<usize>,
 }
 
 impl FaultHook {
@@ -159,9 +167,36 @@ impl FaultHook {
         self
     }
 
+    /// Marks `job` to panic inside its lane worker.
+    pub fn panic_job(mut self, job: usize) -> Self {
+        self.panic_jobs.insert(job);
+        self
+    }
+
+    /// Marks overlap tile `tile` to panic in its multiply worker.
+    pub fn panic_tile(mut self, tile: usize) -> Self {
+        self.panic_tiles.insert(tile);
+        self
+    }
+
     /// True when the hook injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.trap_jobs.is_empty() && self.stall_cycles.is_empty()
+        self.trap_jobs.is_empty()
+            && self.stall_cycles.is_empty()
+            && self.panic_jobs.is_empty()
+            && self.panic_tiles.is_empty()
+    }
+}
+
+/// Renders a `catch_unwind` payload as a message (string payloads pass
+/// through; anything else gets a placeholder).
+pub fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -400,9 +435,29 @@ impl Accelerator {
                     let stall = hook.stall_cycles.get(&g).copied().unwrap_or(0);
                     profile.stall_cycles += stall;
                     let result = if hook.trap_jobs.contains(&g) {
+                        // Injected traps model transient lane faults, so
+                        // they count against the lane's health record just
+                        // like organic traps do.
+                        lane.note_trap();
                         Err(E::from(LaneError::InjectedFault))
                     } else {
-                        run(&mut lane, job)
+                        // Panic containment: a panicking job (injected or
+                        // organic) must never unwind through the rayon
+                        // worker — it becomes a typed per-job error and the
+                        // lane moves on to its next job.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            assert!(!hook.panic_jobs.contains(&g), "injected panic in job {g}");
+                            run(&mut lane, job)
+                        }));
+                        match caught {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                lane.note_trap();
+                                Err(E::from(LaneError::Panicked {
+                                    message: panic_payload_message(payload.as_ref()),
+                                }))
+                            }
+                        }
                     };
                     profile.jobs += 1;
                     let mut cycles = 0u64;

@@ -136,6 +136,14 @@ pub enum LaneError {
         /// Number of `Error`-severity findings in the report.
         errors: usize,
     },
+    /// A panic escaped the lane runner and was contained by the dispatch
+    /// layer's `catch_unwind` boundary (see `accel::run_jobs_from`). The
+    /// lane's architectural state is unreliable afterwards; callers treat
+    /// this like any other trap and retry on a fresh lane.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for LaneError {
@@ -158,6 +166,9 @@ impl std::fmt::Display for LaneError {
                 write!(f, "input declares {declared_bits} bits but buffer holds {buffer_bits}")
             }
             LaneError::InjectedFault => write!(f, "injected transient fault"),
+            LaneError::Panicked { message } => {
+                write!(f, "lane worker panicked: {message}")
+            }
             LaneError::Unverified { errors } => {
                 write!(
                     f,
@@ -364,12 +375,45 @@ impl<'a> StreamUnit<'a> {
     }
 }
 
+/// Reliability record a lane carries across runs. Architectural resets
+/// (`run*` prologue) deliberately leave it alone: health describes the
+/// physical lane, not one program execution. The decode path updates it
+/// ([`Lane::note_trap`]/[`Lane::note_success`]) and
+/// [`LanePool`](crate::pool::LanePool) reads it on guard drop to decide
+/// between the free list and quarantine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneHealth {
+    /// Lane-attributable traps since the last clean decode.
+    pub consecutive_traps: u32,
+    /// Lifetime lane-attributable traps.
+    pub total_traps: u64,
+    /// Lifetime clean decodes.
+    pub total_successes: u64,
+    /// Set when the pool readmitted this lane from quarantine; a single
+    /// further trap re-quarantines, one success clears the flag.
+    pub probation: bool,
+}
+
+impl LaneHealth {
+    /// Whether a pool should quarantine a lane in this state. `threshold`
+    /// is consecutive traps (0 disables quarantine); a probationary lane is
+    /// quarantined by any trap at all.
+    pub fn should_quarantine(&self, threshold: u32) -> bool {
+        if threshold == 0 {
+            return false;
+        }
+        self.consecutive_traps >= threshold || (self.probation && self.consecutive_traps > 0)
+    }
+}
+
 /// A reusable lane (scratchpad allocation is recycled across runs).
 ///
 /// Every `run*` entry point fully re-initializes the architectural state
 /// (registers, scratchpad contents, stream position), so a recycled lane —
 /// e.g. one checked out of [`LanePool`](crate::pool::LanePool) — is
-/// indistinguishable from `Lane::new()`.
+/// indistinguishable from `Lane::new()`. The [`LaneHealth`] record is the
+/// one deliberate exception: it persists across runs so the pool can
+/// quarantine chronically trapping lanes.
 pub struct Lane {
     scratch: Vec<u8>,
     regs: [u64; NUM_REGS],
@@ -377,6 +421,8 @@ pub struct Lane {
     /// clear: the prologue zeroes only `scratch[..dirty_hi]` instead of all
     /// 64 KB. Invariant: outside `[0, dirty_hi)` the scratchpad is zero.
     dirty_hi: usize,
+    /// Reliability record; survives architectural resets.
+    health: LaneHealth,
     /// Spare output buffers recycled by `DshDecoder::decode_block`'s stage
     /// chain (held here so every consumer of a pooled lane reuses the same
     /// allocations).
@@ -406,9 +452,36 @@ impl Lane {
             scratch: vec![0u8; SCRATCHPAD_BYTES],
             regs: [0; NUM_REGS],
             dirty_hi: 0,
+            health: LaneHealth::default(),
             io_a: Vec::new(),
             io_b: Vec::new(),
         }
+    }
+
+    /// The lane's reliability record.
+    pub fn health(&self) -> &LaneHealth {
+        &self.health
+    }
+
+    /// Records one lane-attributable trap (decode failed on this lane for a
+    /// reason a different lane might not reproduce).
+    pub fn note_trap(&mut self) {
+        self.health.consecutive_traps = self.health.consecutive_traps.saturating_add(1);
+        self.health.total_traps += 1;
+    }
+
+    /// Records one clean decode: clears the trap streak and any probation.
+    pub fn note_success(&mut self) {
+        self.health.consecutive_traps = 0;
+        self.health.probation = false;
+        self.health.total_successes += 1;
+    }
+
+    /// Marks the lane as readmitted-on-probation (pool readmission path):
+    /// the streak resets but a single further trap re-quarantines.
+    pub fn begin_probation(&mut self) {
+        self.health.consecutive_traps = 0;
+        self.health.probation = true;
     }
 
     /// Input/verify gates and architectural-state reset shared by every run

@@ -46,13 +46,13 @@ pub mod progs;
 pub mod verify;
 
 pub use accel::{
-    lane_utilization, AccelReport, Accelerator, BatchOutcome, FaultHook, JobEvent, JobEventSink,
-    JobOutcome, LaneProfile, StageCycles,
+    lane_utilization, panic_payload_message, AccelReport, Accelerator, BatchOutcome, FaultHook,
+    JobEvent, JobEventSink, JobOutcome, LaneProfile, StageCycles,
 };
 pub use error::{UdpError, UdpResult};
-pub use lane::{Lane, LaneError, OpClassCycles, RunConfig, RunResult, RunStats};
+pub use lane::{Lane, LaneError, LaneHealth, OpClassCycles, RunConfig, RunResult, RunStats};
 pub use machine::Image;
-pub use pool::{LanePool, PooledLane};
+pub use pool::{LanePool, PoolConfig, PoolStats, PooledLane, DEFAULT_POOL_CAPACITY};
 pub use program::{Program, ProgramBuilder};
 pub use verify::{
     verify_image, verify_program, Analysis, Finding, LoopSummary, Severity, VerifyConfig,

@@ -97,12 +97,20 @@ impl DshDecoder {
         let mut cycles = 0u64;
         let mut opclass = OpClassCycles::default();
         let mut stage_cycles = StageCycles::default();
+        // Any stage trap is charged to the lane's health record (the retry
+        // ladder re-runs the block on a *different* lane precisely because a
+        // trap may be lane-attributable); a clean chain clears the streak.
+        // CRC failures above are the data's fault and stay health-neutral.
         // Stage 1: Huffman (bit stream in, bytes out).
         let mut bits: usize;
         if let Some(img) = &self.huffman {
-            let r = lane
-                .run_into(img, &block.payload, block.bit_len, cfg, &mut cur)
-                .map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r = match lane.run_into(img, &block.payload, block.bit_len, cfg, &mut cur) {
+                Ok(r) => r,
+                Err(e) => {
+                    lane.note_trap();
+                    return Err(UdpError::from(e).with_block(seq));
+                }
+            };
             cycles += r.cycles;
             stage_cycles.huffman = r.cycles;
             opclass.merge(&r.opclass);
@@ -114,9 +122,13 @@ impl DshDecoder {
         }
         // Stage 2: Snappy.
         if let Some(img) = &self.snappy {
-            let r = lane
-                .run_into(img, &cur, bits, cfg, &mut nxt)
-                .map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r = match lane.run_into(img, &cur, bits, cfg, &mut nxt) {
+                Ok(r) => r,
+                Err(e) => {
+                    lane.note_trap();
+                    return Err(UdpError::from(e).with_block(seq));
+                }
+            };
             cycles += r.cycles;
             stage_cycles.snappy = r.cycles;
             opclass.merge(&r.opclass);
@@ -125,9 +137,13 @@ impl DshDecoder {
         }
         // Stage 3: inverse delta.
         if let Some(img) = &self.delta {
-            let r = lane
-                .run_into(img, &cur, bits, cfg, &mut nxt)
-                .map_err(|e| UdpError::from(e).with_block(seq))?;
+            let r = match lane.run_into(img, &cur, bits, cfg, &mut nxt) {
+                Ok(r) => r,
+                Err(e) => {
+                    lane.note_trap();
+                    return Err(UdpError::from(e).with_block(seq));
+                }
+            };
             cycles += r.cycles;
             stage_cycles.delta = r.cycles;
             opclass.merge(&r.opclass);
@@ -137,6 +153,7 @@ impl DshDecoder {
         let output = cur.clone();
         lane.io_a = cur;
         lane.io_b = nxt;
+        lane.note_success();
         Ok(JobOutcome { cycles, opclass, stage_cycles, output })
     }
 

@@ -25,11 +25,24 @@
 //!                                                run the static verifier on a
 //!                                                lane program and print its
 //!                                                findings (exit 1 on Error)
+//! recode chaos     [--trials N] [--seed N] [--json <out.json>]
+//!                                                run a seeded chaos campaign
+//!                                                over the resilient executors
+//!                                                and report; exit 1 unless the
+//!                                                resilience contract held on
+//!                                                every trial
 //! ```
 //!
 //! Flags: `-o PATH` output, `--config dsh|ds|snappy` codec choice,
-//! `--seed N` for `gen`, `--trace PATH` / `--overlap` / `--cache-blocks N` /
-//! `--iters N` for `spmv`.
+//! `--seed N` for `gen`/`chaos`, `--trace PATH` / `--overlap` /
+//! `--cache-blocks N` / `--iters N` for `spmv`, `--inject-trap JOB` /
+//! `--inject-corrupt BLOCK` fault injection for `spmv`, `--trials N` /
+//! `--json PATH` for `chaos`.
+//!
+//! Exit codes: `0` success, `1` error, `2` usage, [`EXIT_DEGRADED`] (3) when
+//! the run recovered through retries, [`EXIT_FALLBACK`] (4) when any block
+//! was served from the raw-CSR store or the whole job degraded to the
+//! software decoder.
 
 use recode_spmv::codec::metrics::CompressionSummary;
 use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
@@ -43,9 +56,15 @@ use recode_spmv::sparse::spmv::SpmvKernel;
 use recode_spmv::sparse::stats::MatrixStats;
 use std::process::ExitCode;
 
+/// Exit code for a run that finished bit-exact but needed retries.
+const EXIT_DEGRADED: u8 = 3;
+/// Exit code for a run that served blocks from the raw-CSR store or fell
+/// back to the software decoder entirely.
+const EXIT_FALLBACK: u8 = 4;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--overlap] [--cache-blocks N] [--iters N]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--overlap] [--cache-blocks N] [--iters N]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n  recode chaos [--trials N] [--seed N] [--json <out.json>]\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
@@ -74,6 +93,10 @@ struct Flags {
     overlap: bool,
     cache_blocks: usize,
     iters: usize,
+    inject_trap: Option<usize>,
+    inject_corrupt: Option<usize>,
+    trials: usize,
+    json: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Flags, String> {
@@ -86,6 +109,10 @@ fn parse(args: &[String]) -> Result<Flags, String> {
         overlap: false,
         cache_blocks: 0,
         iters: 1,
+        inject_trap: None,
+        inject_corrupt: None,
+        trials: 500,
+        json: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -125,6 +152,30 @@ fn parse(args: &[String]) -> Result<Flags, String> {
                 i += 1;
                 f.seed = args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --seed value")?;
             }
+            "--inject-trap" => {
+                i += 1;
+                f.inject_trap = Some(
+                    args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --inject-trap value")?,
+                );
+            }
+            "--inject-corrupt" => {
+                i += 1;
+                f.inject_corrupt = Some(
+                    args.get(i).and_then(|s| s.parse().ok()).ok_or("bad --inject-corrupt value")?,
+                );
+            }
+            "--trials" => {
+                i += 1;
+                f.trials = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("bad --trials value (need an integer >= 1)")?;
+            }
+            "--json" => {
+                i += 1;
+                f.json = Some(args.get(i).ok_or("missing value for --json")?.clone());
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -155,14 +206,36 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "disasm" => cmd_disasm(&flags),
         "verify-program" => cmd_verify_program(&flags),
+        "chaos" => cmd_chaos(&flags),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Maps a run's recovery stats onto the documented exit codes: raw-CSR or
+/// software fallback beats plain degradation, which beats success.
+fn exit_for(stats: &recode_spmv::core::ExecStats) -> ExitCode {
+    if stats.blocks_fell_back > 0 || stats.software_decode {
+        eprintln!(
+            "note: {} block(s) served from the raw-CSR store{} (exit {EXIT_FALLBACK})",
+            stats.blocks_fell_back,
+            if stats.software_decode { ", software decode" } else { "" },
+        );
+        ExitCode::from(EXIT_FALLBACK)
+    } else if stats.degraded {
+        eprintln!(
+            "note: run degraded — {} block(s) recovered via retry (exit {EXIT_DEGRADED})",
+            stats.blocks_recovered
+        );
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -171,7 +244,7 @@ fn load(flags: &Flags) -> Result<Csr, String> {
     read_matrix_market_path(path).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_info(flags: &Flags) -> Result<(), String> {
+fn cmd_info(flags: &Flags) -> Result<ExitCode, String> {
     let a = load(flags)?;
     let s = MatrixStats::compute(&a);
     println!("shape            {} x {}", s.nrows, s.ncols);
@@ -190,10 +263,10 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
         "DSH compression  {:.2} B/nnz (index {:.2} + value {:.2}; raw 12.00)",
         sum.bytes_per_nnz, sum.index_bytes_per_nnz, sum.value_bytes_per_nnz
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_compress(flags: &Flags) -> Result<(), String> {
+fn cmd_compress(flags: &Flags) -> Result<ExitCode, String> {
     let a = load(flags)?;
     let out = flags.output.as_ref().ok_or("compress needs -o <out.rcmx>")?;
     let cm = CompressedMatrix::compress(&a, flags.config).map_err(|e| e.to_string())?;
@@ -210,10 +283,10 @@ fn cmd_compress(flags: &Flags) -> Result<(), String> {
         raw,
         json.len()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_decompress(flags: &Flags) -> Result<(), String> {
+fn cmd_decompress(flags: &Flags) -> Result<ExitCode, String> {
     let input = flags.positional.first().ok_or("missing input .rcmx path")?;
     let out = flags.output.as_ref().ok_or("decompress needs -o <matrix.mtx>")?;
     let json = std::fs::read(input).map_err(|e| e.to_string())?;
@@ -223,10 +296,27 @@ fn cmd_decompress(flags: &Flags) -> Result<(), String> {
     write_matrix_market(&a, &mut buf).map_err(|e| e.to_string())?;
     std::fs::write(out, buf).map_err(|e| e.to_string())?;
     println!("{input} -> {out}: {} x {}, {} nnz", a.nrows(), a.ncols(), a.nnz());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Applies `--inject-corrupt BLOCK`: flips a payload bit in one index-stream
+/// block so CRC framing catches it on every decode attempt and the run is
+/// forced through the retry → raw-CSR fallback ladder.
+fn apply_injection(recoded: &mut RecodedSpmv, flags: &Flags) -> Result<(), String> {
+    if let Some(b) = flags.inject_corrupt {
+        let blocks = &mut recoded.compressed_mut().index_stream.blocks;
+        let n = blocks.len();
+        let blk = blocks
+            .get_mut(b)
+            .ok_or_else(|| format!("--inject-corrupt {b}: the index stream has {n} blocks"))?;
+        let byte =
+            blk.payload.first_mut().ok_or("--inject-corrupt: target block has no payload")?;
+        *byte ^= 0x40;
+    }
     Ok(())
 }
 
-fn cmd_spmv(flags: &Flags) -> Result<(), String> {
+fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
     let a = load(flags)?;
     if flags.overlap {
         return cmd_spmv_overlap(flags, &a);
@@ -240,20 +330,22 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
     let sys = SystemConfig::ddr4();
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(&a, &x);
+    let hook = flags.inject_trap.map(|j| FaultHook::new().trap(j));
     let (recoded, y, stats) = if let Some(trace_path) = &flags.trace {
-        let recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
+        let mut recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
         // The software decode both cross-checks losslessness and populates
         // the decode direction of the codec-stage telemetry in the trace.
         let sw = recoded.decompress_via_software().map_err(|e| e.to_string())?;
         if sw != a {
             return Err("software decode diverged from the original matrix".into());
         }
+        apply_injection(&mut recoded, flags)?;
         let name = std::path::Path::new(&flags.positional[0])
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
         let (y, stats, doc) = recoded
-            .spmv_traced(&sys, SpmvKernel::RowParallel, &x, None, &name)
+            .spmv_traced(&sys, SpmvKernel::RowParallel, &x, hook.as_ref(), &name)
             .map_err(|e| e.to_string())?;
         let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
@@ -266,9 +358,11 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
         );
         (recoded, y, stats)
     } else {
-        let recoded = RecodedSpmv::new(&a, flags.config).map_err(|e| e.to_string())?;
-        let (y, stats) =
-            recoded.spmv(&sys, SpmvKernel::RowParallel, &x).map_err(|e| e.to_string())?;
+        let mut recoded = RecodedSpmv::new(&a, flags.config).map_err(|e| e.to_string())?;
+        apply_injection(&mut recoded, flags)?;
+        let (y, stats) = recoded
+            .spmv_faulty(&sys, SpmvKernel::RowParallel, &x, hook.as_ref())
+            .map_err(|e| e.to_string())?;
         (recoded, y, stats)
     };
     if y != y_ref {
@@ -282,17 +376,21 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
         stats.accel.throughput_bps() / 1e9,
         stats.accel.lane_utilization * 100.0
     );
-    let cm = recoded.compressed();
-    let m = measure_udp_decomp(cm, &sys.udp, 24).map_err(|e| e.to_string())?;
-    let model = SpmvPerfModel {
-        bytes_per_nnz: cm.bytes_per_nnz(),
-        udp_out_bps_per_accel: m.accel_out_bps.max(1e9),
-    };
-    println!("\nmodeled on the 100 GB/s DDR4 system ({:.2} B/nnz):", cm.bytes_per_nnz());
-    print!("{}", report::scenarios(&model.evaluate_all(&sys)));
-    let p = PowerSavings::compute(&sys, cm.bytes_per_nnz(), m.accel_out_bps.max(1e9));
-    println!("iso-performance power: {:.1} W of {:.0} W saved", p.net_saving_w, p.max_power_w);
-    Ok(())
+    // The throughput measurement re-decodes sampled blocks outside the
+    // retry/fallback ladder, so it only makes sense on a pristine stream.
+    if flags.inject_trap.is_none() && flags.inject_corrupt.is_none() {
+        let cm = recoded.compressed();
+        let m = measure_udp_decomp(cm, &sys.udp, 24).map_err(|e| e.to_string())?;
+        let model = SpmvPerfModel {
+            bytes_per_nnz: cm.bytes_per_nnz(),
+            udp_out_bps_per_accel: m.accel_out_bps.max(1e9),
+        };
+        println!("\nmodeled on the 100 GB/s DDR4 system ({:.2} B/nnz):", cm.bytes_per_nnz());
+        print!("{}", report::scenarios(&model.evaluate_all(&sys)));
+        let p = PowerSavings::compute(&sys, cm.bytes_per_nnz(), m.accel_out_bps.max(1e9));
+        println!("iso-performance power: {:.1} W of {:.0} W saved", p.net_saving_w, p.max_power_w);
+    }
+    Ok(exit_for(&stats))
 }
 
 /// The `--overlap` arm of `recode spmv`: route through the pipelined
@@ -300,16 +398,18 @@ fn cmd_spmv(flags: &Flags) -> Result<(), String> {
 /// Multi-tile pipelined results reassociate rows that straddle tile
 /// boundaries, so verification is against a 1e-10 relative tolerance
 /// rather than bit equality.
-fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
+fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<ExitCode, String> {
     let sys = SystemConfig::ddr4();
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(a, &x);
-    let recoded = if flags.trace.is_some() {
+    let hook = flags.inject_trap.map(|j| FaultHook::new().trap(j));
+    let mut recoded = if flags.trace.is_some() {
         RecodedSpmv::new_traced(a, flags.config)
     } else {
         RecodedSpmv::new(a, flags.config)
     }
     .map_err(|e| e.to_string())?;
+    apply_injection(&mut recoded, flags)?;
     let ex = OverlapExecutor::new(
         &recoded,
         OverlapConfig { overlap: true, cache_blocks: flags.cache_blocks, workers: 0 },
@@ -319,7 +419,8 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let (y, stats, doc) = ex.spmv_traced(&sys, &x, None, &name).map_err(|e| e.to_string())?;
+        let (y, stats, doc) =
+            ex.spmv_traced(&sys, &x, hook.as_ref(), &name).map_err(|e| e.to_string())?;
         let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
         println!(
@@ -331,7 +432,7 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
         );
         (y, stats)
     } else {
-        ex.spmv(&sys, &x).map_err(|e| e.to_string())?
+        ex.spmv_faulty(&sys, &x, hook.as_ref()).map_err(|e| e.to_string())?
     };
     let worst = y
         .iter()
@@ -385,7 +486,7 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<(), String> {
             println!("  cold/warm decode ratio: {:.1}x", decode[0] as f64 / warm_avg);
         }
     }
-    Ok(())
+    Ok(exit_for(&stats))
 }
 
 fn load_trace(flags: &Flags) -> Result<recode_spmv::core::telemetry::TraceDocument, String> {
@@ -394,13 +495,13 @@ fn load_trace(flags: &Flags) -> Result<recode_spmv::core::telemetry::TraceDocume
     serde_json::from_slice(&json).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_report(flags: &Flags) -> Result<(), String> {
+fn cmd_report(flags: &Flags) -> Result<ExitCode, String> {
     let doc = load_trace(flags)?;
     print!("{}", recode_spmv::core::telemetry::render_report(&doc));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_trace_check(flags: &Flags) -> Result<(), String> {
+fn cmd_trace_check(flags: &Flags) -> Result<ExitCode, String> {
     let doc = load_trace(flags)?;
     let errs = doc.validate();
     if !errs.is_empty() {
@@ -419,10 +520,10 @@ fn cmd_trace_check(flags: &Flags) -> Result<(), String> {
         doc.counters.len(),
         doc.exec.accel.lane_profiles.len()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_disasm(flags: &Flags) -> Result<(), String> {
+fn cmd_disasm(flags: &Flags) -> Result<ExitCode, String> {
     let which = flags.positional.first().map_or("", String::as_str);
     let image = match which {
         "snappy" => recode_spmv::udp::progs::snappy::build().map_err(|e| e.to_string())?,
@@ -430,7 +531,7 @@ fn cmd_disasm(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("disasm takes `snappy` or `delta`, got `{other}`")),
     };
     print!("{}", image.disassemble());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `recode verify-program`: run the static verifier on a `.udp` assembly
@@ -438,7 +539,7 @@ fn cmd_disasm(flags: &Flags) -> Result<(), String> {
 /// programs by name. Prints the severity-ranked report; exits nonzero when
 /// the program carries `Error` findings — the same findings that make
 /// `Lane::run` refuse the image.
-fn cmd_verify_program(flags: &Flags) -> Result<(), String> {
+fn cmd_verify_program(flags: &Flags) -> Result<ExitCode, String> {
     use recode_spmv::udp::{asm, machine, progs};
     let target = flags
         .positional
@@ -467,10 +568,31 @@ fn cmd_verify_program(flags: &Flags) -> Result<(), String> {
     if report.error_count() > 0 {
         return Err(format!("`{target}` rejected: {} error finding(s)", report.error_count()));
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_gen(flags: &Flags) -> Result<(), String> {
+/// `recode chaos`: run a seeded chaos campaign over the resilient
+/// executors. The campaign is a pure function of `--seed` and `--trials`,
+/// so a failing run reproduces exactly from its printed parameters.
+/// `--json` writes the machine-readable summary (the CI artifact).
+fn cmd_chaos(flags: &Flags) -> Result<ExitCode, String> {
+    use recode_spmv::core::chaos::{run_campaign, ChaosConfig};
+    let config = ChaosConfig { trials: flags.trials, seed: flags.seed, ..ChaosConfig::default() };
+    println!("running {} chaos trials with seed {:#x}...", config.trials, config.seed);
+    let summary = run_campaign(&config);
+    print!("{}", summary.render());
+    if let Some(path) = &flags.json {
+        std::fs::write(path, summary.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("summary written to {path}");
+    }
+    if summary.healthy() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err("chaos campaign violated the resilience contract".into())
+    }
+}
+
+fn cmd_gen(flags: &Flags) -> Result<ExitCode, String> {
     let family = flags.positional.first().ok_or("gen needs a family")?;
     let target: usize =
         flags.positional.get(1).and_then(|s| s.parse().ok()).ok_or("gen needs a target nnz")?;
@@ -484,5 +606,5 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
     write_matrix_market(&a, &mut buf).map_err(|e| e.to_string())?;
     std::fs::write(out, buf).map_err(|e| e.to_string())?;
     println!("{family} -> {out}: {} x {}, {} nnz", a.nrows(), a.ncols(), a.nnz());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

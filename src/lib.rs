@@ -40,8 +40,12 @@ pub mod prelude {
     pub use recode_core::arch::Scenario;
     pub use recode_core::perfmodel::SpmvPerfModel;
     pub use recode_core::{
-        OverlapConfig, OverlapExecutor, PowerSavings, RecodedSpmv, SystemConfig,
+        run_campaign, BreakerConfig, BreakerState, CampaignSummary, ChaosConfig, CircuitBreaker,
+        JobBudget, JobReport, JobState, OverlapConfig, OverlapExecutor, PowerSavings, RecodedSpmv,
+        SystemConfig, TrialOutcome,
     };
     pub use recode_sparse::prelude::*;
+    pub use recode_udp::accel::FaultHook;
+    pub use recode_udp::pool::{LanePool, PoolConfig};
     pub use recode_udp::{Accelerator, Lane};
 }

@@ -125,6 +125,71 @@ fn spmv_trace_report_and_check_workflow() {
 }
 
 #[test]
+fn spmv_exit_codes_distinguish_degraded_and_fallback_runs() {
+    let dir = std::env::temp_dir().join(format!("recode-cli-exit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let mtx = dir.join("e.mtx");
+    let out = bin()
+        .args(["gen", "stencil2d", "30000", "-o", mtx.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Clean run: exit 0.
+    let out = bin().args(["spmv", mtx.to_str().unwrap()]).output().expect("run spmv");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A transient trap forces a retry: the run recovers bit-exact but the
+    // exit code reports the degradation.
+    let out = bin()
+        .args(["spmv", mtx.to_str().unwrap(), "--inject-trap", "0"])
+        .output()
+        .expect("run spmv --inject-trap");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified against the uncompressed kernel"), "{text}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("degraded"), "stderr notes the cause");
+
+    // A corrupt block exhausts retries and is served from the raw-CSR
+    // store: still bit-exact, exit 4.
+    let out = bin()
+        .args(["spmv", mtx.to_str().unwrap(), "--inject-corrupt", "0"])
+        .output()
+        .expect("run spmv --inject-corrupt");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("raw-CSR"), "stderr notes the cause");
+
+    // The overlap executor reports through the same codes.
+    let out = bin()
+        .args(["spmv", mtx.to_str().unwrap(), "--overlap", "--inject-trap", "0"])
+        .output()
+        .expect("run spmv --overlap --inject-trap");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_subcommand_runs_a_seeded_campaign_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("recode-cli-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json_path = dir.join("campaign.json");
+    let out = bin()
+        .args(["chaos", "--trials", "30", "--seed", "11", "--json", json_path.to_str().unwrap()])
+        .output()
+        .expect("run chaos");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HEALTHY"), "{text}");
+    assert!(text.contains("injection points:"), "{text}");
+    let json = std::fs::read_to_string(&json_path).expect("campaign json");
+    assert!(json.contains("\"trials\":30"), "{json}");
+    assert!(json.contains("\"healthy\":true"), "{json}");
+    assert!(json.contains("\"hung\":0"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_bad_usage() {
     let out = bin().output().expect("run bare");
     assert!(!out.status.success());

@@ -112,6 +112,11 @@ fn run_stream_trial(
                     assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}");
                 }
                 ExecError::Reassembly(_) | ExecError::Codec(_) => {}
+                // These trials run unbudgeted, panic-free plans; the
+                // resilience-only terminal states must never appear here.
+                ExecError::DeadlineExceeded { .. } | ExecError::WorkerPanic { .. } => {
+                    panic!("seed {seed} kind {kind}: unexpected resilience error {e}")
+                }
             }
             tally.typed_error += 1;
         }
@@ -311,6 +316,11 @@ fn run_overlap_stream_trial(
                     assert!(block.is_some(), "seed {seed} kind {kind}: no block in {e}");
                 }
                 ExecError::Reassembly(_) | ExecError::Codec(_) => {}
+                // These trials run unbudgeted, panic-free plans; the
+                // resilience-only terminal states must never appear here.
+                ExecError::DeadlineExceeded { .. } | ExecError::WorkerPanic { .. } => {
+                    panic!("seed {seed} kind {kind}: unexpected resilience error {e}")
+                }
             }
             tally.typed_error += 1;
         }
