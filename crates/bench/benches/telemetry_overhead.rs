@@ -9,6 +9,11 @@
 //! * `spmv_traced`  — full spans + per-block events + traffic ledger.
 //! * `lane_decode_block` — the innermost always-on cost: one 8 KB block
 //!   through the DSH interpreter, opcode-class accounting included.
+//! * `recorder_overhead/*` — the same untraced run with the flight
+//!   recorder off (one relaxed atomic load per would-be event) vs on
+//!   (thread-local buffering into the global ring). The off/on gap is the
+//!   price of `--chrome-trace`; the off path must be indistinguishable
+//!   from `spmv_untraced`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use recode_codec::pipeline::MatrixCodecConfig;
@@ -54,6 +59,34 @@ fn bench_trace_off_vs_on(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_recorder_off_vs_on(c: &mut Criterion) {
+    use recode_core::recorder;
+    let a = bench_matrix();
+    let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
+    let sys = SystemConfig::ddr4();
+
+    let mut group = c.benchmark_group("recorder_overhead");
+    group.throughput(Throughput::Bytes((a.nnz() * 12) as u64));
+    recorder::disable();
+    group.bench_function("spmv_recorder_off", |b| {
+        b.iter(|| {
+            let (_, stats) = r.decompress_via_udp(&sys).unwrap();
+            std::hint::black_box(stats.accel.makespan_cycles);
+        });
+    });
+    recorder::enable(recorder::DEFAULT_CAPACITY);
+    group.bench_function("spmv_recorder_on", |b| {
+        b.iter(|| {
+            let (_, stats) = r.decompress_via_udp(&sys).unwrap();
+            std::hint::black_box(stats.accel.makespan_cycles);
+        });
+    });
+    let events = recorder::drain();
+    std::hint::black_box(events.len());
+    recorder::disable();
+    group.finish();
+}
+
 fn bench_lane_decode(c: &mut Criterion) {
     let a = bench_matrix();
     let r = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh()).unwrap();
@@ -72,6 +105,6 @@ fn bench_lane_decode(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion.sample_size(20);
-    targets = bench_trace_off_vs_on, bench_lane_decode
+    targets = bench_trace_off_vs_on, bench_recorder_off_vs_on, bench_lane_decode
 }
 criterion_main!(benches);

@@ -9,13 +9,12 @@
 //! (`--smoke` shrinks the corpus and repetitions for CI).
 
 use recode_codec::pipeline::{Pipeline, PipelineConfig};
+use recode_core::json::Json;
 use recode_udp::lane::Lane;
 use recode_udp::progs::DshDecoder;
-use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 
-#[derive(Serialize)]
 struct Throughput {
     /// Compressed blocks decoded per repetition.
     blocks: usize,
@@ -27,9 +26,27 @@ struct Throughput {
     blocks_per_s: f64,
     /// Uncompressed megabytes produced per second.
     mb_per_s: f64,
+    /// Modeled lane cycles for one pass over the block set (lane passes
+    /// only). Deterministic simulator output, so — unlike the wall-clock
+    /// leaves above — `bench-compare` gates it across machines.
+    modeled_cycles: Option<u64>,
 }
 
-#[derive(Serialize)]
+impl Throughput {
+    fn to_json(&self) -> Json {
+        let doc = Json::obj()
+            .set("blocks", Json::U64(self.blocks as u64))
+            .set("reps", Json::U64(self.reps as u64))
+            .set("wall_ns", Json::U64(self.wall_ns))
+            .set("blocks_per_s", Json::F64(self.blocks_per_s))
+            .set("mb_per_s", Json::F64(self.mb_per_s));
+        match self.modeled_cycles {
+            Some(c) => doc.set("modeled_cycles", Json::U64(c)),
+            None => doc,
+        }
+    }
+}
+
 struct Snapshot {
     schema: &'static str,
     smoke: bool,
@@ -42,6 +59,23 @@ struct Snapshot {
     huffman_cpu: Throughput,
     /// CPU pipeline Snappy decode stage (32 KB blocks).
     snappy_cpu: Throughput,
+}
+
+impl Snapshot {
+    /// Serializes through the dependency-free shared writer so the
+    /// snapshot (and the `bench-compare` gate reading it) works on every
+    /// build, including the offline stub build where serde_json panics.
+    fn to_json(&self) -> Json {
+        let mut doc = Json::obj()
+            .set("schema", Json::Str(self.schema.to_string()))
+            .set("smoke", Json::Bool(self.smoke))
+            .set("lane_decode", self.lane_decode.to_json());
+        if let Some(r) = &self.lane_decode_reference {
+            doc = doc.set("lane_decode_reference", r.to_json());
+        }
+        doc.set("huffman_cpu", self.huffman_cpu.to_json())
+            .set("snappy_cpu", self.snappy_cpu.to_json())
+    }
 }
 
 /// Tridiagonal-ish column indices as LE u32 words — the same shape the
@@ -78,28 +112,40 @@ fn measure(blocks: usize, reps: usize, mut pass: impl FnMut() -> usize) -> Throu
         wall_ns,
         blocks_per_s: (blocks * reps) as f64 / secs,
         mb_per_s: (bytes * reps) as f64 / 1e6 / secs,
+        modeled_cycles: None,
     }
 }
 
-fn lane_pass(decoder: &DshDecoder, blocks: &[recode_codec::block::CompressedBlock]) -> usize {
+/// Decodes every block once, returning `(uncompressed bytes, modeled lane
+/// cycles)`. The cycle count is identical on every pass.
+fn lane_pass(
+    decoder: &DshDecoder,
+    blocks: &[recode_codec::block::CompressedBlock],
+) -> (usize, u64) {
     let mut lane = Lane::new();
     let mut bytes = 0usize;
+    let mut cycles = 0u64;
     for b in blocks {
         let o = decoder.decode_block(&mut lane, b).expect("bench blocks decode");
         bytes += o.output.len();
+        cycles += o.cycles;
         std::hint::black_box(&o.output);
     }
-    bytes
+    (bytes, cycles)
 }
 
 /// The same DSH stage chain as [`lane_pass`], but through
 /// `Lane::run_reference` — the word-at-a-time interpreter `run` used before
 /// images were predecoded. Checksum verification is kept so both passes do
 /// identical non-interpreter work.
-fn reference_pass(decoder: &DshDecoder, blocks: &[recode_codec::block::CompressedBlock]) -> usize {
+fn reference_pass(
+    decoder: &DshDecoder,
+    blocks: &[recode_codec::block::CompressedBlock],
+) -> (usize, u64) {
     let cfg = recode_udp::lane::RunConfig::default();
     let mut lane = Lane::new();
     let mut bytes = 0usize;
+    let mut cycles = 0u64;
     for b in blocks {
         b.verify_checksum().expect("bench blocks are well-formed");
         let mut cur: Vec<u8> = Vec::new();
@@ -108,6 +154,7 @@ fn reference_pass(decoder: &DshDecoder, blocks: &[recode_codec::block::Compresse
         for img in [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten() {
             let input: &[u8] = if first { &b.payload } else { &cur };
             let r = lane.run_reference(img, input, bits, cfg).expect("bench blocks decode");
+            cycles += r.cycles;
             cur = r.output;
             bits = cur.len() * 8;
             first = false;
@@ -115,7 +162,7 @@ fn reference_pass(decoder: &DshDecoder, blocks: &[recode_codec::block::Compresse
         bytes += cur.len();
         std::hint::black_box(&cur);
     }
-    bytes
+    (bytes, cycles)
 }
 
 fn cpu_pass(pipe: &Pipeline, blocks: &[recode_codec::block::CompressedBlock]) -> usize {
@@ -163,10 +210,20 @@ fn main() {
     let dsh_stream = dsh_pipe.encode_stream(&index_data).expect("encode dsh");
     let decoder = DshDecoder::new(dsh_cfg, dsh_pipe.table().map(|t| t.lengths.as_slice()))
         .expect("build decoder");
-    let lane_decode =
-        measure(dsh_stream.blocks.len(), reps, || lane_pass(&decoder, &dsh_stream.blocks));
-    let lane_decode_reference =
-        measure(dsh_stream.blocks.len(), reps, || reference_pass(&decoder, &dsh_stream.blocks));
+    let mut lane_cycles = 0u64;
+    let mut lane_decode = measure(dsh_stream.blocks.len(), reps, || {
+        let (bytes, cycles) = lane_pass(&decoder, &dsh_stream.blocks);
+        lane_cycles = cycles;
+        bytes
+    });
+    lane_decode.modeled_cycles = Some(lane_cycles);
+    let mut reference_cycles = 0u64;
+    let mut lane_decode_reference = measure(dsh_stream.blocks.len(), reps, || {
+        let (bytes, cycles) = reference_pass(&decoder, &dsh_stream.blocks);
+        reference_cycles = cycles;
+        bytes
+    });
+    lane_decode_reference.modeled_cycles = Some(reference_cycles);
 
     // 2) CPU Huffman decode (huffman-only pipeline, 8 KB blocks).
     let huff_cfg = PipelineConfig {
@@ -197,8 +254,6 @@ fn main() {
         huffman_cpu,
         snappy_cpu,
     };
-    // Human-readable summary first: it survives even when JSON serialization
-    // is unavailable (the offline stub build panics in serde_json).
     eprintln!(
         "lane_decode      {:>12.0} blocks/s  {:>8.1} MB/s",
         snap.lane_decode.blocks_per_s, snap.lane_decode.mb_per_s
@@ -214,7 +269,7 @@ fn main() {
         "snappy_cpu       {:>12.0} blocks/s  {:>8.1} MB/s",
         snap.snappy_cpu.blocks_per_s, snap.snappy_cpu.mb_per_s
     );
-    let text = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+    let text = snap.to_json().to_string_pretty();
     std::fs::write(&json, &text).expect("write BENCH_hotpath.json");
     println!("{text}");
     eprintln!("wrote {}", json.display());

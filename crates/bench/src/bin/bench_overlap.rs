@@ -12,14 +12,13 @@ use recode_bench::{corpus_entries, parse_args};
 use recode_codec::pipeline::MatrixCodecConfig;
 use recode_core::corpus::CorpusScale;
 use recode_core::exec::RecodedSpmv;
+use recode_core::json::Json;
 use recode_core::overlap::{OverlapConfig, OverlapExecutor};
 use recode_core::SystemConfig;
-use serde::Serialize;
 
 const ITERS: usize = 10;
 const CACHE_BLOCKS: usize = 4096;
 
-#[derive(Serialize)]
 struct PerMatrix {
     name: String,
     nnz: usize,
@@ -39,7 +38,23 @@ struct PerMatrix {
     meets_5x: bool,
 }
 
-#[derive(Serialize)]
+impl PerMatrix {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", Json::Str(self.name.clone()))
+            .set("nnz", Json::U64(self.nnz as u64))
+            .set("stages", Json::U64(self.stages as u64))
+            .set("workers", Json::U64(self.workers as u64))
+            .set("serial_makespan_cycles", Json::U64(self.serial_makespan_cycles))
+            .set("overlapped_makespan_cycles", Json::U64(self.overlapped_makespan_cycles))
+            .set("saved_cycles", Json::U64(self.saved_cycles))
+            .set("cold_decode_cycles", Json::U64(self.cold_decode_cycles))
+            .set("warm_decode_cycles_mean", Json::F64(self.warm_decode_cycles_mean))
+            .set("cold_warm_ratio", Json::F64(self.cold_warm_ratio))
+            .set("meets_5x", Json::Bool(self.meets_5x))
+    }
+}
+
 struct Snapshot {
     schema: &'static str,
     matrices: usize,
@@ -52,6 +67,22 @@ struct Snapshot {
     warm_cache_wins: usize,
     mean_saved_fraction: f64,
     per_matrix: Vec<PerMatrix>,
+}
+
+impl Snapshot {
+    /// Shared dependency-free writer: works on the offline stub build and
+    /// feeds `recode bench-compare` the same bytes CI diffs.
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("schema", Json::Str(self.schema.to_string()))
+            .set("matrices", Json::U64(self.matrices as u64))
+            .set("iters", Json::U64(self.iters as u64))
+            .set("cache_blocks", Json::U64(self.cache_blocks as u64))
+            .set("overlap_wins", Json::U64(self.overlap_wins as u64))
+            .set("warm_cache_wins", Json::U64(self.warm_cache_wins as u64))
+            .set("mean_saved_fraction", Json::F64(self.mean_saved_fraction))
+            .set("per_matrix", Json::Arr(self.per_matrix.iter().map(PerMatrix::to_json).collect()))
+    }
 }
 
 fn main() {
@@ -136,7 +167,7 @@ fn main() {
         },
         per_matrix,
     };
-    let text = serde_json::to_string_pretty(&snapshot).expect("snapshot serialize");
+    let text = snapshot.to_json().to_string_pretty();
     std::fs::write(&out_path, text).unwrap_or_else(|e| {
         eprintln!("failed to write {}: {e}", out_path.display());
         std::process::exit(1);

@@ -10,12 +10,11 @@ use recode_bench::{corpus_entries, parse_args};
 use recode_codec::pipeline::MatrixCodecConfig;
 use recode_core::corpus::CorpusScale;
 use recode_core::exec::RecodedSpmv;
+use recode_core::json::Json;
 use recode_core::SystemConfig;
 use recode_sparse::spmv::SpmvKernel;
 use recode_sparse::util::geometric_mean;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct PerMatrix {
     name: String,
     nnz: usize,
@@ -26,7 +25,19 @@ struct PerMatrix {
     wall_ns_total: u64,
 }
 
-#[derive(Serialize)]
+impl PerMatrix {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", Json::Str(self.name.clone()))
+            .set("nnz", Json::U64(self.nnz as u64))
+            .set("bytes_per_nnz", Json::F64(self.bytes_per_nnz))
+            .set("us_per_block", Json::F64(self.us_per_block))
+            .set("lane_utilization", Json::F64(self.lane_utilization))
+            .set("makespan_cycles", Json::U64(self.makespan_cycles))
+            .set("wall_ns_total", Json::U64(self.wall_ns_total))
+    }
+}
+
 struct Snapshot {
     schema: &'static str,
     matrices: usize,
@@ -40,7 +51,35 @@ struct Snapshot {
     per_matrix: Vec<PerMatrix>,
 }
 
-#[derive(Serialize)]
+impl Snapshot {
+    /// Shared dependency-free writer: works on the offline stub build and
+    /// feeds `recode bench-compare` the same bytes CI diffs.
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("schema", Json::Str(self.schema.to_string()))
+            .set("matrices", Json::U64(self.matrices as u64))
+            .set("geomean_bytes_per_nnz", Json::F64(self.geomean_bytes_per_nnz))
+            .set("geomean_us_per_block", Json::F64(self.geomean_us_per_block))
+            .set("mean_lane_utilization", Json::F64(self.mean_lane_utilization))
+            .set(
+                "opclass_share",
+                Json::obj()
+                    .set("dispatch_share", Json::F64(self.opclass_share.dispatch))
+                    .set("alu_share", Json::F64(self.opclass_share.alu))
+                    .set("mem_share", Json::F64(self.opclass_share.mem))
+                    .set("stream_share", Json::F64(self.opclass_share.stream)),
+            )
+            .set(
+                "stage_share",
+                Json::obj()
+                    .set("huffman_share", Json::F64(self.stage_share.huffman))
+                    .set("snappy_share", Json::F64(self.stage_share.snappy))
+                    .set("delta_share", Json::F64(self.stage_share.delta)),
+            )
+            .set("per_matrix", Json::Arr(self.per_matrix.iter().map(PerMatrix::to_json).collect()))
+    }
+}
+
 struct OpclassShare {
     dispatch: f64,
     alu: f64,
@@ -48,7 +87,6 @@ struct OpclassShare {
     stream: f64,
 }
 
-#[derive(Serialize)]
 struct StageShare {
     huffman: f64,
     snappy: f64,
@@ -135,7 +173,7 @@ fn main() {
         },
         per_matrix,
     };
-    let text = serde_json::to_string_pretty(&snapshot).expect("snapshot serialize");
+    let text = snapshot.to_json().to_string_pretty();
     std::fs::write(&out_path, text).unwrap_or_else(|e| {
         eprintln!("failed to write {}: {e}", out_path.display());
         std::process::exit(1);

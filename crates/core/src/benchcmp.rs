@@ -1,0 +1,363 @@
+//! Perf-regression gate: compares two bench-snapshot JSON documents.
+//!
+//! `recode bench-compare <old.json> <new.json>` (and the CI job wrapping
+//! it) diff the `BENCH_*.json` baselines against a fresh run. Metrics are
+//! flattened to dotted paths and classified by a name-based policy:
+//!
+//! * **Gated** metrics are deterministic model outputs (`*_cycles`,
+//!   `bytes_per_nnz`, utilizations, saved fractions, opclass/stage shares).
+//!   On identical code they reproduce exactly, so a >20 % shift beyond a
+//!   small per-class noise floor fails the gate. Gates are
+//!   direction-aware: an *improvement* (fewer cycles, higher utilization)
+//!   never fails.
+//! * **Informational** metrics are host wall-clock readings
+//!   (`wall_ns`, `blocks_per_s`, `us_per_block`, …). Baselines are
+//!   recorded on whatever machine blessed them, so CI only reports these —
+//!   they never gate.
+//!
+//! A gated metric that disappears from the new snapshot is a regression
+//! (renames must re-bless the baseline); brand-new metrics are
+//! informational until blessed.
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// Relative change a gated metric may drift before failing the gate.
+pub const GATE_THRESHOLD: f64 = 0.20;
+
+/// Keys that never produce metrics (document framing, not measurements).
+const SKIPPED_KEYS: &[&str] = &["schema", "smoke"];
+
+/// How a metric's value relates to "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Fewer is better (cycles, bytes per non-zero).
+    LowerIsBetter,
+    /// More is better (utilization, saved fraction).
+    HigherIsBetter,
+    /// No better direction — any drift beyond threshold fails (shares).
+    Symmetric,
+}
+
+/// Per-metric outcome of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Gated metric within threshold (or moved in the better direction by
+    /// less than the threshold).
+    Pass,
+    /// Gated metric moved in the better direction beyond the threshold.
+    Improved,
+    /// Gated metric regressed beyond threshold + noise floor, or vanished.
+    Regressed,
+    /// Not gated: reported, never fails the comparison.
+    Info,
+}
+
+/// One flattened metric compared across the two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted path into the snapshot (`spmv.exec.makespan_cycles`).
+    pub path: String,
+    /// Baseline value (`None`: metric is new in this run).
+    pub old: Option<f64>,
+    /// Fresh value (`None`: metric vanished).
+    pub new: Option<f64>,
+    /// Signed relative change, `(new - old) / |old|`. Zero when either
+    /// side is missing or the baseline is zero-ish.
+    pub change: f64,
+    /// Whether the gate policy applies to this metric.
+    pub gated: bool,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+/// Full comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Every compared metric, in path order.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl CompareReport {
+    /// True when any gated metric regressed — the CI-failing condition.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.verdict == Verdict::Regressed)
+    }
+
+    /// The regressed subset, for error reporting.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.verdict == Verdict::Regressed).collect()
+    }
+
+    /// Human-readable table; one line per metric, regressions flagged.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.deltas {
+            let tag = match d.verdict {
+                Verdict::Pass => "ok  ",
+                Verdict::Improved => "good",
+                Verdict::Regressed => "FAIL",
+                Verdict::Info => "info",
+            };
+            let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.6}"));
+            let _ = writeln!(
+                out,
+                "{tag}  {path:<56} {old:>16} -> {new:>16}  {pct:>+7.1}%",
+                path = d.path,
+                old = fmt(d.old),
+                new = fmt(d.new),
+                pct = d.change * 100.0,
+            );
+        }
+        let n_reg = self.regressions().len();
+        let n_gated = self.deltas.iter().filter(|d| d.gated).count();
+        let _ = writeln!(
+            out,
+            "{} metrics compared, {} gated, {} regression(s) (threshold {:.0}%)",
+            self.deltas.len(),
+            n_gated,
+            n_reg,
+            GATE_THRESHOLD * 100.0
+        );
+        out
+    }
+}
+
+/// Compares two bench-snapshot JSON texts. Errors only on unparseable
+/// input; regressions are reported in the returned [`CompareReport`].
+pub fn compare_snapshots(old_text: &str, new_text: &str) -> Result<CompareReport, String> {
+    let old_doc = json::parse(old_text).map_err(|e| format!("old snapshot: {e}"))?;
+    let new_doc = json::parse(new_text).map_err(|e| format!("new snapshot: {e}"))?;
+    let mut old_metrics = BTreeMap::new();
+    let mut new_metrics = BTreeMap::new();
+    flatten(&old_doc, String::new(), &mut old_metrics);
+    flatten(&new_doc, String::new(), &mut new_metrics);
+
+    let mut paths: Vec<&String> = old_metrics.keys().collect();
+    for p in new_metrics.keys() {
+        if !old_metrics.contains_key(p) {
+            paths.push(p);
+        }
+    }
+    paths.sort();
+
+    let deltas = paths
+        .into_iter()
+        .map(|path| {
+            let old = old_metrics.get(path).copied();
+            let new = new_metrics.get(path).copied();
+            judge(path, old, new)
+        })
+        .collect();
+    Ok(CompareReport { deltas })
+}
+
+/// Applies the gate policy to one metric pair.
+fn judge(path: &str, old: Option<f64>, new: Option<f64>) -> MetricDelta {
+    let policy = policy(path);
+    let gated = policy.is_some();
+    let change = match (old, new) {
+        (Some(o), Some(n)) if o.abs() > f64::EPSILON => (n - o) / o.abs(),
+        _ => 0.0,
+    };
+    let verdict = match (policy, old, new) {
+        (None, _, _) => Verdict::Info,
+        // New gated metric: informational until a baseline blesses it.
+        (Some(_), None, _) => Verdict::Info,
+        // Vanished gated metric: the baseline promises it exists.
+        (Some(_), Some(_), None) => Verdict::Regressed,
+        (Some((direction, noise)), Some(o), Some(n)) => {
+            let worse = match direction {
+                Direction::LowerIsBetter => change > 0.0,
+                Direction::HigherIsBetter => change < 0.0,
+                Direction::Symmetric => true,
+            };
+            if change.abs() > GATE_THRESHOLD && (n - o).abs() > noise {
+                if worse {
+                    Verdict::Regressed
+                } else {
+                    Verdict::Improved
+                }
+            } else {
+                Verdict::Pass
+            }
+        }
+    };
+    MetricDelta { path: path.to_string(), old, new, change, gated, verdict }
+}
+
+/// Name-based classification. `Some((direction, absolute noise floor))`
+/// gates the metric; `None` leaves it informational.
+fn policy(path: &str) -> Option<(Direction, f64)> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    // Host wall-clock and throughput readings: machine-dependent, never
+    // gated (checked first — `wall_ns` would otherwise look deterministic).
+    let wall = [
+        "wall_ns",
+        "wall_ns_total",
+        "blocks_per_s",
+        "mb_per_s",
+        "us_per_block",
+        "geomean_us_per_block",
+        "ns_per_event",
+        "ns_per_block",
+    ];
+    if wall.contains(&leaf) || leaf.ends_with("_wall_ns") {
+        return None;
+    }
+    if leaf == "cycles" || leaf.ends_with("_cycles") {
+        return Some((Direction::LowerIsBetter, 100.0));
+    }
+    if leaf == "bytes_per_nnz"
+        || leaf == "geomean_bytes_per_nnz"
+        || leaf.ends_with("_bytes_per_nnz")
+    {
+        return Some((Direction::LowerIsBetter, 0.05));
+    }
+    if leaf.ends_with("lane_utilization") {
+        return Some((Direction::HigherIsBetter, 0.02));
+    }
+    if leaf.ends_with("saved_fraction") {
+        return Some((Direction::HigherIsBetter, 0.02));
+    }
+    if leaf.ends_with("_share") || path.contains(".opclass.") || path.contains(".stage_cycles.") {
+        return Some((Direction::Symmetric, 0.02));
+    }
+    None
+}
+
+/// Flattens a JSON document into `dotted.path -> f64` metrics. Array
+/// elements that are objects with a string `"name"` field key by that name;
+/// other elements key by index. `schema` / `smoke` keys are framing, not
+/// metrics.
+fn flatten(value: &Json, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Json::U64(v) => {
+            out.insert(prefix, *v as f64);
+        }
+        Json::I64(v) => {
+            out.insert(prefix, *v as f64);
+        }
+        Json::F64(v) => {
+            out.insert(prefix, *v);
+        }
+        Json::Obj(entries) => {
+            for (k, v) in entries {
+                if SKIPPED_KEYS.contains(&k.as_str()) {
+                    continue;
+                }
+                let path = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten(v, path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let key = item
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map_or_else(|| i.to_string(), str::to_string);
+                let path = if prefix.is_empty() { key } else { format!("{prefix}.{key}") };
+                flatten(item, path, out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+        "schema": "recode-bench/v1",
+        "cases": [
+            {"name": "dense_tile", "makespan_cycles": 1000, "bytes_per_nnz": 4.0,
+             "lane_utilization": 0.9, "wall_ns": 5000},
+            {"name": "stencil", "makespan_cycles": 2000, "bytes_per_nnz": 6.0,
+             "lane_utilization": 0.8, "wall_ns": 9000}
+        ],
+        "geomean_bytes_per_nnz": 4.9
+    }"#;
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let report = compare_snapshots(OLD, OLD).expect("parse");
+        assert!(!report.has_regressions(), "{}", report.render());
+        assert!(report.deltas.iter().any(|d| d.path == "cases.dense_tile.makespan_cycles"));
+        // `schema` is framing, `wall_ns` is informational.
+        assert!(!report.deltas.iter().any(|d| d.path == "schema"));
+        let wall = report
+            .deltas
+            .iter()
+            .find(|d| d.path == "cases.dense_tile.wall_ns")
+            .expect("wall_ns reported");
+        assert_eq!(wall.verdict, Verdict::Info);
+    }
+
+    #[test]
+    fn a_25_percent_cycle_regression_fails_the_gate() {
+        let new = OLD.replace("\"makespan_cycles\": 2000", "\"makespan_cycles\": 2500");
+        let report = compare_snapshots(OLD, &new).expect("parse");
+        assert!(report.has_regressions());
+        let reg = report.regressions();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].path, "cases.stencil.makespan_cycles");
+        assert!((reg[0].change - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvements_and_wall_clock_swings_do_not_fail() {
+        // 50% fewer cycles (improvement) + 10x wall-clock swing (untracked).
+        let new = OLD
+            .replace("\"makespan_cycles\": 2000", "\"makespan_cycles\": 1000")
+            .replace("\"wall_ns\": 9000", "\"wall_ns\": 90000");
+        let report = compare_snapshots(OLD, &new).expect("parse");
+        assert!(!report.has_regressions(), "{}", report.render());
+        let imp = report
+            .deltas
+            .iter()
+            .find(|d| d.path == "cases.stencil.makespan_cycles")
+            .expect("present");
+        assert_eq!(imp.verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn small_drift_inside_noise_floor_passes() {
+        // +150% relative but only 3 cycles absolute: below the 100-cycle
+        // noise floor for cycle metrics.
+        let old = r#"{"tiny_cycles": 2}"#;
+        let new = r#"{"tiny_cycles": 5}"#;
+        let report = compare_snapshots(old, new).expect("parse");
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+
+    #[test]
+    fn vanished_gated_metric_is_a_regression_and_new_metric_is_info() {
+        let new = r#"{
+            "schema": "recode-bench/v1",
+            "cases": [
+                {"name": "dense_tile", "makespan_cycles": 1000, "bytes_per_nnz": 4.0,
+                 "lane_utilization": 0.9, "wall_ns": 5000}
+            ],
+            "geomean_bytes_per_nnz": 4.9,
+            "fresh_cycles": 10
+        }"#;
+        let report = compare_snapshots(OLD, new).expect("parse");
+        assert!(report.has_regressions());
+        assert!(report.regressions().iter().any(|d| d.path == "cases.stencil.makespan_cycles"));
+        let fresh = report.deltas.iter().find(|d| d.path == "fresh_cycles").expect("present");
+        assert_eq!(fresh.verdict, Verdict::Info);
+        assert!(fresh.old.is_none());
+    }
+
+    #[test]
+    fn utilization_is_direction_aware() {
+        let worse = OLD.replace("\"lane_utilization\": 0.8", "\"lane_utilization\": 0.5");
+        let report = compare_snapshots(OLD, &worse).expect("parse");
+        assert!(report.has_regressions());
+        let better = OLD.replace("\"lane_utilization\": 0.8", "\"lane_utilization\": 0.99");
+        let report = compare_snapshots(OLD, &better).expect("parse");
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+}

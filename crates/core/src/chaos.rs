@@ -32,6 +32,7 @@
 use crate::arch::SystemConfig;
 use crate::error::ExecError;
 use crate::exec::{ExecStats, RawFallbackStore, RecodedSpmv};
+use crate::json::Json;
 use crate::overlap::{OverlapConfig, OverlapExecutor};
 use crate::resilience::{CircuitBreaker, JobBudget, JobState};
 #[cfg(doc)]
@@ -273,30 +274,69 @@ impl CampaignSummary {
         s
     }
 
-    /// JSON serialization, hand-rolled so it has no serde dependency (the
-    /// CI artifact upload and offline builds both use this).
-    pub fn to_json(&self) -> String {
-        fn map(m: &BTreeMap<String, usize>) -> String {
-            let body: Vec<String> = m.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
-            format!("{{{}}}", body.join(","))
+    /// The summary as a [`Json`] tree (the shared dependency-free writer —
+    /// the CI artifact upload and offline builds both rely on it).
+    pub fn to_json_value(&self) -> Json {
+        fn map(m: &BTreeMap<String, usize>) -> Json {
+            Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::U64(*v as u64))).collect())
         }
-        format!(
-            "{{\"trials\":{},\"seed\":{},\"healthy\":{},\"by_outcome\":{},\"by_fault\":{},\
-             \"by_injection\":{},\"hung\":{},\"panics_escaped\":{},\"panics_contained\":{},\
-             \"accounting_failures\":{},\"trace_failures\":{},\"bitexact_failures\":{}}}",
-            self.trials,
-            self.seed,
-            self.healthy(),
-            map(&self.by_outcome),
-            map(&self.by_fault),
-            map(&self.by_injection),
-            self.hung,
-            self.panics_escaped,
-            self.panics_contained,
-            self.accounting_failures,
-            self.trace_failures,
-            self.bitexact_failures,
-        )
+        Json::obj()
+            .set("trials", Json::U64(self.trials as u64))
+            .set("seed", Json::U64(self.seed))
+            .set("healthy", Json::Bool(self.healthy()))
+            .set("by_outcome", map(&self.by_outcome))
+            .set("by_fault", map(&self.by_fault))
+            .set("by_injection", map(&self.by_injection))
+            .set("hung", Json::U64(self.hung as u64))
+            .set("panics_escaped", Json::U64(self.panics_escaped as u64))
+            .set("panics_contained", Json::U64(self.panics_contained as u64))
+            .set("accounting_failures", Json::U64(self.accounting_failures as u64))
+            .set("trace_failures", Json::U64(self.trace_failures as u64))
+            .set("bitexact_failures", Json::U64(self.bitexact_failures as u64))
+    }
+
+    /// Compact JSON serialization of [`CampaignSummary::to_json_value`].
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Rebuilds a summary from [`CampaignSummary::to_json`] output.
+    ///
+    /// # Errors
+    /// A description of the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = crate::json::parse(text)?;
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+        };
+        let map = |key: &str| -> Result<BTreeMap<String, usize>, String> {
+            doc.get(key)
+                .and_then(Json::entries)
+                .ok_or_else(|| format!("missing or non-object field `{key}`"))?
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|v| (k.clone(), v as usize))
+                        .ok_or_else(|| format!("non-integer count `{key}.{k}`"))
+                })
+                .collect()
+        };
+        Ok(CampaignSummary {
+            trials: num("trials")?,
+            seed: doc.get("seed").and_then(Json::as_u64).ok_or("missing field `seed`")?,
+            by_outcome: map("by_outcome")?,
+            by_fault: map("by_fault")?,
+            by_injection: map("by_injection")?,
+            hung: num("hung")?,
+            panics_escaped: num("panics_escaped")?,
+            panics_contained: num("panics_contained")?,
+            accounting_failures: num("accounting_failures")?,
+            trace_failures: num("trace_failures")?,
+            bitexact_failures: num("bitexact_failures")?,
+        })
     }
 }
 
@@ -402,6 +442,13 @@ fn run_trial(ctx: &Ctx, plan: &TrialPlan) -> TrialResult {
         .expect("campaign matrix decoders must build");
 
     let mut hook = FaultHook::new();
+    crate::recorder::record(
+        crate::recorder::EventKind::ChaosInjection,
+        crate::recorder::Track::MAIN,
+        plan.injection.point_label(),
+        plan.seed & 0xffff_ffff,
+        0,
+    );
     match plan.injection {
         Injection::None => {}
         Injection::LaneDispatch(LaneFault::Trap) => hook = hook.trap(0).trap(1),
@@ -432,7 +479,7 @@ fn run_trial(ctx: &Ctx, plan: &TrialPlan) -> TrialResult {
     match plan.arm {
         Arm::BatchJob => {
             let mut breaker = ctx.breaker.lock().unwrap_or_else(PoisonError::into_inner);
-            let report = r.run_job(&ctx.sys, hook, &plan.budget, Some(&mut breaker));
+            let report = r.run_job(&ctx.sys, hook, &plan.budget, Some(&mut breaker), None);
             result.outcome = match report.state {
                 JobState::Completed => TrialOutcome::Completed,
                 JobState::Degraded => TrialOutcome::Degraded,
@@ -541,6 +588,9 @@ pub fn run_campaign(config: &ChaosConfig) -> CampaignSummary {
         // itself cannot hang.
         std::thread::spawn(move || {
             let r = catch_unwind(AssertUnwindSafe(|| run_trial(&thread_ctx, &thread_plan)));
+            // The campaign observes completion through the channel, never
+            // by joining, so ring any recorder events before signalling.
+            crate::recorder::flush_thread();
             let _ = tx.send(r);
         });
         let result = match rx.recv_timeout(config.trial_timeout) {
@@ -614,5 +664,22 @@ mod tests {
         assert!(json.contains("\"trials\":4"));
         assert!(json.contains("\"healthy\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn summary_round_trips_through_the_shared_json_writer() {
+        let config =
+            ChaosConfig { trials: 6, seed: 0xA11CE, trial_timeout: Duration::from_secs(30) };
+        let first = run_campaign(&config);
+        let back = CampaignSummary::from_json(&first.to_json()).expect("own JSON parses back");
+        assert_eq!(back, first, "summary must survive the JSON round trip");
+        // And same-seed equality still holds across serialization.
+        let second = run_campaign(&config);
+        assert_eq!(
+            CampaignSummary::from_json(&second.to_json()).expect("parses"),
+            back,
+            "same seed, same summary, same JSON"
+        );
+        assert!(CampaignSummary::from_json("{\"trials\":1}").is_err(), "missing fields rejected");
     }
 }

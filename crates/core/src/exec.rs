@@ -19,6 +19,7 @@
 use crate::arch::SystemConfig;
 use crate::error::{ExecError, ExecResult};
 use crate::overlap::OverlapStats;
+use crate::recorder;
 use crate::resilience::{
     BreakerState, BudgetTracker, CircuitBreaker, JobBudget, JobReport, JobState,
 };
@@ -45,7 +46,7 @@ use std::time::Instant;
 pub const MAX_BLOCK_RETRIES: usize = 2;
 
 /// Statistics from one UDP-decoded execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Accelerator-side report (cycles, throughput, utilization). Cycles
     /// spent on successful retry decodes *are* folded into the makespan and
@@ -366,12 +367,27 @@ impl RecodedSpmv {
             Which::Value(b) => self.value_decoder.decode_block(lane, b),
         };
         let empty_hook = FaultHook::default();
+        let pool_before = tel.is_some().then(|| recode_udp::pool::global().stats());
         let events: Mutex<Vec<JobEvent>> = Mutex::new(Vec::new());
-        let sink_fn = |e: &JobEvent| events.lock().expect("event sink poisoned").push(*e);
-        let sink: Option<JobEventSink<'_>> = if tel.is_some() { Some(&sink_fn) } else { None };
+        let sink_fn = |e: &JobEvent| {
+            recorder::record(
+                recorder::EventKind::BlockOutcome,
+                recorder::Track::lane(e.lane),
+                "block",
+                e.cycles,
+                0,
+            );
+            events.lock().expect("event sink poisoned").push(*e);
+        };
+        // The sink also fires for a recorder-only run (`--chrome-trace`
+        // without `--trace`) so lane-track block events still materialize.
+        let sink: Option<JobEventSink<'_>> =
+            if tel.is_some() || recorder::is_enabled() { Some(&sink_fn) } else { None };
         let t_batch = tel.is_some().then(Instant::now);
-        let outcome: BatchOutcome<UdpError> =
-            sys.udp.run_jobs_observed(&jobs, run, hook.unwrap_or(&empty_hook), sink);
+        let outcome: BatchOutcome<UdpError> = {
+            let _span = recorder::span(recorder::Track::MAIN, "exec.decode_batch");
+            sys.udp.run_jobs_observed(&jobs, run, hook.unwrap_or(&empty_hook), sink)
+        };
         let batch_ns = t_batch.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         let mut report = outcome.report;
@@ -407,7 +423,14 @@ impl RecodedSpmv {
             // One pooled lane serves every retry attempt: `run` fully
             // resets lane state, so attempt N is as "fresh" as a new lane.
             let mut lane = recode_udp::pool::global().checkout();
-            for _ in 0..MAX_BLOCK_RETRIES {
+            for attempt in 0..MAX_BLOCK_RETRIES {
+                recorder::record(
+                    recorder::EventKind::Retry,
+                    recorder::Track::MAIN,
+                    "exec.retry",
+                    attempt as u64 + 1,
+                    k as u64,
+                );
                 // Retry boundaries are the job's preemption points: the
                 // budget is consulted before every attempt, and an
                 // exhausted one ends the job in a typed terminal state.
@@ -466,6 +489,13 @@ impl RecodedSpmv {
             }
             match raw {
                 Some(raw) => {
+                    recorder::record(
+                        recorder::EventKind::Fallback,
+                        recorder::Track::MAIN,
+                        "exec.fallback",
+                        raw.len() as u64,
+                        k as u64,
+                    );
                     blocks_fell_back += 1;
                     fallback_bytes += raw.len();
                     report.output_bytes += raw.len() as u64;
@@ -578,6 +608,33 @@ impl RecodedSpmv {
             tel.add("exec.blocks_fell_back", stats.blocks_fell_back as u64);
             tel.add("exec.fallback_bytes", stats.fallback_bytes as u64);
             tel.add("exec.retry_cycles", stats.retry_cycles);
+
+            // Lane-pool traffic over this batch, as deltas of the
+            // process-wide pool's monotonic counters. Parallel tests can
+            // inflate these (the pool is shared), so they are reported, not
+            // validated. Emitting any `pool.*` counter stamps the document
+            // `recode-trace/v2`.
+            // Saturating: `LanePool::reset` (chaos trial isolation) can zero
+            // the counters mid-run in a shared process.
+            if let Some(before) = pool_before {
+                let after = recode_udp::pool::global().stats();
+                tel.add("pool.checkouts", after.checkouts.saturating_sub(before.checkouts));
+                tel.add(
+                    "pool.recycled_hits",
+                    after.recycled_hits.saturating_sub(before.recycled_hits),
+                );
+                tel.add(
+                    "pool.fresh_builds",
+                    after.fresh_builds.saturating_sub(before.fresh_builds),
+                );
+                tel.add("pool.returned", after.returned.saturating_sub(before.returned));
+                tel.add(
+                    "pool.dropped_at_capacity",
+                    after.dropped_at_capacity.saturating_sub(before.dropped_at_capacity),
+                );
+                tel.add("pool.quarantined", after.quarantined.saturating_sub(before.quarantined));
+                tel.add("pool.readmitted", after.readmitted.saturating_sub(before.readmitted));
+            }
 
             tel.traffic.read(TrafficSource::CompressedStream, compressed_bytes as u64);
             tel.traffic.read(TrafficSource::FallbackRefetch, stats.fallback_bytes as u64);
@@ -693,6 +750,34 @@ impl RecodedSpmv {
         hook: Option<&FaultHook>,
         budget: &JobBudget,
         mut breaker: Option<&mut CircuitBreaker>,
+        mut tel: Option<&mut Telemetry>,
+    ) -> JobReport {
+        let report =
+            self.run_job_inner(sys, hook, budget, breaker.as_deref_mut(), tel.as_deref_mut());
+        // Breaker posture after the job, as `breaker.*` counters (v2
+        // content). `breaker.state` is a code: 0 closed, 1 open, 2 half-open.
+        if let (Some(tel), Some(b)) = (tel, breaker.as_deref()) {
+            tel.add("breaker.trips", b.trips());
+            tel.add("breaker.probes", b.probes());
+            tel.add(
+                "breaker.state",
+                match b.state() {
+                    BreakerState::Closed => 0,
+                    BreakerState::Open => 1,
+                    BreakerState::HalfOpen => 2,
+                },
+            );
+        }
+        report
+    }
+
+    fn run_job_inner(
+        &self,
+        sys: &SystemConfig,
+        hook: Option<&FaultHook>,
+        budget: &JobBudget,
+        mut breaker: Option<&mut CircuitBreaker>,
+        tel: Option<&mut Telemetry>,
     ) -> JobReport {
         let admitted = breaker.as_deref_mut().is_none_or(CircuitBreaker::admit);
         if !admitted {
@@ -719,7 +804,7 @@ impl RecodedSpmv {
                 },
             };
         }
-        match self.decompress_via_udp_budgeted(sys, hook, None, Some(budget)) {
+        match self.decompress_via_udp_budgeted(sys, hook, tel, Some(budget)) {
             Ok((a, stats)) => {
                 if let Some(b) = breaker.as_deref_mut() {
                     b.record(stats.accel.jobs, stats.accel.jobs_failed);
@@ -756,6 +841,53 @@ impl RecodedSpmv {
                 }
             }
         }
+    }
+
+    /// [`RecodedSpmv::run_job`] plus a sealed [`TraceDocument`] when the
+    /// job produced stats (every state but `Rejected`/`DeadlineExceeded`).
+    /// The document carries the `pool.*` and — when a breaker was supplied —
+    /// `breaker.*` counters, so it is always stamped `recode-trace/v2`.
+    /// This is the `recode metrics` scrape path.
+    pub fn run_job_traced(
+        &self,
+        sys: &SystemConfig,
+        hook: Option<&FaultHook>,
+        budget: &JobBudget,
+        breaker: Option<&mut CircuitBreaker>,
+        name: &str,
+    ) -> (JobReport, Option<TraceDocument>) {
+        let t_total = Instant::now();
+        let mut tel = Telemetry::new();
+        let report = self.run_job(sys, hook, budget, breaker, Some(&mut tel));
+        let doc = match (&report.matrix, &report.stats) {
+            (Some(a), Some(stats)) => {
+                let matrix = MatrixMeta {
+                    name: name.to_string(),
+                    nrows: a.nrows(),
+                    ncols: a.ncols(),
+                    nnz: a.nnz(),
+                    compressed_bytes: stats.compressed_bytes,
+                    bytes_per_nnz: self.compressed.bytes_per_nnz(),
+                };
+                let system = SystemMeta {
+                    memory: sys.mem.name.to_string(),
+                    lanes: sys.udp.lanes,
+                    freq_hz: sys.udp.freq_hz,
+                };
+                let codec_stages =
+                    self.stage_telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default();
+                Some(tel.into_document(
+                    matrix,
+                    system,
+                    stats.clone(),
+                    codec_stages,
+                    &sys.mem,
+                    t_total.elapsed().as_nanos() as u64,
+                ))
+            }
+            _ => None,
+        };
+        (report, doc)
     }
 
     /// Fully traced SpMV: [`RecodedSpmv::spmv_faulty`] plus a sealed
@@ -1361,7 +1493,7 @@ mod tests {
         let budget = JobBudget::unbounded();
 
         // No breaker, clean run: Completed on the accelerator.
-        let report = r.run_job(&sys, None, &budget, None);
+        let report = r.run_job(&sys, None, &budget, None, None);
         assert_eq!(report.state, JobState::Completed);
         assert!(!report.software_path);
         assert_eq!(report.matrix.as_ref(), Some(&a));
@@ -1376,7 +1508,7 @@ mod tests {
         let mut b = CircuitBreaker::new(config);
         b.record(10, 10);
         assert_eq!(b.state(), BreakerState::Open);
-        let report = r.run_job(&sys, None, &budget, Some(&mut b));
+        let report = r.run_job(&sys, None, &budget, Some(&mut b), None);
         assert_eq!(report.state, JobState::Degraded);
         assert!(report.software_path, "open breaker must bypass the accelerator");
         assert_eq!(report.matrix.as_ref(), Some(&a), "software bypass stays bit-exact");
@@ -1385,7 +1517,7 @@ mod tests {
         assert_eq!(stats.accel.jobs, 0, "no accelerator work on the bypass");
 
         // The next run is the half-open probe; it succeeds and re-closes.
-        let report = r.run_job(&sys, None, &budget, Some(&mut b));
+        let report = r.run_job(&sys, None, &budget, Some(&mut b), None);
         assert_eq!(report.state, JobState::Completed);
         assert!(!report.software_path, "probe runs on the accelerator");
         assert_eq!(report.breaker, BreakerState::Closed, "clean probe closes the breaker");
@@ -1407,7 +1539,7 @@ mod tests {
             cooldown_runs: 2,
         };
         let mut b = CircuitBreaker::new(config);
-        let report = r.run_job(&sys, None, &JobBudget::unbounded(), Some(&mut b));
+        let report = r.run_job(&sys, None, &JobBudget::unbounded(), Some(&mut b), None);
         assert_eq!(report.state, JobState::Rejected);
         assert!(report.error.is_some());
         assert!(report.matrix.is_none());
@@ -1424,7 +1556,7 @@ mod tests {
         let sys = SystemConfig::ddr4();
         let hook = FaultHook::new().trap(0);
         let budget = JobBudget::with_deadline(Duration::ZERO);
-        let report = r.run_job(&sys, Some(&hook), &budget, None);
+        let report = r.run_job(&sys, Some(&hook), &budget, None, None);
         assert_eq!(report.state, JobState::DeadlineExceeded);
         assert!(matches!(report.error, Some(ExecError::DeadlineExceeded { .. })));
     }

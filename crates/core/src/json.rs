@@ -1,0 +1,488 @@
+//! Dependency-free JSON tree: a writer and a minimal parser.
+//!
+//! This is the shared emitter behind every machine-readable artifact that
+//! must work in offline builds where `serde_json` is unavailable at
+//! runtime: the Chrome trace exporter, `chaos::CampaignSummary::to_json`,
+//! the `BENCH_*.json` snapshot binaries, and the `recode bench-compare`
+//! comparator's input side. It is deliberately small: objects preserve
+//! insertion order (stable output bytes), numbers are written with Rust's
+//! shortest-round-trip `Display`, and the parser accepts exactly the JSON
+//! these writers produce plus anything `serde_json` emits.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Objects keep insertion order so emitted bytes are
+/// stable run-to-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `u64` (written without a decimal point).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// Any other finite number. Non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object, builder-style (panics on
+    /// non-objects — writer misuse, not data-dependent).
+    #[must_use]
+    pub fn set(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen; strings/bools don't coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields, in insertion order.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Pretty serialization (2-space indent, `serde_json` style).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
+                for (i, item) in items.iter().enumerate() {
+                    seq_sep(out, indent, depth + 1, i == 0);
+                    item.write(out, indent, depth + 1);
+                }
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, fields.is_empty(), '{', '}', |out| {
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        seq_sep(out, indent, depth + 1, i == 0);
+                        write_escaped(out, k);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, depth + 1);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Compact serialization (via `.to_string()`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String),
+) {
+    out.push(open);
+    if empty {
+        out.push(close);
+        return;
+    }
+    body(out);
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn seq_sep(out: &mut String, indent: Option<usize>, depth: usize, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+}
+
+/// Floats print via Rust's shortest-round-trip `Display`, with a trailing
+/// `.0` forced onto integral values so a float field never degrades into
+/// an integer token between runs. Non-finite values become `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+/// A message with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid utf-8 near byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are not produced by our
+                            // writers; map them to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_emits_stable_ordered_objects() {
+        let doc = Json::obj()
+            .set("b", Json::U64(2))
+            .set("a", Json::F64(1.5))
+            .set("s", Json::Str("x\"y\n".to_string()))
+            .set("arr", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(doc.to_string(), r#"{"b":2,"a":1.5,"s":"x\"y\n","arr":[true,null]}"#);
+    }
+
+    #[test]
+    fn integral_floats_keep_their_decimal_point() {
+        assert_eq!(Json::F64(3.0).to_string(), "3.0");
+        assert_eq!(Json::F64(0.25).to_string(), "0.25");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::U64(3).to_string(), "3");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::obj()
+            .set("trials", Json::U64(500))
+            .set("neg", Json::I64(-7))
+            .set("ratio", Json::F64(12.75))
+            .set("name", Json::Str("stencil 2d / 5pt".to_string()))
+            .set("tags", Json::Arr(vec![Json::Str("a".into()), Json::U64(1)]))
+            .set(
+                "inner",
+                Json::obj().set("empty_arr", Json::Arr(vec![])).set("empty_obj", Json::obj()),
+            );
+        for text in [doc.to_string(), doc.to_string_pretty()] {
+            let back = parse(&text).expect("own output parses");
+            assert_eq!(back, doc, "round trip through {text}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_serde_style_documents() {
+        let text = r#"{
+  "schema": "recode-bench/v1",
+  "count": 3,
+  "rate": 1.25e3,
+  "flag": false,
+  "items": [ {"name": "x", "v": 1}, {"name": "y", "v": -2} ]
+}"#;
+        let doc = parse(text).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("recode-bench/v1"));
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("rate").and_then(Json::as_f64), Some(1250.0));
+        assert_eq!(doc.get("flag").and_then(Json::as_bool), Some(false));
+        let items = doc.get("items").and_then(Json::as_array).expect("array");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("v").and_then(Json::as_f64), Some(-2.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "{\"a\":1} extra", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

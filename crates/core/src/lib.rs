@@ -26,27 +26,45 @@
 //!   results;
 //! * [`report`] — plain-text tables matching the paper's figures;
 //! * [`telemetry`] — the span/counter/histogram registry behind
-//!   `recode spmv --trace`, sealed into a schema-stable [`TraceDocument`].
+//!   `recode spmv --trace`, sealed into a schema-stable [`TraceDocument`];
+//! * [`recorder`] — the always-on flight recorder: a lock-light ring of
+//!   typed runtime events (spans, block outcomes, breaker transitions,
+//!   pool and cache traffic) exportable as a Chrome/Perfetto trace via
+//!   [`chrometrace`];
+//! * [`metrics`] — point-in-time [`metrics::MetricsSnapshot`] rendered as
+//!   Prometheus text exposition;
+//! * [`benchcmp`] — the BENCH_*.json regression comparator behind
+//!   `recode bench-compare`;
+//! * [`json`] — the dependency-free JSON writer/parser shared by the
+//!   chaos, bench, trace-export, and metrics emitters.
 
 pub mod arch;
+pub mod benchcmp;
 pub mod chaos;
+pub mod chrometrace;
 pub mod corpus;
 pub mod error;
 pub mod exec;
 pub mod experiment;
+pub mod json;
 pub mod measure;
+pub mod metrics;
 pub mod overlap;
 pub mod perfmodel;
 pub mod power;
+pub mod recorder;
 pub mod report;
 pub mod resilience;
 pub mod seven;
 pub mod telemetry;
 
 pub use arch::SystemConfig;
+pub use benchcmp::{compare_snapshots, CompareReport, MetricDelta, Verdict};
 pub use chaos::{run_campaign, CampaignSummary, ChaosConfig, TrialOutcome};
+pub use chrometrace::export_chrome_trace;
 pub use error::{ExecError, ExecResult};
 pub use exec::{ExecStats, RawFallbackStore, RecodedSpmv};
+pub use metrics::MetricsSnapshot;
 pub use overlap::{
     parse_recode_threads, CacheStats, ExecCache, OverlapConfig, OverlapExecutor, OverlapStats,
 };
@@ -56,6 +74,6 @@ pub use resilience::{
     BreakerConfig, BreakerState, BudgetTracker, CircuitBreaker, JobBudget, JobReport, JobState,
 };
 pub use telemetry::{
-    render_report, BlockEvent, BlockOutcome, CycleHistogram, MatrixMeta, Span, StreamKind,
-    SystemMeta, Telemetry, TraceDocument, TRACE_SCHEMA,
+    render_report, BlockEvent, BlockOutcome, CycleHistogram, MatrixMeta, RecorderSummary, Span,
+    StreamKind, SystemMeta, Telemetry, TraceDocument, TRACE_SCHEMA, TRACE_SCHEMA_V1,
 };

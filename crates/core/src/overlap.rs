@@ -45,6 +45,7 @@ use crate::error::{ExecError, ExecResult};
 use crate::exec::{
     check_stream_structure, ExecStats, RawFallbackStore, RecodedSpmv, MAX_BLOCK_RETRIES,
 };
+use crate::recorder;
 use crate::resilience::{BudgetTracker, JobBudget};
 use crate::telemetry::{
     BlockEvent, BlockOutcome, MatrixMeta, StreamKind, SystemMeta, Telemetry, TraceDocument,
@@ -142,6 +143,13 @@ impl ExecCache {
             e.stamp = self.tick;
             self.stats.hits += 1;
             self.stats.hit_bytes += e.bytes.len() as u64;
+            recorder::record(
+                recorder::EventKind::CacheHit,
+                recorder::Track::stage(0),
+                "cache.hit",
+                e.bytes.len() as u64,
+                key.1 as u64,
+            );
             Some(Arc::clone(&e.bytes))
         } else {
             self.stats.misses += 1;
@@ -160,6 +168,13 @@ impl ExecCache {
             if let Some(victim) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
                 self.map.remove(&victim);
                 self.stats.evictions += 1;
+                recorder::record(
+                    recorder::EventKind::CacheEvict,
+                    recorder::Track::stage(0),
+                    "cache.evict",
+                    victim.1 as u64,
+                    0,
+                );
             }
         }
         self.map.insert(key, CacheEntry { bytes, stamp: self.tick });
@@ -590,6 +605,9 @@ impl<'m> OverlapExecutor<'m> {
 
         let stall_cycles = hook.stall_cycles.get(&job).copied().unwrap_or(0);
         let wire_bytes = blk.payload.len();
+        // Decode work happens on the producer (stage 0) track; cache hits
+        // returned above never open this span.
+        let _decode_span = recorder::span(recorder::Track::stage(0), "decode");
         let mut lane = recode_udp::pool::global().checkout();
         let first: Result<JobOutcome, UdpError> = if hook.trap_jobs.contains(&job) {
             Err(UdpError::from(LaneError::InjectedFault))
@@ -625,6 +643,13 @@ impl<'m> OverlapExecutor<'m> {
                         }
                     }
                     retries += 1;
+                    recorder::record(
+                        recorder::EventKind::Retry,
+                        recorder::Track::stage(0),
+                        "exec.retry",
+                        retries as u64,
+                        job as u64,
+                    );
                     match decoder.decode_block(&mut lane, blk) {
                         Ok(o) => {
                             retry_cycles = o.cycles;
@@ -645,6 +670,13 @@ impl<'m> OverlapExecutor<'m> {
                         raw_bytes.and_then(|b| RawFallbackStore::block_range(b, pos, block_bytes));
                     match raw {
                         Some(raw) => {
+                            recorder::record(
+                                recorder::EventKind::Fallback,
+                                recorder::Track::stage(0),
+                                "exec.fallback",
+                                raw.len() as u64,
+                                job as u64,
+                            );
                             fell_back = true;
                             fallback_bytes = raw.len();
                             outcome = BlockOutcome::FellBack;
@@ -813,6 +845,7 @@ impl<'m> OverlapExecutor<'m> {
         let cache_before = self.cache.lock().expect("cache poisoned").stats();
 
         let t_wall = Instant::now();
+        let _overlap_span = recorder::span(recorder::Track::MAIN, "exec.overlap");
         let mut y = vec![0.0f64; cm.nrows];
         let (tile_tx, tile_rx) = mpsc::sync_channel::<TileWork>(workers + 1);
         let tile_rx = Arc::new(Mutex::new(tile_rx));
@@ -828,39 +861,53 @@ impl<'m> OverlapExecutor<'m> {
                     self.produce_tiles(hook, budget, |tile| tile_tx.send(tile).is_ok())
                 }));
                 drop(tile_tx);
+                // The scope waits for this closure, not the thread's TLS
+                // destructors: publish recorder events before returning so
+                // the caller's drain sees them.
+                recorder::flush_thread();
                 out
             });
             for w in 0..workers {
                 let rx = Arc::clone(&tile_rx);
                 let tx = res_tx.clone();
                 let worker_panic = &worker_panic;
-                s.spawn(move || loop {
-                    let Ok(work) = rx.lock().unwrap_or_else(PoisonError::into_inner).recv() else {
-                        break;
-                    };
-                    let tile = work.tile;
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        assert!(!hook.panic_tiles.contains(&tile), "injected panic in tile {tile}");
-                        multiply_tile(row_ptr, x, &work)
-                    }));
-                    match result {
-                        Ok((row_start, partial)) => {
-                            if tx.send(TileResult { tile, row_start, partial }).is_err() {
+                s.spawn(move || {
+                    loop {
+                        let Ok(work) = rx.lock().unwrap_or_else(PoisonError::into_inner).recv()
+                        else {
+                            break;
+                        };
+                        let tile = work.tile;
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            assert!(
+                                !hook.panic_tiles.contains(&tile),
+                                "injected panic in tile {tile}"
+                            );
+                            let _span = recorder::span(recorder::Track::worker(w), "multiply_tile");
+                            multiply_tile(row_ptr, x, &work)
+                        }));
+                        match result {
+                            Ok((row_start, partial)) => {
+                                if tx.send(TileResult { tile, row_start, partial }).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                let msg = format!(
+                                    "worker {w}, tile {tile}: {}",
+                                    panic_payload_message(payload.as_ref())
+                                );
+                                worker_panic
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .get_or_insert(msg);
                                 break;
                             }
                         }
-                        Err(payload) => {
-                            let msg = format!(
-                                "worker {w}, tile {tile}: {}",
-                                panic_payload_message(payload.as_ref())
-                            );
-                            worker_panic
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .get_or_insert(msg);
-                            break;
-                        }
                     }
+                    // As with the producer: the scope orders this closure's
+                    // end, not the TLS flush, so publish span events now.
+                    recorder::flush_thread();
                 });
             }
             drop(res_tx);

@@ -1,0 +1,495 @@
+//! Always-on flight recorder: a fixed-capacity ring of typed events fed by
+//! thread-local buffers.
+//!
+//! The recorder is the runtime-observability layer underneath the post-hoc
+//! [`crate::telemetry::TraceDocument`]: where the trace document aggregates
+//! a finished run, the recorder captures *when* things happened — span
+//! begin/end pairs per pipeline phase, per-block outcomes on their lane
+//! track, retry/fallback rungs, circuit-breaker transitions, pool
+//! quarantine traffic, cache hits/evictions, and chaos injections — cheap
+//! enough to leave enabled in production.
+//!
+//! ## Cost model
+//!
+//! * **Disabled** (the default): every recording call is one relaxed
+//!   atomic load and a branch. Nothing allocates, no locks are touched —
+//!   `tests/alloc_regression.rs` pins this.
+//! * **Enabled, steady state**: an event is a `Copy` struct stamped with a
+//!   monotonic timestamp and pushed into a thread-local buffer
+//!   (preallocated on the thread's first event). When the buffer fills it
+//!   drains into the global ring under a short mutex — a `memcpy` into
+//!   storage preallocated at [`enable`] time. No path allocates after
+//!   warm-up.
+//! * **Overflow**: the ring overwrites its oldest events and counts them
+//!   in [`RecorderStats::dropped`] — observability must never stall the
+//!   pipeline it observes.
+//!
+//! Event names are `&'static str` by construction: no formatting happens
+//! at record time.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Default ring capacity in events (~3 MB at 48 B/event).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Thread-local buffer capacity in events; drained into the ring when full.
+const LOCAL_CAPACITY: usize = 256;
+
+/// What a recorded event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A phase/span opened on this track (`B` in the Chrome trace).
+    SpanBegin,
+    /// The most recent open span on this track closed (`E`).
+    SpanEnd,
+    /// One block finished its decode: `a` = cycles, `b` = outcome code
+    /// (0 ok, 1 retried, 2 fell back).
+    BlockOutcome,
+    /// One retry-ladder rung ran: `a` = attempt number (1-based).
+    Retry,
+    /// A block was served from the raw-CSR fallback store: `a` = bytes.
+    Fallback,
+    /// Circuit breaker changed state: `a` = from, `b` = to
+    /// (0 closed, 1 open, 2 half-open).
+    BreakerTransition,
+    /// A lane was quarantined on return to the pool.
+    PoolQuarantine,
+    /// A quarantined lane was readmitted on probation.
+    PoolProbation,
+    /// A checkout was served by recycling a pooled lane.
+    PoolRecycle,
+    /// Decoded-block cache hit: `a` = bytes served.
+    CacheHit,
+    /// Decoded-block cache eviction.
+    CacheEvict,
+    /// A chaos campaign injected a fault: `a` = trial seed (low bits).
+    ChaosInjection,
+}
+
+impl EventKind {
+    /// Stable lowercase label (metrics / exporter phase names).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::BlockOutcome => "block_outcome",
+            EventKind::Retry => "retry",
+            EventKind::Fallback => "fallback",
+            EventKind::BreakerTransition => "breaker_transition",
+            EventKind::PoolQuarantine => "pool_quarantine",
+            EventKind::PoolProbation => "pool_probation",
+            EventKind::PoolRecycle => "pool_recycle",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::ChaosInjection => "chaos_injection",
+        }
+    }
+
+    /// Every kind, for summary tables.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::SpanBegin,
+        EventKind::SpanEnd,
+        EventKind::BlockOutcome,
+        EventKind::Retry,
+        EventKind::Fallback,
+        EventKind::BreakerTransition,
+        EventKind::PoolQuarantine,
+        EventKind::PoolProbation,
+        EventKind::PoolRecycle,
+        EventKind::CacheHit,
+        EventKind::CacheEvict,
+        EventKind::ChaosInjection,
+    ];
+}
+
+/// Which timeline an event belongs to. Encoded in one `u32`: the high
+/// nibble is the class, the rest the id — `Copy`, branch-free to stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track(u32);
+
+const TRACK_CLASS_SHIFT: u32 = 28;
+
+impl Track {
+    /// The main/orchestration thread.
+    pub const MAIN: Track = Track(0);
+
+    /// A UDP lane's timeline.
+    pub fn lane(id: usize) -> Track {
+        Track((1 << TRACK_CLASS_SHIFT) | (id as u32 & 0x0fff_ffff))
+    }
+
+    /// A CPU multiply worker's timeline.
+    pub fn worker(id: usize) -> Track {
+        Track((2 << TRACK_CLASS_SHIFT) | (id as u32 & 0x0fff_ffff))
+    }
+
+    /// A pipeline stage's timeline (0 = decode producer).
+    pub fn stage(id: usize) -> Track {
+        Track((3 << TRACK_CLASS_SHIFT) | (id as u32 & 0x0fff_ffff))
+    }
+
+    /// The id within the class.
+    pub fn id(self) -> u32 {
+        self.0 & 0x0fff_ffff
+    }
+
+    /// `"main"`, `"lane"`, `"worker"`, or `"stage"`.
+    pub fn class(self) -> &'static str {
+        match self.0 >> TRACK_CLASS_SHIFT {
+            1 => "lane",
+            2 => "worker",
+            3 => "stage",
+            _ => "main",
+        }
+    }
+
+    /// Raw encoding (stable; the Chrome exporter's `tid`).
+    pub fn encoded(self) -> u32 {
+        self.0
+    }
+}
+
+/// One recorded event. `Copy` and fixed-size so buffers are flat arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Nanoseconds since the recorder was (first) enabled.
+    pub ts_ns: u64,
+    /// Global arrival sequence (ties on `ts_ns` sort stably).
+    pub seq: u64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Timeline the event belongs to.
+    pub track: Track,
+    /// Static label (span/phase name, counter name).
+    pub name: &'static str,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific payload.
+    pub b: u64,
+}
+
+/// Point-in-time recorder counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Events accepted since enable (monotonic).
+    pub recorded: u64,
+    /// Events overwritten by ring wrap-around (monotonic).
+    pub dropped: u64,
+    /// Ring capacity in events (0 while disabled).
+    pub capacity: usize,
+}
+
+/// Global ring sink. Storage is preallocated by [`enable`]; `push_slice`
+/// never allocates.
+struct Ring {
+    buf: Vec<Event>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    const fn empty() -> Ring {
+        Ring { buf: Vec::new(), head: 0, len: 0, capacity: 0, dropped: 0 }
+    }
+
+    fn push_slice(&mut self, events: &[Event]) {
+        for &e in events {
+            if self.capacity == 0 {
+                self.dropped += 1;
+                continue;
+            }
+            if self.len < self.capacity {
+                self.buf[(self.head + self.len) % self.capacity] = e;
+                self.len += 1;
+            } else {
+                self.buf[self.head] = e;
+                self.head = (self.head + 1) % self.capacity;
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn drain_ordered(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        self.head = 0;
+        self.len = 0;
+        out
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static RING: Mutex<Ring> = Mutex::new(Ring::empty());
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = const { RefCell::new(LocalBuf { buf: Vec::new() }) };
+}
+
+/// Thread-local staging buffer. The `Drop` impl flushes as a best-effort
+/// safety net; threads whose completion is observed before they exit
+/// (scoped workers, watchdogged trials) call [`flush_thread`] explicitly.
+struct LocalBuf {
+    buf: Vec<Event>,
+}
+
+impl LocalBuf {
+    fn push(&mut self, e: Event) {
+        if self.buf.capacity() == 0 {
+            // One-time allocation per thread, on its first recorded event.
+            self.buf.reserve_exact(LOCAL_CAPACITY);
+        }
+        self.buf.push(e);
+        if self.buf.len() >= LOCAL_CAPACITY {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut ring = RING.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.push_slice(&self.buf);
+        self.buf.clear();
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Is the recorder on? One relaxed load — the whole cost of the disabled
+/// path.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the recorder on with a ring of `capacity` events (clamped to at
+/// least [`LOCAL_CAPACITY`]), preallocating all sink storage up front and
+/// installing the pool event hook. Re-enabling resizes and clears the ring.
+pub fn enable(capacity: usize) {
+    let capacity = capacity.max(LOCAL_CAPACITY);
+    {
+        let mut ring = RING.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.buf = vec![EMPTY_EVENT; capacity];
+        ring.capacity = capacity;
+        ring.head = 0;
+        ring.len = 0;
+        ring.dropped = 0;
+    }
+    RECORDED.store(0, Ordering::Relaxed);
+    let _ = epoch();
+    recode_udp::pool::set_event_hook(pool_event_hook);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the recorder off. Already-buffered events stay drainable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+const EMPTY_EVENT: Event = Event {
+    ts_ns: 0,
+    seq: 0,
+    kind: EventKind::SpanBegin,
+    track: Track::MAIN,
+    name: "",
+    a: 0,
+    b: 0,
+};
+
+/// Records one event. No-op (one atomic load) while disabled.
+#[inline]
+pub fn record(kind: EventKind, track: Track, name: &'static str, a: u64, b: u64) {
+    if !is_enabled() {
+        return;
+    }
+    record_slow(kind, track, name, a, b);
+}
+
+#[cold]
+fn record_slow(kind: EventKind, track: Track, name: &'static str, a: u64, b: u64) {
+    let e = Event {
+        ts_ns: epoch().elapsed().as_nanos() as u64,
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        kind,
+        track,
+        name,
+        a,
+        b,
+    };
+    RECORDED.fetch_add(1, Ordering::Relaxed);
+    // Destroyed-TLS fallback (thread teardown): drop the event rather than
+    // touch a dead slot.
+    let _ = LOCAL.try_with(|l| l.borrow_mut().push(e));
+}
+
+/// Opens a span on `track`; the returned guard closes it on drop. Guards
+/// nest per thread, so each track's B/E events pair up like a stack.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(track: Track, name: &'static str) -> SpanGuard {
+    record(EventKind::SpanBegin, track, name, 0, 0);
+    SpanGuard { track, name }
+}
+
+/// Closes its span on drop (records nothing while disabled).
+pub struct SpanGuard {
+    track: Track,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        record(EventKind::SpanEnd, self.track, self.name, 0, 0);
+    }
+}
+
+/// Flushes the calling thread's staging buffer into the ring.
+///
+/// Threads that outlive their events' consumer must call this before
+/// signalling completion: `std::thread::scope` (and a watchdog channel
+/// send) only orders the *closure*'s end, not the thread's TLS
+/// destructors, so relying on the `Drop` flush alone would let the owner
+/// `drain()` before the worker's buffer reaches the ring.
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|l| l.borrow_mut().flush());
+}
+
+/// Flushes this thread's buffer and returns every ringed event in
+/// chronological order (ties broken by arrival), leaving the ring empty.
+pub fn drain() -> Vec<Event> {
+    LOCAL.with(|l| l.borrow_mut().flush());
+    let mut events = RING.lock().unwrap_or_else(PoisonError::into_inner).drain_ordered();
+    events.sort_by_key(|e| (e.ts_ns, e.seq));
+    events
+}
+
+/// Point-in-time counters (valid whether enabled or not).
+pub fn stats() -> RecorderStats {
+    let ring = RING.lock().unwrap_or_else(PoisonError::into_inner);
+    RecorderStats {
+        recorded: RECORDED.load(Ordering::Relaxed),
+        dropped: ring.dropped,
+        capacity: ring.capacity,
+    }
+}
+
+/// The pool-side event hook ([`recode_udp::pool::PoolEvent`] → recorder
+/// events). Installed by [`enable`]; itself gated on [`is_enabled`].
+fn pool_event_hook(event: recode_udp::pool::PoolEvent) {
+    use recode_udp::pool::PoolEvent;
+    let (kind, name) = match event {
+        PoolEvent::Quarantined => (EventKind::PoolQuarantine, "pool.quarantine"),
+        PoolEvent::Readmitted => (EventKind::PoolProbation, "pool.probation"),
+        PoolEvent::Recycled => (EventKind::PoolRecycle, "pool.recycle"),
+    };
+    record(kind, Track::MAIN, name, 0, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Recorder state is process-global, so every test in this module runs
+    // under one lock to keep enable/disable/drain from interleaving.
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = serialized();
+        disable();
+        record(EventKind::Retry, Track::MAIN, "noop", 1, 2);
+        let _span = span(Track::MAIN, "noop");
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn events_drain_in_timestamp_order_across_threads() {
+        let _g = serialized();
+        enable(4096);
+        let before = stats().recorded;
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        record(EventKind::BlockOutcome, Track::worker(w), "blk", i, 0);
+                    }
+                    // The scope only waits for this closure, not the TLS
+                    // destructor, so publish before returning.
+                    flush_thread();
+                });
+            }
+        });
+        record(EventKind::Retry, Track::MAIN, "after", 0, 0);
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 201, "4x50 worker events + 1 main event");
+        assert_eq!(stats().recorded - before, 201);
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "chronological");
+        for w in 0..4 {
+            let n = events.iter().filter(|e| e.track == Track::worker(w)).count();
+            assert_eq!(n, 50, "worker {w} events all flushed at scope exit");
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = serialized();
+        enable(0); // clamped up to LOCAL_CAPACITY
+        assert_eq!(stats().capacity, LOCAL_CAPACITY);
+        for i in 0..(LOCAL_CAPACITY as u64 * 3) {
+            record(EventKind::Retry, Track::MAIN, "spin", i, 0);
+        }
+        let events = drain();
+        let st = stats();
+        disable();
+        assert_eq!(events.len(), LOCAL_CAPACITY, "ring keeps exactly its capacity");
+        assert_eq!(st.dropped, LOCAL_CAPACITY as u64 * 2, "overflow is counted");
+        // The survivors are the *newest* events.
+        assert_eq!(events.last().expect("non-empty").a, LOCAL_CAPACITY as u64 * 3 - 1);
+    }
+
+    #[test]
+    fn span_guard_balances_begin_end() {
+        let _g = serialized();
+        enable(4096);
+        {
+            let _outer = span(Track::stage(0), "outer");
+            let _inner = span(Track::stage(0), "inner");
+        }
+        let events = drain();
+        disable();
+        let kinds: Vec<(EventKind, &str)> = events.iter().map(|e| (e.kind, e.name)).collect();
+        assert_eq!(
+            kinds,
+            [
+                (EventKind::SpanBegin, "outer"),
+                (EventKind::SpanBegin, "inner"),
+                (EventKind::SpanEnd, "inner"),
+                (EventKind::SpanEnd, "outer"),
+            ],
+            "guards close in LIFO order"
+        );
+    }
+}

@@ -255,7 +255,7 @@ impl CircuitBreaker {
             BreakerState::Open => {
                 self.bypassed += 1;
                 if self.bypassed >= self.config.cooldown_runs {
-                    self.state = BreakerState::HalfOpen;
+                    self.transition(BreakerState::HalfOpen);
                     self.probes += 1;
                     true
                 } else {
@@ -265,6 +265,24 @@ impl CircuitBreaker {
         }
     }
 
+    /// State change + flight-recorder notification (free when the recorder
+    /// is off). Codes on the event: 0 closed, 1 open, 2 half-open.
+    fn transition(&mut self, to: BreakerState) {
+        let code = |s: BreakerState| match s {
+            BreakerState::Closed => 0u64,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        };
+        crate::recorder::record(
+            crate::recorder::EventKind::BreakerTransition,
+            crate::recorder::Track::MAIN,
+            "breaker",
+            code(self.state),
+            code(to),
+        );
+        self.state = to;
+    }
+
     /// Records one accelerator run's job counts and updates the state
     /// machine. Call only for runs that actually reached the accelerator.
     pub fn record(&mut self, jobs: usize, jobs_failed: usize) {
@@ -272,10 +290,10 @@ impl CircuitBreaker {
             BreakerState::HalfOpen => {
                 if jobs_failed == 0 {
                     // Probe succeeded: close and forget the bad history.
-                    self.state = BreakerState::Closed;
+                    self.transition(BreakerState::Closed);
                     self.window.clear();
                 } else {
-                    self.state = BreakerState::Open;
+                    self.transition(BreakerState::Open);
                     self.bypassed = 0;
                 }
                 return;
@@ -292,7 +310,7 @@ impl CircuitBreaker {
         if total >= self.config.min_window_jobs
             && failed as f64 > self.config.error_rate_threshold * total as f64
         {
-            self.state = BreakerState::Open;
+            self.transition(BreakerState::Open);
             self.bypassed = 0;
             self.trips += 1;
         }

@@ -29,8 +29,15 @@ use recode_mem::MemorySystem;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Trace-document schema identifier. Bump only with a schema change.
-pub const TRACE_SCHEMA: &str = "recode-trace/v1";
+/// Current trace-document schema identifier. v2 adds the resilience layer:
+/// `pool.*` / `breaker.*` counters and an optional flight-recorder summary.
+pub const TRACE_SCHEMA: &str = "recode-trace/v2";
+
+/// The original schema. Documents without any v2 content are still stamped
+/// (and [`TraceDocument::validate`]d) as v1, so traces from paths that never
+/// touch the resilience machinery — and old golden fixtures — stay
+/// byte-identical.
+pub const TRACE_SCHEMA_V1: &str = "recode-trace/v1";
 
 /// A log₂-bucketed histogram of `u64` samples (block decode cycles).
 ///
@@ -169,6 +176,39 @@ pub struct BlockEvent {
     pub outcome: BlockOutcome,
 }
 
+/// Aggregate view of a flight-recorder session, embedded in v2 traces when
+/// the recorder was enabled for the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecorderSummary {
+    /// Events accepted by the recorder over the run.
+    pub recorded: u64,
+    /// Events lost to ring overwrite (the ring never blocks the pipeline).
+    pub dropped: u64,
+    /// Ring capacity in events.
+    pub capacity: usize,
+    /// Drained events by kind label (`span_begin`, `block_outcome`, ...).
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+impl RecorderSummary {
+    /// Builds the summary from a drained event list plus recorder stats.
+    pub fn from_events(
+        events: &[crate::recorder::Event],
+        stats: crate::recorder::RecorderStats,
+    ) -> Self {
+        let mut by_kind = BTreeMap::new();
+        for e in events {
+            *by_kind.entry(e.kind.label().to_string()).or_insert(0u64) += 1;
+        }
+        RecorderSummary {
+            recorded: stats.recorded,
+            dropped: stats.dropped,
+            capacity: stats.capacity,
+            by_kind,
+        }
+    }
+}
+
 /// In-flight telemetry registry threaded through the pipeline.
 #[derive(Debug, Default)]
 pub struct Telemetry {
@@ -262,8 +302,14 @@ impl Telemetry {
                 self.add(&format!("mem.write.{}", s.name()), w);
             }
         }
+        // Schema is content-dependent: a document only claims v2 when it
+        // actually carries v2 content (resilience counters; a recorder
+        // summary attached later also promotes). Runs that never touch the
+        // resilience layer keep emitting byte-identical v1 documents.
+        let has_v2_counters =
+            self.counters.keys().any(|k| k.starts_with("pool.") || k.starts_with("breaker."));
         TraceDocument {
-            schema: TRACE_SCHEMA.to_string(),
+            schema: if has_v2_counters { TRACE_SCHEMA } else { TRACE_SCHEMA_V1 }.to_string(),
             matrix,
             system,
             wall_ns_total,
@@ -274,6 +320,7 @@ impl Telemetry {
             codec_stages,
             mem_traffic: self.traffic.report(mem),
             exec,
+            recorder: None,
         }
     }
 }
@@ -332,6 +379,10 @@ pub struct TraceDocument {
     /// Execution stats, including the accelerator report with per-lane
     /// profiles, opcode-class and stage cycle attribution.
     pub exec: ExecStats,
+    /// Flight-recorder summary (v2; absent in v1 documents and when the
+    /// recorder was off for the run).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recorder: Option<RecorderSummary>,
 }
 
 impl TraceDocument {
@@ -340,12 +391,50 @@ impl TraceDocument {
         self.spans.iter().map(|s| s.wall_ns).sum()
     }
 
+    /// Attaches a flight-recorder summary, which is v2-only content and so
+    /// promotes the document's schema stamp.
+    pub fn attach_recorder(&mut self, summary: RecorderSummary) {
+        self.recorder = Some(summary);
+        self.schema = TRACE_SCHEMA.to_string();
+    }
+
+    /// True when the document carries any v2-only content (resilience
+    /// counters or a recorder summary).
+    pub fn has_v2_content(&self) -> bool {
+        self.recorder.is_some()
+            || self.counters.keys().any(|k| k.starts_with("pool.") || k.starts_with("breaker."))
+    }
+
     /// Structural validation: schema version plus the invariants the
-    /// pipeline guarantees. Returns a list of violations (empty = valid).
+    /// pipeline guarantees. Accepts both [`TRACE_SCHEMA`] (v2) and
+    /// [`TRACE_SCHEMA_V1`] documents; a v1 stamp on v2 content is a
+    /// violation. Returns a list of violations (empty = valid).
     pub fn validate(&self) -> Vec<String> {
         let mut errs = Vec::new();
-        if self.schema != TRACE_SCHEMA {
-            errs.push(format!("schema `{}` != expected `{}`", self.schema, TRACE_SCHEMA));
+        match self.schema.as_str() {
+            TRACE_SCHEMA => {}
+            TRACE_SCHEMA_V1 => {
+                if self.has_v2_content() {
+                    errs.push(format!(
+                        "document stamped `{TRACE_SCHEMA_V1}` carries v2 content \
+                         (recorder summary or pool.*/breaker.* counters)"
+                    ));
+                }
+            }
+            other => {
+                errs.push(format!(
+                    "schema `{other}` is neither `{TRACE_SCHEMA}` nor `{TRACE_SCHEMA_V1}`"
+                ));
+            }
+        }
+        if let Some(rec) = &self.recorder {
+            let drained: u64 = rec.by_kind.values().sum();
+            if drained > rec.recorded {
+                errs.push(format!(
+                    "recorder summary drains {drained} events but only {} were recorded",
+                    rec.recorded
+                ));
+            }
         }
         if self.spans_wall_ns() > self.wall_ns_total {
             errs.push(format!(
@@ -585,6 +674,48 @@ pub fn render_report(doc: &TraceDocument) -> String {
             "cache: {} hits / {} misses / {} evictions, {} B served from cache",
             ov.cache_hits, ov.cache_misses, ov.cache_evictions, ov.cache_hit_bytes
         );
+    }
+    // Resilience section: only v2 documents carry pool/breaker counters or
+    // a recorder summary, so v1 reports are unchanged byte-for-byte.
+    if doc.has_v2_content() {
+        let _ = writeln!(out, "\n-- resilience --");
+        if doc.counters.keys().any(|k| k.starts_with("pool.")) {
+            let _ = writeln!(
+                out,
+                "lane pool: {} checkouts ({} recycled, {} fresh, {} readmitted) | \
+                 returned {} | dropped {} | quarantined {}",
+                doc.counter("pool.checkouts"),
+                doc.counter("pool.recycled_hits"),
+                doc.counter("pool.fresh_builds"),
+                doc.counter("pool.readmitted"),
+                doc.counter("pool.returned"),
+                doc.counter("pool.dropped_at_capacity"),
+                doc.counter("pool.quarantined"),
+            );
+        }
+        if doc.counters.keys().any(|k| k.starts_with("breaker.")) {
+            let state = match doc.counter("breaker.state") {
+                0 => "closed",
+                1 => "open",
+                _ => "half-open",
+            };
+            let _ = writeln!(
+                out,
+                "circuit breaker: state {state} | trips {} | probes {}",
+                doc.counter("breaker.trips"),
+                doc.counter("breaker.probes"),
+            );
+        }
+        if let Some(rec) = &doc.recorder {
+            let _ = writeln!(
+                out,
+                "flight recorder: {} events recorded, {} dropped (ring capacity {})",
+                rec.recorded, rec.dropped, rec.capacity
+            );
+            for (kind, n) in &rec.by_kind {
+                let _ = writeln!(out, "  {kind:<20} {n:>8}");
+            }
+        }
     }
     out
 }

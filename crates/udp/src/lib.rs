@@ -52,7 +52,9 @@ pub use accel::{
 pub use error::{UdpError, UdpResult};
 pub use lane::{Lane, LaneError, LaneHealth, OpClassCycles, RunConfig, RunResult, RunStats};
 pub use machine::Image;
-pub use pool::{LanePool, PoolConfig, PoolStats, PooledLane, DEFAULT_POOL_CAPACITY};
+pub use pool::{
+    set_event_hook, LanePool, PoolConfig, PoolEvent, PoolStats, PooledLane, DEFAULT_POOL_CAPACITY,
+};
 pub use program::{Program, ProgramBuilder};
 pub use verify::{
     verify_image, verify_program, Analysis, Finding, LoopSummary, Severity, VerifyConfig,

@@ -23,7 +23,37 @@
 
 use crate::lane::Lane;
 use std::ops::{Deref, DerefMut};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Pool lifecycle notifications fanned out through the hook installed with
+/// [`set_event_hook`]. The pool itself keeps no observers — the hook exists
+/// so a higher layer (the `recode-core` flight recorder) can timestamp pool
+/// traffic without this crate depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// A returning lane crossed the quarantine threshold and was parked.
+    Quarantined,
+    /// A quarantined lane was readmitted on probation to serve a checkout.
+    Readmitted,
+    /// A checkout was served by recycling a parked lane.
+    Recycled,
+}
+
+static EVENT_HOOK: OnceLock<fn(PoolEvent)> = OnceLock::new();
+
+/// Installs the process-wide pool event hook. First caller wins; later
+/// calls are no-ops (the hook is a `fn` pointer, so there is nothing to
+/// tear down). The hook runs outside the pool lock.
+pub fn set_event_hook(hook: fn(PoolEvent)) {
+    let _ = EVENT_HOOK.set(hook);
+}
+
+#[inline]
+fn emit(event: PoolEvent) {
+    if let Some(hook) = EVENT_HOOK.get() {
+        hook(event);
+    }
+}
 
 /// Default free-lane cap per pool; beyond this, returned lanes are dropped
 /// (each holds a 64 KB scratchpad — the cap bounds idle memory at ~16 MB).
@@ -152,25 +182,31 @@ impl LanePool {
     /// lane (if any) is readmitted on probation and serves the checkout
     /// directly.
     pub fn checkout(&self) -> PooledLane<'_> {
-        let mut inner = self.lock();
-        inner.stats.checkouts += 1;
-        inner.checkouts_since_probe += 1;
-        let interval = inner.config.probation_interval;
-        if interval > 0 && inner.checkouts_since_probe >= interval && !inner.quarantined.is_empty()
-        {
-            inner.checkouts_since_probe = 0;
-            let mut lane = inner.quarantined.pop().expect("non-empty quarantine");
-            lane.begin_probation();
-            inner.stats.readmitted += 1;
-            return PooledLane { pool: self, lane: Some(lane) };
-        }
-        let lane = if let Some(lane) = inner.free.pop() {
-            inner.stats.recycled_hits += 1;
-            lane
-        } else {
-            inner.stats.fresh_builds += 1;
-            Lane::new()
+        let (lane, event) = {
+            let mut inner = self.lock();
+            inner.stats.checkouts += 1;
+            inner.checkouts_since_probe += 1;
+            let interval = inner.config.probation_interval;
+            if interval > 0
+                && inner.checkouts_since_probe >= interval
+                && !inner.quarantined.is_empty()
+            {
+                inner.checkouts_since_probe = 0;
+                let mut lane = inner.quarantined.pop().expect("non-empty quarantine");
+                lane.begin_probation();
+                inner.stats.readmitted += 1;
+                (lane, Some(PoolEvent::Readmitted))
+            } else if let Some(lane) = inner.free.pop() {
+                inner.stats.recycled_hits += 1;
+                (lane, Some(PoolEvent::Recycled))
+            } else {
+                inner.stats.fresh_builds += 1;
+                (Lane::new(), None)
+            }
         };
+        if let Some(event) = event {
+            emit(event);
+        }
         PooledLane { pool: self, lane: Some(lane) }
     }
 
@@ -242,20 +278,29 @@ impl DerefMut for PooledLane<'_> {
 impl Drop for PooledLane<'_> {
     fn drop(&mut self) {
         if let Some(lane) = self.lane.take() {
-            let mut inner = self.pool.lock();
-            let cfg = inner.config;
-            if lane.health().should_quarantine(cfg.quarantine_threshold) {
-                // Quarantined lanes are exempt from `capacity`; their list
-                // is independently bounded by the same value.
-                if inner.quarantined.len() < cfg.capacity {
-                    inner.quarantined.push(lane);
+            let quarantined = {
+                let mut inner = self.pool.lock();
+                let cfg = inner.config;
+                if lane.health().should_quarantine(cfg.quarantine_threshold) {
+                    // Quarantined lanes are exempt from `capacity`; their
+                    // list is independently bounded by the same value.
+                    if inner.quarantined.len() < cfg.capacity {
+                        inner.quarantined.push(lane);
+                    }
+                    inner.stats.quarantined += 1;
+                    true
+                } else {
+                    if inner.free.len() < cfg.capacity {
+                        inner.free.push(lane);
+                        inner.stats.returned += 1;
+                    } else {
+                        inner.stats.dropped_at_capacity += 1;
+                    }
+                    false
                 }
-                inner.stats.quarantined += 1;
-            } else if inner.free.len() < cfg.capacity {
-                inner.free.push(lane);
-                inner.stats.returned += 1;
-            } else {
-                inner.stats.dropped_at_capacity += 1;
+            };
+            if quarantined {
+                emit(PoolEvent::Quarantined);
             }
         }
     }

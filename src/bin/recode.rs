@@ -31,13 +31,21 @@
 //!                                                and report; exit 1 unless the
 //!                                                resilience contract held on
 //!                                                every trial
+//! recode metrics   <matrix.mtx>                  run one budgeted job and print
+//!                                                the trace counters as a
+//!                                                Prometheus text exposition
+//! recode bench-compare <old.json> <new.json>     diff two bench snapshots;
+//!                                                exit 1 when a gated metric
+//!                                                regressed >20% beyond noise
 //! ```
 //!
 //! Flags: `-o PATH` output, `--config dsh|ds|snappy` codec choice,
 //! `--seed N` for `gen`/`chaos`, `--trace PATH` / `--overlap` /
 //! `--cache-blocks N` / `--iters N` for `spmv`, `--inject-trap JOB` /
 //! `--inject-corrupt BLOCK` fault injection for `spmv`, `--trials N` /
-//! `--json PATH` for `chaos`.
+//! `--json PATH` for `chaos`, and `--chrome-trace PATH` (`spmv`, `chaos`)
+//! to switch on the flight recorder and export the run as a Chrome
+//! trace-event / Perfetto JSON timeline.
 //!
 //! Exit codes: `0` success, `1` error, `2` usage, [`EXIT_DEGRADED`] (3) when
 //! the run recovered through retries, [`EXIT_FALLBACK`] (4) when any block
@@ -49,7 +57,9 @@ use recode_spmv::codec::pipeline::{CompressedMatrix, MatrixCodecConfig};
 use recode_spmv::core::corpus;
 use recode_spmv::core::measure::measure_udp_decomp;
 use recode_spmv::core::perfmodel::SpmvPerfModel;
+use recode_spmv::core::recorder;
 use recode_spmv::core::report;
+use recode_spmv::core::telemetry::RecorderSummary;
 use recode_spmv::prelude::*;
 use recode_spmv::sparse::io::{read_matrix_market_path, write_matrix_market};
 use recode_spmv::sparse::spmv::SpmvKernel;
@@ -64,7 +74,7 @@ const EXIT_FALLBACK: u8 = 4;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--overlap] [--cache-blocks N] [--iters N]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n  recode chaos [--trials N] [--seed N] [--json <out.json>]\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--chrome-trace <out.trace.json>]\n              [--overlap] [--cache-blocks N] [--iters N]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n  recode chaos [--trials N] [--seed N] [--json <out.json>] [--chrome-trace <out.trace.json>]\n  recode metrics <matrix.mtx> [-o <metrics.prom>]\n  recode bench-compare <old.json> <new.json>\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
@@ -97,6 +107,7 @@ struct Flags {
     inject_corrupt: Option<usize>,
     trials: usize,
     json: Option<String>,
+    chrome_trace: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Flags, String> {
@@ -113,6 +124,7 @@ fn parse(args: &[String]) -> Result<Flags, String> {
         inject_corrupt: None,
         trials: 500,
         json: None,
+        chrome_trace: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -176,6 +188,11 @@ fn parse(args: &[String]) -> Result<Flags, String> {
                 i += 1;
                 f.json = Some(args.get(i).ok_or("missing value for --json")?.clone());
             }
+            "--chrome-trace" => {
+                i += 1;
+                f.chrome_trace =
+                    Some(args.get(i).ok_or("missing value for --chrome-trace")?.clone());
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -207,6 +224,8 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&flags),
         "verify-program" => cmd_verify_program(&flags),
         "chaos" => cmd_chaos(&flags),
+        "metrics" => cmd_metrics(&flags),
+        "bench-compare" => cmd_bench_compare(&flags),
         _ => return usage(),
     };
     match result {
@@ -242,6 +261,32 @@ fn exit_for(stats: &recode_spmv::core::ExecStats) -> ExitCode {
 fn load(flags: &Flags) -> Result<Csr, String> {
     let path = flags.positional.first().ok_or("missing input matrix path")?;
     read_matrix_market_path(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Switches on the flight recorder when `--chrome-trace` was given. Called
+/// before the run so every span/instant of the pipeline lands in the ring.
+fn arm_recorder(flags: &Flags) {
+    if flags.chrome_trace.is_some() {
+        recorder::enable(recorder::DEFAULT_CAPACITY);
+    }
+}
+
+/// Drains the flight recorder and writes the Chrome trace-event JSON.
+/// Returns the drained events and ring stats so a `--trace` document can
+/// also carry the [`RecorderSummary`].
+fn finish_chrome_trace(
+    path: &str,
+) -> Result<(Vec<recorder::Event>, recorder::RecorderStats), String> {
+    let events = recorder::drain();
+    let stats = recorder::stats();
+    let doc = recode_spmv::core::export_chrome_trace(&events);
+    std::fs::write(path, doc.to_string_pretty()).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "chrome trace written to {path}: {} events, {} dropped (open in Perfetto or chrome://tracing)",
+        events.len(),
+        stats.dropped
+    );
+    Ok((events, stats))
 }
 
 fn cmd_info(flags: &Flags) -> Result<ExitCode, String> {
@@ -331,6 +376,7 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(&a, &x);
     let hook = flags.inject_trap.map(|j| FaultHook::new().trap(j));
+    arm_recorder(flags);
     let (recoded, y, stats) = if let Some(trace_path) = &flags.trace {
         let mut recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
         // The software decode both cross-checks losslessness and populates
@@ -344,9 +390,13 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let (y, stats, doc) = recoded
+        let (y, stats, mut doc) = recoded
             .spmv_traced(&sys, SpmvKernel::RowParallel, &x, hook.as_ref(), &name)
             .map_err(|e| e.to_string())?;
+        if let Some(ct_path) = &flags.chrome_trace {
+            let (events, rec_stats) = finish_chrome_trace(ct_path)?;
+            doc.attach_recorder(RecorderSummary::from_events(&events, rec_stats));
+        }
         let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
         println!(
@@ -363,6 +413,9 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
         let (y, stats) = recoded
             .spmv_faulty(&sys, SpmvKernel::RowParallel, &x, hook.as_ref())
             .map_err(|e| e.to_string())?;
+        if let Some(ct_path) = &flags.chrome_trace {
+            finish_chrome_trace(ct_path)?;
+        }
         (recoded, y, stats)
     };
     if y != y_ref {
@@ -403,6 +456,7 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<ExitCode, String> {
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(a, &x);
     let hook = flags.inject_trap.map(|j| FaultHook::new().trap(j));
+    arm_recorder(flags);
     let mut recoded = if flags.trace.is_some() {
         RecodedSpmv::new_traced(a, flags.config)
     } else {
@@ -419,8 +473,12 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<ExitCode, String> {
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let (y, stats, doc) =
+        let (y, stats, mut doc) =
             ex.spmv_traced(&sys, &x, hook.as_ref(), &name).map_err(|e| e.to_string())?;
+        if let Some(ct_path) = &flags.chrome_trace {
+            let (events, rec_stats) = finish_chrome_trace(ct_path)?;
+            doc.attach_recorder(RecorderSummary::from_events(&events, rec_stats));
+        }
         let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(trace_path, json).map_err(|e| format!("{trace_path}: {e}"))?;
         println!(
@@ -432,7 +490,11 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<ExitCode, String> {
         );
         (y, stats)
     } else {
-        ex.spmv_faulty(&sys, &x, hook.as_ref()).map_err(|e| e.to_string())?
+        let out = ex.spmv_faulty(&sys, &x, hook.as_ref()).map_err(|e| e.to_string())?;
+        if let Some(ct_path) = &flags.chrome_trace {
+            finish_chrome_trace(ct_path)?;
+        }
+        out
     };
     let worst = y
         .iter()
@@ -579,7 +641,11 @@ fn cmd_chaos(flags: &Flags) -> Result<ExitCode, String> {
     use recode_spmv::core::chaos::{run_campaign, ChaosConfig};
     let config = ChaosConfig { trials: flags.trials, seed: flags.seed, ..ChaosConfig::default() };
     println!("running {} chaos trials with seed {:#x}...", config.trials, config.seed);
+    arm_recorder(flags);
     let summary = run_campaign(&config);
+    if let Some(ct_path) = &flags.chrome_trace {
+        finish_chrome_trace(ct_path)?;
+    }
     print!("{}", summary.render());
     if let Some(path) = &flags.json {
         std::fs::write(path, summary.to_json()).map_err(|e| format!("{path}: {e}"))?;
@@ -590,6 +656,57 @@ fn cmd_chaos(flags: &Flags) -> Result<ExitCode, String> {
     } else {
         Err("chaos campaign violated the resilience contract".into())
     }
+}
+
+/// `recode metrics`: run one budgeted job through the resilient executor
+/// (default budget, fresh circuit breaker) and print the sealed trace
+/// document as a Prometheus text exposition — the scrape surface for the
+/// pipeline's counters, gauges, and span timings.
+fn cmd_metrics(flags: &Flags) -> Result<ExitCode, String> {
+    use recode_spmv::core::MetricsSnapshot;
+    let a = load(flags)?;
+    let sys = SystemConfig::ddr4();
+    let recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
+    let name = std::path::Path::new(&flags.positional[0])
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut breaker = CircuitBreaker::new(BreakerConfig::default());
+    let (report, doc) =
+        recoded.run_job_traced(&sys, None, &JobBudget::default(), Some(&mut breaker), &name);
+    let doc =
+        doc.ok_or_else(|| format!("job produced no trace document (state {:?})", report.state))?;
+    let text = MetricsSnapshot::from_document(&doc).render_prometheus();
+    match &flags.output {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            println!("metrics written to {path} ({} bytes)", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `recode bench-compare`: diff two bench-snapshot JSON files and fail
+/// (exit 1) when a gated deterministic metric regressed beyond the
+/// threshold. Wall-clock metrics are reported but never gate — baselines
+/// are blessed on whatever machine ran them.
+fn cmd_bench_compare(flags: &Flags) -> Result<ExitCode, String> {
+    use recode_spmv::core::benchcmp::GATE_THRESHOLD;
+    let old_path = flags.positional.first().ok_or("bench-compare needs <old.json> <new.json>")?;
+    let new_path = flags.positional.get(1).ok_or("bench-compare needs <old.json> <new.json>")?;
+    let old = std::fs::read_to_string(old_path).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = std::fs::read_to_string(new_path).map_err(|e| format!("{new_path}: {e}"))?;
+    let report = recode_spmv::core::compare_snapshots(&old, &new)?;
+    print!("{}", report.render());
+    if report.has_regressions() {
+        return Err(format!(
+            "{} gated metric(s) regressed more than {:.0}% beyond noise",
+            report.regressions().len(),
+            GATE_THRESHOLD * 100.0
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_gen(flags: &Flags) -> Result<ExitCode, String> {

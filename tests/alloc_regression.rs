@@ -8,7 +8,11 @@
 //! 1. `Lane::run_into` with a reused output buffer — one decode per
 //!    dispatched block, zero heap traffic;
 //! 2. `OverlapExecutor` warm-cache tile decodes — a cache hit is an `Arc`
-//!    clone, not a decode, and must stay allocation-free.
+//!    clone, not a decode, and must stay allocation-free;
+//! 3. the flight recorder (ISSUE 7): the disabled path is one relaxed
+//!    atomic load per would-be event and must allocate **zero** times per
+//!    dispatched block, and the *enabled* steady state (thread-local
+//!    buffer warm, ring preallocated) must also allocate nothing.
 //!
 //! Everything lives in one `#[test]` so no concurrent harness thread can
 //! allocate between the two counter reads.
@@ -157,8 +161,59 @@ fn warm_cache_tiles_are_allocation_free() {
     assert_eq!(delta, 0, "warm-cache tile decode allocated {delta} times over {served} hits");
 }
 
+/// Recorder off (the default): `record()` is a relaxed load + branch. A
+/// full batch decode — one `record` attempt per dispatched block plus the
+/// surrounding span guards — must not allocate through the recorder.
+fn disabled_recorder_records_allocation_free() {
+    use recode_spmv::core::recorder::{self, EventKind, Track};
+    assert!(!recorder::is_enabled(), "recorder must start disabled");
+    let before = alloc_events();
+    for block in 0..4096u64 {
+        recorder::record(
+            EventKind::BlockOutcome,
+            Track::lane(block as usize % 64),
+            "block",
+            block,
+            0,
+        );
+        let _span = recorder::span(Track::MAIN, "exec.decode_batch");
+    }
+    let delta = alloc_events() - before;
+    assert_eq!(delta, 0, "disabled recorder allocated {delta} times over 4096 dispatched blocks");
+}
+
+/// Recorder on, steady state: the ring is preallocated by `enable()` and
+/// the thread-local buffer is sized on first use, so after a warm-up burst
+/// further events (including ring overwrite once full) allocate nothing.
+fn enabled_recorder_steady_state_is_allocation_free() {
+    use recode_spmv::core::recorder::{self, EventKind, Track};
+    recorder::enable(1024);
+    // Warm-up: first record on this thread sizes the thread-local buffer.
+    for block in 0..2048u64 {
+        recorder::record(EventKind::BlockOutcome, Track::lane(0), "block", block, 0);
+    }
+    let before = alloc_events();
+    for block in 0..8192u64 {
+        recorder::record(
+            EventKind::BlockOutcome,
+            Track::lane(block as usize % 64),
+            "block",
+            block,
+            0,
+        );
+        let _span = recorder::span(Track::worker(1), "multiply_tile");
+    }
+    let delta = alloc_events() - before;
+    let stats = recorder::stats();
+    recorder::disable();
+    assert!(stats.dropped > 0, "the 1024-slot ring must have overwritten under this load");
+    assert_eq!(delta, 0, "enabled recorder steady state allocated {delta} times over 8192 blocks");
+}
+
 #[test]
 fn hot_paths_do_not_allocate_in_steady_state() {
     lane_run_into_is_allocation_free();
     warm_cache_tiles_are_allocation_free();
+    disabled_recorder_records_allocation_free();
+    enabled_recorder_steady_state_is_allocation_free();
 }

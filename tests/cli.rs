@@ -86,7 +86,8 @@ fn spmv_trace_report_and_check_workflow() {
         .expect("run spmv --trace");
     assert!(out.status.success(), "spmv: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("trace (recode-trace/v1) written"), "{text}");
+    // The batch traced path reports pool.* counters, which are v2 content.
+    assert!(text.contains("trace (recode-trace/v2) written"), "{text}");
     assert!(text.contains("verified against the uncompressed kernel"), "{text}");
 
     // The file is a valid, internally consistent TraceDocument.
@@ -113,7 +114,7 @@ fn spmv_trace_report_and_check_workflow() {
     // ...and rejects a tampered schema with a nonzero exit.
     let tampered = dir.join("tampered.json");
     let json = std::fs::read_to_string(&trace).unwrap();
-    std::fs::write(&tampered, json.replace("recode-trace/v1", "recode-trace/v0")).unwrap();
+    std::fs::write(&tampered, json.replace("recode-trace/v2", "recode-trace/v0")).unwrap();
     let out = bin()
         .args(["trace-check", tampered.to_str().unwrap()])
         .output()

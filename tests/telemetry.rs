@@ -5,7 +5,7 @@
 
 use recode_spmv::codec::pipeline::MatrixCodecConfig;
 use recode_spmv::core::exec::RecodedSpmv;
-use recode_spmv::core::telemetry::{TraceDocument, TRACE_SCHEMA};
+use recode_spmv::core::telemetry::{RecorderSummary, TraceDocument, TRACE_SCHEMA, TRACE_SCHEMA_V1};
 use recode_spmv::core::SystemConfig;
 use recode_spmv::prelude::*;
 use recode_spmv::sparse::spmv::SpmvKernel;
@@ -139,7 +139,78 @@ fn render_report_mentions_every_section() {
         "compressed_stream",
         "software codec stages",
         "degradation",
+        // v2: the batch path reports lane-pool activity.
+        "-- resilience --",
+        "lane pool:",
     ] {
         assert!(text.contains(needle), "report missing `{needle}`:\n{text}");
     }
+}
+
+/// The batch traced path reports `pool.*` counters, which are v2 content:
+/// the document must stamp itself `recode-trace/v2` and carry the pool's
+/// checkout accounting.
+#[test]
+fn batch_traced_documents_are_schema_v2_with_pool_counters() {
+    let (_, doc) = traced_run();
+    assert_eq!(doc.schema, TRACE_SCHEMA);
+    assert!(doc.has_v2_content());
+    assert!(doc.counter("pool.checkouts") > 0, "every decode job checks a lane out");
+    assert_eq!(
+        doc.counter("pool.checkouts"),
+        doc.counter("pool.recycled_hits") + doc.counter("pool.fresh_builds"),
+        "checkouts partition into recycled hits and fresh builds"
+    );
+    assert!(doc.validate().is_empty(), "{:?}", doc.validate());
+}
+
+/// Attaching a flight-recorder summary promotes the schema and renders the
+/// recorder section; an inconsistent summary (more drained than recorded)
+/// fails validation.
+#[test]
+fn recorder_summary_promotes_schema_and_is_validated() {
+    let (_, mut doc) = traced_run();
+    let mut by_kind = std::collections::BTreeMap::new();
+    by_kind.insert("block_outcome".to_string(), 40u64);
+    by_kind.insert("span_begin".to_string(), 2u64);
+    doc.attach_recorder(RecorderSummary { recorded: 42, dropped: 0, capacity: 65536, by_kind });
+    assert_eq!(doc.schema, TRACE_SCHEMA);
+    assert!(doc.validate().is_empty(), "{:?}", doc.validate());
+    let text = recode_spmv::core::telemetry::render_report(&doc);
+    assert!(text.contains("flight recorder: 42 events recorded"), "{text}");
+    assert!(text.contains("block_outcome"), "{text}");
+
+    doc.recorder.as_mut().unwrap().recorded = 10;
+    let errs = doc.validate();
+    assert!(
+        errs.iter().any(|e| e.contains("recorder summary")),
+        "drained > recorded must be flagged: {errs:?}"
+    );
+}
+
+/// Back-compat (ISSUE 7 satellite): the PR 3 golden fixture is a v1
+/// document and must still load and validate as v1 — `validate()` accepts
+/// both schema generations. Parsing uses serde, so the offline stub build
+/// skips gracefully (same pattern as the golden-trace suite).
+#[test]
+fn golden_v1_fixture_still_validates_as_v1() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_trace_v1.json");
+    let golden = std::fs::read_to_string(path).expect("golden fixture present");
+    let parsed = std::panic::catch_unwind(|| {
+        serde_json::from_str::<TraceDocument>(&golden).map_err(|e| e.to_string())
+    });
+    let Ok(result) = parsed else {
+        eprintln!("serde_json unavailable (stubbed build) — skipping");
+        return;
+    };
+    let doc = result.expect("v1 fixture parses");
+    assert_eq!(doc.schema, TRACE_SCHEMA_V1);
+    assert!(!doc.has_v2_content(), "the v1 fixture must not carry v2 content");
+    assert!(doc.recorder.is_none(), "absent recorder field defaults to None");
+    let errs = doc.validate();
+    assert!(errs.is_empty(), "v1 fixture must validate under the v2 code: {errs:?}");
+    // And its report renders without a resilience section.
+    let text = recode_spmv::core::telemetry::render_report(&doc);
+    assert!(text.contains("recode trace report (recode-trace/v1)"), "{text}");
+    assert!(!text.contains("-- resilience --"), "{text}");
 }

@@ -283,6 +283,27 @@ fn golden_fixture_pins_the_headline_fields() {
     );
 }
 
+/// The flight recorder must observe, never perturb (ISSUE 7): with the
+/// recorder ON the canonical run renders byte-for-byte identical to the
+/// fixture — no re-blessing — and the document stays `recode-trace/v1`
+/// (the overlap path emits no resilience counters, so nothing promotes
+/// the schema).
+#[test]
+fn golden_trace_is_unchanged_with_the_recorder_enabled() {
+    use recode_spmv::core::recorder;
+    // Bless first if the fixture does not exist yet; the byte test owns
+    // that flow.
+    let Ok(golden) = std::fs::read_to_string(FIXTURE) else { return };
+    recorder::enable(recorder::DEFAULT_CAPACITY);
+    let doc = canonical_doc();
+    let events = recorder::drain();
+    recorder::disable();
+    assert!(!events.is_empty(), "recorder must capture the canonical run");
+    assert_eq!(doc.schema, "recode-trace/v1");
+    let rendered = to_golden_json(&doc);
+    assert_eq!(rendered, golden, "recorder-on run must not move a byte of the golden trace");
+}
+
 /// When a real JSON layer is present (CI builds; the offline stub panics),
 /// the fixture must parse back into a `TraceDocument` through serde and
 /// still validate — proving the hand-rolled emitter writes exactly the
