@@ -211,6 +211,27 @@ impl RecodedSpmv {
         Self::from_compressed_with_store(compressed, Some(RawFallbackStore::from_csr(a)))
     }
 
+    /// Compresses `a` under a persisted [`crate::tune::TunedConfig`],
+    /// after checking the config actually belongs to this matrix.
+    ///
+    /// The tuned codec (stage subset + block size) governs compression
+    /// here; callers then run the tuned kernel via [`RecodedSpmv::spmv`]
+    /// with [`crate::tune::TunedConfig::kernel`], or hand the recoded
+    /// operand to an [`crate::overlap::OverlapExecutor`], whose tiled
+    /// multiply consumes the same tuned codec stream.
+    ///
+    /// # Errors
+    /// [`crate::tune::TuneError::DigestMismatch`] when the config was
+    /// tuned for a different matrix — never a silent fallback — and
+    /// [`crate::tune::TuneError::Exec`] for codec failures.
+    pub fn new_tuned(
+        a: &Csr,
+        tuned: &crate::tune::TunedConfig,
+    ) -> Result<Self, crate::tune::TuneError> {
+        tuned.validate_for(a)?;
+        Ok(Self::new(a, tuned.codec_config())?)
+    }
+
     /// [`RecodedSpmv::new`] with codec-stage telemetry attached: per-stage
     /// encode timings are recorded during compression here, decode timings
     /// whenever [`RecodedSpmv::decompress_via_software`] runs, and the

@@ -36,7 +36,10 @@
 //! * [`benchcmp`] — the BENCH_*.json regression comparator behind
 //!   `recode bench-compare`;
 //! * [`json`] — the dependency-free JSON writer/parser shared by the
-//!   chaos, bench, trace-export, and metrics emitters.
+//!   chaos, bench, trace-export, and metrics emitters;
+//! * [`tune`] — the per-matrix auto-tuner: kernel × codec-stage × block
+//!   search scored by deterministic modeled cycles, persisted as a
+//!   digest-keyed `recode-tuned/v1` document.
 
 pub mod arch;
 pub mod benchcmp;
@@ -57,6 +60,7 @@ pub mod report;
 pub mod resilience;
 pub mod seven;
 pub mod telemetry;
+pub mod tune;
 
 pub use arch::SystemConfig;
 pub use benchcmp::{compare_snapshots, CompareReport, MetricDelta, Verdict};
@@ -73,6 +77,11 @@ pub use power::PowerSavings;
 pub use resilience::{
     BreakerConfig, BreakerState, BudgetTracker, CircuitBreaker, JobBudget, JobReport, JobState,
 };
+pub use tune::{
+    matrix_digest, tune_matrix, CandidateScore, StageSubset, TuneError, TuneOptions, TuneOutcome,
+    TunedConfig, TUNED_SCHEMA,
+};
+
 pub use telemetry::{
     render_report, BlockEvent, BlockOutcome, CycleHistogram, MatrixMeta, RecorderSummary, Span,
     StreamKind, SystemMeta, Telemetry, TraceDocument, TRACE_SCHEMA, TRACE_SCHEMA_V1,

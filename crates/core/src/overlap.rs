@@ -363,6 +363,28 @@ impl<'m> OverlapExecutor<'m> {
         OverlapExecutor { recoded, config, cache: Mutex::new(ExecCache::new(config.cache_blocks)) }
     }
 
+    /// Executor over an operand recoded under a persisted tuned config,
+    /// verifying the operand really carries the tuned codec stream.
+    ///
+    /// The overlap pipeline's tiled multiply is kernel-agnostic (each tile
+    /// is reduced in CSR row order), so the tuned *kernel* choice applies
+    /// to the batch path; what the tuned config contributes here is the
+    /// codec stage subset and block size the decode lanes run.
+    ///
+    /// # Errors
+    /// [`crate::tune::TuneError::CodecMismatch`] when `recoded` was
+    /// compressed under a different codec config than `tuned` prescribes.
+    pub fn from_tuned(
+        recoded: &'m RecodedSpmv,
+        tuned: &crate::tune::TunedConfig,
+        config: OverlapConfig,
+    ) -> Result<Self, crate::tune::TuneError> {
+        if recoded.compressed().config != tuned.codec_config() {
+            return Err(crate::tune::TuneError::CodecMismatch);
+        }
+        Ok(Self::new(recoded, config))
+    }
+
     /// The configuration this executor runs with.
     pub fn config(&self) -> OverlapConfig {
         self.config

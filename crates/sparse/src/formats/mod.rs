@@ -12,6 +12,8 @@
 //!   sorting window;
 //! * [`bbcsr`] — bitmasked register blocks (after Buluç et al. \[15\]):
 //!   r×c register blocks carrying a bitmask instead of per-element indices;
+//! * [`pdiag`] — partially-diagonal storage (after Fukaya et al.): dense
+//!   diagonal runs split from a CSR remainder;
 //! * [`vcsr`] — varint-delta compressed CSR (after Lawlor \[28\]):
 //!   per-row delta+varint column indices decoded *inline* during SpMV —
 //!   the "CPU pays for decompression in the kernel" design point.
@@ -22,10 +24,12 @@
 
 pub mod bbcsr;
 pub mod ell;
+pub mod pdiag;
 pub mod sellcs;
 pub mod vcsr;
 
 pub use bbcsr::BitmaskBlockCsr;
 pub use ell::Ell;
+pub use pdiag::PartialDiag;
 pub use sellcs::SellCs;
 pub use vcsr::VarintCsr;

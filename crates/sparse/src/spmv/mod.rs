@@ -1,20 +1,29 @@
 //! SpMV kernels.
 //!
-//! Three CPU kernels, mirroring the implementations the paper discusses:
+//! Five CPU kernels, mirroring the implementations the paper and its
+//! related work discuss:
 //!
 //! * [`serial`] — the paper's Fig. 2 basic CSR loop;
 //! * [`parallel`] — row-parallel CSR using Rayon (the "state-of-the-art
 //!   libraries easily saturate memory bandwidth" point of §III-B);
 //! * [`merge`] — merge-path SpMV after Merrill & Garland \[33\], the
-//!   load-balanced baseline the related-work section highlights.
+//!   load-balanced baseline the related-work section highlights;
+//! * [`sellcs`] — SELL-C-σ sliced-ELL traversal (Kreutzer et al. \[27\])
+//!   with σ-window row sorting;
+//! * [`pdiag`] — partially-diagonal split (after Fukaya et al.): dense
+//!   diagonal runs plus a CSR remainder.
 //!
-//! All kernels compute `y = A x`. Serial and row-parallel reduce each row
-//! left-to-right and are bit-identical; merge-path may split a row across
-//! partitions, so it can differ by floating-point reassociation (bounded by
-//! ordinary summation error and checked in tests).
+//! All kernels compute `y = A x`. Serial, row-parallel, and SELL-C-σ
+//! reduce each row left-to-right and are bit-identical; merge-path may
+//! split a row across partitions and partially-diagonal reorders diagonal
+//! entries ahead of the remainder, so those two can differ by
+//! floating-point reassociation (bounded by ordinary summation error and
+//! checked in tests).
 
 pub mod merge;
 pub mod parallel;
+pub mod pdiag;
+pub mod sellcs;
 pub mod serial;
 
 use crate::Csr;
@@ -28,12 +37,38 @@ pub enum SpmvKernel {
     RowParallel,
     /// Merge-path load-balanced CSR.
     MergePath,
+    /// SELL-C-σ sliced-ELL traversal.
+    SellCSigma,
+    /// Partially-diagonal split: dense diagonals + CSR remainder.
+    PartialDiagonal,
 }
 
 impl SpmvKernel {
     /// All kernels, for exhaustive test sweeps.
-    pub const ALL: [SpmvKernel; 3] =
-        [SpmvKernel::Serial, SpmvKernel::RowParallel, SpmvKernel::MergePath];
+    pub const ALL: [SpmvKernel; 5] = [
+        SpmvKernel::Serial,
+        SpmvKernel::RowParallel,
+        SpmvKernel::MergePath,
+        SpmvKernel::SellCSigma,
+        SpmvKernel::PartialDiagonal,
+    ];
+
+    /// Stable machine name, used by the tuned-config persistence schema
+    /// and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpmvKernel::Serial => "serial",
+            SpmvKernel::RowParallel => "row-parallel",
+            SpmvKernel::MergePath => "merge-path",
+            SpmvKernel::SellCSigma => "sell-c-sigma",
+            SpmvKernel::PartialDiagonal => "partial-diagonal",
+        }
+    }
+
+    /// Inverse of [`SpmvKernel::name`].
+    pub fn parse_name(s: &str) -> Option<SpmvKernel> {
+        SpmvKernel::ALL.into_iter().find(|k| k.name() == s)
+    }
 }
 
 /// Computes `y = A x` with the chosen kernel, allocating `y`.
@@ -54,6 +89,8 @@ pub fn spmv_with_into(kernel: SpmvKernel, a: &Csr, x: &[f64], y: &mut [f64]) {
         SpmvKernel::Serial => serial::spmv_into(a, x, y),
         SpmvKernel::RowParallel => parallel::spmv_into(a, x, y),
         SpmvKernel::MergePath => merge::spmv_into(a, x, y),
+        SpmvKernel::SellCSigma => sellcs::spmv_into(a, x, y),
+        SpmvKernel::PartialDiagonal => pdiag::spmv_into(a, x, y),
     }
 }
 
@@ -97,6 +134,14 @@ mod tests {
         for k in SpmvKernel::ALL {
             assert_eq!(spmv_with(k, &a, &x), want, "kernel {k:?}");
         }
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in SpmvKernel::ALL {
+            assert_eq!(SpmvKernel::parse_name(k.name()), Some(k));
+        }
+        assert_eq!(SpmvKernel::parse_name("no-such-kernel"), None);
     }
 
     #[test]

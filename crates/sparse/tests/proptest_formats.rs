@@ -1,0 +1,170 @@
+//! Property tests pinning the grown kernel formats: CSR → SELL-C-σ and
+//! CSR → partially-diagonal must round-trip the exact (row, col, value)
+//! multiset, and neither padding (SELL-C-σ's PAD slots) nor splitting
+//! (partially-diagonal's dense-run extraction) may change `y = A·x`
+//! relative to the CSR kernels — across arbitrary random matrices and the
+//! structural edge cases (empty rows, singleton rows, fully dense rows,
+//! explicitly stored zeros).
+
+use proptest::prelude::*;
+use recode_sparse::formats::{PartialDiag, SellCs};
+use recode_sparse::prelude::*;
+
+/// Strategy: a random COO matrix up to 24x24 with up to 120 entries
+/// (duplicates allowed; integer values keep kernel comparisons exact).
+fn coo_strategy() -> impl Strategy<Value = Coo> {
+    (1usize..24, 1usize..24).prop_flat_map(|(nrows, ncols)| {
+        proptest::collection::vec((0..nrows, 0..ncols, -8i32..8), 0..120).prop_map(move |entries| {
+            let mut coo = Coo::new(nrows, ncols).unwrap();
+            for (r, c, v) in entries {
+                coo.push(r, c, v as f64).unwrap();
+            }
+            coo
+        })
+    })
+}
+
+/// The (row, col, value-bits) multiset of a CSR matrix, sorted.
+fn triplets(a: &Csr) -> Vec<(usize, u32, u64)> {
+    let mut out = Vec::with_capacity(a.nnz());
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (c, v) in cols.iter().zip(vals) {
+            out.push((r, *c, v.to_bits()));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// A matrix guaranteed to hold the structural edge cases: row 0 fully
+/// dense, row 1 empty, row 2 a singleton, the rest sparse.
+fn edge_case_matrix(n: usize, extra: &[(usize, usize, f64)]) -> Csr {
+    let mut coo = Coo::new(n, n).unwrap();
+    for c in 0..n {
+        coo.push(0, c, 1.0 + c as f64).unwrap();
+    }
+    coo.push(2, n / 2, -3.0).unwrap();
+    for &(r, c, v) in extra {
+        if r != 1 {
+            coo.push(r.min(n - 1), c.min(n - 1), v).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sellcs_round_trips_the_exact_multiset(coo in coo_strategy(), c in 1usize..9, w in 1usize..5) {
+        let a = coo.to_csr();
+        let s = SellCs::from_csr(&a, c, w * c).unwrap();
+        let back = s.to_csr();
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(triplets(&back), triplets(&a));
+    }
+
+    #[test]
+    fn pdiag_round_trips_the_exact_multiset(coo in coo_strategy(), t in 1usize..11) {
+        let a = coo.to_csr();
+        let p = PartialDiag::from_csr(&a, t as f64 / 10.0).unwrap();
+        let back = p.to_csr();
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(triplets(&back), triplets(&a));
+        prop_assert_eq!(p.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn sellcs_padding_never_changes_spmv(coo in coo_strategy(), c in 1usize..9) {
+        // SELL-C-σ keeps per-row left-to-right accumulation, so it is
+        // bit-identical to serial CSR — padding contributes exact zeros.
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        SellCs::from_csr(&a, c, 4 * c).unwrap().spmv_into(&x, &mut y);
+        prop_assert_eq!(y, spmv(&a, &x));
+    }
+
+    #[test]
+    fn pdiag_split_never_changes_spmv(coo in coo_strategy(), t in 1usize..11) {
+        // The diagonal/remainder split reassociates mixed rows, so the
+        // oracle is a tolerance, not bit equality.
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        PartialDiag::from_csr(&a, t as f64 / 10.0).unwrap().spmv_into(&x, &mut y);
+        let want = spmv(&a, &x);
+        for (g, w) in y.iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{} vs {}", g, w);
+        }
+    }
+
+    #[test]
+    fn edge_case_rows_survive_both_formats(
+        n in 4usize..24,
+        c in 1usize..9,
+        t in 1usize..11,
+        extra in proptest::collection::vec((3usize..24, 0usize..24, -4i32..5), 0..40),
+    ) {
+        // Fully dense row 0, empty row 1, singleton row 2 — the shapes
+        // that break padding and window-sorting logic first.
+        let extra: Vec<(usize, usize, f64)> =
+            extra.iter().map(|&(r, c2, v)| (r, c2, v as f64)).collect();
+        let a = edge_case_matrix(n, &extra);
+        prop_assert_eq!(a.row(0).0.len(), n, "row 0 must be fully dense");
+        prop_assert_eq!(a.row(1).0.len(), 0, "row 1 must be empty");
+
+        let s = SellCs::from_csr(&a, c, 4 * c).unwrap();
+        prop_assert_eq!(s.to_csr(), a.clone());
+        let p = PartialDiag::from_csr(&a, t as f64 / 10.0).unwrap();
+        prop_assert_eq!(p.to_csr(), a.clone());
+
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let want = spmv(&a, &x);
+        let mut y = vec![0.0; n];
+        s.spmv_into(&x, &mut y);
+        prop_assert_eq!(&y, &want);
+        p.spmv_into(&x, &mut y);
+        for (g, w) in y.iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{} vs {}", g, w);
+        }
+    }
+}
+
+/// Explicitly stored zeros are part of the multiset contract: the
+/// partially-diagonal split must carry them through both the extracted
+/// diagonals (via its presence mask) and the remainder.
+#[test]
+fn pdiag_preserves_explicitly_stored_zeros() {
+    let a = Csr::try_from_parts(
+        4,
+        4,
+        vec![0, 2, 4, 5, 7],
+        vec![0, 1, 1, 2, 2, 0, 3],
+        vec![1.0, 0.0, 0.0, 2.0, 0.0, 5.0, 0.0],
+    )
+    .unwrap();
+    for t in [0.3, 0.6, 1.0] {
+        let p = PartialDiag::from_csr(&a, t).unwrap();
+        assert_eq!(p.to_csr(), a, "threshold {t}");
+        assert_eq!(p.nnz(), 7, "threshold {t}");
+    }
+}
+
+/// Degenerate shapes: empty matrices and single-row/column strips.
+#[test]
+fn degenerate_shapes_round_trip() {
+    let shapes: Vec<Csr> = vec![
+        Csr::try_from_parts(3, 3, vec![0, 0, 0, 0], vec![], vec![]).unwrap(),
+        Csr::try_from_parts(1, 5, vec![0, 3], vec![0, 2, 4], vec![1.0, -2.0, 3.0]).unwrap(),
+        Csr::try_from_parts(5, 1, vec![0, 1, 1, 2, 2, 3], vec![0, 0, 0], vec![4.0, 5.0, 6.0])
+            .unwrap(),
+    ];
+    for a in &shapes {
+        let s = SellCs::from_csr(a, 4, 8).unwrap();
+        assert_eq!(&s.to_csr(), a);
+        let p = PartialDiag::from_csr(a, 0.6).unwrap();
+        assert_eq!(&p.to_csr(), a);
+    }
+}

@@ -6,6 +6,7 @@
 //! recode decompress <in.rcmx>   -o <matrix.mtx>  restore MatrixMarket
 //! recode spmv      <matrix.mtx> [--trace <out.json>]
 //!                  [--overlap] [--cache-blocks N] [--iters N]
+//!                  [--tuned <config.json>]
 //!                                                run SpMV through the simulated
 //!                                                heterogeneous system and report;
 //!                                                --trace writes the full telemetry
@@ -15,7 +16,19 @@
 //!                                                executor, --cache-blocks seeds
 //!                                                its decoded-block LRU cache, and
 //!                                                --iters repeats the multiply to
-//!                                                show the warm-cache decode cost
+//!                                                show the warm-cache decode cost;
+//!                                                --tuned runs the kernel and codec
+//!                                                a persisted recode-tuned/v1
+//!                                                config prescribes (digest
+//!                                                mismatch is a hard error)
+//! recode tune      <matrix.mtx> [-o <config.json>] [--seed N]
+//!                                                search kernel x codec-stage x
+//!                                                block size, print the candidate
+//!                                                table, and persist the winner
+//!                                                (selection is by deterministic
+//!                                                modeled cycles; RECODE_TUNE_TRIALS
+//!                                                resizes only the informational
+//!                                                wall-clock column)
 //! recode report    <trace.json>                  render a trace as a table
 //! recode trace-check <trace.json>                validate a trace's schema and
 //!                                                internal invariants
@@ -74,7 +87,7 @@ const EXIT_FALLBACK: u8 = 4;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--chrome-trace <out.trace.json>]\n              [--overlap] [--cache-blocks N] [--iters N]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n  recode chaos [--trials N] [--seed N] [--json <out.json>] [--chrome-trace <out.trace.json>]\n  recode metrics <matrix.mtx> [-o <metrics.prom>]\n  recode bench-compare <old.json> <new.json>\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--chrome-trace <out.trace.json>]\n              [--overlap] [--cache-blocks N] [--iters N] [--tuned <config.json>]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode tune <matrix.mtx> [-o <config.json>] [--seed N]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n  recode chaos [--trials N] [--seed N] [--json <out.json>] [--chrome-trace <out.trace.json>]\n  recode metrics <matrix.mtx> [-o <metrics.prom>]\n  recode bench-compare <old.json> <new.json>\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
@@ -108,6 +121,7 @@ struct Flags {
     trials: usize,
     json: Option<String>,
     chrome_trace: Option<String>,
+    tuned: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Flags, String> {
@@ -125,6 +139,7 @@ fn parse(args: &[String]) -> Result<Flags, String> {
         trials: 500,
         json: None,
         chrome_trace: None,
+        tuned: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -193,6 +208,10 @@ fn parse(args: &[String]) -> Result<Flags, String> {
                 f.chrome_trace =
                     Some(args.get(i).ok_or("missing value for --chrome-trace")?.clone());
             }
+            "--tuned" => {
+                i += 1;
+                f.tuned = Some(args.get(i).ok_or("missing value for --tuned")?.clone());
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -218,6 +237,7 @@ fn main() -> ExitCode {
         "compress" => cmd_compress(&flags),
         "decompress" => cmd_decompress(&flags),
         "spmv" => cmd_spmv(&flags),
+        "tune" => cmd_tune(&flags),
         "report" => cmd_report(&flags),
         "trace-check" => cmd_trace_check(&flags),
         "gen" => cmd_gen(&flags),
@@ -361,6 +381,26 @@ fn apply_injection(recoded: &mut RecodedSpmv, flags: &Flags) -> Result<(), Strin
     Ok(())
 }
 
+/// Loads, parses, and digest-validates the `--tuned` config, if given.
+/// Every failure is a hard error — a stale or foreign tuning never falls
+/// back silently to the defaults.
+fn tuned_for(flags: &Flags, a: &Csr) -> Result<Option<TunedConfig>, String> {
+    let Some(path) = &flags.tuned else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let tuned = TunedConfig::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    tuned.validate_for(a).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "tuned: kernel {}, stages {}, block {} B ({} candidates searched)",
+        tuned.kernel.name(),
+        tuned.stages.name(),
+        tuned.block_bytes,
+        tuned.candidates
+    );
+    Ok(Some(tuned))
+}
+
 fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
     let a = load(flags)?;
     if flags.overlap {
@@ -372,13 +412,16 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
     if flags.cache_blocks > 0 {
         return Err("--cache-blocks needs --overlap".into());
     }
+    let tuned = tuned_for(flags, &a)?;
+    let config = tuned.as_ref().map_or(flags.config, TunedConfig::codec_config);
+    let kernel = tuned.as_ref().map_or(SpmvKernel::RowParallel, |t| t.kernel);
     let sys = SystemConfig::ddr4();
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(&a, &x);
     let hook = flags.inject_trap.map(|j| FaultHook::new().trap(j));
     arm_recorder(flags);
     let (recoded, y, stats) = if let Some(trace_path) = &flags.trace {
-        let mut recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
+        let mut recoded = RecodedSpmv::new_traced(&a, config).map_err(|e| e.to_string())?;
         // The software decode both cross-checks losslessness and populates
         // the decode direction of the codec-stage telemetry in the trace.
         let sw = recoded.decompress_via_software().map_err(|e| e.to_string())?;
@@ -391,7 +434,7 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
         let (y, stats, mut doc) = recoded
-            .spmv_traced(&sys, SpmvKernel::RowParallel, &x, hook.as_ref(), &name)
+            .spmv_traced(&sys, kernel, &x, hook.as_ref(), &name)
             .map_err(|e| e.to_string())?;
         if let Some(ct_path) = &flags.chrome_trace {
             let (events, rec_stats) = finish_chrome_trace(ct_path)?;
@@ -408,17 +451,29 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
         );
         (recoded, y, stats)
     } else {
-        let mut recoded = RecodedSpmv::new(&a, flags.config).map_err(|e| e.to_string())?;
+        let mut recoded = RecodedSpmv::new(&a, config).map_err(|e| e.to_string())?;
         apply_injection(&mut recoded, flags)?;
-        let (y, stats) = recoded
-            .spmv_faulty(&sys, SpmvKernel::RowParallel, &x, hook.as_ref())
-            .map_err(|e| e.to_string())?;
+        let (y, stats) =
+            recoded.spmv_faulty(&sys, kernel, &x, hook.as_ref()).map_err(|e| e.to_string())?;
         if let Some(ct_path) = &flags.chrome_trace {
             finish_chrome_trace(ct_path)?;
         }
         (recoded, y, stats)
     };
-    if y != y_ref {
+    // Merge-path and partially-diagonal kernels reassociate row sums, so a
+    // tuned run verifies to summation tolerance; the default row-parallel
+    // path stays bit-exact.
+    if tuned.is_some() {
+        let worst = y
+            .iter()
+            .zip(&y_ref)
+            .fold(0.0f64, |w, (got, want)| w.max((got - want).abs() / want.abs().max(1.0)));
+        if worst > 1e-10 {
+            return Err(format!(
+                "tuned SpMV diverged from the uncompressed kernel (worst rel err {worst:.3e})"
+            ));
+        }
+    } else if y != y_ref {
         return Err("recoded SpMV diverged from the uncompressed kernel".into());
     }
     println!("recoded SpMV verified against the uncompressed kernel ({} rows)", y.len());
@@ -452,22 +507,31 @@ fn cmd_spmv(flags: &Flags) -> Result<ExitCode, String> {
 /// boundaries, so verification is against a 1e-10 relative tolerance
 /// rather than bit equality.
 fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<ExitCode, String> {
+    let tuned = tuned_for(flags, a)?;
+    let config = tuned.as_ref().map_or(flags.config, TunedConfig::codec_config);
     let sys = SystemConfig::ddr4();
     let x = vec![1.0; a.ncols()];
     let y_ref = spmv(a, &x);
     let hook = flags.inject_trap.map(|j| FaultHook::new().trap(j));
     arm_recorder(flags);
     let mut recoded = if flags.trace.is_some() {
-        RecodedSpmv::new_traced(a, flags.config)
+        RecodedSpmv::new_traced(a, config)
     } else {
-        RecodedSpmv::new(a, flags.config)
+        RecodedSpmv::new(a, config)
     }
     .map_err(|e| e.to_string())?;
     apply_injection(&mut recoded, flags)?;
-    let ex = OverlapExecutor::new(
-        &recoded,
-        OverlapConfig { overlap: true, cache_blocks: flags.cache_blocks, workers: 0 },
-    );
+    let overlap_config =
+        OverlapConfig { overlap: true, cache_blocks: flags.cache_blocks, workers: 0 };
+    // The overlap pipeline's tiled multiply is kernel-agnostic; a tuned
+    // config contributes its codec stage subset and block size here, and
+    // `from_tuned` re-checks the operand really carries that stream.
+    let ex = match &tuned {
+        Some(t) => {
+            OverlapExecutor::from_tuned(&recoded, t, overlap_config).map_err(|e| e.to_string())?
+        }
+        None => OverlapExecutor::new(&recoded, overlap_config),
+    };
     let (y, stats) = if let Some(trace_path) = &flags.trace {
         let name = std::path::Path::new(&flags.positional[0])
             .file_stem()
@@ -549,6 +613,66 @@ fn cmd_spmv_overlap(flags: &Flags, a: &Csr) -> Result<ExitCode, String> {
         }
     }
     Ok(exit_for(&stats))
+}
+
+/// `recode tune`: search kernel × codec-stage × block size over the input
+/// matrix, print the scored candidate table, and persist the winner as a
+/// digest-keyed `recode-tuned/v1` document for `recode spmv --tuned`.
+/// Selection is purely by modeled cycles, so the written config is a pure
+/// function of (matrix, --seed); `RECODE_TUNE_TRIALS` resizes only the
+/// informational wall-clock column.
+fn cmd_tune(flags: &Flags) -> Result<ExitCode, String> {
+    use recode_spmv::core::tune::TRIALS_ENV;
+    let a = load(flags)?;
+    let input = &flags.positional[0];
+    let mut opts = TuneOptions::from_env();
+    opts.seed = flags.seed;
+    println!(
+        "tuning {} ({} x {}, {} nnz) with seed {} ({} wall trial(s); {TRIALS_ENV} resizes)...",
+        input,
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        opts.seed,
+        opts.trials
+    );
+    let outcome = tune_matrix(&a, &opts).map_err(|e| e.to_string())?;
+    let mut ranked: Vec<&recode_spmv::core::CandidateScore> = outcome.candidates.iter().collect();
+    ranked.sort_by_key(|c| c.total_cycles());
+    println!(
+        "\n{:<18} {:>7} {:>7} {:>13} {:>13} {:>8} {:>10}",
+        "kernel", "stages", "block", "decode cyc", "multiply cyc", "B/nnz", "wall us"
+    );
+    for c in ranked.iter().take(10) {
+        println!(
+            "{:<18} {:>7} {:>7} {:>13} {:>13} {:>8.2} {:>10.1}",
+            c.kernel.name(),
+            c.stages.name(),
+            c.block_bytes,
+            c.decode_cycles,
+            c.multiply_cycles,
+            c.wire_bytes_per_nnz,
+            c.wall_ns as f64 / 1e3
+        );
+    }
+    if outcome.candidates.len() > 10 {
+        println!("({} more candidates not shown)", outcome.candidates.len() - 10);
+    }
+    let cfg = &outcome.config;
+    let out = flags.output.clone().unwrap_or_else(|| format!("{input}.tuned.json"));
+    std::fs::write(&out, cfg.to_json_string()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "\nwinner: kernel {}, stages {}, block {} B — {} modeled cycles ({} decode + {} multiply)",
+        cfg.kernel.name(),
+        cfg.stages.name(),
+        cfg.block_bytes,
+        cfg.modeled_total_cycles(),
+        cfg.modeled_decode_cycles,
+        cfg.modeled_multiply_cycles
+    );
+    println!("tuned config ({}) written to {out}", recode_spmv::core::TUNED_SCHEMA);
+    println!("run it: recode spmv {input} --tuned {out}");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn load_trace(flags: &Flags) -> Result<recode_spmv::core::telemetry::TraceDocument, String> {

@@ -40,9 +40,9 @@ pub mod prelude {
     pub use recode_core::arch::Scenario;
     pub use recode_core::perfmodel::SpmvPerfModel;
     pub use recode_core::{
-        run_campaign, BreakerConfig, BreakerState, CampaignSummary, ChaosConfig, CircuitBreaker,
-        JobBudget, JobReport, JobState, OverlapConfig, OverlapExecutor, PowerSavings, RecodedSpmv,
-        SystemConfig, TrialOutcome,
+        run_campaign, tune_matrix, BreakerConfig, BreakerState, CampaignSummary, ChaosConfig,
+        CircuitBreaker, JobBudget, JobReport, JobState, OverlapConfig, OverlapExecutor,
+        PowerSavings, RecodedSpmv, SystemConfig, TrialOutcome, TuneError, TuneOptions, TunedConfig,
     };
     pub use recode_sparse::prelude::*;
     pub use recode_udp::accel::FaultHook;

@@ -3,13 +3,18 @@
 //!
 //! For each matrix in the gallery (one instance per `sparse::gen` family
 //! plus the MatrixMarket fixtures under `tests/fixtures/`), `y = A x` is
-//! computed eight ways — serial CSR, row-parallel CSR, merge-path CSR, the
-//! batch recoded executor, and the pipelined overlap executor under all
-//! four {overlap, cache} settings — and every result must match the serial
-//! reference to a 1e-10 relative tolerance. The pipelined executor merges
-//! per-tile partial sums, which reassociates rows that straddle tile
-//! boundaries; everything else is bit-exact, but one tolerance keeps the
-//! oracle uniform.
+//! computed every way the system offers — all five CPU kernels (serial,
+//! row-parallel, merge-path, SELL-C-σ, partially-diagonal), the batch
+//! recoded executor under each of those kernels, and the pipelined overlap
+//! executor under all four {overlap, cache} settings — and every result
+//! must match the serial reference to a 1e-10 relative tolerance.
+//! Merge-path and partially-diagonal reassociate row sums and the
+//! pipelined executor merges per-tile partials; everything else is
+//! bit-exact, but one tolerance keeps the oracle uniform.
+//!
+//! The `asym12.mtx` fixture is built to stress the grown kernels: a fully
+//! dense row for SELL-C-σ's σ-window sorting, two broken diagonal runs for
+//! partially-diagonal extraction, plus empty and singleton rows.
 
 use recode_spmv::codec::faults::SplitMix64;
 use recode_spmv::prelude::*;
@@ -61,7 +66,7 @@ fn gallery() -> Vec<(String, Csr)> {
             (format!("{}#{}", spec.family(), i), a)
         })
         .collect();
-    for fixture in ["mixed9.mtx", "sym6.mtx"] {
+    for fixture in ["mixed9.mtx", "sym6.mtx", "asym12.mtx"] {
         let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
         let a = recode_spmv::sparse::io::read_matrix_market_path(&path)
             .unwrap_or_else(|e| panic!("{path}: {e}"));
@@ -102,10 +107,12 @@ fn every_kernel_and_executor_agrees_on_every_family() {
 
         let recoded = RecodedSpmv::new(&a, MatrixCodecConfig::udp_dsh())
             .unwrap_or_else(|e| panic!("{name}: compress failed: {e}"));
-        let (y_batch, _) = recoded
-            .spmv(&sys, SpmvKernel::Serial, &x)
-            .unwrap_or_else(|e| panic!("{name}: batch executor failed: {e}"));
-        assert_close(&name, "batch-recoded", &y_batch, &y_ref);
+        for kernel in SpmvKernel::ALL {
+            let (y_batch, _) = recoded
+                .spmv(&sys, kernel, &x)
+                .unwrap_or_else(|e| panic!("{name}: batch executor ({kernel:?}) failed: {e}"));
+            assert_close(&name, &format!("batch-recoded/{kernel:?}"), &y_batch, &y_ref);
+        }
 
         for overlap in [false, true] {
             for cache_blocks in [0usize, 1024] {
@@ -145,4 +152,26 @@ fn fixtures_have_the_shapes_the_suite_relies_on() {
     assert_eq!((sym.nrows(), sym.ncols()), (6, 6));
     assert!(sym.nnz() > 10, "symmetric expansion should add mirrored entries");
     assert!(sym.is_symmetric(1e-12));
+
+    let asym =
+        recode_spmv::sparse::io::read_matrix_market_path(format!("{base}/asym12.mtx")).unwrap();
+    assert_eq!((asym.nrows(), asym.ncols(), asym.nnz()), (12, 12, 31));
+    // Row 2 (0-based 1) is fully dense — the σ-sorting stressor; rows 10
+    // and 12 (0-based 9, 11) are empty; row 11 (0-based 10) is a singleton.
+    assert_eq!(asym.row_ptr()[2] - asym.row_ptr()[1], 12);
+    assert_eq!(asym.row_ptr()[10] - asym.row_ptr()[9], 0);
+    assert_eq!(asym.row_ptr()[12] - asym.row_ptr()[11], 0);
+    assert_eq!(asym.row_ptr()[11] - asym.row_ptr()[10], 1);
+
+    // Partially-diagonal extraction must find exactly the two planted runs
+    // (main diagonal at 9/12 occupancy, +2 at 8/10) and nothing else.
+    let p = recode_spmv::sparse::formats::PartialDiag::from_csr(&asym, 0.6).unwrap();
+    assert_eq!(p.offsets(), &[0, 2]);
+    assert_eq!(p.diag_nnz(), 17);
+
+    // σ-window sorting must pay for itself against the dense row: a sorted
+    // slicing wastes no more padding than an unsorted (σ = 1) one.
+    let sorted = recode_spmv::sparse::formats::SellCs::from_csr(&asym, 4, 12).unwrap();
+    let unsorted = recode_spmv::sparse::formats::SellCs::from_csr(&asym, 4, 1).unwrap();
+    assert!(sorted.bytes_per_nnz() < unsorted.bytes_per_nnz());
 }
