@@ -59,6 +59,33 @@ struct Snapshot {
     huffman_cpu: Throughput,
     /// CPU pipeline Snappy decode stage (32 KB blocks).
     snappy_cpu: Throughput,
+    /// Statically certified cycle envelopes for the three lane programs the
+    /// decoder runs. Pure verifier output — deterministic on every machine —
+    /// so `bench-compare` gates each `*_cycles` leaf and an accidental
+    /// certifier regression (a looser bound) fails the gate.
+    certified_bounds: Json,
+}
+
+/// Per-stage certified envelope parameters as a JSON object keyed by stage
+/// name. Leaf names end in `_cycles` on purpose: the `bench-compare` policy
+/// auto-gates those (lower-is-better), so a certifier change that loosens a
+/// bound trips the gate instead of drifting silently.
+fn certified_bounds_json(decoder: &DshDecoder) -> Json {
+    let mut doc = Json::obj();
+    for (name, img) in
+        [("huffman", &decoder.huffman), ("snappy", &decoder.snappy), ("delta", &decoder.delta)]
+    {
+        let Some(img) = img else { continue };
+        let Some(bound) = img.verify_report.cycle_bound else { continue };
+        let mut stage = Json::obj().set("min_cycles", Json::U64(bound.min));
+        if let Some(max) = bound.max {
+            stage = stage
+                .set("max_fixed_cycles", Json::U64(max.fixed))
+                .set("max_per_bit_cycles", Json::U64(max.per_input_bit));
+        }
+        doc = doc.set(name, stage);
+    }
+    doc
 }
 
 impl Snapshot {
@@ -75,6 +102,7 @@ impl Snapshot {
         }
         doc.set("huffman_cpu", self.huffman_cpu.to_json())
             .set("snappy_cpu", self.snappy_cpu.to_json())
+            .set("certified_bounds", self.certified_bounds.clone())
     }
 }
 
@@ -253,6 +281,7 @@ fn main() {
         lane_decode_reference: Some(lane_decode_reference),
         huffman_cpu,
         snappy_cpu,
+        certified_bounds: certified_bounds_json(&decoder),
     };
     eprintln!(
         "lane_decode      {:>12.0} blocks/s  {:>8.1} MB/s",

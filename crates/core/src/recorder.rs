@@ -470,6 +470,62 @@ mod tests {
         assert_eq!(events.last().expect("non-empty").a, LOCAL_CAPACITY as u64 * 3 - 1);
     }
 
+    /// Seeded interleaving stress (ISSUE 9): many threads overflow a small
+    /// ring concurrently from a fixed barrier. Whatever the schedule, the
+    /// accounting must partition exactly — every accepted event is either
+    /// drained or counted dropped, never both and never neither — and no
+    /// surviving event is duplicated or reordered within its track.
+    #[test]
+    fn concurrent_overflow_accounting_is_exact() {
+        const THREADS: usize = 8;
+        const CAPACITY: usize = 512;
+        let _g = serialized();
+        enable(CAPACITY);
+        let before = stats().recorded;
+        // Fixed xorshift seed → fixed per-thread event counts, so the
+        // totals below are deterministic across runs and machines.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let counts: [u64; THREADS] = std::array::from_fn(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            300 + seed % 200
+        });
+        let total: u64 = counts.iter().sum();
+        let barrier = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for (w, &n) in counts.iter().enumerate() {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..n {
+                        record(EventKind::BlockOutcome, Track::lane(w), "stress", i, 0);
+                    }
+                    flush_thread();
+                });
+            }
+        });
+        let events = drain();
+        let st = stats();
+        disable();
+        assert_eq!(st.recorded - before, total, "every record() call is counted once");
+        assert_eq!(
+            events.len() as u64 + st.dropped,
+            total,
+            "drained + dropped partition the accepted events exactly"
+        );
+        assert_eq!(events.len(), CAPACITY, "overflowed ring keeps exactly its capacity");
+        assert!(events.iter().all(|e| e.name == "stress"), "no phantom events survive");
+        for w in 0..THREADS {
+            let payloads: Vec<u64> =
+                events.iter().filter(|e| e.track == Track::lane(w)).map(|e| e.a).collect();
+            assert!(
+                payloads.windows(2).all(|p| p[0] < p[1]),
+                "lane {w} survivors are never duplicated or reordered: {payloads:?}"
+            );
+        }
+    }
+
     #[test]
     fn span_guard_balances_begin_end() {
         let _g = serialized();

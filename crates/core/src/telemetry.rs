@@ -457,6 +457,20 @@ impl TraceDocument {
                 self.block_cycles.sum, event_cycles
             ));
         }
+        // Certified-bound floor: a block that actually ran on a lane spent
+        // at least one cycle (fallback blocks never ran and record zero).
+        // The full envelope re-check — rebuilding the table-independent
+        // stage programs and comparing against their certified CycleBounds —
+        // lives in `recode trace-check --bounds`; this structural floor is
+        // the part every trace can assert without access to the programs.
+        for e in &self.block_events {
+            if e.outcome != BlockOutcome::FellBack && e.cycles == 0 {
+                errs.push(format!(
+                    "block event (job {}, outcome {:?}) ran on a lane but recorded 0 cycles",
+                    e.job, e.outcome
+                ));
+            }
+        }
         let accel = &self.exec.accel;
         if !accel.lane_profiles.is_empty() && accel.lane_profiles.len() != accel.lanes {
             errs.push(format!(

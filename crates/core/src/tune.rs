@@ -32,12 +32,15 @@ use crate::arch::SystemConfig;
 use crate::error::ExecError;
 use crate::exec::RecodedSpmv;
 use crate::json::{self, Json};
+use recode_codec::block::CompressedBlock;
 use recode_codec::pipeline::MatrixCodecConfig;
 use recode_sparse::formats::{PartialDiag, SellCs};
 use recode_sparse::spmv::pdiag::DEFAULT_MIN_OCCUPANCY;
 use recode_sparse::spmv::sellcs::{DEFAULT_C, DEFAULT_SIGMA};
 use recode_sparse::spmv::{spmv_with, spmv_with_into, SpmvKernel};
 use recode_sparse::Csr;
+use recode_udp::isa::SCRATCHPAD_BYTES;
+use recode_udp::progs::DshDecoder;
 use std::fmt;
 
 /// Schema tag of the persisted tuned-config document.
@@ -124,6 +127,22 @@ pub enum TuneError {
         /// Worst relative error observed.
         rel_err: f64,
     },
+    /// A codec candidate's measured lane cycles fell outside the certified
+    /// static envelope of its decoder programs — the analytic decode model
+    /// and the cycle-bound certifier disagree, so the tuner refuses to
+    /// score the candidate (a wrong model would crown a wrong winner).
+    BoundViolated {
+        /// Stage subset of the offending candidate.
+        stages: &'static str,
+        /// Block size of the offending candidate.
+        block_bytes: usize,
+        /// Measured busy cycles across both streams.
+        busy_cycles: u64,
+        /// Certified minimum total.
+        min: u64,
+        /// Certified maximum total.
+        max: u64,
+    },
 }
 
 impl fmt::Display for TuneError {
@@ -148,6 +167,11 @@ impl fmt::Display for TuneError {
                 f,
                 "kernel {kernel} diverged from the serial reference during tuning \
                  (worst rel err {rel_err:.3e})"
+            ),
+            TuneError::BoundViolated { stages, block_bytes, busy_cycles, min, max } => write!(
+                f,
+                "candidate {stages}/{block_bytes}B measured {busy_cycles} busy cycles, \
+                 outside its certified envelope [{min}, {max}]"
             ),
         }
     }
@@ -495,6 +519,71 @@ fn modeled_decode_cycles(sys: &SystemConfig, stats: &crate::exec::ExecStats) -> 
     stats.accel.makespan_cycles.max(stream)
 }
 
+/// Certified cycle envelope for decoding one stream's blocks through
+/// `decoder`: the sum of every stage image's statically certified
+/// [`recode_udp::CycleBound`] across all blocks. The first active stage
+/// sees the block's actual compressed bit length; later stages see at most
+/// the lane output window (half the scratchpad), which caps any
+/// intermediate expansion. `None` when a stage carries no certified max
+/// (the check is then vacuous, never wrong).
+fn certified_stream_envelope(
+    decoder: &DshDecoder,
+    blocks: &[CompressedBlock],
+) -> Option<(u64, u64)> {
+    let later_stage_bits = 8 * (SCRATCHPAD_BYTES as u64 / 2);
+    let stages: Vec<_> = [&decoder.huffman, &decoder.snappy, &decoder.delta]
+        .into_iter()
+        .flatten()
+        .map(|img| img.verify_report.cycle_bound)
+        .collect();
+    let (mut min, mut max) = (0u64, 0u64);
+    for block in blocks {
+        for (k, bound) in stages.iter().enumerate() {
+            let bound = (*bound)?;
+            let bits = if k == 0 { block.bit_len as u64 } else { later_stage_bits };
+            min = min.saturating_add(bound.min);
+            max = max.saturating_add(bound.max?.max_for(bits));
+        }
+    }
+    Some((min, max))
+}
+
+/// Cross-checks a candidate's measured busy cycles against the certified
+/// envelopes of its index and value decoders. Degraded runs (retries or
+/// fallbacks) are exempt: their accounting mixes re-run and zero-cycle
+/// jobs, so the per-attempt envelope does not aggregate cleanly.
+///
+/// # Errors
+/// [`TuneError::BoundViolated`] when the measurement escapes the envelope.
+fn check_certified_bounds(
+    recoded: &RecodedSpmv,
+    stats: &crate::exec::ExecStats,
+    stages: StageSubset,
+    block_bytes: usize,
+) -> Result<(), TuneError> {
+    if stats.degraded {
+        return Ok(());
+    }
+    let c = recoded.compressed();
+    let index = certified_stream_envelope(recoded.index_decoder(), &c.index_stream.blocks);
+    let value = certified_stream_envelope(recoded.value_decoder(), &c.value_stream.blocks);
+    let (Some((imin, imax)), Some((vmin, vmax))) = (index, value) else {
+        return Ok(());
+    };
+    let (min, max) = (imin.saturating_add(vmin), imax.saturating_add(vmax));
+    let busy_cycles = stats.accel.busy_cycles;
+    if busy_cycles < min || busy_cycles > max {
+        return Err(TuneError::BoundViolated {
+            stages: stages.name(),
+            block_bytes,
+            busy_cycles,
+            min,
+            max,
+        });
+    }
+    Ok(())
+}
+
 /// Tunes `a`: scores the full search space and seals the winner.
 ///
 /// # Errors
@@ -532,6 +621,7 @@ pub fn tune_matrix(a: &Csr, opts: &TuneOptions) -> Result<TuneOutcome, TuneError
         for block_bytes in BLOCK_SIZES {
             let recoded = RecodedSpmv::new(a, stages.codec_config(block_bytes))?;
             let (_, stats) = recoded.decompress_via_udp(sys)?;
+            check_certified_bounds(&recoded, &stats, stages, block_bytes)?;
             let decode_cycles = modeled_decode_cycles(sys, &stats);
             let wire_bytes_per_nnz = recoded.compressed().bytes_per_nnz();
             for &(kernel, multiply_cycles, wall_ns) in &multiply {
@@ -594,6 +684,7 @@ pub fn default_candidate(a: &Csr, sys: &SystemConfig) -> Result<CandidateScore, 
     let block_bytes = 8192;
     let recoded = RecodedSpmv::new(a, stages.codec_config(block_bytes))?;
     let (_, stats) = recoded.decompress_via_udp(sys)?;
+    check_certified_bounds(&recoded, &stats, stages, block_bytes)?;
     Ok(CandidateScore {
         kernel: SpmvKernel::RowParallel,
         stages,
@@ -695,6 +786,50 @@ mod tests {
         assert_eq!(parsed, outcome.config);
         assert_eq!(parsed.to_json_string(), s1);
         parsed.validate_for(&a).unwrap();
+    }
+
+    #[test]
+    fn certified_envelope_brackets_measured_busy_cycles() {
+        // The cross-check tune_matrix applies per candidate, verified here
+        // directly: every stage image certifies a bound, and the measured
+        // busy cycles of a clean run land inside the summed envelope.
+        let a = stencil();
+        let sys = SystemConfig::ddr4();
+        let recoded = RecodedSpmv::new(&a, StageSubset::Dsh.codec_config(4096)).unwrap();
+        let (_, stats) = recoded.decompress_via_udp(&sys).unwrap();
+        assert!(!stats.degraded);
+        let c = recoded.compressed();
+        let (imin, imax) =
+            certified_stream_envelope(recoded.index_decoder(), &c.index_stream.blocks)
+                .expect("every builtin stage must carry a certified bound");
+        let (vmin, vmax) =
+            certified_stream_envelope(recoded.value_decoder(), &c.value_stream.blocks)
+                .expect("every builtin stage must carry a certified bound");
+        let busy = stats.accel.busy_cycles;
+        assert!(
+            imin + vmin <= busy && busy <= imax + vmax,
+            "busy {busy} outside [{}, {}]",
+            imin + vmin,
+            imax + vmax
+        );
+        check_certified_bounds(&recoded, &stats, StageSubset::Dsh, 4096).unwrap();
+    }
+
+    #[test]
+    fn bound_violation_is_a_typed_error() {
+        // A measurement outside the envelope must surface as BoundViolated
+        // with the candidate's identity attached.
+        let a = stencil();
+        let sys = SystemConfig::ddr4();
+        let recoded = RecodedSpmv::new(&a, StageSubset::Dsh.codec_config(4096)).unwrap();
+        let (_, mut stats) = recoded.decompress_via_udp(&sys).unwrap();
+        stats.accel.busy_cycles = u64::MAX;
+        let err = check_certified_bounds(&recoded, &stats, StageSubset::Dsh, 4096).unwrap_err();
+        assert!(matches!(err, TuneError::BoundViolated { stages: "dsh", block_bytes: 4096, .. }));
+        assert!(err.to_string().contains("certified envelope"));
+        // Degraded runs are exempt — the check must not fire on them.
+        stats.degraded = true;
+        check_certified_bounds(&recoded, &stats, StageSubset::Dsh, 4096).unwrap();
     }
 
     #[test]

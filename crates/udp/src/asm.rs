@@ -293,10 +293,10 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Stmt, AsmError> {
     let args: Vec<&str> =
         if rest.is_empty() { vec![] } else { rest.split(',').map(str::trim).collect() };
     let need = |n: usize| -> Result<(), AsmError> {
-        if args.len() != n {
-            Err(err(lineno, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
-        } else {
+        if args.len() == n {
             Ok(())
+        } else {
+            Err(err(lineno, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
         }
     };
     let m = mnemonic.to_ascii_lowercase();

@@ -484,6 +484,28 @@ impl Lane {
         self.health.probation = true;
     }
 
+    /// Debug-only check that a completing run's modeled cycles landed
+    /// inside the image's certified [`CycleBound`](crate::verify::CycleBound)
+    /// envelope. Only gated-clean programs make that promise — an image run
+    /// via `allow_unverified` may execute blocks the static model never
+    /// certified, so it is exempt.
+    #[inline]
+    fn debug_assert_in_envelope(image: &Image, cycles: u64, input_bits: usize) {
+        #[cfg(debug_assertions)]
+        if image.verify_report.error_count() == 0 {
+            if let Some(bound) = image.verify_report.cycle_bound {
+                assert!(
+                    bound.contains(cycles, input_bits as u64),
+                    "certified cycle envelope violated: program `{}` completed in {cycles} \
+                     cycles on {input_bits} input bits, outside {bound}",
+                    image.name,
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (image, cycles, input_bits);
+    }
+
     /// Input/verify gates and architectural-state reset shared by every run
     /// entry point.
     fn prologue(
@@ -627,6 +649,7 @@ impl Lane {
         let range = self.output_range(cfg)?;
         out.clear();
         out.extend_from_slice(&self.scratch[range]);
+        Self::debug_assert_in_envelope(image, acct.cycles, input_bits);
         Ok(RunStats {
             cycles: acct.cycles,
             dispatches: acct.dispatches,
@@ -666,6 +689,7 @@ impl Lane {
             }
         }
         let range = self.output_range(cfg)?;
+        Self::debug_assert_in_envelope(image, acct.cycles, input_bits);
         Ok(RunResult {
             cycles: acct.cycles,
             dispatches: acct.dispatches,

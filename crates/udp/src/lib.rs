@@ -57,6 +57,6 @@ pub use pool::{
 };
 pub use program::{Program, ProgramBuilder};
 pub use verify::{
-    verify_image, verify_program, Analysis, Finding, LoopSummary, Severity, VerifyConfig,
-    VerifyReport,
+    verify_image, verify_program, Analysis, CycleBound, Finding, LoopSummary, MaxBound, Severity,
+    VerifyConfig, VerifyReport,
 };

@@ -462,6 +462,67 @@ mod tests {
         assert_eq!(pool.stats().quarantined, 2);
     }
 
+    /// Seeded interleaving stress (ISSUE 9): many threads checkout/trap/
+    /// return against a small pool from a fixed barrier. The monotonic
+    /// counters must partition exactly under every schedule: each checkout
+    /// is served by exactly one source, each guard drop lands in exactly
+    /// one return bucket, and the parked inventory respects its caps.
+    #[test]
+    fn concurrent_quarantine_counters_partition_exactly() {
+        const THREADS: usize = 8;
+        const ITERS: u64 = 200;
+        let cfg = PoolConfig { capacity: 4, quarantine_threshold: 2, probation_interval: 3 };
+        let pool = LanePool::with_config(cfg);
+        let barrier = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for w in 0..THREADS {
+                let pool = &pool;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    // Fixed per-thread xorshift seed: the trap/success mix
+                    // is deterministic, only the interleaving varies.
+                    let mut seed = 0x9e37_79b9_7f4a_7c15u64 ^ (w as u64 + 1);
+                    barrier.wait();
+                    for _ in 0..ITERS {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let mut lane = pool.checkout();
+                        match seed % 4 {
+                            0 => lane.note_success(),
+                            1 => {
+                                lane.note_trap();
+                                lane.note_trap();
+                            }
+                            2 => lane.note_trap(),
+                            _ => {}
+                        }
+                    }
+                });
+            }
+        });
+        let st = pool.stats();
+        let total = THREADS as u64 * ITERS;
+        assert_eq!(st.checkouts, total, "every checkout is counted exactly once");
+        assert_eq!(
+            st.recycled_hits + st.fresh_builds + st.readmitted,
+            total,
+            "each checkout is served by exactly one source"
+        );
+        assert_eq!(
+            st.returned + st.dropped_at_capacity + st.quarantined,
+            total,
+            "each guard drop lands in exactly one return bucket"
+        );
+        assert!(st.readmitted <= st.quarantined, "cannot readmit more lanes than were parked");
+        assert!(pool.idle() <= cfg.capacity, "free list respects its cap");
+        assert!(pool.quarantined_count() <= cfg.capacity, "quarantine list respects its cap");
+        assert!(
+            (pool.idle() as u64) <= st.returned,
+            "parked inventory never exceeds counted returns"
+        );
+    }
+
     #[test]
     fn reset_clears_lanes_and_counters() {
         let pool = LanePool::new();

@@ -8,7 +8,7 @@
 //! [`Program`] CFG, cross-checked against the encoded [`Image`], that runs
 //! before anything is fanned out to the accelerator.
 //!
-//! Five analyses:
+//! Seven analyses:
 //!
 //! 1. **Reachability** — CFG construction from jump / branch / dispatch /
 //!    group edges; unreachable blocks and programs with no reachable `halt`
@@ -34,6 +34,22 @@
 //!    singletons into holes, so a missing entry may silently execute
 //!    unrelated code), group offsets unreachable at the dispatch width, and
 //!    encode/decode round-trip mismatches.
+//! 6. **Cycle-bound certification** — a WCET-style pass that folds the
+//!    interpreter's per-block cost model through the CFG and derives a
+//!    [`CycleBound`] envelope per program: a guaranteed minimum (shortest
+//!    path to a reachable halt) and, when every loop makes provable
+//!    progress (consumes stream bits or monotonically advances a scratchpad
+//!    cursor it dereferences), an affine maximum
+//!    `fixed + per_input_bit × input_bits` that every *completing* run
+//!    respects. Programs whose loops cannot be bounded, or whose certified
+//!    maximum exceeds the cycle budget, get `cycle-bound` warnings.
+//! 7. **Predecode translation validation** — a word-by-word equivalence
+//!    proof that the [`Image`]'s flat predecode table denotes exactly the
+//!    same actions and transition as word-at-a-time
+//!    [`decode_word`](crate::machine::decode_word) for *every* code
+//!    address (holes included). A divergence — a stale or tampered table —
+//!    is an `Error` that gates the accelerator, which is the admission
+//!    discipline a JIT backend will inherit.
 //!
 //! Findings carry block id, action slot, and — when assembled from text via
 //! [`crate::asm::assemble_text_with_map`] — source line numbers. The
@@ -90,6 +106,10 @@ pub enum Analysis {
     DispatchTable,
     /// `r15`/`r14` output-range contract at halt.
     OutputContract,
+    /// Static cycle-bound certification (WCET envelope).
+    CycleBound,
+    /// Predecode-table ≡ `decode_word` equivalence proof (image level).
+    TranslationValidation,
 }
 
 impl fmt::Display for Analysis {
@@ -103,6 +123,8 @@ impl fmt::Display for Analysis {
             Analysis::Termination => "termination",
             Analysis::DispatchTable => "dispatch-table",
             Analysis::OutputContract => "output-contract",
+            Analysis::CycleBound => "cycle-bound",
+            Analysis::TranslationValidation => "translation-validation",
         };
         write!(f, "{s}")
     }
@@ -150,6 +172,69 @@ pub struct LoopSummary {
     pub exits: usize,
 }
 
+/// Certified affine worst-case cycle model: `fixed + per_input_bit × bits`.
+///
+/// Every *completing* (non-trapping, in-budget) run of the program on an
+/// input of `bits` stream bits finishes in at most
+/// [`max_for(bits)`](MaxBound::max_for) modeled cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxBound {
+    /// Input-independent cycle cost (setup, teardown, cursor-driven loops).
+    pub fixed: u64,
+    /// Cycles chargeable to each consumed input bit.
+    pub per_input_bit: u64,
+}
+
+impl MaxBound {
+    /// Evaluates the affine model for an input of `input_bits` stream bits.
+    pub fn max_for(&self, input_bits: u64) -> u64 {
+        self.fixed.saturating_add(self.per_input_bit.saturating_mul(input_bits))
+    }
+}
+
+impl fmt::Display for MaxBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.per_input_bit == 0 {
+            write!(f, "{}", self.fixed)
+        } else {
+            write!(f, "{} + {}·bits", self.fixed, self.per_input_bit)
+        }
+    }
+}
+
+/// Statically certified cycle envelope for one program.
+///
+/// `min` is a guaranteed lower bound (shortest CFG path from the entry to a
+/// reachable halt, full block costs charged); `max` is the affine upper
+/// bound, present only when every reachable loop makes provable progress.
+/// The envelope holds for completing runs of gated-clean programs —
+/// [`Lane::run`](crate::lane::Lane::run) debug-asserts it and
+/// `recode trace-check --bounds` enforces it on stored traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleBound {
+    /// Cycles every completing run spends at minimum.
+    pub min: u64,
+    /// Affine worst case, when certifiable (`None` = loops not boundable).
+    pub max: Option<MaxBound>,
+}
+
+impl CycleBound {
+    /// `true` iff `cycles` lies inside the envelope for an input of
+    /// `input_bits` stream bits (an absent `max` only checks the minimum).
+    pub fn contains(&self, cycles: u64, input_bits: u64) -> bool {
+        cycles >= self.min && self.max.is_none_or(|m| cycles <= m.max_for(input_bits))
+    }
+}
+
+impl fmt::Display for CycleBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(m) => write!(f, "[{}, {m}]", self.min),
+            None => write!(f, "[{}, unbounded)", self.min),
+        }
+    }
+}
+
 /// Verifier configuration: the runtime contract the analyses check against.
 #[derive(Debug, Clone, Copy)]
 pub struct VerifyConfig {
@@ -157,12 +242,26 @@ pub struct VerifyConfig {
     pub out_base: u32,
     /// Cycle budget the program must respect.
     pub cycle_limit: u64,
+    /// Largest input (in stream bits) the certified maximum is evaluated at
+    /// when checking it against `cycle_limit`.
+    pub max_input_bits: u64,
+    /// Budget for the certified per-input-bit cycle cost; a certified
+    /// `per_input_bit` above this draws a `cycle-bound` warning.
+    pub per_bit_budget: u64,
 }
 
 impl Default for VerifyConfig {
     fn default() -> Self {
-        // Mirrors `RunConfig::default()`.
-        VerifyConfig { out_base: (SCRATCHPAD_BYTES / 2) as u32, cycle_limit: 200_000_000 }
+        // out_base/cycle_limit mirror `RunConfig::default()`. 2^20 input
+        // bits is a comfortably oversized compressed block (the pipeline
+        // frames 8 KiB blocks); 64 cycles/bit is ~4× the worst shipped
+        // program, so budget warnings flag real cost explosions, not noise.
+        VerifyConfig {
+            out_base: (SCRATCHPAD_BYTES / 2) as u32,
+            cycle_limit: 200_000_000,
+            max_input_bits: 1 << 20,
+            per_bit_budget: 64,
+        }
     }
 }
 
@@ -181,6 +280,8 @@ pub struct VerifyReport {
     pub max_acyclic_cycles: Option<u64>,
     /// Per-loop worst-case iteration costs.
     pub loops: Vec<LoopSummary>,
+    /// Certified cycle envelope (`None` iff no halt is reachable).
+    pub cycle_bound: Option<CycleBound>,
 }
 
 impl VerifyReport {
@@ -193,6 +294,7 @@ impl VerifyReport {
             reachable: 0,
             max_acyclic_cycles: None,
             loops: Vec::new(),
+            cycle_bound: None,
         }
     }
 
@@ -278,6 +380,9 @@ impl fmt::Display for VerifyReport {
             self.reachable,
             self.blocks,
         )?;
+        if let Some(b) = self.cycle_bound {
+            writeln!(f, "  certified cycle envelope: {b}")?;
+        }
         match self.max_acyclic_cycles {
             Some(c) => writeln!(f, "  worst-case cycles (acyclic): {c}")?,
             None => {
@@ -370,6 +475,15 @@ fn action_consumes_stream(a: Action) -> bool {
             | Action::SkipSym { .. }
             | Action::SkipReg { .. }
     )
+}
+
+/// Stream bits an action consumes on *every* execution. Strictly tighter
+/// than [`action_consumes_stream`]: `skipreg` may skip 0 bits (the stream
+/// unit accepts `skip(0)`), so it gives no termination-progress guarantee
+/// even though it touches the stream.
+fn action_always_consumes_stream(a: Action) -> bool {
+    // InSym/SkipSym bits and InSymLe bytes are ISA-validated to be ≥ 1.
+    matches!(a, Action::InSym { .. } | Action::InSymLe { .. } | Action::SkipSym { .. })
 }
 
 /// `true` for pure ALU ops whose only effect is the register write — the
@@ -755,9 +869,11 @@ impl<'a> Verifier<'a> {
         self.interval_fixpoint();
         self.check_memory_and_output();
         self.check_loops();
+        self.certify_cycle_bound();
         self.check_dispatch_tables(img);
         if let Some((placement, image)) = img {
             self.cross_check_image(placement, image);
+            self.check_translation_validation(placement, image);
         }
         self.report.finalize();
         self.report
@@ -1245,6 +1361,342 @@ impl<'a> Verifier<'a> {
         best
     }
 
+    // -- analysis 6: cycle-bound certification -----------------------------
+
+    /// Attaches a certified [`CycleBound`] envelope and budget warnings.
+    ///
+    /// Soundness sketch (details in DESIGN.md §10): the minimum is the
+    /// shortest CFG path from the entry to a reachable halt — every run is
+    /// a CFG path, so no completing run can cost less. For the maximum,
+    /// execution decomposes into *progress events* (executions of blocks
+    /// that each consume ≥1 stream bit, or advance-and-dereference a
+    /// monotone scratchpad cursor) separated by paths through non-progress
+    /// blocks; when the non-progress subgraph is acyclic its longest path
+    /// bounds each separator, stream events are bounded by the input
+    /// length, and cursor events by the dereference window — giving an
+    /// affine `fixed + per_input_bit × bits` worst case.
+    fn certify_cycle_bound(&mut self) {
+        let Some(min) = self.min_cycles_to_halt() else {
+            // No reachable halt: reachability already reported the Error
+            // and there is no completing run to put an envelope around.
+            return;
+        };
+        let max = self.certify_max_bound();
+        self.report.cycle_bound = Some(CycleBound { min, max });
+        if let Some(m) = max {
+            if m.max_for(self.cfg.max_input_bits) > self.cfg.cycle_limit {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::CycleBound,
+                    self.p.entry,
+                    None,
+                    format!(
+                        "certified worst case ({m}) reaches {} cycles at {} input bits, \
+                         exceeding the {}-cycle budget",
+                        m.max_for(self.cfg.max_input_bits),
+                        self.cfg.max_input_bits,
+                        self.cfg.cycle_limit
+                    ),
+                );
+            }
+            if m.per_input_bit > self.cfg.per_bit_budget {
+                self.report.push(
+                    Severity::Warn,
+                    Analysis::CycleBound,
+                    self.p.entry,
+                    None,
+                    format!(
+                        "certified per-bit cost is {} cycles/bit, over the \
+                         {}-cycle/bit budget",
+                        m.per_input_bit, self.cfg.per_bit_budget
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Shortest-path cycle cost from the entry to any reachable halt
+    /// (block costs charged in full, entry and halt included); `None` when
+    /// no halt is reachable.
+    fn min_cycles_to_halt(&self) -> Option<u64> {
+        let n = self.p.blocks.len();
+        let entry = self.p.entry as usize;
+        let mut dist = vec![u64::MAX; n];
+        dist[entry] = self.p.blocks[entry].cycles();
+        // Dijkstra with a linear scan: lane programs are small and every
+        // edge cost is positive.
+        let mut settled = vec![false; n];
+        loop {
+            let mut v = usize::MAX;
+            let mut best = u64::MAX;
+            for (i, &d) in dist.iter().enumerate() {
+                if !settled[i] && d < best {
+                    best = d;
+                    v = i;
+                }
+            }
+            if v == usize::MAX {
+                break;
+            }
+            settled[v] = true;
+            for &s in &self.g.succ[v] {
+                let s = s as usize;
+                let nd = dist[v].saturating_add(self.p.blocks[s].cycles());
+                if nd < dist[s] {
+                    dist[s] = nd;
+                }
+            }
+        }
+        self.p
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|&(i, b)| self.g.reachable[i] && matches!(b.transition, Transition::Halt))
+            .map(|(i, _)| dist[i])
+            .filter(|&d| d != u64::MAX)
+            .min()
+    }
+
+    /// The certified affine maximum, or `None` (plus a warning) when some
+    /// loop cannot be shown to make progress.
+    fn certify_max_bound(&mut self) -> Option<MaxBound> {
+        let n = self.p.blocks.len();
+        // A *stream-progress* block consumes ≥1 stream bit on every
+        // execution, so an input of B bits executes such blocks ≤ B times
+        // in total (the stream unit traps on under-run; completing runs
+        // never replay a bit).
+        let mut stream_progress = vec![false; n];
+        for (i, blk) in self.p.blocks.iter().enumerate() {
+            stream_progress[i] = self.g.reachable[i]
+                && (blk.actions.iter().any(|a| action_always_consumes_stream(*a))
+                    || matches!(blk.transition, Transition::DispatchSym { .. }));
+        }
+        // Blocks on some CFG cycle; a reachable block on no cycle executes
+        // at most once per run.
+        let mut cyclic = vec![false; n];
+        for scc in cyclic_sccs(&self.g) {
+            for b in scc {
+                cyclic[b as usize] = true;
+            }
+        }
+        // A register is a *valid cursor* when every write to it inside a
+        // cyclic block strictly advances it; writes in acyclic blocks are
+        // resets (each runs ≤ once, so they bound the phase count).
+        let advancing = |a: &Action, c: u8| -> bool {
+            match *a {
+                Action::AddI { rd, rs, imm } => rd == c && rs == c && imm > 0,
+                // `loadinc rd, base` with rd == base ends holding the
+                // loaded value, not the bumped cursor, so it only advances
+                // when the destination is a different register.
+                Action::LoadInc { rd, base, .. } => base == c && rd != c,
+                Action::StoreInc { base, .. } => base == c,
+                _ => false,
+            }
+        };
+        let mut cursor_valid = [false; NUM_REGS];
+        let mut cursor_resets = [0u64; NUM_REGS];
+        for c in 1..NUM_REGS as u8 {
+            let mut valid = true;
+            let mut resets = 0u64;
+            for (i, blk) in self.p.blocks.iter().enumerate() {
+                if !self.g.reachable[i] {
+                    continue;
+                }
+                for a in &blk.actions {
+                    if !action_writes(*a).contains(&c) {
+                        continue;
+                    }
+                    if cyclic[i] {
+                        if !advancing(a, c) {
+                            valid = false;
+                        }
+                    } else {
+                        resets += 1;
+                    }
+                }
+            }
+            cursor_valid[c as usize] = valid;
+            cursor_resets[c as usize] = resets;
+        }
+        // A *cursor-progress* block advances a valid cursor it also
+        // dereferences (offsets are ISA-bounded to ±1023), so in a
+        // completing run every execution lands an in-bounds access and the
+        // cursor's monotonicity caps executions per phase by the
+        // dereference window. Blocks already counted as stream progress
+        // are skipped so each event is charged against exactly one budget.
+        let accesses = |a: &Action, c: u8| -> bool {
+            match *a {
+                Action::Load { base, .. }
+                | Action::Store { base, .. }
+                | Action::LoadInc { base, .. }
+                | Action::StoreInc { base, .. } => base == c,
+                _ => false,
+            }
+        };
+        let mut cursor_progress = vec![false; n];
+        let mut cursor_used = [false; NUM_REGS];
+        for (i, blk) in self.p.blocks.iter().enumerate() {
+            if !self.g.reachable[i] || stream_progress[i] {
+                continue;
+            }
+            for c in 1..NUM_REGS as u8 {
+                if cursor_valid[c as usize]
+                    && blk.actions.iter().any(|a| advancing(a, c))
+                    && blk.actions.iter().any(|a| accesses(a, c))
+                {
+                    cursor_progress[i] = true;
+                    cursor_used[c as usize] = true;
+                }
+            }
+        }
+        // The non-progress subgraph must be acyclic, else some loop's trip
+        // count is unbounded by anything this analysis can see.
+        let np = |i: usize| self.g.reachable[i] && !stream_progress[i] && !cursor_progress[i];
+        let sub = Cfg {
+            succ: (0..n)
+                .map(|i| {
+                    if np(i) {
+                        self.g.succ[i].iter().copied().filter(|&s| np(s as usize)).collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect(),
+            reachable: (0..n).map(np).collect(),
+        };
+        if let Some(scc) = cyclic_sccs(&sub).first() {
+            self.report.push(
+                Severity::Warn,
+                Analysis::CycleBound,
+                scc[0],
+                None,
+                format!(
+                    "cannot certify a worst-case cycle bound: loop over blocks {scc:?} \
+                     neither consumes stream bits nor provably advances a scratchpad \
+                     cursor, so its trip count is unbounded"
+                ),
+            );
+            return None;
+        }
+        // Execution = progress events separated by acyclic non-progress
+        // paths, each path ≤ the subgraph's longest-path cost `lp`.
+        let lp = Self::longest_path(&sub, &self.p.blocks);
+        let cmax = (0..n)
+            .filter(|&i| stream_progress[i] || cursor_progress[i])
+            .map(|i| self.p.blocks[i].cycles())
+            .max()
+            .unwrap_or(0);
+        let has_stream = stream_progress.iter().any(|&s| s);
+        let per_input_bit = if has_stream { lp + cmax } else { 0 };
+        // Cursor-progress events per run: (resets + 1) monotone phases,
+        // each capped by the dereference window (scratchpad + ±1023
+        // offsets, with 2× slack); see DESIGN.md §10 for the u64
+        // wraparound argument.
+        let cursor_events: u64 = (1..NUM_REGS)
+            .filter(|&c| cursor_used[c])
+            .map(|c| (cursor_resets[c] + 1).saturating_mul(4 * SCRATCHPAD_BYTES as u64))
+            .fold(0u64, u64::saturating_add);
+        let fixed = lp.saturating_add(cursor_events.saturating_mul(lp + cmax));
+        Some(MaxBound { fixed, per_input_bit })
+    }
+
+    /// Longest-path cycle cost over an acyclic sub-CFG, maximized over
+    /// every member start node (`cfg.reachable` marks membership).
+    fn longest_path(cfg: &Cfg, blocks: &[Block]) -> u64 {
+        let n = cfg.succ.len();
+        let mut order: Vec<usize> = Vec::new();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in-progress, 2 done
+        for root in 0..n {
+            if !cfg.reachable[root] || state[root] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            state[root] = 1;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < cfg.succ[v].len() {
+                    let w = cfg.succ[v][*i] as usize;
+                    *i += 1;
+                    if state[w] == 0 {
+                        state[w] = 1;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    state[v] = 2;
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        // Post-order puts successors first: one forward sweep computes
+        // "longest path starting at v".
+        let mut dist = vec![0u64; n];
+        let mut best = 0u64;
+        for &v in &order {
+            let tail = cfg.succ[v].iter().map(|&s| dist[s as usize]).max().unwrap_or(0);
+            dist[v] = blocks[v].cycles() + tail;
+            best = best.max(dist[v]);
+        }
+        best
+    }
+
+    // -- analysis 7: predecode translation validation ----------------------
+
+    /// Proves the image's flat predecode table equivalent to word-at-a-time
+    /// decoding for *every* code address. `encode` builds the table from
+    /// the same words, so a divergence means either the table went stale
+    /// (words patched after assembly) or the two decoders disagree — in
+    /// both cases the flat table no longer denotes the program and must
+    /// not be trusted by the lane hot path (or a future JIT backend).
+    fn check_translation_validation(&mut self, placement: &Placement, image: &Image) {
+        // Anchor findings to the block placed at the offending address;
+        // holes and table padding anchor to the entry.
+        let mut owner = vec![self.p.entry; image.words.len()];
+        for (i, &addr) in placement.block_addr.iter().enumerate() {
+            if let Some(slot) = owner.get_mut(addr as usize) {
+                *slot = i as BlockId;
+            }
+        }
+        for addr in 0..image.words.len() as u32 {
+            let slow = image.decode(addr);
+            let flat = image.predecoded(addr);
+            let why = match (&slow, flat) {
+                (None, None) => None,
+                (Some(_), None) => {
+                    Some("the word decodes to a block but the flat table holds a hole".to_string())
+                }
+                (None, Some(_)) => Some(
+                    "the word is a hole (or undecodable) but the flat table holds a block"
+                        .to_string(),
+                ),
+                (Some(d), Some(p)) => {
+                    if p.actions() != d.actions.as_slice() {
+                        Some(format!(
+                            "action slots diverge ({} flat vs {} decoded)",
+                            p.actions().len(),
+                            d.actions.len()
+                        ))
+                    } else if p.transition != d.transition {
+                        Some("the transition diverges".to_string())
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(why) = why {
+                self.report.push(
+                    Severity::Error,
+                    Analysis::TranslationValidation,
+                    owner[addr as usize],
+                    None,
+                    format!(
+                        "predecode table is not equivalent to decode_word at address \
+                         {addr}: {why}"
+                    ),
+                );
+            }
+        }
+    }
+
     // -- analysis 5: dispatch tables ---------------------------------------
 
     fn check_dispatch_tables(&mut self, img: Option<(&Placement, &Image)>) {
@@ -1518,6 +1970,103 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("0 error(s)"), "{text}");
         assert!(text.contains("blocks reachable"), "{text}");
+    }
+
+    #[test]
+    fn trivial_program_gets_tight_cycle_bound() {
+        let r = report_for(".entry m\nm:\n    limm r15, 0\n    halt\n");
+        let b = r.cycle_bound.expect("acyclic program must certify");
+        assert_eq!(b.min, 2);
+        assert_eq!(b.max, Some(MaxBound { fixed: 2, per_input_bit: 0 }));
+        assert!(b.contains(2, 0));
+        assert!(!b.contains(1, 0));
+        assert!(!b.contains(3, 1 << 20));
+    }
+
+    #[test]
+    fn stream_loop_certifies_affine_bound() {
+        // One byte in, one byte out per iteration: the loop body is
+        // stream-progress, so max is affine in the input bits.
+        let src = "\
+.entry init
+init:
+    mov r2, r14
+    inrem r3
+    beq r3, r0, done
+body:
+    insymle r1, 1
+    storebi r1, r2
+    inrem r3
+    beq r3, r0, done
+back:
+    jump body
+done:
+    sub r15, r2, r14
+    halt
+";
+        let r = report_for(src);
+        assert!(r.is_clean(), "{r}");
+        let b = r.cycle_bound.expect("must certify");
+        let m = b.max.expect("stream loop is boundable");
+        assert!(m.per_input_bit > 0, "{m}");
+        // 8 bits consumed per iteration of a ≤(fixed + per_bit·8)-cycle
+        // body: a real n-byte run must fit.
+        assert!(b.contains(b.min, 0));
+    }
+
+    #[test]
+    fn program_without_reachable_halt_has_no_bound() {
+        let (program, _) = assemble_text_with_map("g", ".entry m\nm:\n    jump m\n").unwrap();
+        let r = verify_program(&program, &VerifyConfig::default());
+        assert_eq!(r.cycle_bound, None);
+    }
+
+    #[test]
+    fn progressless_loop_cannot_certify_a_max() {
+        // The loop spins on a register the stream never feeds: no stream
+        // consumption, no cursor dereference — unboundable trip count.
+        let src = "\
+.entry init
+init:
+    limm r1, 100
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+done:
+    limm r15, 0
+    halt
+";
+        let r = report_for(src);
+        let b = r.cycle_bound.expect("min is still certifiable");
+        assert_eq!(b.max, None);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.analysis == Analysis::CycleBound)
+            .expect("expected a cycle-bound warning");
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(f.message.contains("cannot certify"), "{f}");
+    }
+
+    #[test]
+    fn tampered_words_fail_translation_validation() {
+        use crate::effclip;
+        let (program, _) =
+            assemble_text_with_map("t", ".entry m\nm:\n    limm r15, 0\n    halt\n").unwrap();
+        let mut image = assemble(&program).unwrap();
+        assert!(image.verify_report.error_count() == 0);
+        // Patch the entry word after assembly: the flat predecode table is
+        // now stale relative to decode_word.
+        image.words[image.entry as usize] ^= 1 << 40;
+        let placement = effclip::place(&program).unwrap();
+        let r = verify_image(&program, &placement, &image, &VerifyConfig::default());
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.analysis == Analysis::TranslationValidation)
+            .expect("expected a translation-validation finding:\n{r}");
+        assert_eq!(f.severity, Severity::Error);
+        assert!(f.message.contains("not equivalent"), "{f}");
     }
 
     #[test]

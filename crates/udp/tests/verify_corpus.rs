@@ -6,13 +6,15 @@
 //! and source line. Together they cover every analysis the verifier runs:
 //! reachability, register init (warn + the r0 info), dead writes,
 //! scratchpad bounds, output contract, termination (no-exit and
-//! invariant-exit loops), stream bounds, and dispatch tables (empty group,
-//! incomplete table, unselectable slot).
+//! invariant-exit loops), stream bounds, dispatch tables (empty group,
+//! incomplete table, unselectable slot), cycle-bound certification
+//! (unboundable loop, budget overflow, per-bit overrun), and predecode
+//! translation validation (post-assembly word tampering).
 
 use recode_udp::asm::assemble_text_with_map;
 use recode_udp::lane::{Lane, LaneError, RunConfig};
 use recode_udp::machine::assemble;
-use recode_udp::verify::{Analysis, Finding, Severity, VerifyReport};
+use recode_udp::verify::{verify_image, Analysis, Finding, Severity, VerifyConfig, VerifyReport};
 
 /// Assembles a corpus program and returns its line-annotated report.
 fn report(name: &str, src: &str) -> VerifyReport {
@@ -141,6 +143,88 @@ fn write_to_r0_is_an_info_finding_only() {
     // Info findings alone do not block execution.
     assert_eq!(r.error_count(), 0);
     assert!(r.gate().is_ok());
+}
+
+#[test]
+fn unboundable_loop_cannot_certify_a_max_bound() {
+    let r = report("unboundable", include_str!("corpus/unboundable_loop.udp"));
+    let f = expect(&r, Analysis::CycleBound, Severity::Warn);
+    assert!(f.message.contains("cannot certify"), "{f}");
+    assert_eq!(f.line, Some(8), "{f}"); // `spin:` — the progressless loop head
+    let bound = r.cycle_bound.expect("min is still certifiable");
+    assert_eq!(bound.max, None, "no affine max for a progressless loop");
+    // Still only a warning: the program terminates dynamically.
+    assert_eq!(r.error_count(), 0);
+    assert!(r.gate().is_ok());
+}
+
+#[test]
+fn stream_trip_count_overflowing_the_cycle_budget_is_flagged() {
+    let r = report("budget", include_str!("corpus/budget_overflow_loop.udp"));
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.analysis == Analysis::CycleBound && f.message.contains("-cycle budget"))
+        .unwrap_or_else(|| panic!("expected a budget-overflow warning in:\n{r}"));
+    assert_eq!(f.severity, Severity::Warn);
+    assert!(f.message.contains("exceeding the"), "{f}");
+    // Anchored at the entry (`main:`). The bound itself certifies — it is
+    // the budget comparison against it that fails.
+    assert_eq!(f.line, Some(5), "{f}");
+    let max = r.cycle_bound.unwrap().max.expect("affine max certifies");
+    assert!(max.max_for(1 << 20) > 200_000_000, "{max}");
+}
+
+#[test]
+fn dispatch_chain_over_the_per_bit_budget_is_flagged() {
+    let r = report("perbit", include_str!("corpus/dispatch_per_bit.udp"));
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.analysis == Analysis::CycleBound && f.message.contains("per-bit"))
+        .unwrap_or_else(|| panic!("expected a per-bit budget warning in:\n{r}"));
+    assert_eq!(f.severity, Severity::Warn);
+    assert_eq!(f.line, Some(6), "{f}"); // anchored at the entry (`main:`)
+    let max = r.cycle_bound.unwrap().max.expect("affine max certifies");
+    assert!(max.per_input_bit > 64, "{max}");
+    // Over the per-bit budget but inside the total cycle budget: the
+    // budget-overflow warning must NOT also fire.
+    assert!(
+        !r.findings.iter().any(|f| f.message.contains("exceeding the")),
+        "per-bit fixture must stay under the total budget:\n{r}"
+    );
+}
+
+/// Translation validation (ISSUE 9): tampering with an encoded word after
+/// assembly makes the flat predecode table stale relative to
+/// `decode_word`; re-verifying flags the owning block with an Error, and a
+/// report carrying that Error gates `Lane::run` unless the caller opts
+/// into `allow_unverified`.
+#[test]
+fn tampered_predecode_table_is_an_error_and_gates_the_lane() {
+    use recode_udp::effclip;
+    let src = include_str!("corpus/predecode_tamper.udp");
+    let (program, map) = assemble_text_with_map("tamper", src).unwrap();
+    let mut image = assemble(&program).unwrap();
+    assert_eq!(image.verify_report.error_count(), 0, "fixture is clean pre-tamper");
+    image.words[image.entry as usize] ^= 1 << 40;
+    let placement = effclip::place(&program).unwrap();
+    let mut r = verify_image(&program, &placement, &image, &VerifyConfig::default());
+    r.attach_lines(&map);
+    let f = expect(&r, Analysis::TranslationValidation, Severity::Error);
+    assert!(f.message.contains("not equivalent"), "{f}");
+    assert_eq!(f.line, Some(4), "{f}"); // `main:` — the tampered word's owner
+    assert!(r.gate().is_err());
+    // End-to-end gate: with the refreshed report attached, the lane refuses
+    // the image...
+    image.verify_report = r;
+    let err = Lane::new().run(&image, &[7], 8, RunConfig::default()).unwrap_err();
+    assert!(matches!(err, LaneError::Unverified { .. }), "{err:?}");
+    // ...unless explicitly overridden. Execution itself is unaffected: the
+    // lane runs the (still-intact) predecoded table, not the raw words.
+    let cfg = RunConfig { allow_unverified: true, ..RunConfig::default() };
+    let out = Lane::new().run(&image, &[7], 8, cfg).unwrap();
+    assert_eq!(out.output, [7]);
 }
 
 #[test]

@@ -30,14 +30,24 @@
 //!                                                resizes only the informational
 //!                                                wall-clock column)
 //! recode report    <trace.json>                  render a trace as a table
-//! recode trace-check <trace.json>                validate a trace's schema and
-//!                                                internal invariants
+//! recode trace-check <trace.json> [--bounds]     validate a trace's schema and
+//!                                                internal invariants; --bounds
+//!                                                additionally re-verifies the
+//!                                                stored per-stage cycles against
+//!                                                the certified static cycle
+//!                                                envelopes of the builtin stage
+//!                                                programs (exit 1 on violation)
 //! recode gen       <family> <target_nnz> -o <matrix.mtx>
 //!                                                emit a synthetic matrix
-//! recode verify-program <file.udp | delta | snappy | huffman>
+//! recode verify-program <file.udp | builtin:NAME>
 //!                                                run the static verifier on a
 //!                                                lane program and print its
-//!                                                findings (exit 1 on Error)
+//!                                                findings plus the certified
+//!                                                per-block cycle-bounds table
+//!                                                (exit 1 on Error); builtins:
+//!                                                delta, snappy, huffman, or
+//!                                                dsh for the whole pipeline
+//!                                                (bare names also accepted)
 //! recode chaos     [--trials N] [--seed N] [--json <out.json>]
 //!                                                run a seeded chaos campaign
 //!                                                over the resilient executors
@@ -87,7 +97,7 @@ const EXIT_FALLBACK: u8 = 4;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--chrome-trace <out.trace.json>]\n              [--overlap] [--cache-blocks N] [--iters N] [--tuned <config.json>]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode tune <matrix.mtx> [-o <config.json>] [--seed N]\n  recode report <trace.json>\n  recode trace-check <trace.json>\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | delta | snappy | huffman>\n  recode chaos [--trials N] [--seed N] [--json <out.json>] [--chrome-trace <out.trace.json>]\n  recode metrics <matrix.mtx> [-o <metrics.prom>]\n  recode bench-compare <old.json> <new.json>\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
+        "usage:\n  recode info <matrix.mtx>\n  recode compress <matrix.mtx> -o <out.rcmx> [--config dsh|ds|snappy]\n  recode decompress <in.rcmx> -o <matrix.mtx>\n  recode spmv <matrix.mtx> [--trace <out.json>] [--chrome-trace <out.trace.json>]\n              [--overlap] [--cache-blocks N] [--iters N] [--tuned <config.json>]\n              [--inject-trap JOB] [--inject-corrupt BLOCK]\n  recode tune <matrix.mtx> [-o <config.json>] [--seed N]\n  recode report <trace.json>\n  recode trace-check <trace.json> [--bounds]\n  recode gen <family> <target_nnz> -o <matrix.mtx> [--seed N]\n  recode disasm <snappy|delta>\n  recode verify-program <file.udp | builtin:delta|snappy|huffman|dsh>\n  recode chaos [--trials N] [--seed N] [--json <out.json>] [--chrome-trace <out.trace.json>]\n  recode metrics <matrix.mtx> [-o <metrics.prom>]\n  recode bench-compare <old.json> <new.json>\n\nspmv exit codes: 0 clean, 3 degraded (retries), 4 raw-CSR/software fallback\nfamilies: {}",
         FAMILIES.join(", ")
     );
     ExitCode::from(2)
@@ -122,6 +132,7 @@ struct Flags {
     json: Option<String>,
     chrome_trace: Option<String>,
     tuned: Option<String>,
+    bounds: bool,
 }
 
 fn parse(args: &[String]) -> Result<Flags, String> {
@@ -140,6 +151,7 @@ fn parse(args: &[String]) -> Result<Flags, String> {
         json: None,
         chrome_trace: None,
         tuned: None,
+        bounds: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -212,6 +224,7 @@ fn parse(args: &[String]) -> Result<Flags, String> {
                 i += 1;
                 f.tuned = Some(args.get(i).ok_or("missing value for --tuned")?.clone());
             }
+            "--bounds" => f.bounds = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => f.positional.push(other.to_string()),
         }
@@ -696,6 +709,9 @@ fn cmd_trace_check(flags: &Flags) -> Result<ExitCode, String> {
         }
         return Err(format!("trace failed validation with {} error(s)", errs.len()));
     }
+    if flags.bounds {
+        check_trace_bounds(&doc)?;
+    }
     println!(
         "trace OK: schema {}, matrix {} ({} nnz), {} spans, {} block events, {} counters, {} lanes profiled",
         doc.schema,
@@ -709,6 +725,96 @@ fn cmd_trace_check(flags: &Flags) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The `--bounds` arm of `recode trace-check`: rebuild the
+/// table-independent builtin stage programs (inverse delta, Snappy), take
+/// their statically certified [`CycleBound`] envelopes, and re-verify the
+/// trace's stored cycles against them. The compiled Huffman stage is
+/// per-matrix (its table is not in the trace), so it contributes no bound
+/// here — every check stays sound without it.
+///
+/// Checks, all vacuous on empty traces:
+/// 1. the rebuildable stage programs still certify a bounded envelope;
+/// 2. every block event that ran on a lane (Ok/Retried) spent at least the
+///    summed certified minimum of the active rebuildable stages;
+/// 3. when the Huffman stage was inactive, no event exceeds the summed
+///    certified maximum at the lane output-window input cap;
+/// 4. each rebuildable stage's aggregate cycles fit
+///    `attempts x certified max`, where attempts = jobs + retries.
+fn check_trace_bounds(doc: &recode_spmv::core::telemetry::TraceDocument) -> Result<(), String> {
+    use recode_spmv::core::telemetry::BlockOutcome;
+    use recode_spmv::udp::isa::SCRATCHPAD_BYTES;
+    use recode_spmv::udp::progs;
+    // Any intermediate stage input fits the lane output window (half the
+    // scratchpad), which caps the bits a later stage can consume; first
+    // stages see at most one compressed block, which is smaller still.
+    let bits_cap = 8 * (SCRATCHPAD_BYTES as u64 / 2);
+    let st = &doc.exec.accel.stage_cycles;
+    let mut stages = Vec::new();
+    for (name, image, active_cycles) in [
+        ("snappy", progs::snappy::build().map_err(|e| e.to_string())?, st.snappy),
+        ("delta", progs::delta::build().map_err(|e| e.to_string())?, st.delta),
+    ] {
+        let bound =
+            image.verify_report.cycle_bound.filter(|b| b.max.is_some()).ok_or_else(|| {
+                format!("builtin `{name}` no longer certifies a bounded envelope")
+            })?;
+        stages.push((name, bound, active_cycles));
+    }
+    let mut violations = Vec::new();
+    let floor: u64 = stages.iter().filter(|(_, _, c)| *c > 0).map(|(_, b, _)| b.min).sum();
+    let huffman_active = st.huffman > 0;
+    let event_cap: u64 = stages
+        .iter()
+        .filter(|(_, _, c)| *c > 0)
+        .map(|(_, b, _)| b.max.expect("filtered above").max_for(bits_cap))
+        .sum();
+    let mut ran = 0u64;
+    for e in &doc.block_events {
+        if e.outcome == BlockOutcome::FellBack {
+            continue;
+        }
+        ran += 1;
+        if e.cycles < floor {
+            violations.push(format!(
+                "block event (job {}, {:?}) spent {} cycles, under the certified floor {floor}",
+                e.job, e.outcome, e.cycles
+            ));
+        }
+        if !huffman_active && e.cycles > event_cap {
+            violations.push(format!(
+                "block event (job {}, {:?}) spent {} cycles, over the certified cap {event_cap}",
+                e.job, e.outcome, e.cycles
+            ));
+        }
+    }
+    let attempts = (doc.exec.accel.jobs + doc.exec.blocks_retried) as u64;
+    for (name, bound, stage_total) in &stages {
+        let cap = attempts.saturating_mul(bound.max.expect("filtered above").max_for(bits_cap));
+        if *stage_total > cap {
+            violations.push(format!(
+                "stage `{name}` spent {stage_total} cycles across {attempts} attempt(s), \
+                 over the certified aggregate cap {cap}"
+            ));
+        }
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("certified bound violated: {v}");
+        }
+        return Err(format!(
+            "trace escaped its certified envelopes ({} violation(s))",
+            violations.len()
+        ));
+    }
+    println!(
+        "certified bounds OK: {ran} lane event(s) >= floor {floor}, stage aggregates within \
+         {} certified envelope(s){}",
+        stages.len(),
+        if huffman_active { " (huffman stage active: per-matrix, not re-checked)" } else { "" }
+    );
+    Ok(())
+}
+
 fn cmd_disasm(flags: &Flags) -> Result<ExitCode, String> {
     let which = flags.positional.first().map_or("", String::as_str);
     let image = match which {
@@ -720,39 +826,110 @@ fn cmd_disasm(flags: &Flags) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Renders the certified per-block bounds table for a verified image: one
+/// row per placed code word (a word IS a basic block on this machine) with
+/// its per-visit cycle cost, capped for very large compiled programs, then
+/// the program's certified envelope.
+fn render_bounds_table(image: &recode_spmv::udp::Image) -> String {
+    use recode_spmv::udp::machine::DecodedTransition;
+    use std::fmt::Write as _;
+    const MAX_ROWS: usize = 32;
+    let mut out = String::new();
+    let _ = writeln!(out, "-- certified cycle bounds: {} --", image.name);
+    let _ = writeln!(out, "{:>6}  {:>9}  {:>7}  terminator", "addr", "cyc/visit", "actions");
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    for addr in 0..image.words.len() as u32 {
+        let Some(block) = image.decode(addr) else { continue };
+        total += 1;
+        if shown >= MAX_ROWS {
+            continue;
+        }
+        shown += 1;
+        let term = match block.transition {
+            DecodedTransition::Halt => "halt".to_string(),
+            DecodedTransition::Jump(a) => format!("jump @{a}"),
+            DecodedTransition::DispatchSym { bits, .. } => format!("dispatch.sym {bits}"),
+            DecodedTransition::DispatchPeek { bits, .. } => format!("dispatch.peek {bits}"),
+            DecodedTransition::DispatchReg { rs, .. } => format!("dispatch.reg r{rs}"),
+            DecodedTransition::Branch { taken, .. } => format!("branch @{taken}"),
+        };
+        let marker = if addr == image.entry { " <entry>" } else { "" };
+        let _ = writeln!(
+            out,
+            "{addr:>6}  {:>9}  {:>7}  {term}{marker}",
+            1 + block.actions.len(),
+            block.actions.len()
+        );
+    }
+    if total > shown {
+        let _ = writeln!(out, "  ({} more blocks not shown)", total - shown);
+    }
+    match image.verify_report.cycle_bound {
+        Some(b) => {
+            let _ = writeln!(out, "program envelope: {b} cycles over the whole input");
+        }
+        None => {
+            let _ = writeln!(out, "program envelope: none (no reachable halt)");
+        }
+    }
+    out
+}
+
 /// `recode verify-program`: run the static verifier on a `.udp` assembly
 /// file (findings annotated with source lines) or one of the shipped
-/// programs by name. Prints the severity-ranked report; exits nonzero when
-/// the program carries `Error` findings — the same findings that make
-/// `Lane::run` refuse the image.
+/// programs by name (`builtin:delta`, `builtin:snappy`, `builtin:huffman`,
+/// or `builtin:dsh` for the whole pipeline; bare names still accepted).
+/// Prints the severity-ranked report and the certified per-block bounds
+/// table; exits nonzero when a program carries `Error` findings — the same
+/// findings that make `Lane::run` refuse the image.
 fn cmd_verify_program(flags: &Flags) -> Result<ExitCode, String> {
-    use recode_spmv::udp::{asm, machine, progs};
-    let target = flags
-        .positional
-        .first()
-        .ok_or("verify-program needs a .udp file or a builtin (delta|snappy|huffman)")?;
-    let report = match target.as_str() {
-        "delta" => progs::delta::build().map_err(|e| e.to_string())?.verify_report,
-        "snappy" => progs::snappy::build().map_err(|e| e.to_string())?.verify_report,
-        // A representative compiled decoder: uniform 8-bit code lengths
-        // (Kraft-complete over 256 symbols).
-        "huffman" => progs::huffman::compile(&[8u8; 256]).map_err(|e| e.to_string())?.verify_report,
-        path => {
-            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let name = std::path::Path::new(path)
-                .file_stem()
-                .map_or_else(|| "program".into(), |s| s.to_string_lossy().into_owned());
-            let (program, map) =
-                asm::assemble_text_with_map(&name, &src).map_err(|e| format!("{path}: {e}"))?;
-            let image = machine::assemble(&program).map_err(|e| e.to_string())?;
-            let mut report = image.verify_report;
-            report.attach_lines(&map);
-            report
+    use recode_spmv::udp::{asm, machine, progs, Image};
+    let target = flags.positional.first().ok_or(
+        "verify-program needs a .udp file or a builtin (builtin:delta|snappy|huffman|dsh)",
+    )?;
+    let build_builtin = |name: &str| -> Option<Result<Image, String>> {
+        match name {
+            "delta" => Some(progs::delta::build().map_err(|e| e.to_string())),
+            "snappy" => Some(progs::snappy::build().map_err(|e| e.to_string())),
+            // A representative compiled decoder: uniform 8-bit code lengths
+            // (Kraft-complete over 256 symbols).
+            "huffman" => Some(progs::huffman::compile(&[8u8; 256]).map_err(|e| e.to_string())),
+            _ => None,
         }
     };
-    print!("{report}");
-    if report.error_count() > 0 {
-        return Err(format!("`{target}` rejected: {} error finding(s)", report.error_count()));
+    let spelled = target.strip_prefix("builtin:").unwrap_or(target);
+    let images: Vec<Image> = if spelled == "dsh" {
+        // The whole decode pipeline, in stage order.
+        vec![
+            build_builtin("huffman").unwrap()?,
+            build_builtin("snappy").unwrap()?,
+            build_builtin("delta").unwrap()?,
+        ]
+    } else if let Some(img) = build_builtin(spelled) {
+        vec![img?]
+    } else if target.starts_with("builtin:") {
+        return Err(format!("unknown builtin `{spelled}` (try delta|snappy|huffman|dsh)"));
+    } else {
+        let path = target;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| "program".into(), |s| s.to_string_lossy().into_owned());
+        let (program, map) =
+            asm::assemble_text_with_map(&name, &src).map_err(|e| format!("{path}: {e}"))?;
+        let mut image = machine::assemble(&program).map_err(|e| e.to_string())?;
+        image.verify_report.attach_lines(&map);
+        vec![image]
+    };
+    let mut errors = 0usize;
+    for image in &images {
+        print!("{}", image.verify_report);
+        print!("{}", render_bounds_table(image));
+        errors += image.verify_report.error_count();
+    }
+    if errors > 0 {
+        return Err(format!("`{target}` rejected: {errors} error finding(s)"));
     }
     Ok(ExitCode::SUCCESS)
 }

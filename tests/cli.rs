@@ -111,6 +111,39 @@ fn spmv_trace_report_and_check_workflow() {
     assert!(out.status.success(), "trace-check: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("trace OK"));
 
+    // `--bounds` additionally re-verifies the stored per-stage cycles
+    // against the certified envelopes of the rebuildable stage programs.
+    let out = bin()
+        .args(["trace-check", trace.to_str().unwrap(), "--bounds"])
+        .output()
+        .expect("run trace-check --bounds");
+    assert!(out.status.success(), "trace-check --bounds: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("certified bounds OK"));
+
+    // A trace whose stage cycles escape the certified envelope exits
+    // nonzero under --bounds (plain trace-check does not re-verify them).
+    let inflated = dir.join("inflated.json");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let snappy_cycles = doc.exec.accel.stage_cycles.snappy;
+    std::fs::write(
+        &inflated,
+        json.replace(
+            &format!("\"snappy\": {snappy_cycles}"),
+            &format!("\"snappy\": {}", u64::MAX / 2),
+        ),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["trace-check", inflated.to_str().unwrap(), "--bounds"])
+        .output()
+        .expect("run trace-check --bounds inflated");
+    assert!(!out.status.success(), "inflated stage cycles must fail --bounds");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("certified"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
     // ...and rejects a tampered schema with a nonzero exit.
     let tampered = dir.join("tampered.json");
     let json = std::fs::read_to_string(&trace).unwrap();
@@ -188,6 +221,32 @@ fn chaos_subcommand_runs_a_seeded_campaign_and_writes_json() {
     assert!(json.contains("\"healthy\":true"), "{json}");
     assert!(json.contains("\"hung\":0"), "{json}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_program_prints_certified_bounds_for_builtins() {
+    // Every builtin spelling prints the findings report, the per-block
+    // bounds table, and a certified envelope; `builtin:dsh` covers the
+    // whole pipeline. Bare names stay accepted for compatibility.
+    for target in ["builtin:delta", "builtin:snappy", "builtin:huffman", "builtin:dsh", "delta"] {
+        let out = bin().args(["verify-program", target]).output().expect("run verify-program");
+        assert!(out.status.success(), "{target}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("certified cycle envelope"), "{target}: {text}");
+        assert!(text.contains("-- certified cycle bounds"), "{target}: {text}");
+        assert!(text.contains("program envelope: ["), "{target}: {text}");
+    }
+    let out = bin()
+        .args(["verify-program", "builtin:dsh"])
+        .output()
+        .expect("run verify-program builtin:dsh");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for prog in ["udp-huffman-decode", "udp-snappy-decode", "udp-delta-decode"] {
+        assert!(text.contains(prog), "dsh must verify all three stages: {text}");
+    }
+    let out = bin().args(["verify-program", "builtin:nope"]).output().expect("run verify-program");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown builtin"));
 }
 
 #[test]

@@ -188,6 +188,26 @@ fn recorder_summary_promotes_schema_and_is_validated() {
     );
 }
 
+/// Certified-bound floor (ISSUE 9): a block event that claims to have run
+/// on a lane (Ok or Retried) but recorded zero cycles contradicts every
+/// certified `CycleBound` minimum, so `validate()` must flag it. Fallback
+/// events legitimately carry zero and stay exempt.
+#[test]
+fn zero_cycle_lane_events_fail_validation() {
+    let (_, mut doc) = traced_run();
+    assert!(doc.validate().is_empty(), "{:?}", doc.validate());
+    let first = doc.block_events.first().copied().expect("traced run has block events");
+    let stolen = first.cycles;
+    doc.block_events[0].cycles = 0;
+    // Keep the histogram consistent so only the floor check fires.
+    doc.block_cycles.sum -= stolen;
+    let errs = doc.validate();
+    assert!(
+        errs.iter().any(|e| e.contains("0 cycles")),
+        "zero-cycle lane event must be flagged: {errs:?}"
+    );
+}
+
 /// Back-compat (ISSUE 7 satellite): the PR 3 golden fixture is a v1
 /// document and must still load and validate as v1 — `validate()` accepts
 /// both schema generations. Parsing uses serde, so the offline stub build
