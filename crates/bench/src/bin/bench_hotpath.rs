@@ -1,9 +1,15 @@
 //! `BENCH_hotpath.json` — host-side wall-clock throughput of the three
 //! innermost loops the simulator spends its time in: the UDP lane
-//! interpreter (blocks/s over real DSH-compressed blocks), the CPU Huffman
-//! decode stage, and the CPU Snappy decode stage (both MB/s of uncompressed
-//! output). These are *host* numbers: modeled lane cycles are pinned by the
-//! golden trace fixture and must not move when these get faster.
+//! (blocks/s over real DSH-compressed blocks — via `Lane::run`, which
+//! executes the JIT artifact on x86-64 and the predecoded interpreter
+//! elsewhere), the CPU Huffman decode stage, and the CPU Snappy decode
+//! stage (both MB/s of uncompressed output). The `lane_decode_interp` and
+//! `lane_decode_reference` sections force the two slower tiers over the
+//! same blocks, so one snapshot holds the whole JIT/interp/reference
+//! ladder; `huffman_flat` does the same for the codec's compiled Huffman
+//! dispatch versus its scalar loop. These are *host* numbers: modeled lane
+//! cycles are pinned by the golden trace fixture, must not move when these
+//! get faster, and must be byte-identical across all three tiers.
 //!
 //! Usage: `bench_hotpath [--json PATH] [--smoke]`
 //! (`--smoke` shrinks the corpus and repetitions for CI).
@@ -50,11 +56,21 @@ impl Throughput {
 struct Snapshot {
     schema: &'static str,
     smoke: bool,
-    /// Full DSH lane decode on one reused lane (the interpreter hot loop).
+    /// Full DSH lane decode on one reused lane through `Lane::run` — the
+    /// JIT tier when compiled artifacts are live, the predecoded
+    /// interpreter otherwise.
     lane_decode: Throughput,
+    /// Same blocks with the predecoded interpreter forced
+    /// (`Lane::run_into_interp`), i.e. `Lane::run` as of the predecode PR.
+    lane_decode_interp: Option<Throughput>,
     /// Same blocks through the word-at-a-time reference interpreter
     /// (`Lane::run_reference`), the pre-predecode baseline path.
     lane_decode_reference: Option<Throughput>,
+    /// Compiled-tier inventory: lane images lowered, native bytes
+    /// published, and the codec Huffman dispatch loop. Absent when the JIT
+    /// is disabled or unsupported, so a `RECODE_NO_JIT=1` snapshot still
+    /// parses.
+    jit: Option<Json>,
     /// CPU pipeline Huffman decode stage (8 KB blocks).
     huffman_cpu: Throughput,
     /// CPU pipeline Snappy decode stage (32 KB blocks).
@@ -97,8 +113,14 @@ impl Snapshot {
             .set("schema", Json::Str(self.schema.to_string()))
             .set("smoke", Json::Bool(self.smoke))
             .set("lane_decode", self.lane_decode.to_json());
+        if let Some(r) = &self.lane_decode_interp {
+            doc = doc.set("lane_decode_interp", r.to_json());
+        }
         if let Some(r) = &self.lane_decode_reference {
             doc = doc.set("lane_decode_reference", r.to_json());
+        }
+        if let Some(j) = &self.jit {
+            doc = doc.set("jit", j.clone());
         }
         doc.set("huffman_cpu", self.huffman_cpu.to_json())
             .set("snappy_cpu", self.snappy_cpu.to_json())
@@ -160,6 +182,87 @@ fn lane_pass(
         std::hint::black_box(&o.output);
     }
     (bytes, cycles)
+}
+
+/// The same DSH stage chain as [`lane_pass`], but with the predecoded
+/// interpreter forced (`Lane::run_into_interp`) — exactly what `Lane::run`
+/// executed before the JIT tier, and what it still runs under
+/// `RECODE_NO_JIT=1` or on non-x86-64 hosts. Checksum verification is kept
+/// so all passes do identical non-interpreter work.
+fn interp_pass(
+    decoder: &DshDecoder,
+    blocks: &[recode_codec::block::CompressedBlock],
+) -> (usize, u64) {
+    let cfg = recode_udp::lane::RunConfig::default();
+    let mut lane = Lane::new();
+    let mut bytes = 0usize;
+    let mut cycles = 0u64;
+    for b in blocks {
+        b.verify_checksum().expect("bench blocks are well-formed");
+        let mut cur: Vec<u8> = Vec::new();
+        let mut bits = b.bit_len;
+        let mut first = true;
+        for img in [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten() {
+            let mut out = Vec::new();
+            let input: &[u8] = if first { &b.payload } else { &cur };
+            let s = lane.run_into_interp(img, input, bits, cfg, &mut out).expect("blocks decode");
+            cycles += s.cycles;
+            cur = out;
+            bits = cur.len() * 8;
+            first = false;
+        }
+        bytes += cur.len();
+        std::hint::black_box(&cur);
+    }
+    (bytes, cycles)
+}
+
+/// Compiled-tier inventory for the decoder's lane images, plus an
+/// apples-to-apples reading of the codec's Huffman `FlatDecoder` dispatch:
+/// the compiled loop (`decode_all`) against the scalar one
+/// (`decode_all_scalar`) over the same encoded blocks. The `*_mb_per_s`
+/// leaves are host wall-clock — informational under the `bench-compare`
+/// policy, like every other throughput reading here.
+fn jit_section(
+    decoder: &DshDecoder,
+    flat: &recode_codec::huffman::FlatDecoder,
+    huff_blocks: &[recode_codec::block::CompressedBlock],
+    reps: usize,
+) -> Json {
+    let mut images = 0u64;
+    let mut blocks_lowered = 0u64;
+    let mut code_bytes = 0u64;
+    for img in [&decoder.huffman, &decoder.snappy, &decoder.delta].into_iter().flatten() {
+        if let Some(jit) = img.jit() {
+            images += 1;
+            blocks_lowered += jit.blocks_lowered() as u64;
+            code_bytes += jit.code_bytes() as u64;
+        }
+    }
+    let compiled = measure(huff_blocks.len(), reps, || {
+        huff_blocks
+            .iter()
+            .map(|b| flat.decode_all(&b.payload, b.bit_len).expect("flat decode").len())
+            .sum()
+    });
+    let scalar = measure(huff_blocks.len(), reps, || {
+        huff_blocks
+            .iter()
+            .map(|b| flat.decode_all_scalar(&b.payload, b.bit_len).expect("scalar decode").len())
+            .sum()
+    });
+    Json::obj()
+        .set("lane_images", Json::U64(images))
+        .set("lane_blocks_lowered", Json::U64(blocks_lowered))
+        .set("lane_code_bytes", Json::U64(code_bytes))
+        .set(
+            "huffman_flat",
+            Json::obj()
+                .set("jit_mb_per_s", Json::F64(compiled.mb_per_s))
+                .set("scalar_mb_per_s", Json::F64(scalar.mb_per_s))
+                .set("jit_wall_ns", Json::U64(compiled.wall_ns))
+                .set("scalar_wall_ns", Json::U64(scalar.wall_ns)),
+        )
 }
 
 /// The same DSH stage chain as [`lane_pass`], but through
@@ -245,6 +348,13 @@ fn main() {
         bytes
     });
     lane_decode.modeled_cycles = Some(lane_cycles);
+    let mut interp_cycles = 0u64;
+    let mut lane_decode_interp = measure(dsh_stream.blocks.len(), reps, || {
+        let (bytes, cycles) = interp_pass(&decoder, &dsh_stream.blocks);
+        interp_cycles = cycles;
+        bytes
+    });
+    lane_decode_interp.modeled_cycles = Some(interp_cycles);
     let mut reference_cycles = 0u64;
     let mut lane_decode_reference = measure(dsh_stream.blocks.len(), reps, || {
         let (bytes, cycles) = reference_pass(&decoder, &dsh_stream.blocks);
@@ -252,6 +362,10 @@ fn main() {
         bytes
     });
     lane_decode_reference.modeled_cycles = Some(reference_cycles);
+    // The tiers are different execution strategies for one machine model:
+    // any cycle drift between them is a lowering bug, not a perf result.
+    assert_eq!(lane_cycles, interp_cycles, "jit and interpreter modeled cycles diverge");
+    assert_eq!(lane_cycles, reference_cycles, "interpreter and reference modeled cycles diverge");
 
     // 2) CPU Huffman decode (huffman-only pipeline, 8 KB blocks).
     let huff_cfg = PipelineConfig {
@@ -266,6 +380,14 @@ fn main() {
     let huff_stream = huff_pipe.encode_stream(&huff_data).expect("encode huffman");
     let huffman_cpu =
         measure(huff_stream.blocks.len(), reps, || cpu_pass(&huff_pipe, &huff_stream.blocks));
+    let jit = if recode_codec::jit::enabled() {
+        let flat = recode_codec::huffman::FlatDecoder::build(
+            huff_pipe.table().expect("huffman-only pipeline has a table"),
+        );
+        Some(jit_section(&decoder, &flat, &huff_stream.blocks, reps))
+    } else {
+        None
+    };
 
     // 3) CPU Snappy decode (the paper's CPU baseline config, 32 KB blocks).
     let snap_cfg = PipelineConfig::snappy_cpu();
@@ -278,15 +400,22 @@ fn main() {
         schema: "recode-bench-hotpath/v1",
         smoke,
         lane_decode,
+        lane_decode_interp: Some(lane_decode_interp),
         lane_decode_reference: Some(lane_decode_reference),
+        jit,
         huffman_cpu,
         snappy_cpu,
         certified_bounds: certified_bounds_json(&decoder),
     };
     eprintln!(
-        "lane_decode      {:>12.0} blocks/s  {:>8.1} MB/s",
-        snap.lane_decode.blocks_per_s, snap.lane_decode.mb_per_s
+        "lane_decode      {:>12.0} blocks/s  {:>8.1} MB/s  (jit {})",
+        snap.lane_decode.blocks_per_s,
+        snap.lane_decode.mb_per_s,
+        if recode_codec::jit::enabled() { "on" } else { "off" }
     );
+    if let Some(r) = &snap.lane_decode_interp {
+        eprintln!("lane_interp      {:>12.0} blocks/s  {:>8.1} MB/s", r.blocks_per_s, r.mb_per_s);
+    }
     if let Some(r) = &snap.lane_decode_reference {
         eprintln!("lane_reference   {:>12.0} blocks/s  {:>8.1} MB/s", r.blocks_per_s, r.mb_per_s);
     }

@@ -87,6 +87,23 @@ impl<'a> BitReader<'a> {
         Ok(BitReader { bytes, pos: 0, bit_len, buf: 0, buf_bits: 0 })
     }
 
+    /// Wraps `bytes` with the cursor already at bit `pos` — how the scalar
+    /// decoder takes over mid-stream from the compiled Huffman loop. `pos`
+    /// may be mid-byte; the refill invariant is re-established.
+    ///
+    /// # Errors
+    /// [`CodecError::Corrupt`] if `bit_len` exceeds the buffer.
+    ///
+    /// # Panics
+    /// Debug-asserts `pos <= bit_len`.
+    pub(crate) fn resume_at(bytes: &'a [u8], bit_len: usize, pos: usize) -> CodecResult<Self> {
+        let mut r = BitReader::new(bytes, bit_len)?;
+        debug_assert!(pos <= bit_len, "resume position {pos} past bit length {bit_len}");
+        r.pos = pos.min(bit_len);
+        r.rebase();
+        Ok(r)
+    }
+
     /// Bits remaining.
     pub fn remaining(&self) -> usize {
         self.bit_len - self.pos

@@ -1,0 +1,231 @@
+//! Compiled two-level Huffman dispatch for `FlatDecoder` (x86-64 only).
+//!
+//! The scalar decoder pays a function-call round trip and a refill branch
+//! per symbol. The compiled loop keeps the whole decode state in
+//! registers — bit cursor, 64-bit MSB-aligned window, output cursor — and
+//! inlines the refill: while at least 64 bits remain past the window it
+//! loads 8 bytes, `bswap`s them MSB-first, and splices in 48 whole bits
+//! (whole bytes only, so the "next load is byte-aligned" invariant the
+//! scalar refill relies on is preserved).
+//!
+//! **Fallback ladder.** The compiled loop only runs the *easy* region of
+//! the stream:
+//!
+//! - fewer than 64 bits left past the window → exit with
+//!   [`STATUS_TAIL`]; the wrapper resumes the scalar decoder at the saved
+//!   bit position for the tail (and all its end-of-stream error cases);
+//! - an invalid window (length 0) → exit with [`STATUS_BAIL`]; the
+//!   wrapper re-runs the *entire* decode through the scalar path, which
+//!   deterministically reproduces the exact `CodecError` — the compiled
+//!   code never fabricates error payloads.
+//!
+//! Symbols decoded in the easy region are bit-identical to the scalar
+//! decoder's: with ≥ 15 buffered bits every window bit is a real stream
+//! bit, so the zero-padding the scalar peek applies near end-of-stream
+//! never matters here.
+
+use super::asm::reg::{R10, R12, R13, R14, R15, R8, R9, RAX, RBX, RCX, RDI, RDX, RSI};
+use super::asm::{Alu, Asm, Cc, Mem};
+use super::exec::ExecBuf;
+use super::JitError;
+
+/// The compiled loop ran out of easy stream; `pos`/`out_len` are valid
+/// and the scalar tail takes over from there.
+pub const STATUS_TAIL: u64 = 2;
+/// The compiled loop hit a condition the scalar path must diagnose;
+/// all partial state is discarded and the decode re-runs scalar.
+pub const STATUS_BAIL: u64 = 1;
+
+/// In/out state for a compiled Huffman decode. The emitted code addresses
+/// fields by `offset_of`, so the layout must stay `repr(C)`.
+#[repr(C)]
+pub struct HuffState {
+    /// Input byte stream base.
+    pub in_ptr: *const u8,
+    /// Valid bits in the stream.
+    pub bit_len: u64,
+    /// Next unconsumed bit (updated on exit).
+    pub pos: u64,
+    /// `FlatDecoder::entries` base, passed per call so a cloned decoder
+    /// never executes against a stale table.
+    pub entries: *const u8,
+    /// Output buffer base (capacity guaranteed by the wrapper).
+    pub out_ptr: *mut u8,
+    /// Symbols written so far (updated on exit).
+    pub out_len: u64,
+    /// Symbol budget for the `decode_exact` variant (ignored by `decode_all`).
+    pub expected: u64,
+    /// [`STATUS_TAIL`] or [`STATUS_BAIL`] on return.
+    pub status: u64,
+}
+
+type Entry = unsafe extern "C" fn(*mut HuffState);
+
+/// A published compiled dispatch: one `ExecBuf` holding both loop
+/// variants.
+#[derive(Debug)]
+pub struct HuffJit {
+    buf: ExecBuf,
+    off_all: usize,
+    off_exact: usize,
+}
+
+/// Byte offsets of the `(symbol, length)` fields inside a `(u8, u8)`
+/// tuple element. `repr(Rust)` leaves this unspecified, so probe it.
+fn tuple_offsets() -> (i32, i32) {
+    assert_eq!(std::mem::size_of::<(u8, u8)>(), 2, "entry stride");
+    let probe: (u8, u8) = (0, 0);
+    let base = std::ptr::addr_of!(probe) as usize;
+    let off_sym = std::ptr::addr_of!(probe.0) as usize - base;
+    let off_len = std::ptr::addr_of!(probe.1) as usize - base;
+    (off_sym as i32, off_len as i32)
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn field(off: usize) -> i32 {
+    off as i32
+}
+
+/// Emits one decode-loop variant. Register map (no calls, so caller-saved
+/// registers are free without spills):
+/// `rbx`=state `r12`=entries `r13`=out `r14`=in `r15`=out_len
+/// `rdi`=pos `rsi`=window `r8`=window bits `r9`=bit_len `r10`=expected.
+fn emit_variant(a: &mut Asm, exact: bool) {
+    use std::mem::offset_of;
+    let (off_sym, off_len) = tuple_offsets();
+
+    for r in [RBX, R12, R13, R14, R15] {
+        a.push(r);
+    }
+    a.mov_rr(RBX, RDI);
+    a.load(R14, Mem::base(RBX, field(offset_of!(HuffState, in_ptr))));
+    a.load(R9, Mem::base(RBX, field(offset_of!(HuffState, bit_len))));
+    a.load(R12, Mem::base(RBX, field(offset_of!(HuffState, entries))));
+    a.load(R13, Mem::base(RBX, field(offset_of!(HuffState, out_ptr))));
+    a.load(R15, Mem::base(RBX, field(offset_of!(HuffState, out_len))));
+    a.load(RDI, Mem::base(RBX, field(offset_of!(HuffState, pos))));
+    if exact {
+        a.load(R10, Mem::base(RBX, field(offset_of!(HuffState, expected))));
+    }
+    a.zero(RSI);
+    a.zero(R8);
+
+    let mut tail_jumps = Vec::new();
+    let mut bail_jumps = Vec::new();
+
+    let top = a.here();
+    if exact {
+        a.alu_rr(Alu::Cmp, R15, R10);
+        tail_jumps.push(a.jcc_rel32(Cc::Ae));
+    }
+    // Refill when fewer than MAX_CODE_LEN bits are buffered.
+    a.alu_ri(Alu::Cmp, R8, 15);
+    let have_bits = a.jcc_rel32(Cc::Ae);
+    {
+        // next = pos + buffered; need >= 64 bits past it to refill fast.
+        a.mov_rr(RAX, RDI);
+        a.alu_rr(Alu::Add, RAX, R8);
+        a.mov_rr(RDX, R9);
+        a.alu_rr(Alu::Sub, RDX, RAX);
+        a.alu_ri(Alu::Cmp, RDX, 64);
+        tail_jumps.push(a.jcc_rel32(Cc::B));
+        // Splice in the top 48 bits of the next 8 bytes (whole bytes only,
+        // keeping `pos + buffered` byte-aligned for the scalar refill).
+        a.shr_ri(RAX, 3);
+        a.load(RDX, Mem::index(R14, RAX, 0, 0));
+        a.bswap(RDX);
+        a.mov_ri(RAX, 0xFFFF_FFFF_FFFF_0000);
+        a.alu_rr(Alu::And, RDX, RAX);
+        a.mov_rr(RCX, R8);
+        a.shr_cl(RDX);
+        a.alu_rr(Alu::Or, RSI, RDX);
+        a.alu_ri(Alu::Add, R8, 48);
+    }
+    let decode = a.here();
+    a.patch_rel32(have_bits, decode);
+    // window = top 15 bits; entry = entries[window].
+    a.mov_rr(RDX, RSI);
+    a.shr_ri(RDX, 49);
+    a.load8_zx(RAX, Mem::index(R12, RDX, 1, off_len));
+    a.test_rr(RAX, RAX);
+    bail_jumps.push(a.jcc_rel32(Cc::E));
+    a.load8_zx(RCX, Mem::index(R12, RDX, 1, off_sym));
+    a.store8(Mem::index(R13, R15, 0, 0), RCX);
+    a.alu_ri(Alu::Add, R15, 1);
+    // Consume the code: len <= 15 <= buffered, always inline.
+    a.mov32_rr(RCX, RAX);
+    a.shl_cl(RSI);
+    a.alu_rr(Alu::Sub, R8, RAX);
+    a.alu_rr(Alu::Add, RDI, RAX);
+    let back = a.jmp_rel32();
+    a.patch_rel32(back, top);
+
+    let tail = a.here();
+    for j in tail_jumps {
+        a.patch_rel32(j, tail);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    a.store_imm(Mem::base(RBX, field(offset_of!(HuffState, status))), STATUS_TAIL as i32);
+    let to_epilogue = a.jmp_rel32();
+
+    let bail = a.here();
+    for j in bail_jumps {
+        a.patch_rel32(j, bail);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    a.store_imm(Mem::base(RBX, field(offset_of!(HuffState, status))), STATUS_BAIL as i32);
+
+    let epilogue = a.here();
+    a.patch_rel32(to_epilogue, epilogue);
+    a.store(Mem::base(RBX, field(offset_of!(HuffState, pos))), RDI);
+    a.store(Mem::base(RBX, field(offset_of!(HuffState, out_len))), R15);
+    for r in [R15, R14, R13, R12, RBX] {
+        a.pop(r);
+    }
+    a.ret();
+}
+
+impl HuffJit {
+    /// Lowers and publishes both decode-loop variants.
+    ///
+    /// # Errors
+    /// [`JitError`] when the pages cannot be published (the caller falls
+    /// back to the scalar decoder).
+    pub fn compile() -> Result<HuffJit, JitError> {
+        let mut a = Asm::new();
+        let off_all = a.here();
+        emit_variant(&mut a, false);
+        let off_exact = a.here();
+        emit_variant(&mut a, true);
+        let buf = ExecBuf::publish(a.bytes())?;
+        Ok(HuffJit { buf, off_all, off_exact })
+    }
+
+    /// Machine-code bytes published.
+    pub fn code_bytes(&self) -> usize {
+        self.buf.code_len()
+    }
+
+    /// Runs the `decode_all` loop variant.
+    ///
+    /// # Safety
+    /// `st` must describe live buffers: `in_ptr` valid for
+    /// `bit_len.div_ceil(8)` readable bytes **and** readable through the
+    /// containing 8-byte load window whenever ≥ 64 bits remain; `entries`
+    /// valid for `2 << 15` bytes; `out_ptr` valid for writes up to the
+    /// wrapper-guaranteed symbol capacity.
+    pub unsafe fn run_all(&self, st: &mut HuffState) {
+        let f: Entry = std::mem::transmute::<usize, Entry>(self.buf.addr_of(self.off_all));
+        f(st);
+    }
+
+    /// Runs the `decode_exact` loop variant (stops at `st.expected`).
+    ///
+    /// # Safety
+    /// As [`Self::run_all`], with `out_ptr` valid for at least
+    /// `st.expected` bytes.
+    pub unsafe fn run_exact(&self, st: &mut HuffState) {
+        let f: Entry = std::mem::transmute::<usize, Entry>(self.buf.addr_of(self.off_exact));
+        f(st);
+    }
+}

@@ -33,6 +33,7 @@ pub mod delta;
 pub mod error;
 pub mod faults;
 pub mod huffman;
+pub mod jit;
 pub mod metrics;
 pub mod pipeline;
 pub mod snappy;

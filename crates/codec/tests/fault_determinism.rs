@@ -61,8 +61,8 @@ fn digest(stream: &BlockStream) -> u64 {
 
 #[test]
 fn same_seed_produces_the_identical_fault_sequence() {
-    let (reports_a, digests_a) = campaign(0xFA_57_5EED, 64);
-    let (reports_b, digests_b) = campaign(0xFA_57_5EED, 64);
+    let (reports_a, digests_a) = campaign(0xFA57_5EED, 64);
+    let (reports_b, digests_b) = campaign(0xFA57_5EED, 64);
     assert_eq!(reports_a, reports_b, "fault kinds, targets, and details must replay exactly");
     assert_eq!(digests_a, digests_b, "the mutated streams must be byte-identical");
     // Sanity: the campaign actually did something (not 64 no-ops).

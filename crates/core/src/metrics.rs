@@ -96,6 +96,20 @@ impl MetricsSnapshot {
                 "Flight-recorder events lost to ring overwrite.",
                 rec.dropped as f64,
             );
+            if !rec.by_kind.is_empty() {
+                families.push(Family {
+                    name: "recode_recorder_events_total".to_string(),
+                    kind: "counter",
+                    help: "Flight-recorder events drained, by kind (jit_compile = \
+                           JIT compilations observed during the run)."
+                        .to_string(),
+                    samples: rec
+                        .by_kind
+                        .iter()
+                        .map(|(k, n)| (Some(("kind".to_string(), k.clone())), *n as f64))
+                        .collect(),
+                });
+            }
         }
 
         if !doc.spans.is_empty() {
@@ -183,7 +197,10 @@ mod tests {
             recorded: 10,
             dropped: 2,
             capacity: 256,
-            by_kind: std::collections::BTreeMap::new(),
+            by_kind: std::collections::BTreeMap::from([
+                ("jit_compile".to_string(), 7u64),
+                ("block_done".to_string(), 3u64),
+            ]),
         });
         doc
     }
@@ -198,6 +215,8 @@ mod tests {
         assert!(text.contains("\nrecode_matrix_bytes_per_nnz 4.5\n"), "{text}");
         assert!(text.contains("recode_span_wall_ns{span=\"exec.decode_batch\"} 1000"), "{text}");
         assert!(text.contains("\nrecode_recorder_dropped 2\n"), "{text}");
+        assert!(text.contains("recode_recorder_events_total{kind=\"jit_compile\"} 7"), "{text}");
+        assert!(text.contains("recode_recorder_events_total{kind=\"block_done\"} 3"), "{text}");
         // Every sample line's family has HELP and TYPE preceding it.
         for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
             let family = line.split(['{', ' ']).next().expect("metric name");

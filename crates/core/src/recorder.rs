@@ -68,6 +68,12 @@ pub enum EventKind {
     CacheEvict,
     /// A chaos campaign injected a fault: `a` = trial seed (low bits).
     ChaosInjection,
+    /// A JIT compile finished: `a` packs blocks lowered (high 32 bits)
+    /// over machine-code bytes emitted (low 32), `b` = wall nanoseconds.
+    /// The name says what was compiled (`jit.lane`, `jit.huffman`), with a
+    /// `.failed` suffix when compilation failed and the interpreter/scalar
+    /// tier took over.
+    JitCompile,
 }
 
 impl EventKind {
@@ -86,11 +92,12 @@ impl EventKind {
             EventKind::CacheHit => "cache_hit",
             EventKind::CacheEvict => "cache_evict",
             EventKind::ChaosInjection => "chaos_injection",
+            EventKind::JitCompile => "jit_compile",
         }
     }
 
     /// Every kind, for summary tables.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::SpanBegin,
         EventKind::SpanEnd,
         EventKind::BlockOutcome,
@@ -103,6 +110,7 @@ impl EventKind {
         EventKind::CacheHit,
         EventKind::CacheEvict,
         EventKind::ChaosInjection,
+        EventKind::JitCompile,
     ];
 }
 
@@ -298,6 +306,7 @@ pub fn enable(capacity: usize) {
     RECORDED.store(0, Ordering::Relaxed);
     let _ = epoch();
     recode_udp::pool::set_event_hook(pool_event_hook);
+    recode_codec::jit::set_compile_hook(jit_compile_hook);
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -402,6 +411,22 @@ fn pool_event_hook(event: recode_udp::pool::PoolEvent) {
         PoolEvent::Recycled => (EventKind::PoolRecycle, "pool.recycle"),
     };
     record(kind, Track::MAIN, name, 0, 0);
+}
+
+/// The codec-side JIT compile hook
+/// ([`recode_codec::jit::CompileEvent`] → recorder events). Installed by
+/// [`enable`]; itself gated on [`is_enabled`].
+fn jit_compile_hook(event: &recode_codec::jit::CompileEvent) {
+    let name = match (event.what, event.ok) {
+        ("lane", true) => "jit.lane",
+        ("lane", false) => "jit.lane.failed",
+        ("huffman", true) => "jit.huffman",
+        ("huffman", false) => "jit.huffman.failed",
+        (_, true) => "jit.compile",
+        (_, false) => "jit.compile.failed",
+    };
+    let a = ((event.blocks as u64) << 32) | (event.code_bytes as u64 & 0xFFFF_FFFF);
+    record(EventKind::JitCompile, Track::MAIN, name, a, event.wall_ns);
 }
 
 #[cfg(test)]
@@ -547,5 +572,36 @@ mod tests {
             ],
             "guards close in LIFO order"
         );
+    }
+
+    #[test]
+    fn jit_compile_events_reach_the_ring() {
+        let _g = serialized();
+        enable(4096);
+        // Drive the hook directly — assemble-time compiles fire the same
+        // path, but depend on platform/env JIT availability.
+        recode_codec::jit::report_compile(&recode_codec::jit::CompileEvent {
+            what: "lane",
+            code_bytes: 1234,
+            blocks: 7,
+            wall_ns: 42,
+            ok: true,
+        });
+        recode_codec::jit::report_compile(&recode_codec::jit::CompileEvent {
+            what: "huffman",
+            code_bytes: 0,
+            blocks: 0,
+            wall_ns: 9,
+            ok: false,
+        });
+        let events = drain();
+        disable();
+        let jit: Vec<_> = events.iter().filter(|e| e.kind == EventKind::JitCompile).collect();
+        assert_eq!(jit.len(), 2, "both compile reports must reach the ring");
+        assert_eq!(jit[0].name, "jit.lane");
+        assert_eq!(jit[0].a >> 32, 7, "blocks lowered ride the high half of `a`");
+        assert_eq!(jit[0].a & 0xFFFF_FFFF, 1234, "code bytes ride the low half");
+        assert_eq!(jit[0].b, 42, "wall ns rides `b`");
+        assert_eq!(jit[1].name, "jit.huffman.failed", "failures are distinguishable");
     }
 }

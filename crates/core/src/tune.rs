@@ -404,12 +404,36 @@ impl Default for TuneOptions {
     }
 }
 
+/// Parses a [`TRIALS_ENV`] value into a wall-trial count. Pure so both the
+/// accept and the reject path are testable without mutating the process
+/// environment (env-var mutation races under the parallel test harness).
+/// `0` is valid — it skips wall measurement entirely.
+///
+/// # Errors
+/// A human-readable message naming the variable and the offending value.
+pub fn parse_tune_trials(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    trimmed.parse::<usize>().map_err(|_| {
+        format!("{TRIALS_ENV} is not a trial count: \"{raw}\" (expected a non-negative integer)")
+    })
+}
+
 impl TuneOptions {
-    /// Default options with `trials` resized from [`TRIALS_ENV`].
+    /// Default options with `trials` resized from [`TRIALS_ENV`]. A garbage
+    /// value is *not* silently ignored: a warning naming the value goes to
+    /// stderr and the default trial count is used.
     pub fn from_env() -> Self {
         let mut o = TuneOptions::default();
-        if let Some(t) = std::env::var(TRIALS_ENV).ok().and_then(|s| s.parse::<usize>().ok()) {
-            o.trials = t;
+        if let Ok(v) = std::env::var(TRIALS_ENV) {
+            match parse_tune_trials(&v) {
+                Ok(t) => o.trials = t,
+                Err(msg) => {
+                    eprintln!(
+                        "warning: ignoring {msg}; using the default of {} trial(s)",
+                        o.trials
+                    );
+                }
+            }
         }
         o
     }
@@ -847,5 +871,17 @@ mod tests {
         ));
         assert!(matches!(TunedConfig::from_json_str("{}"), Err(TuneError::Malformed(_))));
         assert!(matches!(TunedConfig::from_json_str("not json"), Err(TuneError::Malformed(_))));
+    }
+
+    #[test]
+    fn tune_trials_parse_accepts_counts_and_rejects_garbage() {
+        assert_eq!(parse_tune_trials("0"), Ok(0), "0 skips wall measurement and is valid");
+        assert_eq!(parse_tune_trials("7"), Ok(7));
+        assert_eq!(parse_tune_trials("  12  "), Ok(12), "whitespace is trimmed");
+        for garbage in ["", "three", "-1", "1.5", "0x10"] {
+            let err = parse_tune_trials(garbage).unwrap_err();
+            assert!(err.contains(TRIALS_ENV), "error must name the variable: {err}");
+            assert!(err.contains(garbage), "error must echo the value: {err}");
+        }
     }
 }

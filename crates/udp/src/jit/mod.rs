@@ -1,0 +1,718 @@
+//! JIT lowering of predecoded lane programs to native x86-64.
+//!
+//! At assemble time every verified [`Image`](crate::machine::Image) gets
+//! its `PredecodedBlock` table compiled to straight-line machine code per
+//! block, with branch-stitched control flow between blocks and the stream
+//! unit's hot paths (read/peek/skip of a buffered symbol) inlined. The
+//! pages live in the W^X-managed `ExecBuf` from `recode-codec`.
+//!
+//! ## The bail-and-rerun contract
+//!
+//! Compiled code handles the *success* path exactly: architectural state
+//! (registers, scratchpad, stream position, `dirty_hi`), modeled cycles,
+//! dispatch/action counts, and opclass attribution are all byte-identical
+//! to the interpreter's. On **any** abnormal condition — a trap
+//! precondition (scratchpad bounds, stream underflow, unmapped dispatch),
+//! the cycle budget, or a dispatch into a hole — the code sets
+//! `status = 1` and returns through one shared bail stub. The caller then
+//! re-runs the interpreter from a fresh prologue; lane execution is
+//! deterministic, so the re-run reproduces the exact [`LaneError`] with
+//! exact payloads. The compiled code never fabricates an error value,
+//! which keeps the lowering small and makes trap equivalence trivially
+//! total: every divergent case is, by construction, the interpreter's own
+//! answer.
+//!
+//! Mid-block bails discard the JIT's partial accounting with the rest of
+//! the run, so per-block accounting can be charged as whole-block
+//! constants at block entry — the same order the interpreter uses
+//! (full block cost lands on the meter before the budget check).
+//!
+//! ## Integrity
+//!
+//! The artifact pins itself to its inputs with FNV digests: `code_digest`
+//! over the published machine code and `words_digest` over the image's
+//! code words. `verify_image` re-checks both (a mismatch is an `Error`
+//! finding under `Analysis::TranslationValidation`), and every run does a
+//! cheap sentinel check (first/last 8 bytes + length) that gates
+//! `Lane::run` with [`LaneError::JitInvalid`](crate::lane::LaneError) on
+//! damage.
+
+use crate::isa::{Action, SCRATCHPAD_BYTES};
+use crate::lane::{jit_stream_peek, jit_stream_read, jit_stream_read_le, jit_stream_skip};
+use crate::machine::{DecodedTransition, PredecodedBlock};
+use recode_codec::jit::asm::reg::{R12, R13, R14, R15, RAX, RBX, RCX, RDI, RDX, RSI};
+use recode_codec::jit::asm::{Alu, Asm, Cc, Mem, Reg};
+use recode_codec::jit::{fnv1a, fnv1a_words, ExecBuf, JitError};
+use std::mem::offset_of;
+
+/// In/out state for one compiled lane run. The emitted code addresses
+/// fields by `offset_of`, so the layout must stay `repr(C)`.
+#[repr(C)]
+pub struct JitState {
+    /// Lane register file (16 × u64; `r0` writes are suppressed at emit
+    /// time, mirroring the hardwired zero).
+    pub(crate) regs: *mut u64,
+    /// Scratchpad base (64 KB).
+    pub(crate) scratch: *mut u8,
+    /// Dispatch table: absolute compiled-entry address per image address,
+    /// 0 for holes/invalid words.
+    pub(crate) table: *const usize,
+    /// Entries in `table` (= image words).
+    pub(crate) table_len: u64,
+    /// Input stream base.
+    pub(crate) in_ptr: *const u8,
+    /// Input buffer length in bytes.
+    pub(crate) in_len: u64,
+    /// Valid bits in the stream.
+    pub(crate) bit_len: u64,
+    /// Stream cursor (next unconsumed bit).
+    pub(crate) pos: u64,
+    /// MSB-aligned refill buffer (same invariants as `StreamUnit`).
+    pub(crate) buf: u64,
+    /// Valid bits in `buf`.
+    pub(crate) buf_bits: u64,
+    /// Modeled cycles.
+    pub(crate) cycles: u64,
+    /// Block dispatches.
+    pub(crate) dispatches: u64,
+    /// Actions executed.
+    pub(crate) actions: u64,
+    /// Opclass attribution: dispatch cycles.
+    pub(crate) oc_dispatch: u64,
+    /// Opclass attribution: ALU cycles.
+    pub(crate) oc_alu: u64,
+    /// Opclass attribution: memory cycles.
+    pub(crate) oc_mem: u64,
+    /// Opclass attribution: stream cycles.
+    pub(crate) oc_stream: u64,
+    /// Trap after this many cycles.
+    pub(crate) cycle_limit: u64,
+    /// Scratchpad dirty high-water mark (read back by the lane).
+    pub(crate) dirty_hi: u64,
+    /// 0 = clean halt, 1 = bail (re-run the interpreter).
+    pub(crate) status: u64,
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn st(off: usize) -> Mem {
+    Mem::base(RBX, off as i32)
+}
+
+/// All slow-path helpers share one shape; going through the fn-pointer type
+/// (rather than casting the fn item directly) also type-checks each helper's
+/// signature against what the emitted call sequence assumes.
+type Helper = unsafe extern "C" fn(*mut JitState, u64) -> u64;
+
+fn helper_addr(h: Helper) -> usize {
+    h as usize
+}
+
+/// Which accounting class an action bills to (mirrors
+/// `OpClassCycles::bump`).
+enum Class {
+    Alu,
+    Mem,
+    Stream,
+}
+
+fn classify(a: Action) -> Class {
+    match a {
+        Action::LoadImm { .. }
+        | Action::Mov { .. }
+        | Action::Add { .. }
+        | Action::Sub { .. }
+        | Action::And { .. }
+        | Action::Or { .. }
+        | Action::Xor { .. }
+        | Action::AddI { .. }
+        | Action::ShlI { .. }
+        | Action::ShrI { .. } => Class::Alu,
+        Action::Load { .. }
+        | Action::Store { .. }
+        | Action::LoadInc { .. }
+        | Action::StoreInc { .. } => Class::Mem,
+        Action::InSym { .. }
+        | Action::InSymLe { .. }
+        | Action::PeekSym { .. }
+        | Action::SkipSym { .. }
+        | Action::SkipReg { .. }
+        | Action::InRem { .. } => Class::Stream,
+    }
+}
+
+/// The lowering pass: one `Asm` buffer, per-block offsets, and the fixup
+/// lists resolved after all blocks are emitted.
+struct Lower {
+    a: Asm,
+    /// `(rel32 field, target image address)` — resolved to the target's
+    /// compiled entry, or to the bail stub when unmapped.
+    fixups: Vec<(usize, u32)>,
+    /// rel32 fields aimed at the shared bail stub.
+    bail: Vec<usize>,
+    /// rel32 fields aimed at the epilogue (clean halts).
+    halt: Vec<usize>,
+    /// Image address → compiled code offset.
+    block_off: Vec<Option<usize>>,
+}
+
+impl Lower {
+    fn read_reg(&mut self, dst: Reg, r: u8) {
+        if r == 0 {
+            self.a.zero(dst);
+        } else {
+            self.a.load(dst, Mem::base(R12, i32::from(r) * 8));
+        }
+    }
+
+    fn write_reg(&mut self, r: u8, src: Reg) {
+        if r != 0 {
+            self.a.store(Mem::base(R12, i32::from(r) * 8), src);
+        }
+    }
+
+    /// `rdi = state; rsi = arg; call helper`. Trap-capable helpers set
+    /// `status`, checked here and routed to the bail stub.
+    fn call_helper(&mut self, helper: usize, arg: Option<u64>, can_trap: bool) {
+        self.a.mov_rr(RDI, RBX);
+        if let Some(v) = arg {
+            self.a.mov_ri(RSI, v);
+        }
+        self.a.call_abs(helper);
+        if can_trap {
+            self.a.alu_mi(Alu::Cmp, st(offset_of!(JitState, status)), 0);
+            self.bail.push(self.a.jcc_rel32(Cc::Ne));
+        }
+    }
+
+    /// Inline `stream.read(n)` for `1..=57` bits: serve from the buffer
+    /// when it holds *more* than `n` bits (the strict inequality both
+    /// guarantees `n <= remaining` — the buffer never holds invalid bits —
+    /// and keeps the shift-advance exact); otherwise the scalar helper
+    /// runs the full refill/underflow logic. Value lands in RAX.
+    fn stream_read_fast(&mut self, n: u8) {
+        debug_assert!((1..=57).contains(&n));
+        self.a.load(RAX, st(offset_of!(JitState, buf_bits)));
+        self.a.alu_ri(Alu::Cmp, RAX, i32::from(n));
+        let slow = self.a.jcc_rel32(Cc::Be);
+        self.a.load(RDX, st(offset_of!(JitState, buf)));
+        self.a.mov_rr(RCX, RDX);
+        self.a.shr_ri(RCX, 64 - n);
+        self.a.shl_ri(RDX, n);
+        self.a.store(st(offset_of!(JitState, buf)), RDX);
+        self.a.alu_ri(Alu::Sub, RAX, i32::from(n));
+        self.a.store(st(offset_of!(JitState, buf_bits)), RAX);
+        self.a.alu_mi(Alu::Add, st(offset_of!(JitState, pos)), i32::from(n));
+        self.a.mov_rr(RAX, RCX);
+        let done = self.a.jmp_rel32();
+        let slow_at = self.a.here();
+        self.a.patch_rel32(slow, slow_at);
+        self.call_helper(helper_addr(jit_stream_read), Some(u64::from(n)), true);
+        let done_at = self.a.here();
+        self.a.patch_rel32(done, done_at);
+    }
+
+    /// Inline `stream.peek(n)` for `1..=57` bits (never traps, never
+    /// consumes). Value lands in RAX.
+    fn stream_peek_fast(&mut self, n: u8) {
+        debug_assert!((1..=57).contains(&n));
+        self.a.load(RAX, st(offset_of!(JitState, buf_bits)));
+        self.a.alu_ri(Alu::Cmp, RAX, i32::from(n));
+        let slow = self.a.jcc_rel32(Cc::B);
+        self.a.load(RAX, st(offset_of!(JitState, buf)));
+        self.a.shr_ri(RAX, 64 - n);
+        let done = self.a.jmp_rel32();
+        let slow_at = self.a.here();
+        self.a.patch_rel32(slow, slow_at);
+        self.call_helper(helper_addr(jit_stream_peek), Some(u64::from(n)), false);
+        let done_at = self.a.here();
+        self.a.patch_rel32(done, done_at);
+    }
+
+    /// Inline `stream.skip(n)` for small constant `n`.
+    fn stream_skip_fast(&mut self, n: u8) {
+        debug_assert!((1..=57).contains(&n));
+        self.a.load(RAX, st(offset_of!(JitState, buf_bits)));
+        self.a.alu_ri(Alu::Cmp, RAX, i32::from(n));
+        let slow = self.a.jcc_rel32(Cc::Be);
+        self.a.load(RDX, st(offset_of!(JitState, buf)));
+        self.a.shl_ri(RDX, n);
+        self.a.store(st(offset_of!(JitState, buf)), RDX);
+        self.a.alu_ri(Alu::Sub, RAX, i32::from(n));
+        self.a.store(st(offset_of!(JitState, buf_bits)), RAX);
+        self.a.alu_mi(Alu::Add, st(offset_of!(JitState, pos)), i32::from(n));
+        let done = self.a.jmp_rel32();
+        let slow_at = self.a.here();
+        self.a.patch_rel32(slow, slow_at);
+        self.call_helper(helper_addr(jit_stream_skip), Some(u64::from(n)), true);
+        let done_at = self.a.here();
+        self.a.patch_rel32(done, done_at);
+    }
+
+    /// Emits the effective-address computation + bounds check for a
+    /// scratchpad access: RAX = `reg(base) + offset`, bailing unless
+    /// `addr <= SCRATCHPAD_BYTES - width` (the one unsigned compare that
+    /// covers both the negative and past-the-end interpreter traps).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    fn mem_address(&mut self, base: u8, offset: i16, width: usize) {
+        self.read_reg(RAX, base);
+        if offset != 0 {
+            self.a.alu_ri(Alu::Add, RAX, i32::from(offset));
+        }
+        self.a.alu_ri(Alu::Cmp, RAX, (SCRATCHPAD_BYTES - width) as i32);
+        self.bail.push(self.a.jcc_rel32(Cc::A));
+    }
+
+    /// `dirty_hi = max(dirty_hi, RAX + width)`, leaving `RAX + width` in
+    /// RCX for post-increment reuse.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    fn update_dirty_hi(&mut self, width: usize) {
+        self.a.lea(RCX, Mem::base(RAX, width as i32));
+        self.a.alu_rm(Alu::Cmp, RCX, st(offset_of!(JitState, dirty_hi)));
+        let skip = self.a.jcc_rel32(Cc::Be);
+        self.a.store(st(offset_of!(JitState, dirty_hi)), RCX);
+        let at = self.a.here();
+        self.a.patch_rel32(skip, at);
+    }
+
+    fn scratch_load(&mut self, dst: Reg, width: usize) {
+        let m = Mem::index(R13, RAX, 0, 0);
+        match width {
+            1 => self.a.load8_zx(dst, m),
+            2 => self.a.load16_zx(dst, m),
+            4 => self.a.load32(dst, m),
+            _ => self.a.load(dst, m),
+        }
+    }
+
+    fn scratch_store(&mut self, src: Reg, width: usize) {
+        let m = Mem::index(R13, RAX, 0, 0);
+        match width {
+            1 => self.a.store8(m, src),
+            2 => self.a.store16(m, src),
+            4 => self.a.store32(m, src),
+            _ => self.a.store(m, src),
+        }
+    }
+
+    fn alu3(&mut self, op: Alu, rd: u8, rs: u8, rt: u8) {
+        self.read_reg(RAX, rs);
+        self.read_reg(RDX, rt);
+        self.a.alu_rr(op, RAX, RDX);
+        self.write_reg(rd, RAX);
+    }
+
+    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+    fn emit_action(&mut self, act: Action) {
+        match act {
+            Action::LoadImm { rd, imm } => {
+                self.a.mov_ri(RAX, imm as i64 as u64);
+                self.write_reg(rd, RAX);
+            }
+            Action::Mov { rd, rs } => {
+                self.read_reg(RAX, rs);
+                self.write_reg(rd, RAX);
+            }
+            Action::Add { rd, rs, rt } => self.alu3(Alu::Add, rd, rs, rt),
+            Action::Sub { rd, rs, rt } => self.alu3(Alu::Sub, rd, rs, rt),
+            Action::And { rd, rs, rt } => self.alu3(Alu::And, rd, rs, rt),
+            Action::Or { rd, rs, rt } => self.alu3(Alu::Or, rd, rs, rt),
+            Action::Xor { rd, rs, rt } => self.alu3(Alu::Xor, rd, rs, rt),
+            Action::AddI { rd, rs, imm } => {
+                self.read_reg(RAX, rs);
+                if imm != 0 {
+                    self.a.alu_ri(Alu::Add, RAX, i32::from(imm));
+                }
+                self.write_reg(rd, RAX);
+            }
+            Action::ShlI { rd, rs, amount } => {
+                if amount >= 64 {
+                    self.a.zero(RAX);
+                } else {
+                    self.read_reg(RAX, rs);
+                    if amount > 0 {
+                        self.a.shl_ri(RAX, amount);
+                    }
+                }
+                self.write_reg(rd, RAX);
+            }
+            Action::ShrI { rd, rs, amount } => {
+                if amount >= 64 {
+                    self.a.zero(RAX);
+                } else {
+                    self.read_reg(RAX, rs);
+                    if amount > 0 {
+                        self.a.shr_ri(RAX, amount);
+                    }
+                }
+                self.write_reg(rd, RAX);
+            }
+            Action::Load { rd, base, offset, width } => {
+                let w = width.bytes();
+                self.mem_address(base, offset, w);
+                self.scratch_load(RDX, w);
+                self.write_reg(rd, RDX);
+            }
+            Action::Store { rs, base, offset, width } => {
+                let w = width.bytes();
+                self.mem_address(base, offset, w);
+                self.read_reg(RDX, rs);
+                self.scratch_store(RDX, w);
+                self.update_dirty_hi(w);
+            }
+            Action::LoadInc { rd, base, width } => {
+                let w = width.bytes();
+                self.mem_address(base, 0, w);
+                self.scratch_load(RDX, w);
+                // Base increment before the destination write, so
+                // `rd == base` keeps the loaded value (interpreter order).
+                self.a.lea(RCX, Mem::base(RAX, w as i32));
+                self.write_reg(base, RCX);
+                self.write_reg(rd, RDX);
+            }
+            Action::StoreInc { rs, base, width } => {
+                let w = width.bytes();
+                self.mem_address(base, 0, w);
+                self.read_reg(RDX, rs);
+                self.scratch_store(RDX, w);
+                self.update_dirty_hi(w); // leaves RAX + w in RCX
+                self.write_reg(base, RCX);
+            }
+            Action::InSym { rd, bits } => {
+                self.stream_value(bits, helper_addr(jit_stream_read), true);
+                self.write_reg(rd, RAX);
+            }
+            Action::InSymLe { rd, bytes } => {
+                self.call_helper(helper_addr(jit_stream_read_le), Some(u64::from(bytes)), true);
+                self.write_reg(rd, RAX);
+            }
+            Action::PeekSym { rd, bits } => {
+                self.stream_value(bits, helper_addr(jit_stream_peek), false);
+                self.write_reg(rd, RAX);
+            }
+            Action::SkipSym { bits } => {
+                if bits == 0 {
+                    // skip(0) never traps and moves nothing observable.
+                } else if bits <= 57 {
+                    self.stream_skip_fast(bits);
+                } else {
+                    self.call_helper(helper_addr(jit_stream_skip), Some(u64::from(bits)), true);
+                }
+            }
+            Action::SkipReg { rs } => {
+                self.read_reg(RSI, rs);
+                self.call_helper(helper_addr(jit_stream_skip), None, true);
+            }
+            Action::InRem { rd } => {
+                self.a.load(RAX, st(offset_of!(JitState, bit_len)));
+                self.a.alu_rm(Alu::Sub, RAX, st(offset_of!(JitState, pos)));
+                self.write_reg(rd, RAX);
+            }
+        }
+    }
+
+    /// Stream read/peek dispatcher: zero bits → constant 0; 1..=57 bits →
+    /// inline fast path; oversized (garbage encodings) → helper.
+    fn stream_value(&mut self, bits: u8, helper: usize, consumes: bool) {
+        if bits == 0 {
+            self.a.zero(RAX);
+        } else if bits <= 57 {
+            if consumes {
+                self.stream_read_fast(bits);
+            } else {
+                self.stream_peek_fast(bits);
+            }
+        } else {
+            self.call_helper(helper, Some(u64::from(bits)), consumes);
+        }
+    }
+
+    fn jump_to(&mut self, target: u32) {
+        let j = self.a.jmp_rel32();
+        self.fixups.push((j, target));
+    }
+
+    /// Indirect dispatch: RAX holds the symbol/index value; the target is
+    /// `base +₃₂ value`, resolved through the run-time table so the code
+    /// stays position-independent and holes trap.
+    #[allow(clippy::cast_possible_wrap)]
+    fn dynamic_dispatch(&mut self, base: u32) {
+        self.a.mov32_rr(RCX, RAX);
+        if base != 0 {
+            self.a.alu32_ri(Alu::Add, RCX, base as i32);
+        }
+        self.a.alu_rm(Alu::Cmp, RCX, st(offset_of!(JitState, table_len)));
+        self.bail.push(self.a.jcc_rel32(Cc::Ae));
+        self.a.load(RDX, Mem::index(R14, RCX, 3, 0));
+        self.a.test_rr(RDX, RDX);
+        self.bail.push(self.a.jcc_rel32(Cc::E));
+        self.a.jmp_r(RDX);
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn emit_block(&mut self, addr: u32, blk: &PredecodedBlock) {
+        self.block_off[addr as usize] = Some(self.a.here());
+        let n = blk.actions().len() as u64;
+        let (mut n_alu, mut n_mem, mut n_str) = (0i32, 0i32, 0i32);
+        for act in blk.actions() {
+            match classify(*act) {
+                Class::Alu => n_alu += 1,
+                Class::Mem => n_mem += 1,
+                Class::Stream => n_str += 1,
+            }
+        }
+        // Whole-block accounting up front (interpreter order: the block's
+        // full cost lands before the budget check; a mid-block bail
+        // discards it all anyway).
+        self.a.alu_mi(Alu::Add, st(offset_of!(JitState, cycles)), 1 + n as i32);
+        self.a.inc_m(st(offset_of!(JitState, dispatches)));
+        if n > 0 {
+            self.a.alu_mi(Alu::Add, st(offset_of!(JitState, actions)), n as i32);
+        }
+        self.a.inc_m(st(offset_of!(JitState, oc_dispatch)));
+        if n_alu > 0 {
+            self.a.alu_mi(Alu::Add, st(offset_of!(JitState, oc_alu)), n_alu);
+        }
+        if n_mem > 0 {
+            self.a.alu_mi(Alu::Add, st(offset_of!(JitState, oc_mem)), n_mem);
+        }
+        if n_str > 0 {
+            self.a.alu_mi(Alu::Add, st(offset_of!(JitState, oc_stream)), n_str);
+        }
+        self.a.load(RAX, st(offset_of!(JitState, cycles)));
+        self.a.alu_rm(Alu::Cmp, RAX, st(offset_of!(JitState, cycle_limit)));
+        self.bail.push(self.a.jcc_rel32(Cc::A));
+
+        for act in blk.actions() {
+            self.emit_action(*act);
+        }
+
+        match blk.transition {
+            DecodedTransition::Halt => {
+                self.halt.push(self.a.jmp_rel32());
+            }
+            DecodedTransition::Jump(t) => self.jump_to(t),
+            DecodedTransition::Branch { cond, rs, rt, taken } => {
+                self.read_reg(RAX, rs);
+                self.read_reg(RDX, rt);
+                self.a.alu_rr(Alu::Cmp, RAX, RDX);
+                let cc = match cond {
+                    crate::isa::Cond::Eq => Cc::E,
+                    crate::isa::Cond::Ne => Cc::Ne,
+                    crate::isa::Cond::Ltu => Cc::B,
+                    crate::isa::Cond::Geu => Cc::Ae,
+                    crate::isa::Cond::Lts => Cc::L,
+                    crate::isa::Cond::Ges => Cc::Ge,
+                };
+                let j = self.a.jcc_rel32(cc);
+                self.fixups.push((j, taken));
+                self.jump_to(addr + 1);
+            }
+            DecodedTransition::DispatchSym { bits, base } => {
+                self.stream_value(bits, helper_addr(jit_stream_read), true);
+                self.dynamic_dispatch(base);
+            }
+            DecodedTransition::DispatchPeek { bits, base } => {
+                self.stream_value(bits, helper_addr(jit_stream_peek), false);
+                self.dynamic_dispatch(base);
+            }
+            DecodedTransition::DispatchReg { rs, base } => {
+                self.read_reg(RAX, rs);
+                self.dynamic_dispatch(base);
+            }
+        }
+    }
+}
+
+/// A published lane-program JIT artifact.
+#[derive(Debug)]
+pub struct LaneJit {
+    buf: ExecBuf,
+    /// Absolute compiled-entry address per image address (0 = unmapped).
+    table: Vec<usize>,
+    /// FNV-1a over the published machine code.
+    code_digest: u64,
+    /// FNV-1a over the image words the artifact was lowered from.
+    words_digest: u64,
+    /// Sentinels for the cheap per-run integrity check.
+    code_len: usize,
+    first8: u64,
+    last8: u64,
+    /// Blocks lowered (compiled dispatch targets).
+    blocks: usize,
+}
+
+/// Artifact identity is its digest pair: equal digests ⇔ compiled from
+/// the same words into the same code.
+impl PartialEq for LaneJit {
+    fn eq(&self, other: &Self) -> bool {
+        self.code_digest == other.code_digest && self.words_digest == other.words_digest
+    }
+}
+
+impl LaneJit {
+    /// Lowers a predecoded image to machine code and publishes it.
+    ///
+    /// # Errors
+    /// [`JitError`] when lowering or page publication fails; callers fall
+    /// back to the interpreter tier.
+    pub(crate) fn compile(
+        words: &[u128],
+        predecoded: &[Option<PredecodedBlock>],
+        entry: u32,
+    ) -> Result<LaneJit, JitError> {
+        let mut lo = Lower {
+            a: Asm::new(),
+            fixups: Vec::new(),
+            bail: Vec::new(),
+            halt: Vec::new(),
+            block_off: vec![None; predecoded.len()],
+        };
+        // Prologue: 5 callee-saved pushes leave RSP 16-aligned, so helper
+        // call sites see the ABI-mandated alignment with no padding.
+        for r in [RBX, R12, R13, R14, R15] {
+            lo.a.push(r);
+        }
+        lo.a.mov_rr(RBX, RDI);
+        lo.a.load(R12, st(offset_of!(JitState, regs)));
+        lo.a.load(R13, st(offset_of!(JitState, scratch)));
+        lo.a.load(R14, st(offset_of!(JitState, table)));
+        lo.jump_to(entry);
+
+        let mut blocks = 0usize;
+        for (addr, blk) in predecoded.iter().enumerate() {
+            if let Some(blk) = blk {
+                #[allow(clippy::cast_possible_truncation)]
+                lo.emit_block(addr as u32, blk);
+                blocks += 1;
+            }
+        }
+
+        let bail_at = lo.a.here();
+        lo.a.store_imm(st(offset_of!(JitState, status)), 1);
+        let epilogue_at = lo.a.here();
+        for r in [R15, R14, R13, R12, RBX] {
+            lo.a.pop(r);
+        }
+        lo.a.ret();
+
+        for off in lo.bail {
+            lo.a.patch_rel32(off, bail_at);
+        }
+        for off in lo.halt {
+            lo.a.patch_rel32(off, epilogue_at);
+        }
+        for (off, target) in lo.fixups {
+            let dest = lo.block_off.get(target as usize).copied().flatten().unwrap_or(bail_at);
+            lo.a.patch_rel32(off, dest);
+        }
+
+        let code = lo.a.into_bytes();
+        let buf = ExecBuf::publish(&code)?;
+        let published = buf.code();
+        let table = lo.block_off.iter().map(|off| off.map_or(0, |o| buf.addr_of(o))).collect();
+        Ok(LaneJit {
+            code_digest: fnv1a(published),
+            words_digest: fnv1a_words(words),
+            code_len: published.len(),
+            first8: u64::from_le_bytes(published[..8].try_into().expect("prologue > 8 bytes")),
+            last8: u64::from_le_bytes(
+                published[published.len() - 8..].try_into().expect("epilogue > 8 bytes"),
+            ),
+            blocks,
+            table,
+            buf,
+        })
+    }
+
+    /// Machine-code bytes published.
+    pub fn code_bytes(&self) -> usize {
+        self.code_len
+    }
+
+    /// Blocks lowered to native code.
+    pub fn blocks_lowered(&self) -> usize {
+        self.blocks
+    }
+
+    /// Cheap per-run integrity check: length + first/last 8 code bytes.
+    /// The full digest check lives in `verify_image`.
+    pub(crate) fn quick_check(&self) -> bool {
+        let code = self.buf.code();
+        code.len() == self.code_len
+            && code.len() >= 16
+            && u64::from_le_bytes(code[..8].try_into().expect("len checked")) == self.first8
+            && u64::from_le_bytes(code[code.len() - 8..].try_into().expect("len checked"))
+                == self.last8
+    }
+
+    /// Full integrity audit for `verify_image`: recomputes both digests.
+    /// Returns one message per violated pin (empty = intact).
+    pub fn integrity_errors(&self, words: &[u128]) -> Vec<String> {
+        let mut out = Vec::new();
+        if fnv1a(self.buf.code()) != self.code_digest {
+            out.push(
+                "JIT artifact failed translation validation: published machine code \
+                 does not match the digest recorded at compile time (tampered buffer)"
+                    .to_string(),
+            );
+        }
+        if fnv1a_words(words) != self.words_digest {
+            out.push(
+                "JIT artifact failed translation validation: image words changed after \
+                 the artifact was compiled (stale buffer)"
+                    .to_string(),
+            );
+        }
+        out
+    }
+
+    /// The dispatch-table pointer/length for seeding a [`JitState`].
+    pub(crate) fn table(&self) -> (&[usize], u64) {
+        (&self.table, self.table.len() as u64)
+    }
+
+    /// Test-only tamper hook (see `ExecBuf::corrupt_byte_for_test`).
+    #[doc(hidden)]
+    #[cfg(all(target_arch = "x86_64", target_os = "linux", not(miri)))]
+    pub fn corrupt_for_test(&self, off: usize, xor: u8) {
+        self.buf.corrupt_byte_for_test(off, xor);
+    }
+
+    /// Runs the compiled program.
+    ///
+    /// # Safety
+    /// `st` must point at live buffers sized per the [`JitState`] field
+    /// docs, the artifact must pass [`Self::quick_check`], and the pages
+    /// must contain the code this artifact published (guaranteed by the
+    /// W^X lifecycle unless a test hook tampered with them).
+    pub(crate) unsafe fn run(&self, st: &mut JitState) {
+        let entry: unsafe extern "C" fn(*mut JitState) =
+            std::mem::transmute::<usize, unsafe extern "C" fn(*mut JitState)>(self.buf.addr_of(0));
+        entry(st);
+    }
+}
+
+/// Compiles `image`'s predecode table when the JIT tier is enabled,
+/// reporting the compile (or its failure → interpreter fallback) to the
+/// process-wide hook. Called by `machine::encode` after predecoding.
+pub(crate) fn maybe_compile(
+    words: &[u128],
+    predecoded: &[Option<PredecodedBlock>],
+    entry: u32,
+) -> Option<std::sync::Arc<LaneJit>> {
+    use recode_codec::jit::{report_compile, CompileEvent};
+    if !recode_codec::jit::enabled() {
+        return None;
+    }
+    let t0 = std::time::Instant::now();
+    let res = LaneJit::compile(words, predecoded, entry);
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    report_compile(&CompileEvent {
+        what: "lane",
+        code_bytes: res.as_ref().map_or(0, LaneJit::code_bytes),
+        blocks: res.as_ref().map_or(0, LaneJit::blocks_lowered),
+        wall_ns,
+        ok: res.is_ok(),
+    });
+    res.ok().map(std::sync::Arc::new)
+}

@@ -144,6 +144,11 @@ pub enum LaneError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The image's JIT artifact failed its run-time integrity sentinel
+    /// (see [`crate::jit::LaneJit`]): the published machine code no longer
+    /// matches what was compiled. The lane refuses to execute it; re-run
+    /// `verify_image` for the full digest diagnosis.
+    JitInvalid,
 }
 
 impl std::fmt::Display for LaneError {
@@ -174,6 +179,13 @@ impl std::fmt::Display for LaneError {
                     f,
                     "image rejected by the static verifier ({errors} error finding(s)); \
                      set RunConfig::allow_unverified to run anyway"
+                )
+            }
+            LaneError::JitInvalid => {
+                write!(
+                    f,
+                    "compiled lane artifact failed its integrity sentinel; refusing to \
+                     execute (re-verify the image for the full diagnosis)"
                 )
             }
         }
@@ -374,6 +386,93 @@ impl<'a> StreamUnit<'a> {
         Ok(v)
     }
 }
+
+/// Slow-path stream helpers the compiled lane code calls out to (see
+/// `crate::jit`). Each reconstructs a [`StreamUnit`] view over the state the
+/// JIT keeps in [`JitState`](crate::jit::JitState) memory, runs the *real*
+/// scalar method — so refill/rebase/underflow behavior is the interpreter's
+/// by construction, not a re-implementation — and writes the cursor back.
+/// On a trap the helper sets `status = 1` (the bail signal); it never
+/// fabricates an error payload, because the caller re-runs the interpreter
+/// to reproduce the exact trap.
+mod jit_helpers {
+    use super::{JitStateRef, StreamUnit};
+
+    /// Runs `f` over a `StreamUnit` view of `st`'s stream fields, writing
+    /// the cursor back and translating `Err` into the bail status.
+    ///
+    /// # Safety
+    /// `st` must be a live, exclusive `JitState` whose `in_ptr`/`in_len`
+    /// describe a readable buffer with `bit_len <= in_len * 8`.
+    #[allow(clippy::cast_possible_truncation)]
+    unsafe fn with_stream<F>(st: JitStateRef, f: F) -> u64
+    where
+        F: FnOnce(&mut StreamUnit<'_>) -> Result<u64, super::LaneError>,
+    {
+        let s = &mut *st;
+        let mut su = StreamUnit {
+            bytes: std::slice::from_raw_parts(s.in_ptr, s.in_len as usize),
+            bit_len: s.bit_len as usize,
+            pos: s.pos as usize,
+            buf: s.buf,
+            buf_bits: s.buf_bits as u32,
+        };
+        let out = f(&mut su);
+        s.pos = su.pos as u64;
+        s.buf = su.buf;
+        s.buf_bits = u64::from(su.buf_bits);
+        if let Ok(v) = out {
+            v
+        } else {
+            s.status = 1;
+            0
+        }
+    }
+
+    /// `stream.read(n)` for the compiled code's slow path.
+    ///
+    /// # Safety
+    /// See [`with_stream`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub(crate) unsafe extern "C" fn jit_stream_read(st: JitStateRef, nbits: u64) -> u64 {
+        with_stream(st, |su| su.read(nbits as u8))
+    }
+
+    /// `stream.peek(n)` for the compiled code's slow path (never traps).
+    ///
+    /// # Safety
+    /// See [`with_stream`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub(crate) unsafe extern "C" fn jit_stream_peek(st: JitStateRef, nbits: u64) -> u64 {
+        with_stream(st, |su| Ok(su.peek(nbits as u8)))
+    }
+
+    /// `stream.skip(n)` for the compiled code's slow path. `nbits` is the
+    /// full register width because `SkipReg` passes an arbitrary u64.
+    ///
+    /// # Safety
+    /// See [`with_stream`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub(crate) unsafe extern "C" fn jit_stream_skip(st: JitStateRef, nbits: u64) -> u64 {
+        with_stream(st, |su| su.skip(nbits as usize).map(|()| 0))
+    }
+
+    /// `stream.read_le(n)` for the compiled code (always the helper — the
+    /// multi-byte splice isn't worth inlining).
+    ///
+    /// # Safety
+    /// See [`with_stream`].
+    #[allow(clippy::cast_possible_truncation)]
+    pub(crate) unsafe extern "C" fn jit_stream_read_le(st: JitStateRef, nbytes: u64) -> u64 {
+        with_stream(st, |su| su.read_le(nbytes as u8))
+    }
+}
+
+/// Raw-pointer alias keeping the helper signatures readable.
+type JitStateRef = *mut crate::jit::JitState;
+pub(crate) use jit_helpers::{
+    jit_stream_peek, jit_stream_read, jit_stream_read_le, jit_stream_skip,
+};
 
 /// Reliability record a lane carries across runs. Architectural resets
 /// (`run*` prologue) deliberately leave it alone: health describes the
@@ -615,13 +714,40 @@ impl Lane {
 
     /// Like [`Lane::run`], but writes the output bytes into `out` (cleared
     /// first) instead of allocating a fresh `Vec` — with a warm `out`
-    /// buffer the whole call is allocation-free. The interpreter loop
-    /// indexes the image's predecoded block table; it never re-decodes a
-    /// code word.
+    /// buffer the whole call is allocation-free.
+    ///
+    /// Dispatches to the image's compiled JIT artifact when one is present
+    /// (x86-64, `RECODE_NO_JIT` unset); otherwise — and whenever the
+    /// compiled code bails — runs [`Lane::run_into_interp`]. Both tiers are
+    /// bit-exact on outputs, modeled cycles, opclass attribution, and
+    /// traps; the differential suite pins that.
     ///
     /// # Errors
     /// Any [`LaneError`] trap (on error, `out` contents are unspecified).
     pub fn run_into(
+        &mut self,
+        image: &Image,
+        input: &[u8],
+        input_bits: usize,
+        cfg: RunConfig,
+        out: &mut Vec<u8>,
+    ) -> Result<RunStats, LaneError> {
+        if let Some(jit) = image.jit() {
+            if recode_codec::jit::enabled() {
+                return self.run_into_jit(image, jit, input, input_bits, cfg, out);
+            }
+        }
+        self.run_into_interp(image, input, input_bits, cfg, out)
+    }
+
+    /// The portable interpreter tier: indexes the image's predecoded block
+    /// table (never re-decoding a code word) and executes action-by-action.
+    /// This is the canonical software semantics the JIT tier must match;
+    /// it also serves as the re-run target when compiled code bails.
+    ///
+    /// # Errors
+    /// Any [`LaneError`] trap (on error, `out` contents are unspecified).
+    pub fn run_into_interp(
         &mut self,
         image: &Image,
         input: &[u8],
@@ -655,6 +781,75 @@ impl Lane {
             dispatches: acct.dispatches,
             actions: acct.actions,
             opclass: acct.opclass,
+        })
+    }
+
+    /// The compiled tier: runs the image's published machine code, falling
+    /// back to a full interpreter re-run whenever it bails (lane execution
+    /// is deterministic, so the re-run reproduces the exact trap).
+    #[allow(clippy::cast_possible_truncation)]
+    fn run_into_jit(
+        &mut self,
+        image: &Image,
+        jit: &crate::jit::LaneJit,
+        input: &[u8],
+        input_bits: usize,
+        cfg: RunConfig,
+        out: &mut Vec<u8>,
+    ) -> Result<RunStats, LaneError> {
+        self.prologue(image, input, input_bits, cfg)?;
+        if !jit.quick_check() {
+            return Err(LaneError::JitInvalid);
+        }
+        let (table, table_len) = jit.table();
+        let mut st = crate::jit::JitState {
+            regs: self.regs.as_mut_ptr(),
+            scratch: self.scratch.as_mut_ptr(),
+            table: table.as_ptr(),
+            table_len,
+            in_ptr: input.as_ptr(),
+            in_len: input.len() as u64,
+            bit_len: input_bits as u64,
+            pos: 0,
+            buf: 0,
+            buf_bits: 0,
+            cycles: 0,
+            dispatches: 0,
+            actions: 0,
+            oc_dispatch: 0,
+            oc_alu: 0,
+            oc_mem: 0,
+            oc_stream: 0,
+            cycle_limit: cfg.cycle_limit,
+            dirty_hi: 0,
+            status: 0,
+        };
+        // SAFETY: regs (16×u64), scratch (64 KB), the dispatch table, and
+        // the input buffer all outlive the call; the prologue validated
+        // `input_bits <= input.len() * 8`; quick_check vouched for the
+        // published pages.
+        unsafe { jit.run(&mut st) };
+        // Fold the compiled code's dirty high-water mark in *before* any
+        // rerun or return: the next prologue must zero everything the
+        // compiled code stored, or stale bytes leak into the next run.
+        self.dirty_hi = self.dirty_hi.max(st.dirty_hi as usize);
+        if st.status != 0 {
+            return self.run_into_interp(image, input, input_bits, cfg, out);
+        }
+        let range = self.output_range(cfg)?;
+        out.clear();
+        out.extend_from_slice(&self.scratch[range]);
+        Self::debug_assert_in_envelope(image, st.cycles, input_bits);
+        Ok(RunStats {
+            cycles: st.cycles,
+            dispatches: st.dispatches,
+            actions: st.actions,
+            opclass: OpClassCycles {
+                dispatch: st.oc_dispatch,
+                alu: st.oc_alu,
+                mem: st.oc_mem,
+                stream: st.oc_stream,
+            },
         })
     }
 

@@ -17,6 +17,9 @@
 //!   and the executable [`machine::Image`];
 //! * [`lane`] — the lane interpreter with the paper's cycle model
 //!   (1 cycle/dispatch, 1 cycle/action);
+//! * [`jit`] — the native x86-64 tier: predecoded blocks lowered to
+//!   machine code in W^X pages at assemble time, bit-exact with the
+//!   interpreter (which stays the portable fallback — `RECODE_NO_JIT=1`);
 //! * [`pool`] — process-wide lane recycling so hot paths stop allocating
 //!   64 KB scratchpads;
 //! * [`accel`] — the 64-lane accelerator: MIMD block scheduling, makespan,
@@ -38,6 +41,7 @@ pub mod effclip;
 pub mod energy;
 pub mod error;
 pub mod isa;
+pub mod jit;
 pub mod lane;
 pub mod machine;
 pub mod pool;
@@ -50,6 +54,7 @@ pub use accel::{
     JobEvent, JobEventSink, JobOutcome, LaneProfile, StageCycles,
 };
 pub use error::{UdpError, UdpResult};
+pub use jit::LaneJit;
 pub use lane::{Lane, LaneError, LaneHealth, OpClassCycles, RunConfig, RunResult, RunStats};
 pub use machine::Image;
 pub use pool::{

@@ -167,6 +167,11 @@ pub struct Image {
     /// built once at encode time; the lane's hot loop indexes this instead
     /// of re-decoding words per dispatch.
     predecoded: Vec<Option<PredecodedBlock>>,
+    /// Native x86-64 lowering of the predecode table, shared across clones
+    /// (the pages are immutable once published). `None` when the JIT tier
+    /// is unsupported, disabled (`RECODE_NO_JIT=1`), or compilation failed
+    /// — the lane then runs the interpreter tier.
+    jit: Option<std::sync::Arc<crate::jit::LaneJit>>,
 }
 
 impl Image {
@@ -193,6 +198,12 @@ impl Image {
     pub fn predecoded(&self, addr: u32) -> Option<&PredecodedBlock> {
         self.predecoded.get(addr as usize)?.as_ref()
     }
+
+    /// The compiled JIT artifact, when the encoder produced one.
+    #[inline]
+    pub fn jit(&self) -> Option<&crate::jit::LaneJit> {
+        self.jit.as_deref()
+    }
 }
 
 /// Encodes a validated, placed program into an executable image.
@@ -207,14 +218,20 @@ pub fn encode(program: &Program, placement: &Placement) -> Result<Image, UdpErro
         let addr = placement.block_addr[bid] as usize;
         words[addr] = encode_word(block, placement)?;
     }
-    let predecoded = words.iter().map(|&w| PredecodedBlock::from_word(w)).collect();
+    let predecoded: Vec<Option<PredecodedBlock>> =
+        words.iter().map(|&w| PredecodedBlock::from_word(w)).collect();
+    let entry = placement.block_addr[program.entry as usize];
+    // Lower the predecode table to native code before verification so the
+    // verifier can audit the artifact's digests alongside the table itself.
+    let jit = crate::jit::maybe_compile(&words, &predecoded, entry);
     let mut image = Image {
         name: program.name.clone(),
         words,
-        entry: placement.block_addr[program.entry as usize],
+        entry,
         utilization: placement.utilization,
         verify_report: VerifyReport::empty(program.name.clone()),
         predecoded,
+        jit,
     };
     image.verify_report =
         verify::verify_image(program, placement, &image, &VerifyConfig::default());

@@ -1695,6 +1695,21 @@ impl<'a> Verifier<'a> {
                 );
             }
         }
+        // The JIT artifact is a further translation of the same table; audit
+        // its digest pins so a tampered code buffer or an artifact compiled
+        // from different words is an `Error` that gates `Lane::run` exactly
+        // like a stale predecode table.
+        if let Some(jit) = image.jit() {
+            for why in jit.integrity_errors(&image.words) {
+                self.report.push(
+                    Severity::Error,
+                    Analysis::TranslationValidation,
+                    self.p.entry,
+                    None,
+                    why,
+                );
+            }
+        }
     }
 
     // -- analysis 5: dispatch tables ---------------------------------------

@@ -1,0 +1,170 @@
+//! W^X page-lifecycle coverage for the lane JIT tier (ISSUE 10).
+//!
+//! Pins the three safety properties the JIT's page management promises:
+//!
+//! 1. published code is never simultaneously writable and executable —
+//!    `/proc/self/maps` holds no `rwx` mapping and the codec's violation
+//!    counter stays zero;
+//! 2. executable pages are reclaimed when the owning image is retired —
+//!    `live_exec_bytes` falls back to its baseline once the last clone of
+//!    an image drops;
+//! 3. a poisoned (failed) compile degrades to the interpreter tier with a
+//!    recorded `CompileEvent { ok: false }`, and a tampered buffer is
+//!    caught twice: the per-run sentinel gates `Lane::run` with
+//!    `JitInvalid`, and a re-verify flags a translation-validation `Error`.
+//!
+//! The whole file is x86-64 Linux only (the only platform that publishes
+//! pages) and every test early-outs under `RECODE_NO_JIT=1`, so CI's
+//! interpreter-parity leg still compiles and runs it as a no-op.
+#![cfg(all(target_arch = "x86_64", target_os = "linux"))]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use recode_codec::jit::exec::{live_exec_bytes, poison_next_publish_for_test, wx_violations};
+use recode_codec::jit::{set_compile_hook, CompileEvent};
+use recode_udp::isa::{Action, Block, Transition, Width};
+use recode_udp::lane::{Lane, LaneError, RunConfig};
+use recode_udp::machine::assemble;
+use recode_udp::program::{Program, ProgramBuilder};
+use recode_udp::verify::{verify_image, Analysis, Severity, VerifyConfig};
+
+/// The publish-poison hook and the page counters are process-global, so
+/// tests that touch them serialize here.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Failed-compile reports observed by the process-wide hook (the hook is
+/// install-once, so all tests share these counters).
+static FAILED_COMPILES: AtomicU64 = AtomicU64::new(0);
+static FAILED_CODE_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+fn install_probe_hook() {
+    fn probe(ev: &CompileEvent) {
+        if !ev.ok {
+            FAILED_COMPILES.fetch_add(1, Ordering::SeqCst);
+            FAILED_CODE_BYTES.fetch_add(ev.code_bytes, Ordering::SeqCst);
+        }
+    }
+    // First installer wins; every test calls this so ordering doesn't
+    // matter.
+    let _ = set_compile_hook(probe);
+}
+
+/// A store-then-halt program small enough to assemble in every test.
+fn tiny_program() -> Program {
+    let mut pb = ProgramBuilder::new("jit-lifecycle");
+    let start = pb.block(Block {
+        actions: vec![
+            Action::LoadImm { rd: 1, imm: 0x5A },
+            Action::Store { rs: 1, base: 14, offset: 0, width: Width::B1 },
+            Action::LoadImm { rd: 15, imm: 1 },
+        ],
+        transition: Transition::Halt,
+    });
+    pb.entry(start);
+    pb.build().unwrap()
+}
+
+#[test]
+fn published_pages_are_never_writable_and_executable() {
+    if !recode_codec::jit::enabled() {
+        return;
+    }
+    let _g = GATE.lock().unwrap();
+    let image = assemble(&tiny_program()).unwrap();
+    assert!(image.jit().is_some(), "x86-64 assemble must produce a JIT artifact");
+    // The kernel-visible property: with live JIT pages in the process, no
+    // mapping is rwx.
+    let maps = std::fs::read_to_string("/proc/self/maps").unwrap();
+    for line in maps.lines() {
+        let perms = line.split_whitespace().nth(1).unwrap_or("");
+        assert!(!perms.starts_with("rwx"), "W^X violated by mapping: {line}");
+    }
+    // And the library-level ledger agrees nothing ever asked for RWX.
+    assert_eq!(wx_violations(), 0, "no RWX protection request may ever be made");
+}
+
+#[test]
+fn retiring_an_image_reclaims_its_executable_pages() {
+    if !recode_codec::jit::enabled() {
+        return;
+    }
+    let _g = GATE.lock().unwrap();
+    let baseline = live_exec_bytes();
+    let image = assemble(&tiny_program()).unwrap();
+    let jit_bytes = image.jit().expect("artifact").code_bytes();
+    assert!(jit_bytes > 0);
+    assert!(live_exec_bytes() >= baseline + jit_bytes, "publishing must grow the live ledger");
+    // Clones share the artifact: no further pages, and dropping one clone
+    // reclaims nothing.
+    let clone = image.clone();
+    let with_image = live_exec_bytes();
+    drop(clone);
+    assert_eq!(live_exec_bytes(), with_image, "a clone drop must not unmap shared pages");
+    drop(image);
+    assert_eq!(
+        live_exec_bytes(),
+        baseline,
+        "retiring the last owner must return the ledger to baseline"
+    );
+}
+
+#[test]
+fn poisoned_compile_falls_back_to_interpreter_with_a_recorded_event() {
+    if !recode_codec::jit::enabled() {
+        return;
+    }
+    let _g = GATE.lock().unwrap();
+    install_probe_hook();
+    let failures_before = FAILED_COMPILES.load(Ordering::SeqCst);
+    poison_next_publish_for_test(1);
+    let image = assemble(&tiny_program()).unwrap();
+    assert!(image.jit().is_none(), "a poisoned publish must not attach an artifact");
+    assert_eq!(
+        FAILED_COMPILES.load(Ordering::SeqCst),
+        failures_before + 1,
+        "the failed compile must be reported to the hook"
+    );
+    assert_eq!(FAILED_CODE_BYTES.load(Ordering::SeqCst), 0, "failed compiles publish nothing");
+    // The image still runs — interpreter tier, bit-exact.
+    let r = Lane::new().run(&image, &[], 0, RunConfig::default()).unwrap();
+    assert_eq!(r.output, vec![0x5A]);
+}
+
+#[test]
+fn tampered_artifact_is_gated_at_run_time_and_flagged_by_reverify() {
+    if !recode_codec::jit::enabled() {
+        return;
+    }
+    let _g = GATE.lock().unwrap();
+    let program = tiny_program();
+    let placement = recode_udp::effclip::place(&program).unwrap();
+    let image = recode_udp::machine::encode(&program, &placement).unwrap();
+    let jit = image.jit().expect("artifact");
+
+    // Pre-tamper: the sentinel passes, verify is clean, and the lane runs
+    // the compiled tier.
+    assert_eq!(image.verify_report.error_count(), 0);
+    let r = Lane::new().run(&image, &[], 0, RunConfig::default()).unwrap();
+    assert_eq!(r.output, vec![0x5A]);
+
+    // Tamper with the first code byte through the test-only choke point
+    // (the only way to write RX pages — mprotect round-trip, never RWX).
+    jit.corrupt_for_test(0, 0xFF);
+
+    // Run-time gate: the cheap sentinel catches the damage before any
+    // compiled byte executes.
+    let err = Lane::new().run(&image, &[], 0, RunConfig::default()).unwrap_err();
+    assert_eq!(err, LaneError::JitInvalid);
+    assert!(err.to_string().contains("integrity"), "actionable message: {err}");
+
+    // Static gate: re-verification recomputes the full digest and reports
+    // a translation-validation Error, which itself gates future runs.
+    let report = verify_image(&program, &placement, &image, &VerifyConfig::default());
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.analysis == Analysis::TranslationValidation && f.severity == Severity::Error)
+        .expect("tampered code digest must surface as an Error finding");
+    assert!(finding.message.contains("tampered"), "diagnosis names the cause: {finding:?}");
+}

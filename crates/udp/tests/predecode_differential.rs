@@ -1,12 +1,16 @@
-//! Differential suite for the predecoded interpreter (ISSUE 5).
+//! Differential suite for the predecoded interpreter and the JIT tier
+//! (ISSUEs 5 and 10).
 //!
-//! `Lane::run` executes the image's predecoded block table;
-//! `Lane::run_reference` re-decodes every code word at dispatch time, which
-//! is exactly what `run` did before predecoding. These tests drive both
-//! paths over every builtin decoder program (on real encoded streams and on
-//! corrupted ones) and over the full 12-program negative corpus, asserting
-//! bit-identical outputs, cycle counts, opclass attribution — and identical
-//! traps. Any divergence means predecoding changed machine semantics.
+//! `Lane::run` executes the image's JIT artifact when one is present (and
+//! falls back to the predecoded interpreter otherwise or on bail);
+//! `Lane::run_into_interp` forces the predecoded interpreter; and
+//! `Lane::run_reference` re-decodes every code word at dispatch time. These
+//! tests drive all three tiers over every builtin decoder program (on real
+//! encoded streams and on corrupted ones) and over the full 16-program
+//! negative corpus, asserting bit-identical outputs, cycle counts, opclass
+//! attribution — and identical traps. Any divergence means a lowering
+//! changed machine semantics. Under `RECODE_NO_JIT=1` (CI's
+//! interpreter-parity leg) the same suite pins the two interpreter paths.
 
 use recode_codec::pipeline::{Pipeline, PipelineConfig};
 use recode_udp::asm::assemble_text_with_map;
@@ -14,10 +18,31 @@ use recode_udp::lane::{Lane, LaneError, RunConfig, RunResult};
 use recode_udp::machine::{assemble, Image};
 use recode_udp::progs::DshDecoder;
 
-/// Runs `image` over `input` on both interpreter paths and asserts they
-/// agree exactly — on success (output, cycles, dispatches, actions,
-/// opclass) and on failure (the same `LaneError`). Returns the agreed
-/// result so callers can chain stages.
+/// Asserts two tiers agreed exactly — on success (output, cycles,
+/// dispatches, actions, opclass) and on failure (the same `LaneError`).
+fn assert_tiers_agree(
+    a: &Result<RunResult, LaneError>,
+    b: &Result<RunResult, LaneError>,
+    pair: &str,
+    context: &str,
+) {
+    match (a, b) {
+        (Ok(f), Ok(s)) => {
+            assert_eq!(f.output, s.output, "{context} [{pair}]: outputs diverge");
+            assert_eq!(f.cycles, s.cycles, "{context} [{pair}]: cycles diverge");
+            assert_eq!(f.dispatches, s.dispatches, "{context} [{pair}]: dispatches diverge");
+            assert_eq!(f.actions, s.actions, "{context} [{pair}]: actions diverge");
+            assert_eq!(f.opclass, s.opclass, "{context} [{pair}]: opclass attribution diverges");
+        }
+        (Err(f), Err(s)) => assert_eq!(f, s, "{context} [{pair}]: traps diverge"),
+        _ => panic!("{context} [{pair}]: one tier trapped, the other did not: {a:?} vs {b:?}"),
+    }
+}
+
+/// Runs `image` over `input` on all three tiers — `run` (JIT when present),
+/// the forced predecoded interpreter, and the word-at-a-time reference —
+/// and asserts pairwise agreement. Returns the agreed result so callers can
+/// chain stages.
 fn differential(
     image: &Image,
     input: &[u8],
@@ -25,19 +50,26 @@ fn differential(
     cfg: RunConfig,
     context: &str,
 ) -> Result<RunResult, LaneError> {
-    let fast = Lane::new().run(image, input, input_bits, cfg);
-    let slow = Lane::new().run_reference(image, input, input_bits, cfg);
-    match (&fast, &slow) {
-        (Ok(f), Ok(s)) => {
-            assert_eq!(f.output, s.output, "{context}: outputs diverge");
-            assert_eq!(f.cycles, s.cycles, "{context}: cycles diverge");
-            assert_eq!(f.dispatches, s.dispatches, "{context}: dispatches diverge");
-            assert_eq!(f.actions, s.actions, "{context}: actions diverge");
-            assert_eq!(f.opclass, s.opclass, "{context}: opclass attribution diverges");
-        }
-        (Err(f), Err(s)) => assert_eq!(f, s, "{context}: traps diverge"),
-        _ => panic!("{context}: one path trapped, the other did not: fast={fast:?} slow={slow:?}"),
+    // When the JIT tier is live, images assembled here must actually carry
+    // an artifact — otherwise this suite would silently degrade to a
+    // two-way interpreter comparison and prove nothing about the JIT.
+    if recode_codec::jit::enabled() {
+        assert!(image.jit().is_some(), "{context}: image `{}` has no JIT artifact", image.name);
     }
+    let fast = Lane::new().run(image, input, input_bits, cfg);
+    let interp = {
+        let mut out = Vec::new();
+        Lane::new().run_into_interp(image, input, input_bits, cfg, &mut out).map(|s| RunResult {
+            cycles: s.cycles,
+            dispatches: s.dispatches,
+            actions: s.actions,
+            opclass: s.opclass,
+            output: out,
+        })
+    };
+    let slow = Lane::new().run_reference(image, input, input_bits, cfg);
+    assert_tiers_agree(&fast, &interp, "run vs interp", context);
+    assert_tiers_agree(&fast, &slow, "run vs reference", context);
     fast
 }
 
@@ -149,15 +181,19 @@ fn corrupted_payloads_trap_identically() {
 /// output, burn the cycle budget — both interpreter paths must do the same.
 #[test]
 fn negative_corpus_paths_agree() {
-    let corpus: [(&str, &str); 12] = [
+    let corpus: [(&str, &str); 16] = [
         ("bad_output", include_str!("corpus/bad_output.udp")),
+        ("budget_overflow_loop", include_str!("corpus/budget_overflow_loop.udp")),
         ("dead_write", include_str!("corpus/dead_write.udp")),
+        ("dispatch_per_bit", include_str!("corpus/dispatch_per_bit.udp")),
         ("empty_group", include_str!("corpus/empty_group.udp")),
         ("incomplete_dispatch", include_str!("corpus/incomplete_dispatch.udp")),
         ("infinite_loop", include_str!("corpus/infinite_loop.udp")),
         ("invariant_exit", include_str!("corpus/invariant_exit.udp")),
         ("oob_store", include_str!("corpus/oob_store.udp")),
+        ("predecode_tamper", include_str!("corpus/predecode_tamper.udp")),
         ("stream_loop_no_inrem", include_str!("corpus/stream_loop_no_inrem.udp")),
+        ("unboundable_loop", include_str!("corpus/unboundable_loop.udp")),
         ("uninit_read", include_str!("corpus/uninit_read.udp")),
         ("unreachable_block", include_str!("corpus/unreachable_block.udp")),
         ("unselectable_slot", include_str!("corpus/unselectable_slot.udp")),

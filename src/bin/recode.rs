@@ -967,6 +967,10 @@ fn cmd_metrics(flags: &Flags) -> Result<ExitCode, String> {
     use recode_spmv::core::MetricsSnapshot;
     let a = load(flags)?;
     let sys = SystemConfig::ddr4();
+    // Arm the flight recorder before compression so the exposition carries
+    // per-kind event counters — including the jit_compile events fired
+    // while the decoder's lane images are assembled just below.
+    recorder::enable(recorder::DEFAULT_CAPACITY);
     let recoded = RecodedSpmv::new_traced(&a, flags.config).map_err(|e| e.to_string())?;
     let name = std::path::Path::new(&flags.positional[0])
         .file_stem()
@@ -975,8 +979,9 @@ fn cmd_metrics(flags: &Flags) -> Result<ExitCode, String> {
     let mut breaker = CircuitBreaker::new(BreakerConfig::default());
     let (report, doc) =
         recoded.run_job_traced(&sys, None, &JobBudget::default(), Some(&mut breaker), &name);
-    let doc =
+    let mut doc =
         doc.ok_or_else(|| format!("job produced no trace document (state {:?})", report.state))?;
+    doc.attach_recorder(RecorderSummary::from_events(&recorder::drain(), recorder::stats()));
     let text = MetricsSnapshot::from_document(&doc).render_prometheus();
     match &flags.output {
         Some(path) => {

@@ -197,3 +197,35 @@ fn cli_tune_then_spmv_consumes_the_persisted_config() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn garbage_tune_trials_warns_instead_of_silently_defaulting() {
+    let dir = scratch_dir("cli-trials");
+    let mtx = dir.join("m.mtx");
+    let gen = recode()
+        .args(["gen", "stencil2d", "900", "-o"])
+        .arg(&mtx)
+        .output()
+        .expect("spawn recode gen");
+    assert!(gen.status.success(), "gen failed: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let out = recode()
+        .args(["tune"])
+        .arg(&mtx)
+        .args(["-o"])
+        .arg(dir.join("m.tuned.json"))
+        .env("RECODE_TUNE_TRIALS", "three")
+        .output()
+        .expect("spawn recode tune");
+    // A garbage trial count is diagnosed (naming the variable and the
+    // value), then tuning proceeds on the default — it must not abort, and
+    // it must not silently pretend the variable was unset.
+    assert!(out.status.success(), "tune failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("RECODE_TUNE_TRIALS") && stderr.contains("three"),
+        "expected a warning naming the bad value, got: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
